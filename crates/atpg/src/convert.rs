@@ -1,0 +1,389 @@
+//! The "parser tool": converts ATPG patterns into GPU instructions.
+//!
+//! The paper: "A parser tool converted the ATPG test patterns into valid
+//! instructions for the GPU. The test patterns are converted partially due
+//! to a lack of fully equivalent instructions of GPU and generated
+//! patterns." This module reproduces both halves: the conversion itself and
+//! the partiality — a pattern converts only when some instruction drives
+//! every bit PODEM actually *cares* about (don't-care bits may take
+//! whatever the instruction produces); patterns requiring the
+//! predicated-select datapath, a comparison select on a non-comparing
+//! operation, or values on operand fields no instruction drives are
+//! rejected.
+//!
+//! Converted snippets use a fixed register convention: sources in `R1`,
+//! `R2`, `R3`, result in `R4`. The test-program generator wraps each snippet
+//! with the result propagation (store / signature fold).
+
+use warpstl_isa::{CmpOp, Instruction, Opcode, Reg};
+use warpstl_netlist::modules::{sfu, sp_core};
+
+/// Source register for operand `a`.
+pub const REG_A: u8 = 1;
+/// Source register for operand `b`.
+pub const REG_B: u8 = 2;
+/// Source register for operand `c`.
+pub const REG_C: u8 = 3;
+/// Result register.
+pub const REG_RESULT: u8 = 4;
+
+fn field_u32(bits: &[bool], lo: usize, width: usize) -> u32 {
+    bits[lo..lo + width]
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b as u32) << i))
+}
+
+/// Field value taking only PODEM-assigned (care) bits; don't-cares read 0.
+fn care_u32(care: &[Option<bool>], lo: usize, width: usize) -> u32 {
+    care[lo..lo + width]
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | ((b == Some(true)) as u32) << i)
+}
+
+/// Whether a field has no care bit forced to 1 (so driving 0 satisfies it).
+fn zero_ok(care: &[Option<bool>], lo: usize, width: usize) -> bool {
+    care[lo..lo + width].iter().all(|&b| b != Some(true))
+}
+
+/// Marks every bit of a concrete pattern as cared-for (useful for tests and
+/// for re-converting captured patterns).
+#[must_use]
+pub fn full_care(bits: &[bool]) -> Vec<Option<bool>> {
+    bits.iter().map(|&b| Some(b)).collect()
+}
+
+fn mov32i(reg: u8, value: u32) -> Instruction {
+    Instruction::build(Opcode::Mov32i)
+        .dst(Reg::new(reg))
+        .src(value as i32)
+        .finish()
+        .expect("valid MOV32I")
+}
+
+fn binop(op: Opcode, cmp: Option<CmpOp>) -> Instruction {
+    let mut b = Instruction::build(op)
+        .dst(Reg::new(REG_RESULT))
+        .src(Reg::new(REG_A))
+        .src(Reg::new(REG_B));
+    if let Some(c) = cmp {
+        b = b.cmp(c);
+    }
+    b.finish().expect("valid binary op")
+}
+
+fn unop(op: Opcode) -> Instruction {
+    Instruction::build(op)
+        .dst(Reg::new(REG_RESULT))
+        .src(Reg::new(REG_A))
+        .finish()
+        .expect("valid unary op")
+}
+
+/// Converts one SP-core ATPG pattern (in [`sp_core`] flat input-bit order)
+/// into an instruction snippet, or `None` when no instruction sequence
+/// drives all of the pattern's care bits.
+///
+/// `bits` is the filled stimulus (don't-cares already randomized); `care`
+/// is PODEM's raw assignment for the same pattern. The emitted instructions
+/// drive `a`/`b` (and `c` for MAD) with the filled values and leave fields
+/// no instruction reaches at 0, which is only legal when those fields'
+/// care bits are 0.
+///
+/// # Panics
+///
+/// Panics if `bits` or `care` is not [`sp_core::PATTERN_WIDTH`] long.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_atpg::convert::{convert_sp_pattern, full_care};
+/// use warpstl_netlist::modules::sp_core;
+///
+/// let bits = sp_core::pack_pattern(sp_core::OP_ADD, 0, 7, 9, 0);
+/// let snippet = convert_sp_pattern(&bits, &full_care(&bits)).expect("ADD converts");
+/// assert_eq!(snippet.len(), 3); // two loads + IADD
+/// assert_eq!(snippet[2].to_string(), "IADD R4, R1, R2;");
+///
+/// // The predicated-select datapath has no direct instruction equivalent.
+/// let sel = sp_core::pack_pattern(sp_core::OP_SEL, 0, 1, 2, 3);
+/// assert!(convert_sp_pattern(&sel, &full_care(&sel)).is_none());
+/// ```
+#[must_use]
+pub fn convert_sp_pattern(bits: &[bool], care: &[Option<bool>]) -> Option<Vec<Instruction>> {
+    assert_eq!(bits.len(), sp_core::PATTERN_WIDTH, "bad SP pattern width");
+    assert_eq!(care.len(), sp_core::PATTERN_WIDTH, "bad SP care width");
+    // The operation select: only the bits PODEM cares about are fixed; any
+    // don't-care op bit is chosen as 0.
+    let op = care_u32(care, 0, 4) as u8;
+    let cmp = care_u32(care, 4, 3) as u8;
+    let a = field_u32(bits, 7, 32);
+    let b = field_u32(bits, 39, 32);
+    let c = field_u32(bits, 71, 32);
+    let cmp_zero_ok = zero_ok(care, 4, 3);
+    let b_zero_ok = zero_ok(care, 39, 32);
+    let c_zero_ok = zero_ok(care, 71, 32);
+
+    let cmp_op = CmpOp::from_bits(cmp);
+    let mut out = Vec::with_capacity(4);
+    use sp_core::*;
+    let tail = match op {
+        OP_ADD | OP_SUB | OP_AND | OP_OR | OP_XOR | OP_SHL | OP_SHR | OP_MUL => {
+            if !cmp_zero_ok || !c_zero_ok {
+                return None;
+            }
+            let opcode = match op {
+                OP_ADD => Opcode::Iadd,
+                OP_SUB => Opcode::Isub,
+                OP_AND => Opcode::And,
+                OP_OR => Opcode::Or,
+                OP_XOR => Opcode::Xor,
+                OP_SHL => Opcode::Shl,
+                OP_SHR => Opcode::Shr,
+                _ => Opcode::Imul,
+            };
+            out.push(mov32i(REG_A, a));
+            out.push(mov32i(REG_B, b));
+            binop(opcode, None)
+        }
+        OP_MAD => {
+            if !cmp_zero_ok {
+                return None;
+            }
+            out.push(mov32i(REG_A, a));
+            out.push(mov32i(REG_B, b));
+            out.push(mov32i(REG_C, c));
+            Instruction::build(Opcode::Imad)
+                .dst(Reg::new(REG_RESULT))
+                .src(Reg::new(REG_A))
+                .src(Reg::new(REG_B))
+                .src(Reg::new(REG_C))
+                .finish()
+                .expect("valid IMAD")
+        }
+        OP_MIN | OP_MAX => {
+            if !c_zero_ok {
+                return None;
+            }
+            let cmp_op = cmp_op?;
+            let valid = if op == OP_MIN {
+                matches!(cmp_op, CmpOp::Lt | CmpOp::Le)
+            } else {
+                matches!(cmp_op, CmpOp::Gt | CmpOp::Ge)
+            };
+            if !valid {
+                return None;
+            }
+            out.push(mov32i(REG_A, a));
+            out.push(mov32i(REG_B, b));
+            binop(Opcode::Imnmx, Some(cmp_op))
+        }
+        OP_SET => {
+            if !c_zero_ok {
+                return None;
+            }
+            let cmp_op = cmp_op?;
+            out.push(mov32i(REG_A, a));
+            out.push(mov32i(REG_B, b));
+            binop(Opcode::Iset, Some(cmp_op))
+        }
+        OP_NOT | OP_MOV | OP_ABS => {
+            if !cmp_zero_ok || !b_zero_ok || !c_zero_ok {
+                return None;
+            }
+            let opcode = match op {
+                OP_NOT => Opcode::Not,
+                OP_MOV => Opcode::Mov,
+                _ => Opcode::Iabs,
+            };
+            out.push(mov32i(REG_A, a));
+            unop(opcode)
+        }
+        // The predicated-select datapath needs predicate state no single
+        // instruction drives.
+        _ => return None,
+    };
+    out.push(tail);
+    Some(out)
+}
+
+/// Converts one SFU ATPG pattern (in [`sfu`] flat input-bit order) into an
+/// instruction snippet, or `None` for reserved function selects.
+///
+/// # Panics
+///
+/// Panics if `bits` or `care` is not [`sfu::PATTERN_WIDTH`] long.
+#[must_use]
+pub fn convert_sfu_pattern(bits: &[bool], care: &[Option<bool>]) -> Option<Vec<Instruction>> {
+    assert_eq!(bits.len(), sfu::PATTERN_WIDTH, "bad SFU pattern width");
+    assert_eq!(care.len(), sfu::PATTERN_WIDTH, "bad SFU care width");
+    let func = care_u32(care, 0, 3) as u8;
+    let x = field_u32(bits, 3, 32);
+    let opcode = match func {
+        sfu::F_RCP => Opcode::Rcp,
+        sfu::F_RSQ => Opcode::Rsq,
+        sfu::F_SIN => Opcode::Sin,
+        sfu::F_COS => Opcode::Cos,
+        sfu::F_EX2 => Opcode::Ex2,
+        sfu::F_LG2 => Opcode::Lg2,
+        _ => return None,
+    };
+    Some(vec![mov32i(REG_A, x), unop(opcode)])
+}
+
+/// Statistics of a bulk conversion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConversionStats {
+    /// Patterns successfully converted.
+    pub converted: usize,
+    /// Patterns with no instruction equivalent (dropped).
+    pub dropped: usize,
+}
+
+impl ConversionStats {
+    /// The conversion rate in [0, 1].
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        let total = self.converted + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.converted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict(bits: &[bool]) -> Option<Vec<Instruction>> {
+        convert_sp_pattern(bits, &full_care(bits))
+    }
+
+    #[test]
+    fn binary_ops_convert() {
+        for op in [
+            sp_core::OP_ADD,
+            sp_core::OP_SUB,
+            sp_core::OP_AND,
+            sp_core::OP_OR,
+            sp_core::OP_XOR,
+            sp_core::OP_SHL,
+            sp_core::OP_SHR,
+            sp_core::OP_MUL,
+        ] {
+            let bits = sp_core::pack_pattern(op, 0, 0xdead, 0xbeef, 0);
+            let s = strict(&bits).unwrap_or_else(|| panic!("op {op}"));
+            assert_eq!(s.len(), 3);
+            assert_eq!(s[0].imm(), Some(0xdead));
+            assert_eq!(s[1].imm(), Some(0xbeef));
+        }
+    }
+
+    #[test]
+    fn mad_loads_three_operands() {
+        let bits = sp_core::pack_pattern(sp_core::OP_MAD, 0, 1, 2, 3);
+        let s = strict(&bits).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[3].opcode, Opcode::Imad);
+    }
+
+    #[test]
+    fn unconvertible_patterns_are_dropped() {
+        // SEL: no equivalent.
+        let bits = sp_core::pack_pattern(sp_core::OP_SEL, 0, 1, 2, 1);
+        assert!(strict(&bits).is_none());
+        // ADD with a cared-for nonzero c field: the instruction can't drive c.
+        let bits = sp_core::pack_pattern(sp_core::OP_ADD, 0, 1, 2, 7);
+        assert!(strict(&bits).is_none());
+        // ADD with a cared-for nonzero cmp select.
+        let bits = sp_core::pack_pattern(sp_core::OP_ADD, 3, 1, 2, 0);
+        assert!(strict(&bits).is_none());
+        // MIN with a MAX-side comparison.
+        let bits = sp_core::pack_pattern(sp_core::OP_MIN, sp_core::CMP_GT, 1, 2, 0);
+        assert!(strict(&bits).is_none());
+        // Reserved cmp value.
+        let bits = sp_core::pack_pattern(sp_core::OP_SET, 7, 1, 2, 0);
+        assert!(strict(&bits).is_none());
+    }
+
+    #[test]
+    fn dont_care_fields_allow_conversion() {
+        // Same ADD pattern, but the nonzero c came from random fill
+        // (care = None): the instruction drives c = 0, which is compatible.
+        let bits = sp_core::pack_pattern(sp_core::OP_ADD, 0, 1, 2, 0xffff_ffff);
+        let mut care = full_care(&bits);
+        for slot in care.iter_mut().skip(71) {
+            *slot = None;
+        }
+        let s = convert_sp_pattern(&bits, &care).expect("don't-care c converts");
+        assert_eq!(s[2].opcode, Opcode::Iadd);
+    }
+
+    #[test]
+    fn min_max_use_the_right_modifiers() {
+        let bits = sp_core::pack_pattern(sp_core::OP_MIN, sp_core::CMP_LE, 5, 9, 0);
+        let s = strict(&bits).unwrap();
+        assert_eq!(s[2].to_string(), "IMNMX.LE R4, R1, R2;");
+        let bits = sp_core::pack_pattern(sp_core::OP_MAX, sp_core::CMP_GE, 5, 9, 0);
+        let s = strict(&bits).unwrap();
+        assert_eq!(s[2].to_string(), "IMNMX.GE R4, R1, R2;");
+    }
+
+    #[test]
+    fn unary_ops_require_clear_unused_fields() {
+        let bits = sp_core::pack_pattern(sp_core::OP_NOT, 0, 0xff, 0, 0);
+        assert!(strict(&bits).is_some());
+        let bits = sp_core::pack_pattern(sp_core::OP_NOT, 0, 0xff, 1, 0);
+        assert!(strict(&bits).is_none());
+    }
+
+    #[test]
+    fn sfu_patterns_convert_for_all_functions() {
+        for f in 0..6u8 {
+            let bits = sfu::pack_pattern(f, 0x3f80_0000);
+            let s = convert_sfu_pattern(&bits, &full_care(&bits)).unwrap();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s[0].imm(), Some(0x3f80_0000u32 as i32));
+        }
+        let bits = sfu::pack_pattern(6, 0);
+        assert!(convert_sfu_pattern(&bits, &full_care(&bits)).is_none());
+    }
+
+    #[test]
+    fn converted_snippet_reproduces_the_pattern_on_the_gpu() {
+        // Run the snippet on the GPU model and check the captured SP pattern
+        // equals the ATPG pattern.
+        use warpstl_gpu::{Gpu, Kernel, KernelConfig, RunOptions};
+        let want = sp_core::pack_pattern(sp_core::OP_XOR, 0, 0x1234_5678, 0x9abc_def0, 0);
+        let mut program = strict(&want).unwrap();
+        program.push(Instruction::bare(Opcode::Exit));
+        let kernel = Kernel::new("conv", program, KernelConfig::new(1, 8));
+        let r = Gpu::default()
+            .run(
+                &kernel,
+                &RunOptions {
+                    capture_sp: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        // The last pattern captured by SP lane 0 must be the XOR pattern.
+        let seq = &r.patterns.sp[0];
+        let last = seq.len() - 1;
+        let got: Vec<bool> = (0..seq.width()).map(|b| seq.bit(last, b)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_rate() {
+        let s = ConversionStats {
+            converted: 3,
+            dropped: 1,
+        };
+        assert!((s.rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ConversionStats::default().rate(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # warpstl-atpg
+//!
+//! Automatic test pattern generation for the gate-level modules, plus the
+//! "parser tool" that converts ATPG patterns into GPU instructions.
+//!
+//! The paper's TPGEN and SFU_IMM test programs are built from patterns
+//! produced by a commercial ATPG tool and converted — *partially*, "due to a
+//! lack of fully equivalent instructions" — into SASS. This crate implements
+//! the same flow from scratch:
+//!
+//! - [`Podem`] — the classic PODEM algorithm (5-valued D-algebra,
+//!   objective/backtrace/imply with a backtrack limit) over
+//!   [`warpstl-netlist`](warpstl_netlist) combinational netlists;
+//! - [`generate_patterns`] — the ATPG loop: target each collapsed fault,
+//!   fault-simulate each new pattern against the remaining fault list
+//!   (dropping), with deterministic seeded X-fill;
+//! - [`convert`] — pattern→instruction conversion for the SP core and SFU
+//!   pattern encodings, reporting unconvertible patterns exactly like the
+//!   paper's parser.
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_atpg::{generate_patterns, AtpgConfig};
+//! use warpstl_netlist::Builder;
+//!
+//! let mut b = Builder::new("demo");
+//! let x = b.input_bus("x", 4);
+//! let y = b.input_bus("y", 4);
+//! let (s, c) = b.add(&x, &y);
+//! b.output_bus("s", &s);
+//! b.output("c", c);
+//! let netlist = b.finish();
+//!
+//! let result = generate_patterns(&netlist, &AtpgConfig::default());
+//! assert!(result.coverage() > 0.95, "adders are fully testable");
+//! assert!(!result.patterns.is_empty());
+//! ```
+
+pub mod convert;
+mod generate;
+mod podem;
+
+pub use generate::{generate_patterns, AtpgConfig, AtpgDropMode, AtpgResult};
+pub use podem::{Podem, PodemOutcome};

@@ -1,0 +1,54 @@
+//! Extension experiment: apply the compaction method to the FP32 units —
+//! the remaining functional units of the FlexGripPlus SM, not covered by
+//! the paper's evaluated STL. Demonstrates that the method generalizes to
+//! a fourth module unchanged (the paper's future-work direction of "more
+//! elaborated … test programs").
+
+use warpstl_bench::{timed, Scale};
+use warpstl_core::Compactor;
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::generators::{generate_fpu, FpuConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sb_count = (2048 / scale.divisor).max(8);
+    eprintln!("[FPU with {sb_count} SBs]");
+    let ptp = generate_fpu(&FpuConfig {
+        sb_count,
+        ..FpuConfig::default()
+    });
+
+    let compactor = Compactor::default();
+    let mut ctx = compactor.context_for(ModuleKind::Fp32);
+    eprintln!(
+        "[fp32 module: {} faults across {} instances]",
+        ctx.total_faults(),
+        ctx.instances()
+    );
+    let out = timed("compact FPU", || {
+        compactor.compact(&ptp, &mut ctx).expect("FPU runs")
+    });
+    let r = &out.report;
+
+    println!("## Extension: FP32-unit PTP compaction");
+    println!(
+        "{:<8} {:>8} {:>8} {:>12} {:>8} {:>8}",
+        "PTP", "instr", "(%)", "ccs", "(%)", "ΔFC"
+    );
+    println!(
+        "{:<8} {:>8} {:>8.2} {:>12} {:>8.2} {:>+8.2}",
+        r.name,
+        r.compacted_size,
+        -r.size_reduction_pct(),
+        r.compacted_duration,
+        -r.duration_reduction_pct(),
+        r.fc_diff_pct()
+    );
+    println!(
+        "FC {:.2}% -> {:.2}%, {} of {} SBs removed, 1 logic + 1 fault simulation",
+        r.fc_before * 100.0,
+        r.fc_after * 100.0,
+        r.sbs_removed,
+        r.sbs_total
+    );
+}

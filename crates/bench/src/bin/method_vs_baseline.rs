@@ -1,0 +1,61 @@
+//! The paper's §IV complexity claim: the proposed method uses **one** logic
+//! simulation and **one** fault simulation per PTP, while prior-art
+//! iterative compaction needs one fault simulation per candidate — "usually
+//! in the order of hundreds or thousands of them".
+//!
+//! Runs both compactors on the same (small) IMM PTP and reports simulation
+//! counts and wall time. Scale the PTP with `WARPSTL_SCALE` (this
+//! comparison defaults to a smaller program than the tables because the
+//! baseline's cost grows quadratically).
+
+use warpstl_bench::Scale;
+use warpstl_core::baseline::IterativeCompactor;
+use warpstl_core::Compactor;
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::generators::{generate_imm, ImmConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    // The baseline re-fault-simulates per SB: keep the workload modest but
+    // large enough that compaction has something to remove.
+    let sb_count = (512 / scale.divisor).max(24);
+    eprintln!("[IMM with {sb_count} SBs]");
+    let ptp = generate_imm(&ImmConfig {
+        sb_count,
+        ..ImmConfig::default()
+    });
+
+    let compactor = Compactor::default();
+    let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+    let fast = compactor.compact(&ptp, &mut ctx).expect("method runs");
+
+    let ctx2 = compactor.context_for(ModuleKind::DecoderUnit);
+    let (_, slow) = IterativeCompactor::default()
+        .compact(&ptp, &ctx2)
+        .expect("baseline runs");
+
+    println!("## Method vs. baseline (same IMM PTP, {} instructions)", ptp.size());
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12}",
+        "compactor", "logic sims", "fault sims", "instr out", "wall time"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12.2?}",
+        "proposed (1+1)",
+        fast.report.logic_sim_runs,
+        fast.report.fault_sim_runs,
+        fast.report.compacted_size,
+        fast.report.compaction_time
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12.2?}",
+        "iterative baseline",
+        slow.logic_sim_runs,
+        slow.fault_sim_runs,
+        slow.compacted_size,
+        slow.compaction_time
+    );
+    let speedup =
+        slow.compaction_time.as_secs_f64() / fast.report.compaction_time.as_secs_f64().max(1e-9);
+    println!("speedup: {speedup:.1}x fewer wall-clock seconds");
+}

@@ -1,0 +1,42 @@
+//! Extension experiment: FlexGripPlus "allows the selection of the number
+//! of execution units (8, 16, or 32) in the SM" (paper §II-B). Sweeps the
+//! SP-core count and reports how PTP duration and the compaction outcome
+//! respond — more cores mean fewer execute passes per warp, shorter
+//! durations, and fewer (but wider) per-core pattern streams.
+
+use warpstl_bench::Scale;
+use warpstl_core::Compactor;
+use warpstl_gpu::{Gpu, GpuConfig};
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::generators::generate_rand_sp;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[scale: 1/{} of paper sizes]", scale.divisor);
+    let ptp = generate_rand_sp(&scale.rand());
+
+    println!("## SP-core sweep (RAND, {} instructions)", ptp.size());
+    println!(
+        "{:<8} {:>12} {:>14} {:>10} {:>8}",
+        "cores", "duration", "patterns/core", "compacted", "size -%"
+    );
+    for cores in [8usize, 16, 32] {
+        let compactor = Compactor {
+            gpu: Gpu::new(GpuConfig::with_sp_cores(cores)),
+            ..Compactor::default()
+        };
+        let run = compactor.trace(&ptp).expect("runs");
+        let per_core = run.patterns.sp[0].len();
+        let mut ctx = compactor.context_for(ModuleKind::SpCore);
+        let out = compactor.compact(&ptp, &mut ctx).expect("compacts");
+        println!(
+            "{:<8} {:>12} {:>14} {:>10} {:>8.2}",
+            cores,
+            run.cycles,
+            per_core,
+            out.report.compacted_size,
+            out.report.size_reduction_pct()
+        );
+    }
+    println!("(duration shrinks with core count: fewer execute passes per warp)");
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Table I**: main features of the evaluated PTPs (size,
+//! ARC %, duration in ccs, standalone FC %), plus the combined rows.
+//!
+//! Scale with `WARPSTL_SCALE` (default 32; 1 = paper-sized programs).
+
+use warpstl_bench::{format_features_table, table1, timed, PaperStl, Scale};
+use warpstl_core::Compactor;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[scale: 1/{} of paper sizes]", scale.divisor);
+    let stl = timed("generate STL", || PaperStl::generate(&scale));
+    let compactor = Compactor::default();
+    let t1 = timed("evaluate features", || table1(&stl, &compactor));
+    print!("{}", format_features_table(&t1));
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table II**: compaction results for the Decoder Unit test
+//! programs (IMM → MEM → CNTRL with the shared dropping fault list), plus
+//! the combined `IMM+MEM+CNTRL` row.
+//!
+//! Scale with `WARPSTL_SCALE` (default 32; 1 = paper-sized programs).
+
+use warpstl_bench::{compact_group, format_compaction_table, timed, PaperStl, Scale};
+use warpstl_core::Compactor;
+use warpstl_netlist::modules::ModuleKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[scale: 1/{} of paper sizes]", scale.divisor);
+    let stl = timed("generate STL", || PaperStl::generate(&scale));
+    let compactor = Compactor::default();
+    let group = timed("compact DU PTPs", || {
+        compact_group(&stl.du, ModuleKind::DecoderUnit, &compactor)
+    });
+    let mut rows = group.rows.clone();
+    rows.push(group.combined_row("IMM+MEM+CNTRL"));
+    print!(
+        "{}",
+        format_compaction_table(
+            "Table II: compaction results for the Decoder Unit PTPs",
+            &rows
+        )
+    );
+}

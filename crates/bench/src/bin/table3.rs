@@ -1,0 +1,41 @@
+//! Regenerates **Table III**: compaction results for the functional-unit
+//! test programs — TPGEN → RAND on the SP cores (shared dropping list; the
+//! RAND row's standalone-FC drop is the paper's fault-dropping effect) and
+//! SFU_IMM on the SFUs with the patterns applied in reverse order during
+//! fault simulation, as in the paper.
+//!
+//! Scale with `WARPSTL_SCALE` (default 32; 1 = paper-sized programs).
+
+use warpstl_bench::{compact_group, format_compaction_table, timed, PaperStl, Scale};
+use warpstl_core::Compactor;
+use warpstl_netlist::modules::ModuleKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[scale: 1/{} of paper sizes]", scale.divisor);
+    let stl = timed("generate STL", || PaperStl::generate(&scale));
+
+    let compactor = Compactor::default();
+    let sp = timed("compact SP PTPs", || {
+        compact_group(&stl.sp, ModuleKind::SpCore, &compactor)
+    });
+
+    let sfu_compactor = Compactor {
+        reverse_patterns: true,
+        ..Compactor::default()
+    };
+    let sfu = timed("compact SFU PTPs", || {
+        compact_group(&stl.sfu, ModuleKind::Sfu, &sfu_compactor)
+    });
+
+    let mut rows = sp.rows.clone();
+    rows.push(sp.combined_row("TPGEN+RAND"));
+    rows.extend(sfu.rows.clone());
+    print!(
+        "{}",
+        format_compaction_table(
+            "Table III: compaction results for the functional-unit PTPs",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,340 @@
+//! # warpstl-bench
+//!
+//! Benchmark harness: regenerates the paper's Tables I–III and runs the
+//! method-versus-baseline comparison and the ablations. Binaries in
+//! `src/bin/` print the same rows the paper reports; Criterion benches time
+//! the pipeline stages.
+//!
+//! ## Scale
+//!
+//! The paper's PTPs span 16 k–55 k instructions and its fault-injection
+//! campaigns hundreds of thousands of faults, run for hours on a 32-core
+//! workstation. All workloads here scale with the `WARPSTL_SCALE` divisor
+//! (default 32): the generated PTPs are `1/scale` of the paper's sizes.
+//! `WARPSTL_SCALE=1` reproduces paper-sized programs (slow). Compaction
+//! *ratios* are size-independent for the regular PTPs, so the table shapes
+//! hold at every scale.
+
+use std::time::Instant;
+
+use warpstl_core::{CompactionReport, Compactor, PtpFeatures};
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::generators::{
+    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
+    generate_tpgen, CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
+};
+use warpstl_programs::Ptp;
+
+/// Workload scaling: paper sizes divided by `divisor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// The divisor applied to the paper's PTP sizes.
+    pub divisor: usize,
+}
+
+impl Scale {
+    /// Reads `WARPSTL_SCALE` (default 32).
+    #[must_use]
+    pub fn from_env() -> Scale {
+        let divisor = std::env::var("WARPSTL_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&d| d >= 1)
+            .unwrap_or(32);
+        Scale { divisor }
+    }
+
+    /// A fixed divisor.
+    #[must_use]
+    pub fn new(divisor: usize) -> Scale {
+        assert!(divisor >= 1, "divisor must be positive");
+        Scale { divisor }
+    }
+
+    fn div(&self, paper: usize, min: usize) -> usize {
+        (paper / self.divisor).max(min)
+    }
+
+    /// The IMM generator config at this scale (paper: 32 736 instructions ≈
+    /// 2 046 SBs).
+    #[must_use]
+    pub fn imm(&self) -> ImmConfig {
+        ImmConfig {
+            sb_count: self.div(2046, 8),
+            ..ImmConfig::default()
+        }
+    }
+
+    /// The MEM config (paper: 32 581 instructions ≈ 1 916 SBs).
+    #[must_use]
+    pub fn mem(&self) -> MemConfig {
+        MemConfig {
+            sb_count: self.div(1916, 8),
+            ..MemConfig::default()
+        }
+    }
+
+    /// The CNTRL config (paper: 336 instructions, 1 024 threads). CNTRL is
+    /// small; only the thread count scales below divisor 8.
+    #[must_use]
+    pub fn cntrl(&self) -> CntrlConfig {
+        CntrlConfig {
+            regions: 16,
+            loops: 2,
+            threads: if self.divisor > 8 { 128 } else { 1024 },
+            ..CntrlConfig::default()
+        }
+    }
+
+    /// The TPGEN config (paper: 19 604 instructions from ATPG patterns).
+    #[must_use]
+    pub fn tpgen(&self) -> TpgenConfig {
+        TpgenConfig {
+            max_patterns: self.div(4000, 24),
+            ..TpgenConfig::default()
+        }
+    }
+
+    /// The RAND config (paper: 55 000 instructions ≈ 3 437 SBs).
+    #[must_use]
+    pub fn rand(&self) -> RandConfig {
+        RandConfig {
+            sb_count: self.div(3437, 8),
+            ..RandConfig::default()
+        }
+    }
+
+    /// The SFU_IMM config (paper: 16 856 instructions ≈ 5 618 patterns).
+    #[must_use]
+    pub fn sfu_imm(&self) -> SfuImmConfig {
+        SfuImmConfig {
+            max_patterns: self.div(5618, 24),
+            ..SfuImmConfig::default()
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::new(32)
+    }
+}
+
+/// The six PTPs of the evaluated STL, in the paper's compaction order.
+#[derive(Debug, Clone)]
+pub struct PaperStl {
+    /// IMM, MEM, CNTRL (Decoder Unit, in dropping order).
+    pub du: Vec<Ptp>,
+    /// TPGEN, RAND (SP cores, in dropping order).
+    pub sp: Vec<Ptp>,
+    /// SFU_IMM.
+    pub sfu: Vec<Ptp>,
+}
+
+impl PaperStl {
+    /// Generates the full STL at `scale`.
+    #[must_use]
+    pub fn generate(scale: &Scale) -> PaperStl {
+        PaperStl {
+            du: vec![
+                generate_imm(&scale.imm()),
+                generate_mem(&scale.mem()),
+                generate_cntrl(&scale.cntrl()),
+            ],
+            sp: vec![
+                generate_tpgen(&scale.tpgen()),
+                generate_rand_sp(&scale.rand()),
+            ],
+            sfu: vec![generate_sfu_imm(&scale.sfu_imm())],
+        }
+    }
+
+    /// All PTPs in table order.
+    #[must_use]
+    pub fn all(&self) -> Vec<&Ptp> {
+        self.du.iter().chain(&self.sp).chain(&self.sfu).collect()
+    }
+}
+
+/// Table I: features of the evaluated PTPs, plus the combined rows.
+pub struct Table1 {
+    /// One row per PTP, in the paper's order.
+    pub rows: Vec<PtpFeatures>,
+    /// `IMM+MEM+CNTRL` combined coverage.
+    pub du_combined_fc: f64,
+    /// `TPGEN+RAND` combined coverage.
+    pub sp_combined_fc: f64,
+}
+
+/// Computes Table I.
+///
+/// # Panics
+///
+/// Panics if a generated PTP fails to execute (generator bug).
+#[must_use]
+pub fn table1(stl: &PaperStl, compactor: &Compactor) -> Table1 {
+    let du_ctx = compactor.context_for(ModuleKind::DecoderUnit);
+    let sp_ctx = compactor.context_for(ModuleKind::SpCore);
+    let sfu_ctx = compactor.context_for(ModuleKind::Sfu);
+    let ctx_of = |ptp: &Ptp| match ptp.target {
+        ModuleKind::DecoderUnit => &du_ctx,
+        ModuleKind::SpCore | ModuleKind::Fp32 => &sp_ctx,
+        ModuleKind::Sfu => &sfu_ctx,
+    };
+    let rows = stl
+        .all()
+        .iter()
+        .map(|ptp| compactor.features(ptp, ctx_of(ptp)).expect("PTP runs"))
+        .collect();
+    let du_refs: Vec<&Ptp> = stl.du.iter().collect();
+    let sp_refs: Vec<&Ptp> = stl.sp.iter().collect();
+    Table1 {
+        rows,
+        du_combined_fc: compactor
+            .combined_coverage(&du_refs, &du_ctx)
+            .expect("DU PTPs run"),
+        sp_combined_fc: compactor
+            .combined_coverage(&sp_refs, &sp_ctx)
+            .expect("SP PTPs run"),
+    }
+}
+
+/// The compaction results for one module group (Table II is the DU group,
+/// Table III the functional-unit groups).
+pub struct GroupCompaction {
+    /// Per-PTP rows, in compaction order.
+    pub rows: Vec<CompactionReport>,
+    /// The compacted PTPs.
+    pub compacted: Vec<Ptp>,
+    /// Combined standalone FC of the original PTPs.
+    pub combined_fc_before: f64,
+    /// Combined standalone FC of the compacted PTPs.
+    pub combined_fc_after: f64,
+}
+
+impl GroupCompaction {
+    /// The combined row (e.g. `IMM+MEM+CNTRL`).
+    #[must_use]
+    pub fn combined_row(&self, name: &str) -> CompactionReport {
+        let refs: Vec<&CompactionReport> = self.rows.iter().collect();
+        CompactionReport::combined(name, &refs, self.combined_fc_before, self.combined_fc_after)
+    }
+}
+
+/// Compacts a group of PTPs sharing a target module, in order, with the
+/// shared dropping fault list — the paper's per-module flow.
+///
+/// # Panics
+///
+/// Panics if a PTP fails to execute.
+#[must_use]
+pub fn compact_group(
+    ptps: &[Ptp],
+    module: ModuleKind,
+    compactor: &Compactor,
+) -> GroupCompaction {
+    let mut ctx = compactor.context_for(module);
+    let mut rows = Vec::new();
+    let mut compacted = Vec::new();
+    for ptp in ptps {
+        let out = compactor.compact(ptp, &mut ctx).expect("PTP runs");
+        rows.push(out.report);
+        compacted.push(out.compacted);
+    }
+    // The shared dropping list has, at this point, seen exactly the original
+    // PTPs in order: its coverage *is* the combined before-FC.
+    let combined_fc_before = ctx.coverage();
+    let eval_ctx = compactor.context_for(module);
+    let after_refs: Vec<&Ptp> = compacted.iter().collect();
+    GroupCompaction {
+        combined_fc_before,
+        combined_fc_after: compactor
+            .combined_coverage(&after_refs, &eval_ctx)
+            .expect("compacted run"),
+        rows,
+        compacted,
+    }
+}
+
+/// Formats a Table II/III-style block.
+#[must_use]
+pub fn format_compaction_table(title: &str, rows: &[CompactionReport]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("## {title}\n"));
+    s.push_str(&format!(
+        "{:<16} {:>8} {:>7} {:>12} {:>7} {:>7} {:>9}\n",
+        "PTP", "instr", "(%)", "ccs", "(%)", "ΔFC", "time"
+    ));
+    for r in rows {
+        s.push_str(&format!("{r}\n"));
+    }
+    s
+}
+
+/// Formats a Table I-style block.
+#[must_use]
+pub fn format_features_table(t: &Table1) -> String {
+    let mut s = String::new();
+    s.push_str("## Table I: main features of the evaluated PTPs\n");
+    s.push_str(&format!(
+        "{:<16} {:>9} {:>7} {:>12} {:>7}\n",
+        "PTP", "size", "ARC%", "ccs", "FC%"
+    ));
+    for row in &t.rows {
+        s.push_str(&format!("{row}\n"));
+    }
+    s.push_str(&format!(
+        "{:<16} combined FC: {:.2}%\n",
+        "IMM+MEM+CNTRL",
+        t.du_combined_fc * 100.0
+    ));
+    s.push_str(&format!(
+        "{:<16} combined FC: {:.2}%\n",
+        "TPGEN+RAND",
+        t.sp_combined_fc * 100.0
+    ));
+    s
+}
+
+/// Runs a closure, reporting its wall time (used by the bin targets).
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.2?}]", start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_divides_with_minimums() {
+        let s = Scale::new(1000);
+        assert_eq!(s.imm().sb_count, 8);
+        let s = Scale::new(2);
+        assert_eq!(s.imm().sb_count, 1023);
+        assert_eq!(s.mem().sb_count, 958);
+    }
+
+    #[test]
+    fn tiny_end_to_end_tables() {
+        // A minimal smoke run of the whole harness path.
+        let scale = Scale::new(512);
+        let stl = PaperStl::generate(&scale);
+        let compactor = Compactor::default();
+        let t1 = table1(&stl, &compactor);
+        assert_eq!(t1.rows.len(), 6);
+        assert!(t1.du_combined_fc > 0.0);
+        let text = format_features_table(&t1);
+        assert!(text.contains("IMM"));
+        assert!(text.contains("SFU_IMM"));
+
+        let g = compact_group(&stl.du, ModuleKind::DecoderUnit, &compactor);
+        assert_eq!(g.rows.len(), 3);
+        let table = format_compaction_table("Table II", &g.rows);
+        assert!(table.contains("CNTRL"));
+        let combined = g.combined_row("IMM+MEM+CNTRL");
+        assert_eq!(combined.fault_sim_runs, 3);
+    }
+}

@@ -1,0 +1,458 @@
+//! Command dispatch and argument handling.
+
+use std::error::Error;
+use std::fs;
+
+use warpstl_core::Compactor;
+use warpstl_fault::FaultUniverse;
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::generators::{
+    generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp,
+    generate_sfu_imm, generate_tpgen, CntrlConfig, FpuConfig, ImmConfig, MemConfig, RandConfig,
+    SfuImmConfig, TpgenConfig,
+};
+use warpstl_programs::serialize::{ptp_from_text, ptp_to_text};
+use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+usage:
+  warpstl generate    <IMM|MEM|CNTRL|RAND|TPGEN|SFU_IMM|FPU>
+                      [--sb-count N] [--patterns N] [--seed N] [--out FILE]
+  warpstl features    <PTP-FILE>
+  warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
+  warpstl compact-stl <STL-FILE> [--out FILE]
+  warpstl run         <PTP-FILE> [--trace]
+  warpstl patterns    <PTP-FILE> --out-dir DIR
+  warpstl modules";
+
+/// Parses and runs one invocation.
+pub fn dispatch(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("features") => features(&args[1..]),
+        Some("compact") => compact(&args[1..]),
+        Some("compact-stl") => compact_stl(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("patterns") => patterns(&args[1..]),
+        Some("modules") => modules(),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    }
+}
+
+/// A minimal flag scanner: `--key value` pairs and boolean `--flags`.
+struct Flags<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(rest: &'a [String]) -> Flags<'a> {
+        Flags { rest }
+    }
+
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn num(&self, key: &str) -> Result<Option<u64>, Box<dyn Error>> {
+        match self.value(key) {
+            None => Ok(None),
+            Some(v) => Ok(Some(v.parse().map_err(|_| format!("bad {key}: `{v}`"))?)),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.rest.iter().any(|a| a == key)
+    }
+}
+
+fn generate(args: &[String]) -> CliResult {
+    let name = args
+        .first()
+        .ok_or("generate: missing PTP name")?
+        .to_ascii_uppercase();
+    let flags = Flags::new(&args[1..]);
+    let sb = flags.num("--sb-count")?.map(|n| n as usize);
+    let patterns = flags.num("--patterns")?.map(|n| n as usize);
+    let seed = flags.num("--seed")?;
+
+    let ptp: Ptp = match name.as_str() {
+        "IMM" => {
+            let mut c = ImmConfig::default();
+            if let Some(n) = sb {
+                c.sb_count = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_imm(&c)
+        }
+        "MEM" => {
+            let mut c = MemConfig::default();
+            if let Some(n) = sb {
+                c.sb_count = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_mem(&c)
+        }
+        "CNTRL" => {
+            let mut c = CntrlConfig::default();
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_cntrl(&c)
+        }
+        "RAND" => {
+            let mut c = RandConfig::default();
+            if let Some(n) = sb {
+                c.sb_count = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_rand_sp(&c)
+        }
+        "TPGEN" => {
+            let mut c = TpgenConfig::default();
+            if let Some(n) = patterns {
+                c.max_patterns = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_tpgen(&c)
+        }
+        "SFU_IMM" => {
+            let mut c = SfuImmConfig::default();
+            if let Some(n) = patterns {
+                c.max_patterns = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_sfu_imm(&c)
+        }
+        "FPU" => {
+            let mut c = FpuConfig::default();
+            if let Some(n) = sb {
+                c.sb_count = n;
+            }
+            if let Some(s) = seed {
+                c.seed = s;
+            }
+            generate_fpu(&c)
+        }
+        other => return Err(format!("unknown PTP `{other}`").into()),
+    };
+
+    let text = ptp_to_text(&ptp);
+    match flags.value("--out") {
+        Some(path) => {
+            fs::write(path, &text)?;
+            eprintln!(
+                "wrote {} ({} instructions, target {})",
+                path,
+                ptp.size(),
+                ptp.target
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load(args: &[String]) -> Result<Ptp, Box<dyn Error>> {
+    let path = args.first().ok_or("missing PTP file")?;
+    let text = fs::read_to_string(path)?;
+    Ok(ptp_from_text(&text)?)
+}
+
+fn features(args: &[String]) -> CliResult {
+    let ptp = load(args)?;
+    let compactor = Compactor::default();
+    let ctx = compactor.context_for(ptp.target);
+    let f = compactor.features(&ptp, &ctx)?;
+    println!("PTP      {}", f.name);
+    println!("target   {}", ptp.target);
+    println!("size     {} instructions", f.size);
+    println!("ARC      {:.1} %", f.arc_fraction * 100.0);
+    println!("duration {} ccs", f.duration);
+    println!("FC       {:.2} %", f.fault_coverage * 100.0);
+    Ok(())
+}
+
+fn compact(args: &[String]) -> CliResult {
+    let ptp = load(args)?;
+    let flags = Flags::new(&args[1..]);
+    let compactor = Compactor {
+        reverse_patterns: flags.has("--reverse"),
+        respect_arc: !flags.has("--no-arc"),
+        ..Compactor::default()
+    };
+    let mut ctx = compactor.context_for(ptp.target);
+    let out = compactor.compact(&ptp, &mut ctx)?;
+    let r = &out.report;
+    println!(
+        "size     {} -> {} instructions ({:+.2} %)",
+        r.original_size,
+        r.compacted_size,
+        -r.size_reduction_pct()
+    );
+    println!(
+        "duration {} -> {} ccs ({:+.2} %)",
+        r.original_duration,
+        r.compacted_duration,
+        -r.duration_reduction_pct()
+    );
+    println!(
+        "coverage {:.2} % -> {:.2} % ({:+.2} pp)",
+        r.fc_before * 100.0,
+        r.fc_after * 100.0,
+        r.fc_diff_pct()
+    );
+    println!(
+        "SBs      {} of {} removed; {} logic + {} fault simulation(s) in {:.2?}",
+        r.sbs_removed, r.sbs_total, r.logic_sim_runs, r.fault_sim_runs, r.compaction_time
+    );
+    if let Some(path) = flags.value("--out") {
+        fs::write(path, ptp_to_text(&out.compacted))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> CliResult {
+    let ptp = load(args)?;
+    let flags = Flags::new(&args[1..]);
+    let kernel = ptp.to_kernel()?;
+    let opts = if flags.has("--trace") {
+        warpstl_gpu::RunOptions::tracing()
+    } else {
+        warpstl_gpu::RunOptions::default()
+    };
+    let result = warpstl_gpu::Gpu::default().run(&kernel, &opts)?;
+    println!("cycles     {}", result.cycles);
+    let digest = result
+        .signatures
+        .iter()
+        .fold(0u32, |acc, &s| acc.rotate_left(1) ^ s);
+    println!("signature  {digest:#010x} (over {} threads)", result.signatures.len());
+    if flags.has("--trace") {
+        println!("trace      {} records", result.trace.len());
+        let bbs = BasicBlocks::of(&ptp.program);
+        let arc = ArcAnalysis::of(&ptp.program, &bbs);
+        println!(
+            "structure  {} basic blocks, ARC {:.1} %",
+            bbs.count(),
+            arc.arc_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Compacts a whole STL file: PTPs group by target module and compact in
+/// file order against shared dropping fault lists, exactly as the paper's
+/// flow prescribes (SFU programs get the reverse-order fault simulation).
+fn compact_stl(args: &[String]) -> CliResult {
+    use warpstl_programs::serialize::{stl_from_text, stl_to_text};
+    let path = args.first().ok_or("missing STL file")?;
+    let flags = Flags::new(&args[1..]);
+    let stl = stl_from_text(&fs::read_to_string(path)?)?;
+
+    let outcome = warpstl_core::compact_stl(&stl)?;
+    for r in &outcome.reports {
+        println!(
+            "{:<10} {:>7} -> {:>6} instr ({:+.2} %), ΔFC {:+.2} pp",
+            r.name,
+            r.original_size,
+            r.compacted_size,
+            -r.size_reduction_pct(),
+            r.fc_diff_pct()
+        );
+    }
+    println!(
+        "STL: {:.2} % size / {:.2} % duration reduction, {} fault simulation(s)",
+        outcome.size_reduction_pct(),
+        outcome.duration_reduction_pct(),
+        outcome.fault_sim_runs()
+    );
+    if let Some(out) = flags.value("--out") {
+        fs::write(out, stl_to_text(&outcome.compacted))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Dumps the per-module VCDE pattern reports of one traced run — the
+/// gate-level test-pattern artifacts of the paper's stage 2.
+fn patterns(args: &[String]) -> CliResult {
+    let ptp = load(args)?;
+    let flags = Flags::new(&args[1..]);
+    let dir = flags.value("--out-dir").ok_or("missing --out-dir DIR")?;
+    fs::create_dir_all(dir)?;
+    let kernel = ptp.to_kernel()?;
+    let run = warpstl_gpu::Gpu::default()
+        .run(&kernel, &warpstl_gpu::RunOptions::capture_all())?;
+
+    let mut written = Vec::new();
+    let mut dump = |name: String, seq: &warpstl_netlist::PatternSeq| -> CliResult {
+        if seq.is_empty() {
+            return Ok(());
+        }
+        let path = format!("{dir}/{name}.vcde");
+        fs::write(&path, seq.to_vcde())?;
+        written.push((name, seq.len()));
+        Ok(())
+    };
+    dump("decoder_unit".into(), &run.patterns.du)?;
+    for (i, s) in run.patterns.sp.iter().enumerate() {
+        dump(format!("sp_core{i}"), s)?;
+    }
+    for (i, s) in run.patterns.sfu.iter().enumerate() {
+        dump(format!("sfu{i}"), s)?;
+    }
+    for (i, s) in run.patterns.fp32.iter().enumerate() {
+        dump(format!("fp32_{i}"), s)?;
+    }
+    for (name, n) in &written {
+        println!("{name}: {n} patterns");
+    }
+    println!("wrote {} VCDE files to {dir}", written.len());
+    Ok(())
+}
+
+fn modules() -> CliResult {
+    println!(
+        "{:<14} {:>7} {:>6} {:>8} {:>9} {:>10} {:>10}",
+        "module", "gates", "depth", "inputs", "outputs", "faults", "collapsed"
+    );
+    for kind in ModuleKind::ALL {
+        let n = kind.build();
+        let u = FaultUniverse::enumerate(&n);
+        println!(
+            "{:<14} {:>7} {:>6} {:>8} {:>9} {:>10} {:>10}",
+            kind.name(),
+            n.logic_gate_count(),
+            n.logic_depth(),
+            n.inputs().width(),
+            n.outputs().width(),
+            u.total_len(),
+            u.collapsed_len()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(dispatch(&s(&["--help"])).is_ok());
+        assert!(dispatch(&s(&[])).is_ok());
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn modules_lists_all() {
+        assert!(dispatch(&s(&["modules"])).is_ok());
+    }
+
+    #[test]
+    fn generate_compact_round_trip_via_files() {
+        let dir = std::env::temp_dir().join("warpstl-cli-test");
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        let out_path = dir.join("imm-compact.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "6",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let compacted = ptp_from_text(&fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert!(compacted.size() > 0);
+        dispatch(&s(&["run", out_path.to_str().unwrap(), "--trace"])).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_stl_and_patterns_flow() {
+        use warpstl_programs::generators::{generate_imm, ImmConfig};
+        use warpstl_programs::serialize::stl_to_text;
+        use warpstl_programs::Stl;
+        let dir = std::env::temp_dir().join("warpstl-cli-stl-test");
+        fs::create_dir_all(&dir).unwrap();
+        let stl_path = dir.join("lib.stl");
+        let out_path = dir.join("lib-compact.stl");
+        let mut stl = Stl::new("lib");
+        stl.push(generate_imm(&ImmConfig {
+            sb_count: 4,
+            ..ImmConfig::default()
+        }));
+        fs::write(&stl_path, stl_to_text(&stl)).unwrap();
+        dispatch(&s(&[
+            "compact-stl",
+            stl_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let back =
+            warpstl_programs::serialize::stl_from_text(&fs::read_to_string(&out_path).unwrap())
+                .unwrap();
+        assert_eq!(back.len(), 1);
+
+        // VCDE dump of the compacted PTP.
+        let ptp_path = dir.join("only.ptp");
+        fs::write(
+            &ptp_path,
+            warpstl_programs::serialize::ptp_to_text(&back.ptps()[0]),
+        )
+        .unwrap();
+        let vcde_dir = dir.join("vcde");
+        dispatch(&s(&[
+            "patterns",
+            ptp_path.to_str().unwrap(),
+            "--out-dir",
+            vcde_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let du = fs::read_to_string(vcde_dir.join("decoder_unit.vcde")).unwrap();
+        assert!(du.starts_with("VCDE 1 "));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_rejects_bad_flags() {
+        assert!(dispatch(&s(&["generate", "IMM", "--sb-count", "zebra"])).is_err());
+        assert!(dispatch(&s(&["generate", "BOGUS"])).is_err());
+        assert!(dispatch(&s(&["features", "/nonexistent/x.ptp"])).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! `warpstl` — command-line front end for the STL compaction toolkit.
+//!
+//! ```text
+//! warpstl generate <IMM|MEM|CNTRL|RAND|TPGEN|SFU_IMM|FPU> [--sb-count N]
+//!                  [--patterns N] [--seed N] [--out FILE]
+//! warpstl features <PTP-FILE>
+//! warpstl compact  <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
+//! warpstl run      <PTP-FILE> [--trace]
+//! warpstl modules
+//! ```
+//!
+//! PTP files use the text container of
+//! [`warpstl_programs::serialize`] (assembly plus `; PTP` headers).
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-module compaction context: the netlist and the shared fault lists.
+
+use warpstl_fault::{FaultList, FaultUniverse};
+use warpstl_gpu::ModulePatterns;
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::{Netlist, PatternSeq};
+
+/// The per-target-module state shared across the PTPs of an STL: the module
+/// netlist, its collapsed fault universe, and one fault list per physical
+/// instance (8 SP cores, 2 SFUs, 1 DU).
+///
+/// This is the paper's fault-dropping mechanism: "this fault list report
+/// initially includes all faults of a target module; after each fault
+/// simulation (one per PTP) the fault list is updated and detected faults
+/// are removed."
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_core::Compactor;
+/// use warpstl_netlist::modules::ModuleKind;
+///
+/// let ctx = Compactor::default().context_for(ModuleKind::Sfu);
+/// assert_eq!(ctx.instances(), 2);
+/// assert_eq!(ctx.coverage(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModuleContext {
+    module: ModuleKind,
+    netlist: Netlist,
+    universe: FaultUniverse,
+    lists: Vec<FaultList>,
+}
+
+impl ModuleContext {
+    /// Builds the context for `module` with `instances` fault lists.
+    #[must_use]
+    pub fn new(module: ModuleKind, instances: usize) -> ModuleContext {
+        let netlist = module.build();
+        let universe = FaultUniverse::enumerate(&netlist);
+        let lists = (0..instances).map(|_| FaultList::new(&universe)).collect();
+        ModuleContext {
+            module,
+            netlist,
+            universe,
+            lists,
+        }
+    }
+
+    /// The target module.
+    #[must_use]
+    pub fn module(&self) -> ModuleKind {
+        self.module
+    }
+
+    /// The gate-level netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The collapsed fault universe.
+    #[must_use]
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// The number of module instances (= fault lists).
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The shared fault list of instance `i`.
+    #[must_use]
+    pub fn list(&self, i: usize) -> &FaultList {
+        &self.lists[i]
+    }
+
+    /// Mutable access to instance `i`'s fault list.
+    pub fn list_mut(&mut self, i: usize) -> &mut FaultList {
+        &mut self.lists[i]
+    }
+
+    /// Fresh fault lists (for standalone evaluations).
+    #[must_use]
+    pub fn fresh_lists(&self) -> Vec<FaultList> {
+        (0..self.instances())
+            .map(|_| FaultList::new(&self.universe))
+            .collect()
+    }
+
+    /// The per-instance pattern streams of this module from a capture.
+    #[must_use]
+    pub fn streams<'a>(&self, patterns: &'a ModulePatterns) -> Vec<&'a PatternSeq> {
+        match self.module {
+            ModuleKind::DecoderUnit => vec![&patterns.du],
+            ModuleKind::SpCore => patterns.sp.iter().collect(),
+            ModuleKind::Sfu => patterns.sfu.iter().collect(),
+            ModuleKind::Fp32 => patterns.fp32.iter().collect(),
+        }
+    }
+
+    /// Aggregate fault coverage across all instances (weighted over the
+    /// full universe of every instance).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.lists.is_empty() {
+            return 0.0;
+        }
+        self.lists.iter().map(FaultList::coverage).sum::<f64>() / self.lists.len() as f64
+    }
+
+    /// Total faults across instances (the paper counts the functional
+    /// units' faults over all 8 SP cores / 2 SFUs).
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.lists
+            .iter()
+            .map(warpstl_fault::FaultList::total_weight)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_match_module_kind() {
+        let c = ModuleContext::new(ModuleKind::SpCore, ModuleKind::SpCore.instances_per_sm());
+        assert_eq!(c.instances(), 8);
+        assert_eq!(c.module(), ModuleKind::SpCore);
+        assert!(c.total_faults() > 8 * 1000);
+    }
+
+    #[test]
+    fn streams_select_the_right_capture() {
+        let c = ModuleContext::new(ModuleKind::Sfu, 2);
+        let caps = ModulePatterns::new(8, 2);
+        assert_eq!(c.streams(&caps).len(), 2);
+        let c = ModuleContext::new(ModuleKind::DecoderUnit, 1);
+        assert_eq!(c.streams(&caps).len(), 1);
+    }
+
+    #[test]
+    fn coverage_averages_instances() {
+        let mut c = ModuleContext::new(ModuleKind::DecoderUnit, 1);
+        assert_eq!(c.coverage(), 0.0);
+        c.list_mut(0).begin_run();
+        for id in 0..c.list(0).len() {
+            c.list_mut(0).mark_detected(id, 0, 0);
+        }
+        assert!((c.coverage() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Compaction reports: the rows of the paper's Tables I–III.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The features of a PTP before compaction — one row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PtpFeatures {
+    /// PTP name.
+    pub name: String,
+    /// Size in instructions.
+    pub size: usize,
+    /// Fraction of instructions inside the ARC.
+    pub arc_fraction: f64,
+    /// Duration in clock cycles.
+    pub duration: u64,
+    /// Standalone fault coverage (fresh fault list), in [0, 1].
+    pub fault_coverage: f64,
+}
+
+impl fmt::Display for PtpFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>9} {:>7.1} {:>12} {:>7.2}",
+            self.name,
+            self.size,
+            self.arc_fraction * 100.0,
+            self.duration,
+            self.fault_coverage * 100.0
+        )
+    }
+}
+
+/// The result of compacting one PTP — one row of Table II/III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionReport {
+    /// PTP name.
+    pub name: String,
+    /// Original size in instructions.
+    pub original_size: usize,
+    /// Compacted size in instructions.
+    pub compacted_size: usize,
+    /// Original duration in clock cycles.
+    pub original_duration: u64,
+    /// Compacted duration in clock cycles.
+    pub compacted_duration: u64,
+    /// Standalone fault coverage before compaction, in [0, 1].
+    pub fc_before: f64,
+    /// Standalone fault coverage after compaction, in [0, 1].
+    pub fc_after: f64,
+    /// Small Blocks found / removed.
+    pub sbs_total: usize,
+    /// Small Blocks removed.
+    pub sbs_removed: usize,
+    /// Instructions labeled essential.
+    pub essential_instructions: usize,
+    /// Fault simulations used *by the compaction itself* (the paper's
+    /// claim: exactly one).
+    pub fault_sim_runs: usize,
+    /// Logic simulations used by the compaction itself (exactly one).
+    pub logic_sim_runs: usize,
+    /// Wall-clock time of the compaction (the paper's last column).
+    pub compaction_time: Duration,
+}
+
+impl CompactionReport {
+    /// Size reduction as a percentage (the paper's `(%)` columns report the
+    /// reduction with a minus sign).
+    #[must_use]
+    pub fn size_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.compacted_size as f64 / self.original_size.max(1) as f64)
+    }
+
+    /// Duration reduction as a percentage.
+    #[must_use]
+    pub fn duration_reduction_pct(&self) -> f64 {
+        100.0 * (1.0 - self.compacted_duration as f64 / self.original_duration.max(1) as f64)
+    }
+
+    /// Fault-coverage difference in percentage points (positive = the
+    /// compacted PTP covers more).
+    #[must_use]
+    pub fn fc_diff_pct(&self) -> f64 {
+        (self.fc_after - self.fc_before) * 100.0
+    }
+
+    /// Merges several reports into a combined row (the paper's
+    /// `IMM+MEM+CNTRL` / `TPGEN+RAND` rows). Coverage fields must be
+    /// supplied by the caller (combined FC is not a sum).
+    #[must_use]
+    pub fn combined(
+        name: &str,
+        parts: &[&CompactionReport],
+        fc_before: f64,
+        fc_after: f64,
+    ) -> CompactionReport {
+        CompactionReport {
+            name: name.to_string(),
+            original_size: parts.iter().map(|r| r.original_size).sum(),
+            compacted_size: parts.iter().map(|r| r.compacted_size).sum(),
+            original_duration: parts.iter().map(|r| r.original_duration).sum(),
+            compacted_duration: parts.iter().map(|r| r.compacted_duration).sum(),
+            fc_before,
+            fc_after,
+            sbs_total: parts.iter().map(|r| r.sbs_total).sum(),
+            sbs_removed: parts.iter().map(|r| r.sbs_removed).sum(),
+            essential_instructions: parts.iter().map(|r| r.essential_instructions).sum(),
+            fault_sim_runs: parts.iter().map(|r| r.fault_sim_runs).sum(),
+            logic_sim_runs: parts.iter().map(|r| r.logic_sim_runs).sum(),
+            compaction_time: parts.iter().map(|r| r.compaction_time).sum(),
+        }
+    }
+}
+
+impl fmt::Display for CompactionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>8} {:>7.2} {:>12} {:>7.2} {:>+7.2} {:>9.2?}",
+            self.name,
+            self.compacted_size,
+            -self.size_reduction_pct(),
+            self.compacted_duration,
+            -self.duration_reduction_pct(),
+            self.fc_diff_pct(),
+            self.compaction_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompactionReport {
+        CompactionReport {
+            name: "IMM".into(),
+            original_size: 1000,
+            compacted_size: 30,
+            original_duration: 66_000,
+            compacted_duration: 2_700,
+            fc_before: 0.7113,
+            fc_after: 0.7119,
+            sbs_total: 60,
+            sbs_removed: 58,
+            essential_instructions: 25,
+            fault_sim_runs: 1,
+            logic_sim_runs: 1,
+            compaction_time: Duration::from_millis(1234),
+        }
+    }
+
+    #[test]
+    fn reductions_are_percentages() {
+        let r = sample();
+        assert!((r.size_reduction_pct() - 97.0).abs() < 1e-9);
+        assert!((r.duration_reduction_pct() - 95.909_09).abs() < 1e-3);
+        assert!((r.fc_diff_pct() - 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_sums_counts() {
+        let a = sample();
+        let b = sample();
+        let c = CompactionReport::combined("BOTH", &[&a, &b], 0.8, 0.79);
+        assert_eq!(c.original_size, 2000);
+        assert_eq!(c.fault_sim_runs, 2);
+        assert!((c.fc_diff_pct() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_one_row() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("IMM"));
+        assert!(s.contains("-97.00"));
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn features_display() {
+        let f = PtpFeatures {
+            name: "MEM".into(),
+            size: 32581,
+            arc_fraction: 1.0,
+            duration: 3_186_236,
+            fault_coverage: 0.7659,
+        };
+        let s = f.to_string();
+        assert!(s.contains("MEM"));
+        assert!(s.contains("76.59"));
+    }
+
+    #[test]
+    fn zero_size_is_guarded() {
+        let mut r = sample();
+        r.original_size = 0;
+        r.compacted_size = 0;
+        r.original_duration = 0;
+        r.compacted_duration = 0;
+        assert!(r.size_reduction_pct().is_finite());
+        assert!(r.duration_reduction_pct().is_finite());
+    }
+}

@@ -1,0 +1,198 @@
+//! The whole-STL compaction flow (stage 5 at library scope).
+//!
+//! The paper compacts an STL per target module: the module's PTPs are
+//! processed in STL order against one shared dropping fault list, each with
+//! one logic and one fault simulation, and the compacted PTPs replace the
+//! originals in the reassembled library. [`compact_stl`] packages that flow
+//! — including the paper's SFU configuration (reverse-order patterns) — so
+//! callers don't re-implement the grouping.
+
+use warpstl_gpu::SimError;
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_programs::Stl;
+
+use crate::{CompactionReport, Compactor};
+
+/// The outcome of compacting a whole STL.
+#[derive(Debug, Clone)]
+pub struct StlOutcome {
+    /// The reassembled STL (compacted PTPs in the original order).
+    pub compacted: Stl,
+    /// One report per PTP, in STL order.
+    pub reports: Vec<CompactionReport>,
+}
+
+impl StlOutcome {
+    /// Whole-STL size reduction percentage (the paper reports 80.71 % for
+    /// its selected PTPs).
+    #[must_use]
+    pub fn size_reduction_pct(&self) -> f64 {
+        let before: usize = self.reports.iter().map(|r| r.original_size).sum();
+        let after: usize = self.reports.iter().map(|r| r.compacted_size).sum();
+        100.0 * (1.0 - after as f64 / before.max(1) as f64)
+    }
+
+    /// Whole-STL duration reduction percentage (the paper reports 64.43 %).
+    #[must_use]
+    pub fn duration_reduction_pct(&self) -> f64 {
+        let before: u64 = self.reports.iter().map(|r| r.original_duration).sum();
+        let after: u64 = self.reports.iter().map(|r| r.compacted_duration).sum();
+        100.0 * (1.0 - after as f64 / before.max(1) as f64)
+    }
+
+    /// Total fault simulations spent by the method (one per PTP).
+    #[must_use]
+    pub fn fault_sim_runs(&self) -> usize {
+        self.reports.iter().map(|r| r.fault_sim_runs).sum()
+    }
+}
+
+/// Compacts every PTP of `stl` with the paper's configuration: per-module
+/// shared dropping fault lists, STL order, and reverse-order fault
+/// simulation for the SFU programs.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] raised by any PTP.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_core::compact_stl;
+/// use warpstl_programs::generators::{generate_imm, ImmConfig};
+/// use warpstl_programs::Stl;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut stl = Stl::new("demo");
+/// stl.push(generate_imm(&ImmConfig { sb_count: 6, ..ImmConfig::default() }));
+/// let outcome = compact_stl(&stl)?;
+/// assert_eq!(outcome.reports.len(), 1);
+/// assert_eq!(outcome.fault_sim_runs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_stl(stl: &Stl) -> Result<StlOutcome, SimError> {
+    compact_stl_with(stl, |module| Compactor {
+        reverse_patterns: module == ModuleKind::Sfu,
+        ..Compactor::default()
+    })
+}
+
+/// [`compact_stl`] with a caller-supplied compactor per module (e.g. a
+/// non-default GPU configuration or the ARC ablation).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] raised by any PTP.
+pub fn compact_stl_with(
+    stl: &Stl,
+    mut compactor_for: impl FnMut(ModuleKind) -> Compactor,
+) -> Result<StlOutcome, SimError> {
+    let mut compacted = stl.clone();
+    let mut reports: Vec<Option<CompactionReport>> = vec![None; stl.len()];
+
+    // Modules in first-appearance order.
+    let mut modules: Vec<ModuleKind> = Vec::new();
+    for p in stl.ptps() {
+        if !modules.contains(&p.target) {
+            modules.push(p.target);
+        }
+    }
+
+    for module in modules {
+        let compactor = compactor_for(module);
+        let mut ctx = compactor.context_for(module);
+        let indices: Vec<usize> = stl
+            .ptps()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.target == module)
+            .map(|(i, _)| i)
+            .collect();
+        for i in indices {
+            let outcome = compactor.compact(&stl.ptps()[i].clone(), &mut ctx)?;
+            compacted.replace(i, outcome.compacted);
+            reports[i] = Some(outcome.report);
+        }
+    }
+    Ok(StlOutcome {
+        compacted,
+        reports: reports.into_iter().map(|r| r.expect("every PTP compacted")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_programs::generators::{
+        generate_imm, generate_mem, generate_sfu_imm, ImmConfig, MemConfig, SfuImmConfig,
+    };
+
+    fn small_stl() -> Stl {
+        let mut stl = Stl::new("t");
+        stl.push(generate_imm(&ImmConfig {
+            sb_count: 8,
+            ..ImmConfig::default()
+        }));
+        stl.push(generate_sfu_imm(&SfuImmConfig {
+            max_patterns: 8,
+            ..SfuImmConfig::default()
+        }));
+        stl.push(generate_mem(&MemConfig {
+            sb_count: 8,
+            ..MemConfig::default()
+        }));
+        stl
+    }
+
+    #[test]
+    fn compacts_every_ptp_in_order() {
+        let stl = small_stl();
+        let out = compact_stl(&stl).expect("compacts");
+        assert_eq!(out.reports.len(), 3);
+        assert_eq!(out.compacted.len(), 3);
+        // Order preserved: names line up.
+        for (orig, comp) in stl.ptps().iter().zip(out.compacted.ptps()) {
+            assert_eq!(orig.name, comp.name);
+            assert!(comp.size() <= orig.size());
+        }
+        // One fault simulation per PTP.
+        assert_eq!(out.fault_sim_runs(), 3);
+        assert!(out.size_reduction_pct() >= 0.0);
+        assert!(out.duration_reduction_pct() >= 0.0);
+    }
+
+    #[test]
+    fn interleaved_modules_share_their_lists() {
+        // IMM and MEM (both DU) share a dropping list even with the SFU
+        // program between them: MEM compacts at least as hard as it would
+        // alone.
+        let stl = small_stl();
+        let shared = compact_stl(&stl).expect("compacts");
+        let mem_shared = &shared.reports[2];
+
+        let mut solo = Stl::new("solo");
+        solo.push(generate_mem(&MemConfig {
+            sb_count: 8,
+            ..MemConfig::default()
+        }));
+        let solo_out = compact_stl(&solo).expect("compacts");
+        assert!(
+            mem_shared.sbs_removed >= solo_out.reports[0].sbs_removed,
+            "shared {} < solo {}",
+            mem_shared.sbs_removed,
+            solo_out.reports[0].sbs_removed
+        );
+    }
+
+    #[test]
+    fn custom_compactor_configuration_applies() {
+        let stl = small_stl();
+        let out = compact_stl_with(&stl, |_| Compactor {
+            respect_arc: true,
+            ..Compactor::default()
+        })
+        .expect("compacts");
+        assert_eq!(out.reports.len(), 3);
+    }
+}

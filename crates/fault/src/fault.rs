@@ -1,0 +1,135 @@
+//! Single stuck-at faults and their sites.
+
+use std::fmt;
+
+use warpstl_netlist::NetId;
+
+/// The stuck value of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Polarity {
+    /// Stuck-at-0.
+    Sa0,
+    /// Stuck-at-1.
+    Sa1,
+}
+
+impl Polarity {
+    /// Both polarities.
+    pub const BOTH: [Polarity; 2] = [Polarity::Sa0, Polarity::Sa1];
+
+    /// The stuck logic value.
+    #[must_use]
+    pub fn value(self) -> bool {
+        self == Polarity::Sa1
+    }
+
+    /// The opposite polarity.
+    #[must_use]
+    pub fn inverted(self) -> Polarity {
+        match self {
+            Polarity::Sa0 => Polarity::Sa1,
+            Polarity::Sa1 => Polarity::Sa0,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Polarity::Sa0 => "SA0",
+            Polarity::Sa1 => "SA1",
+        })
+    }
+}
+
+/// Where a fault sits: a net (gate-output stem) or a gate input pin
+/// (fanout branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// The output net of a gate (stem fault).
+    Output(NetId),
+    /// Input pin `pin` of the gate driving `NetId` (branch fault).
+    InputPin(NetId, u8),
+}
+
+impl FaultSite {
+    /// The gate the site belongs to.
+    #[must_use]
+    pub fn gate(self) -> NetId {
+        match self {
+            FaultSite::Output(n) | FaultSite::InputPin(n, _) => n,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Output(n) => write!(f, "{n}"),
+            FaultSite::InputPin(n, p) => write!(f, "{n}.in{p}"),
+        }
+    }
+}
+
+/// A single stuck-at fault.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_fault::{Fault, FaultSite, Polarity};
+/// use warpstl_netlist::NetId;
+///
+/// let f = Fault::new(FaultSite::Output(NetId(3)), Polarity::Sa1);
+/// assert_eq!(f.to_string(), "n3/SA1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fault {
+    /// The fault site.
+    pub site: FaultSite,
+    /// The stuck value.
+    pub polarity: Polarity,
+}
+
+impl Fault {
+    /// Creates a fault.
+    #[must_use]
+    pub fn new(site: FaultSite, polarity: Polarity) -> Fault {
+        Fault { site, polarity }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.site, self.polarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_helpers() {
+        assert!(!Polarity::Sa0.value());
+        assert!(Polarity::Sa1.value());
+        assert_eq!(Polarity::Sa0.inverted(), Polarity::Sa1);
+        assert_eq!(Polarity::Sa1.inverted(), Polarity::Sa0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Fault::new(FaultSite::InputPin(NetId(7), 1), Polarity::Sa0);
+        assert_eq!(f.to_string(), "n7.in1/SA0");
+        assert_eq!(f.site.gate(), NetId(7));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Fault::new(FaultSite::Output(NetId(1)), Polarity::Sa0);
+        let b = Fault::new(FaultSite::Output(NetId(1)), Polarity::Sa1);
+        let c = Fault::new(FaultSite::InputPin(NetId(0), 0), Polarity::Sa0);
+        let mut v = vec![b, c, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # warpstl-fault
+//!
+//! Stuck-at fault modelling and fault simulation for the gate-level modules
+//! of [`warpstl-netlist`](warpstl_netlist).
+//!
+//! The crate provides:
+//!
+//! - [`Fault`] / [`FaultSite`] — single stuck-at faults on gate outputs
+//!   (stems) and gate input pins (fanout branches);
+//! - [`FaultUniverse`] — exhaustive fault enumeration with structural
+//!   equivalence collapsing;
+//! - [`FaultList`] — the mutable detection ledger the compaction flow
+//!   shares across test programs (the paper's *fault dropping* mechanism);
+//! - [`fault_simulate`] — a parallel-fault (63 faults + 1 good machine per
+//!   machine word) simulator over timestamped pattern sequences, producing
+//!   the per-cycle *Fault Sim Report* the instruction-labeling stage
+//!   consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_fault::{fault_simulate, FaultList, FaultSimConfig, FaultUniverse};
+//! use warpstl_netlist::{Builder, PatternSeq};
+//!
+//! let mut b = Builder::new("and2");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let z = b.and(x, y);
+//! b.output("z", z);
+//! let netlist = b.finish();
+//!
+//! let universe = FaultUniverse::enumerate(&netlist);
+//! let mut list = FaultList::new(&universe);
+//!
+//! let mut patterns = PatternSeq::new(2);
+//! patterns.push_value(0, 0b11); // detects all stuck-at-0 faults
+//! patterns.push_value(1, 0b01); // x=1, y=0
+//! patterns.push_value(2, 0b10);
+//!
+//! let report = fault_simulate(&netlist, &patterns, &mut list, &FaultSimConfig::default());
+//! assert_eq!(list.coverage(), 1.0); // the AND gate is fully testable
+//! assert!(report.total_detected() > 0);
+//! ```
+
+mod fault;
+mod list;
+mod report;
+mod sim;
+pub mod tdf;
+mod universe;
+
+pub use fault::{Fault, FaultSite, Polarity};
+pub use list::{FaultId, FaultList, FaultStatus};
+pub use report::{FaultSimReport, PatternStats};
+pub use sim::{fault_simulate, FaultSimConfig};
+pub use universe::FaultUniverse;

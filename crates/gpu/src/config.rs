@@ -1,0 +1,182 @@
+//! GPU and kernel configuration.
+
+use std::fmt;
+
+/// Hardware configuration of the (single) streaming multiprocessor.
+///
+/// Defaults match the paper's FlexGripPlus setup: one SM with 8 SP cores,
+/// 8 FP32 units and 2 SFUs; warps of 32 threads.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::GpuConfig;
+///
+/// let cfg = GpuConfig::default();
+/// assert_eq!(cfg.sp_cores, 8);
+/// assert_eq!(cfg.sp_passes_per_warp(), 4);
+/// assert_eq!(cfg.sfu_passes_per_warp(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of SP cores per SM (FlexGripPlus supports 8, 16 or 32).
+    pub sp_cores: usize,
+    /// Number of special function units per SM.
+    pub sfus: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Architectural registers per thread.
+    pub regs_per_thread: usize,
+    /// Global memory size in bytes.
+    pub global_mem_bytes: usize,
+    /// Shared memory size in bytes (per block).
+    pub shared_mem_bytes: usize,
+    /// Constant memory size in bytes.
+    pub const_mem_bytes: usize,
+    /// Local memory size in bytes per thread.
+    pub local_mem_bytes: usize,
+    /// Hard cycle limit before a run is aborted as a runaway.
+    pub max_cycles: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sp_cores: 8,
+            sfus: 2,
+            warp_size: 32,
+            regs_per_thread: 64,
+            global_mem_bytes: 1 << 20,
+            shared_mem_bytes: 16 << 10,
+            const_mem_bytes: 64 << 10,
+            local_mem_bytes: 512,
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// A configuration with `sp_cores` execution units (8, 16 or 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp_cores` is not 8, 16 or 32 (the FlexGripPlus options).
+    #[must_use]
+    pub fn with_sp_cores(sp_cores: usize) -> GpuConfig {
+        assert!(
+            matches!(sp_cores, 8 | 16 | 32),
+            "FlexGripPlus supports 8, 16 or 32 SP cores"
+        );
+        GpuConfig {
+            sp_cores,
+            ..GpuConfig::default()
+        }
+    }
+
+    /// How many execute passes a warp needs through the SP cores.
+    #[must_use]
+    pub fn sp_passes_per_warp(&self) -> usize {
+        self.warp_size.div_ceil(self.sp_cores)
+    }
+
+    /// How many execute passes a warp needs through the SFUs.
+    #[must_use]
+    pub fn sfu_passes_per_warp(&self) -> usize {
+        self.warp_size.div_ceil(self.sfus)
+    }
+}
+
+impl fmt::Display for GpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1 SM, {} SPs, {} SFUs, warp {}",
+            self.sp_cores, self.sfus, self.warp_size
+        )
+    }
+}
+
+/// Kernel launch configuration: a 1-D grid of 1-D blocks.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::KernelConfig;
+///
+/// let k = KernelConfig::new(1, 1024); // the paper's CNTRL configuration
+/// assert_eq!(k.total_threads(), 1024);
+/// assert_eq!(k.warps_per_block(32), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Number of blocks in the grid.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+}
+
+impl KernelConfig {
+    /// Creates a launch configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(blocks: usize, threads_per_block: usize) -> KernelConfig {
+        assert!(blocks > 0 && threads_per_block > 0, "empty launch");
+        KernelConfig {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// Total threads across the grid.
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+
+    /// Warps per block for a given warp size (partial warps round up).
+    #[must_use]
+    pub fn warps_per_block(&self, warp_size: usize) -> usize {
+        self.threads_per_block.div_ceil(warp_size)
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::new(1, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_per_warp() {
+        let c = GpuConfig::with_sp_cores(16);
+        assert_eq!(c.sp_passes_per_warp(), 2);
+        let c = GpuConfig::with_sp_cores(32);
+        assert_eq!(c.sp_passes_per_warp(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "8, 16 or 32")]
+    fn invalid_sp_count_panics() {
+        let _ = GpuConfig::with_sp_cores(12);
+    }
+
+    #[test]
+    fn kernel_config_partial_warps() {
+        let k = KernelConfig::new(2, 33);
+        assert_eq!(k.warps_per_block(32), 2);
+        assert_eq!(k.total_threads(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty launch")]
+    fn empty_launch_panics() {
+        let _ = KernelConfig::new(0, 32);
+    }
+}

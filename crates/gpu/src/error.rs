@@ -1,0 +1,96 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while executing a kernel on the GPU model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A load or store fell outside the addressed memory space.
+    MemoryOutOfBounds {
+        /// The memory space name.
+        space: &'static str,
+        /// The offending byte address.
+        addr: u64,
+        /// The size of the space in bytes.
+        size: usize,
+    },
+    /// A store targeted the read-only constant memory.
+    ConstWrite {
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// A branch, call or SSY target fell outside the program.
+    BadTarget {
+        /// The program counter of the offending instruction.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// `RET` executed with an empty call stack.
+    ReturnWithoutCall {
+        /// The program counter of the offending `RET`.
+        pc: usize,
+    },
+    /// A `CAL` executed under partial-warp divergence (unsupported, as in
+    /// FlexGripPlus test programs).
+    DivergentCall {
+        /// The program counter of the offending `CAL`.
+        pc: usize,
+    },
+    /// Execution ran past the end of the program without `EXIT`.
+    RanOffEnd,
+    /// The configured cycle budget was exhausted (runaway loop guard).
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Warps deadlocked at a barrier (some exited without reaching it).
+    BarrierDeadlock,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemoryOutOfBounds { space, addr, size } => {
+                write!(f, "{space} access at {addr:#x} outside {size} bytes")
+            }
+            SimError::ConstWrite { addr } => {
+                write!(f, "store to read-only constant memory at {addr:#x}")
+            }
+            SimError::BadTarget { pc, target } => {
+                write!(f, "instruction {pc}: control target {target} out of range")
+            }
+            SimError::ReturnWithoutCall { pc } => {
+                write!(f, "instruction {pc}: RET with empty call stack")
+            }
+            SimError::DivergentCall { pc } => {
+                write!(f, "instruction {pc}: CAL under divergence is unsupported")
+            }
+            SimError::RanOffEnd => write!(f, "execution ran past the end of the program"),
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit {limit} exhausted (runaway kernel?)")
+            }
+            SimError::BarrierDeadlock => write!(f, "barrier deadlock"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::MemoryOutOfBounds {
+            space: "global",
+            addr: 0x1000,
+            size: 256,
+        };
+        assert!(e.to_string().contains("global"));
+        assert!(e.to_string().contains("0x1000"));
+        assert!(SimError::RanOffEnd.to_string().contains("past the end"));
+    }
+}

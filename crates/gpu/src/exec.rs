@@ -1,0 +1,255 @@
+//! Functional (architectural) semantics of the ISA.
+//!
+//! Integer, logic and move operations are defined *by* the SP-core gate
+//! model ([`warpstl_netlist::modules::sp_core::reference`]), and SFU
+//! operations by the SFU gate model, so the RT-level functional simulation
+//! and the gate-level fault targets agree bit-exactly — the same relation
+//! the paper has between the FlexGripPlus RTL and its synthesized netlists.
+//! FP32 operations use IEEE-754 single precision.
+
+use warpstl_isa::{CmpOp, Opcode};
+use warpstl_netlist::modules::{fp32, sfu, sp_core};
+
+/// Maps an opcode (plus its comparison modifier) to the SP-core netlist's
+/// `(op, cmp)` select codes, when the instruction is executed by an SP core
+/// datapath. Returns `None` for FP32, SFU, memory, control and conversion
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::sp_op_for;
+/// use warpstl_isa::{CmpOp, Opcode};
+/// use warpstl_netlist::modules::sp_core;
+///
+/// assert_eq!(sp_op_for(Opcode::Iadd, None), Some((sp_core::OP_ADD, 0)));
+/// assert_eq!(
+///     sp_op_for(Opcode::Imnmx, Some(CmpOp::Gt)),
+///     Some((sp_core::OP_MAX, CmpOp::Gt.to_bits()))
+/// );
+/// assert_eq!(sp_op_for(Opcode::Fadd, None), None);
+/// ```
+#[must_use]
+pub fn sp_op_for(opcode: Opcode, cmp: Option<CmpOp>) -> Option<(u8, u8)> {
+    use Opcode::*;
+    let cmp_bits = cmp.map_or(0, CmpOp::to_bits);
+    let op = match opcode {
+        Iadd | Iadd32i => sp_core::OP_ADD,
+        Isub => sp_core::OP_SUB,
+        Imul | Imul32i => sp_core::OP_MUL,
+        Imad => sp_core::OP_MAD,
+        Imnmx => match cmp {
+            Some(CmpOp::Gt) | Some(CmpOp::Ge) => sp_core::OP_MAX,
+            _ => sp_core::OP_MIN,
+        },
+        Iset | Isetp => sp_core::OP_SET,
+        Iabs => sp_core::OP_ABS,
+        And | And32i => sp_core::OP_AND,
+        Or | Or32i => sp_core::OP_OR,
+        Xor | Xor32i => sp_core::OP_XOR,
+        Not => sp_core::OP_NOT,
+        Shl => sp_core::OP_SHL,
+        Shr => sp_core::OP_SHR,
+        Mov | Mov32i | S2r => sp_core::OP_MOV,
+        Sel => sp_core::OP_SEL,
+        _ => return None,
+    };
+    Some((op, cmp_bits))
+}
+
+/// Maps an FP32-class opcode (plus its comparison modifier) to the FP32
+/// unit's `op` select code. `FFMA` returns `None`: it occupies the unit for
+/// two passes (multiply, then add) and is captured as two patterns by the
+/// hardware monitor.
+#[must_use]
+pub fn fp_op_for(opcode: Opcode, cmp: Option<CmpOp>) -> Option<u8> {
+    use Opcode::*;
+    let op = match opcode {
+        Fadd | Fadd32i => fp32::OP_FADD,
+        Fmul | Fmul32i => fp32::OP_FMUL,
+        Fmnmx => match cmp {
+            Some(CmpOp::Gt) | Some(CmpOp::Ge) => fp32::OP_FMAX,
+            _ => fp32::OP_FMIN,
+        },
+        _ => return None,
+    };
+    Some(op)
+}
+
+/// Maps an SFU opcode to the SFU netlist's function select.
+#[must_use]
+pub fn sfu_func_for(opcode: Opcode) -> Option<u8> {
+    let f = match opcode {
+        Opcode::Rcp => sfu::F_RCP,
+        Opcode::Rsq => sfu::F_RSQ,
+        Opcode::Sin => sfu::F_SIN,
+        Opcode::Cos => sfu::F_COS,
+        Opcode::Ex2 => sfu::F_EX2,
+        Opcode::Lg2 => sfu::F_LG2,
+        _ => return None,
+    };
+    Some(f)
+}
+
+/// Computes the architectural result of a non-memory, non-control operation
+/// on resolved operand values.
+///
+/// `a`, `b`, `c` are the resolved source values: immediates and
+/// special-register values are already substituted, and for `SEL` the
+/// selector predicate is in `c` bit 0. Returns `(register_result,
+/// predicate_result)`; exactly the fields the opcode produces are `Some`.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::exec_alu;
+/// use warpstl_isa::{CmpOp, Opcode};
+///
+/// assert_eq!(exec_alu(Opcode::Iadd, None, 2, 3, 0), (Some(5), None));
+/// assert_eq!(
+///     exec_alu(Opcode::Isetp, Some(CmpOp::Lt), 1, 2, 0),
+///     (None, Some(true))
+/// );
+/// let two = 2.0f32.to_bits();
+/// let (r, _) = exec_alu(Opcode::Fmul, None, two, two, 0);
+/// assert_eq!(f32::from_bits(r.unwrap()), 4.0);
+/// ```
+#[must_use]
+pub fn exec_alu(
+    opcode: Opcode,
+    cmp: Option<CmpOp>,
+    a: u32,
+    b: u32,
+    c: u32,
+) -> (Option<u32>, Option<bool>) {
+    use Opcode::*;
+
+    // SP-core datapath operations.
+    if let Some((op, cmp_bits)) = sp_op_for(opcode, cmp) {
+        let (y, flag) = sp_core::reference(op, cmp_bits, a, b, c);
+        return match opcode {
+            Isetp => (None, Some(flag)),
+            _ => (Some(y), None),
+        };
+    }
+    // SFU datapath operations.
+    if let Some(f) = sfu_func_for(opcode) {
+        return (Some(sfu::reference(f, a)), None);
+    }
+
+    // FP32-unit datapath operations (the gate model defines the
+    // architectural result, as for the SP core and the SFU).
+    if let Some(op) = fp_op_for(opcode, cmp) {
+        return (Some(fp32::reference(op, a, b)), None);
+    }
+
+    let fa = f32::from_bits(a);
+    let fb = f32::from_bits(b);
+    match opcode {
+        // FFMA occupies the FP32 unit twice: multiply, then add.
+        Ffma => {
+            let prod = fp32::reference(fp32::OP_FMUL, a, b);
+            (Some(fp32::reference(fp32::OP_FADD, prod, c)), None)
+        }
+        Fset => {
+            let flag = cmp.unwrap_or(CmpOp::Lt).eval_f32(fa, fb);
+            (Some(flag as u32), None)
+        }
+        Fsetp => {
+            let flag = cmp.unwrap_or(CmpOp::Lt).eval_f32(fa, fb);
+            (None, Some(flag))
+        }
+        I2f => (Some(((a as i32) as f32).to_bits()), None),
+        F2i => (Some((fa as i32) as u32), None),
+        F2f => (Some(fa.to_bits()), None),
+        I2i => (Some((a as u16 as i16 as i32) as u32), None),
+        Nop => (None, None),
+        _ => panic!("exec_alu called on non-ALU opcode {opcode}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops_match_sp_reference_semantics() {
+        // IMUL is defined as the SP core's 16x16 product.
+        let (r, _) = exec_alu(Opcode::Imul, None, 0x0002_0003, 0x0005_0007, 0);
+        assert_eq!(r, Some(3 * 7));
+        let (r, _) = exec_alu(Opcode::Isub, None, 3, 5, 0);
+        assert_eq!(r, Some((-2i32) as u32));
+        let (r, _) = exec_alu(Opcode::Iabs, None, (-9i32) as u32, 0, 0);
+        assert_eq!(r, Some(9));
+    }
+
+    #[test]
+    fn min_max_via_cmp_modifier() {
+        let (min, _) = exec_alu(Opcode::Imnmx, Some(CmpOp::Lt), 5, 9, 0);
+        assert_eq!(min, Some(5));
+        let (max, _) = exec_alu(Opcode::Imnmx, Some(CmpOp::Gt), 5, 9, 0);
+        assert_eq!(max, Some(9));
+    }
+
+    #[test]
+    fn predicate_writers_return_predicates() {
+        let (r, p) = exec_alu(Opcode::Isetp, Some(CmpOp::Ge), 7, 7, 0);
+        assert_eq!(r, None);
+        assert_eq!(p, Some(true));
+        let (r, p) = exec_alu(Opcode::Fsetp, Some(CmpOp::Ne), 0, 0, 0);
+        assert_eq!(r, None);
+        assert_eq!(p, Some(false));
+    }
+
+    #[test]
+    fn fp_ops_follow_the_fp32_datapath() {
+        // Power-of-two values are exact in the simplified datapath.
+        let h = 0.5f32.to_bits();
+        let (r, _) = exec_alu(Opcode::Ffma, None, h, h, 1.0f32.to_bits());
+        assert_eq!(f32::from_bits(r.unwrap()), 1.25);
+        let (r, _) = exec_alu(Opcode::Fmnmx, Some(CmpOp::Lt), h, 1.0f32.to_bits(), 0);
+        assert_eq!(f32::from_bits(r.unwrap()), 0.5);
+        let (r, _) = exec_alu(Opcode::Fadd, None, h, h, 0);
+        assert_eq!(f32::from_bits(r.unwrap()), 1.0);
+        // And they agree bit-exactly with the gate model's reference.
+        use warpstl_netlist::modules::fp32;
+        let a = 0x1234_5678u32;
+        let b = 0x9abc_def0u32;
+        let (r, _) = exec_alu(Opcode::Fmul, None, a, b, 0);
+        assert_eq!(r, Some(fp32::reference(fp32::OP_FMUL, a, b)));
+    }
+
+    #[test]
+    fn conversions() {
+        let (r, _) = exec_alu(Opcode::I2f, None, (-3i32) as u32, 0, 0);
+        assert_eq!(f32::from_bits(r.unwrap()), -3.0);
+        let (r, _) = exec_alu(Opcode::F2i, None, (-2.75f32).to_bits(), 0, 0);
+        assert_eq!(r, Some((-2i32) as u32));
+        let (r, _) = exec_alu(Opcode::I2i, None, 0x1234_8000, 0, 0);
+        assert_eq!(r, Some(0xffff_8000));
+    }
+
+    #[test]
+    fn sfu_ops_match_datapath_reference(){
+        use warpstl_netlist::modules::sfu;
+        let x = 0x3f80_0000u32;
+        let (r, _) = exec_alu(Opcode::Rcp, None, x, 0, 0);
+        assert_eq!(r, Some(sfu::reference(sfu::F_RCP, x)));
+        let (r, _) = exec_alu(Opcode::Lg2, None, x, 0, 0);
+        assert_eq!(r, Some(sfu::reference(sfu::F_LG2, x)));
+    }
+
+    #[test]
+    fn sel_uses_c_bit0() {
+        let (r, _) = exec_alu(Opcode::Sel, None, 10, 20, 1);
+        assert_eq!(r, Some(10));
+        let (r, _) = exec_alu(Opcode::Sel, None, 10, 20, 0);
+        assert_eq!(r, Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ALU")]
+    fn memory_ops_are_rejected() {
+        let _ = exec_alu(Opcode::Ldg, None, 0, 0, 0);
+    }
+}

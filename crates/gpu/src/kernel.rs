@@ -1,0 +1,111 @@
+//! Kernels: a program plus launch configuration and initial memory images.
+
+use warpstl_isa::Instruction;
+
+use crate::{KernelConfig, Memory, SimError};
+
+/// Initial memory images for a kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelData {
+    global: Memory,
+    constant: Memory,
+}
+
+impl KernelData {
+    /// Empty images sized per the default GPU configuration.
+    #[must_use]
+    pub fn new(global_bytes: usize, const_bytes: usize) -> KernelData {
+        KernelData {
+            global: Memory::new("global", global_bytes),
+            constant: Memory::new("constant", const_bytes),
+        }
+    }
+
+    /// Writes a word into the initial global-memory image.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] when `addr` exceeds the image.
+    pub fn store_global_word(&mut self, addr: u64, value: u32) -> Result<(), SimError> {
+        self.global.store_word(addr, value)
+    }
+
+    /// Writes a word into the constant-memory image.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] when `addr` exceeds the image.
+    pub fn store_const_word(&mut self, addr: u64, value: u32) -> Result<(), SimError> {
+        self.constant.store_word(addr, value)
+    }
+
+    /// The initial global memory image.
+    #[must_use]
+    pub fn global(&self) -> &Memory {
+        &self.global
+    }
+
+    /// The constant memory image.
+    #[must_use]
+    pub fn constant(&self) -> &Memory {
+        &self.constant
+    }
+}
+
+/// A kernel: name, program, launch configuration and initial data.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::{Kernel, KernelConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = warpstl_isa::asm::assemble("EXIT;")?;
+/// let k = Kernel::new("noop", program, KernelConfig::new(1, 32));
+/// assert_eq!(k.program.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (reports only).
+    pub name: String,
+    /// The instruction sequence.
+    pub program: Vec<Instruction>,
+    /// Launch configuration.
+    pub config: KernelConfig,
+    /// Initial memory images.
+    pub data: KernelData,
+}
+
+impl Kernel {
+    /// Creates a kernel with default-sized, zeroed memory images.
+    #[must_use]
+    pub fn new(name: &str, program: Vec<Instruction>, config: KernelConfig) -> Kernel {
+        let gpu_defaults = crate::GpuConfig::default();
+        Kernel {
+            name: name.to_string(),
+            program,
+            config,
+            data: KernelData::new(
+                gpu_defaults.global_mem_bytes,
+                gpu_defaults.const_mem_bytes,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_images_initialize() {
+        let mut d = KernelData::new(64, 32);
+        d.store_global_word(4, 9).unwrap();
+        d.store_const_word(0, 5).unwrap();
+        assert_eq!(d.global().load_word(4).unwrap(), 9);
+        assert_eq!(d.constant().load_word(0).unwrap(), 5);
+        assert!(d.store_global_word(64, 0).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # warpstl-gpu
+//!
+//! MiniGrip: a cycle-level SIMT GPU model in the mould of FlexGripPlus (the
+//! open-source G80-compatible model the paper evaluates on). One streaming
+//! multiprocessor executes kernels written in the [`warpstl-isa`](warpstl_isa)
+//! assembly: warps of 32 threads flow through a five-stage pipeline
+//! (fetch, decode, read, execute, write) largely serially — which is why
+//! FlexGripPlus test programs cost tens of clock cycles per instruction —
+//! with 8/16/32 SP cores, paired FP32 units and two SFUs, a general-purpose
+//! register file, shared/global/constant/local memories, and a SIMT
+//! divergence stack driven by `SSY`/`BRA`/`SYNC`.
+//!
+//! Two observation features exist purely for the compaction flow:
+//!
+//! - the **hardware monitor** ([`Trace`]) records, per executed warp
+//!   instruction, the clock-cycle interval, PC, warp id and active mask —
+//!   the paper's RT-level *tracing report*;
+//! - **module pattern capture** records the per-clock-cycle input vectors
+//!   seen by the Decoder Unit, each SP core and each SFU — the paper's
+//!   gate-level *test pattern report* (VCDE).
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_gpu::{Gpu, Kernel, KernelConfig, RunOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = warpstl_isa::asm::assemble(
+//!     "S2R R0, SR_TID_X;\n\
+//!      SHL R1, R0, 0x2;\n\
+//!      LDG R2, [R1];\n\
+//!      IADD R2, R2, 0x5;\n\
+//!      STG [R1+0x100], R2;\n\
+//!      EXIT;",
+//! )?;
+//! let mut kernel = Kernel::new("add5", program, KernelConfig::new(1, 32));
+//! for t in 0..32 {
+//!     kernel.data.store_global_word(t * 4, t as u32 * 10)?;
+//! }
+//! let gpu = Gpu::default();
+//! let result = gpu.run(&kernel, &RunOptions::default())?;
+//! assert_eq!(result.global_mem.load_word(0x100 + 3 * 4)?, 35);
+//! assert!(result.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod error;
+mod exec;
+mod kernel;
+mod memory;
+mod run;
+mod sm;
+mod timing;
+mod trace;
+mod warp;
+
+pub use config::{GpuConfig, KernelConfig};
+pub use error::SimError;
+pub use exec::{exec_alu, fp_op_for, sfu_func_for, sp_op_for};
+pub use kernel::{Kernel, KernelData};
+pub use memory::Memory;
+pub use run::{Gpu, RunOptions, RunResult};
+pub use timing::instruction_cost;
+pub use trace::{ModulePatterns, Trace, TraceRecord};
+pub use warp::Warp;

@@ -1,0 +1,143 @@
+//! Word-addressable memory spaces.
+
+use crate::SimError;
+
+/// A flat, word-granular memory space.
+///
+/// Addresses are byte addresses; accesses are 32-bit words and must be
+/// 4-byte aligned (the MiniGrip load/store path, like FlexGripPlus's, is
+/// word-oriented; unaligned addresses round down to the containing word).
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::Memory;
+///
+/// let mut m = Memory::new("global", 64);
+/// m.store_word(8, 0xdead_beef)?;
+/// assert_eq!(m.load_word(8)?, 0xdead_beef);
+/// assert!(m.load_word(64).is_err());
+/// # Ok::<(), warpstl_gpu::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    space: &'static str,
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// An all-zero memory of `bytes` bytes named `space` in diagnostics.
+    #[must_use]
+    pub fn new(space: &'static str, bytes: usize) -> Memory {
+        Memory {
+            space,
+            words: vec![0; bytes.div_ceil(4)],
+        }
+    }
+
+    /// The size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Loads the word containing byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] when `addr` is outside the space.
+    pub fn load_word(&self, addr: u64) -> Result<u32, SimError> {
+        let idx = (addr / 4) as usize;
+        self.words
+            .get(idx)
+            .copied()
+            .ok_or(SimError::MemoryOutOfBounds {
+                space: self.space,
+                addr,
+                size: self.size_bytes(),
+            })
+    }
+
+    /// Stores a word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryOutOfBounds`] when `addr` is outside the space.
+    pub fn store_word(&mut self, addr: u64, value: u32) -> Result<(), SimError> {
+        let size = self.size_bytes();
+        let idx = (addr / 4) as usize;
+        match self.words.get_mut(idx) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(SimError::MemoryOutOfBounds {
+                space: self.space,
+                addr,
+                size,
+            }),
+        }
+    }
+
+    /// Zeroes the whole space.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The raw words (for bulk initialization and inspection).
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Mutable raw words.
+    pub fn words_mut(&mut self) -> &mut [u32] {
+        &mut self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_round_trip() {
+        let mut m = Memory::new("t", 16);
+        for i in 0..4u64 {
+            m.store_word(i * 4, i as u32 + 100).unwrap();
+        }
+        for i in 0..4u64 {
+            assert_eq!(m.load_word(i * 4).unwrap(), i as u32 + 100);
+        }
+    }
+
+    #[test]
+    fn unaligned_rounds_down() {
+        let mut m = Memory::new("t", 16);
+        m.store_word(5, 7).unwrap();
+        assert_eq!(m.load_word(4).unwrap(), 7);
+        assert_eq!(m.load_word(7).unwrap(), 7);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = Memory::new("t", 8);
+        assert!(m.load_word(8).is_err());
+        assert!(m.store_word(u64::MAX, 0).is_err());
+        let e = m.load_word(100).unwrap_err();
+        assert_eq!(
+            e,
+            SimError::MemoryOutOfBounds {
+                space: "t",
+                addr: 100,
+                size: 8
+            }
+        );
+    }
+
+    #[test]
+    fn odd_sizes_round_up_to_words() {
+        let m = Memory::new("t", 5);
+        assert_eq!(m.size_bytes(), 8);
+    }
+}

@@ -1,0 +1,112 @@
+//! The pipeline timing model.
+//!
+//! FlexGripPlus pushes one warp instruction through five stages (fetch,
+//! decode, read, execute, write) with little overlap, so each warp
+//! instruction costs tens of clock cycles — the paper's PTPs average ~66 cc
+//! per warp instruction for ALU work and ~95 cc for memory accesses.
+//! MiniGrip charges:
+//!
+//! ```text
+//! cost = FETCH + DECODE + READ + passes × execute_cycles + memory + WRITE
+//! ```
+//!
+//! where `passes` is `warp_size / units` for the executing unit class.
+
+use warpstl_isa::{ExecUnit, LatencyClass, Opcode};
+
+use crate::GpuConfig;
+
+/// Fetch-stage cycles.
+pub const FETCH: u64 = 8;
+/// Decode-stage cycles.
+pub const DECODE: u64 = 8;
+/// Operand-read cycles.
+pub const READ: u64 = 12;
+/// Write-back cycles.
+pub const WRITE: u64 = 10;
+
+/// The clock cycles one warp spends executing `opcode` on `config`.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::{instruction_cost, GpuConfig};
+/// use warpstl_isa::Opcode;
+///
+/// let cfg = GpuConfig::default();
+/// let alu = instruction_cost(Opcode::Iadd, &cfg);
+/// let mem = instruction_cost(Opcode::Ldg, &cfg);
+/// let sfu = instruction_cost(Opcode::Rcp, &cfg);
+/// assert!(mem > alu);
+/// assert!(sfu > alu); // only 2 SFUs -> 16 passes
+/// ```
+#[must_use]
+pub fn instruction_cost(opcode: Opcode, config: &GpuConfig) -> u64 {
+    let class = LatencyClass::of(opcode);
+    let passes = execute_passes(opcode, config) as u64;
+    FETCH + DECODE + READ + passes * class.execute_cycles() + class.memory_cycles() + WRITE
+}
+
+/// How many execute passes a warp instruction needs (the warp is fed
+/// through the unit array in groups).
+#[must_use]
+pub fn execute_passes(opcode: Opcode, config: &GpuConfig) -> usize {
+    match ExecUnit::of(opcode) {
+        ExecUnit::SpCore | ExecUnit::Fp32 | ExecUnit::LoadStore => config.sp_passes_per_warp(),
+        ExecUnit::Sfu => config.sfu_passes_per_warp(),
+        ExecUnit::Control => 1,
+    }
+}
+
+/// The clock cycle, relative to issue, at which the decoder consumes the
+/// instruction word (the DU pattern timestamp).
+#[must_use]
+pub fn decode_offset() -> u64 {
+    FETCH
+}
+
+/// The clock cycle, relative to issue, at which execute pass `pass` applies
+/// its operands to the execution units (the SP/SFU pattern timestamps).
+#[must_use]
+pub fn execute_offset(opcode: Opcode, pass: usize) -> u64 {
+    FETCH + DECODE + READ + pass as u64 * LatencyClass::of(opcode).execute_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_cost_is_in_the_flexgrip_band() {
+        let cfg = GpuConfig::default();
+        let c = instruction_cost(Opcode::Iadd, &cfg);
+        assert!((50..90).contains(&c), "ALU cost {c} outside 50..90");
+    }
+
+    #[test]
+    fn memory_adds_latency() {
+        let cfg = GpuConfig::default();
+        assert_eq!(
+            instruction_cost(Opcode::Ldg, &cfg) - instruction_cost(Opcode::Iadd, &cfg),
+            30
+        );
+    }
+
+    #[test]
+    fn more_sp_cores_reduce_cost() {
+        let c8 = instruction_cost(Opcode::Iadd, &GpuConfig::with_sp_cores(8));
+        let c32 = instruction_cost(Opcode::Iadd, &GpuConfig::with_sp_cores(32));
+        assert!(c32 < c8);
+    }
+
+    #[test]
+    fn pattern_offsets_fall_within_cost() {
+        let cfg = GpuConfig::default();
+        for op in [Opcode::Iadd, Opcode::Rcp, Opcode::Ldg, Opcode::Bra] {
+            let cost = instruction_cost(op, &cfg);
+            assert!(decode_offset() < cost);
+            let last_pass = execute_passes(op, &cfg) - 1;
+            assert!(execute_offset(op, last_pass) < cost, "{op}");
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Warp state: active mask, SIMT divergence stack and call stack.
+
+use crate::SimError;
+
+/// A reconvergence-stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StackEntry {
+    /// Pushed by `SSY target`: the reconvergence point and the mask to
+    /// restore there.
+    Sync { reconv: usize, mask: u32 },
+    /// Pushed by a divergent branch: the pending path.
+    Div { pc: usize, mask: u32 },
+}
+
+/// One warp's control state.
+///
+/// MiniGrip implements the FlexGripPlus (G80) divergence discipline:
+/// `SSY L` pushes a synchronization token for the join point `L`; a
+/// divergent `BRA` executes the fall-through side first and pushes the taken
+/// side; `SYNC` (the `.S` flag of real SASS, modeled as an instruction)
+/// pops — resuming the pending side, or restoring the full mask once both
+/// sides have arrived at `L`.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_gpu::Warp;
+///
+/// let mut w = Warp::new(0, 32);
+/// assert_eq!(w.active_mask(), 0xffff_ffff);
+/// w.push_sync(10);
+/// w.diverge(5, 0x0000_ffff)?; // lower half takes the branch
+/// assert_eq!(w.active_mask(), 0xffff_0000); // upper half falls through
+/// # Ok::<(), warpstl_gpu::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Warp {
+    id: usize,
+    pc: usize,
+    active: u32,
+    exited: u32,
+    full: u32,
+    stack: Vec<StackEntry>,
+    call_stack: Vec<usize>,
+    at_barrier: bool,
+}
+
+impl Warp {
+    /// A warp of `threads` threads (≤ 32) starting at PC 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or exceeds 32.
+    #[must_use]
+    pub fn new(id: usize, threads: usize) -> Warp {
+        assert!((1..=32).contains(&threads), "bad warp width {threads}");
+        let full = if threads == 32 {
+            u32::MAX
+        } else {
+            (1u32 << threads) - 1
+        };
+        Warp {
+            id,
+            pc: 0,
+            active: full,
+            exited: 0,
+            full,
+            stack: Vec::new(),
+            call_stack: Vec::new(),
+            at_barrier: false,
+        }
+    }
+
+    /// The warp id within its block.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current program counter.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Advances to the next instruction.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+    }
+
+    /// Jumps to `pc`.
+    pub fn jump(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// The threads currently executing.
+    #[must_use]
+    pub fn active_mask(&self) -> u32 {
+        self.active
+    }
+
+    /// Whether every thread has exited.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.exited == self.full
+    }
+
+    /// Whether the warp is parked at a block barrier.
+    #[must_use]
+    pub fn at_barrier(&self) -> bool {
+        self.at_barrier
+    }
+
+    /// Parks / releases the warp at a barrier.
+    pub fn set_at_barrier(&mut self, parked: bool) {
+        self.at_barrier = parked;
+    }
+
+    /// Pushes the reconvergence point for an upcoming potentially-divergent
+    /// region (`SSY target`).
+    pub fn push_sync(&mut self, target: usize) {
+        self.stack.push(StackEntry::Sync {
+            reconv: target,
+            mask: self.active,
+        });
+    }
+
+    /// Handles a branch whose per-thread outcome is `taken_mask` (already
+    /// restricted to the active mask), targeting `target`.
+    ///
+    /// Uniform branches jump or fall through; divergent ones execute the
+    /// fall-through side first and push the taken side.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` for parity with the other control
+    /// operations.
+    pub fn diverge(&mut self, target: usize, taken_mask: u32) -> Result<(), SimError> {
+        let taken = taken_mask & self.active;
+        if taken == self.active {
+            self.pc = target;
+        } else if taken == 0 {
+            self.pc += 1;
+        } else {
+            self.stack.push(StackEntry::Div {
+                pc: target,
+                mask: taken,
+            });
+            self.active &= !taken;
+            self.pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Executes `SYNC`: pops the divergence stack — resuming the pending
+    /// branch side, or restoring the pre-`SSY` mask and continuing.
+    ///
+    /// A `SYNC` with an empty stack is a no-op advance (FlexGripPlus
+    /// tolerates stray `.S` flags the same way).
+    pub fn sync(&mut self) {
+        match self.stack.pop() {
+            Some(StackEntry::Div { pc, mask }) => {
+                self.active = mask;
+                self.pc = pc;
+            }
+            Some(StackEntry::Sync { reconv: _, mask }) => {
+                self.active = mask & !self.exited;
+                self.pc += 1;
+            }
+            None => self.pc += 1,
+        }
+    }
+
+    /// Executes `EXIT` for the active threads; pending divergent paths
+    /// resume. Returns `true` when the whole warp has finished.
+    pub fn exit(&mut self) -> bool {
+        self.exited |= self.active;
+        self.active = 0;
+        // Resume any pending path that still has live threads.
+        while let Some(entry) = self.stack.pop() {
+            let (pc_opt, mask) = match entry {
+                StackEntry::Div { pc, mask } => (Some(pc), mask),
+                StackEntry::Sync { reconv, mask } => (Some(reconv), mask),
+            };
+            let live = mask & !self.exited;
+            if live != 0 {
+                self.active = live;
+                self.pc = pc_opt.expect("always Some");
+                return false;
+            }
+        }
+        self.is_done()
+    }
+
+    /// Executes `CAL target`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DivergentCall`] when called with a partial mask.
+    pub fn call(&mut self, target: usize) -> Result<(), SimError> {
+        if self.active != self.full & !self.exited {
+            return Err(SimError::DivergentCall { pc: self.pc });
+        }
+        self.call_stack.push(self.pc + 1);
+        self.pc = target;
+        Ok(())
+    }
+
+    /// Executes `RET`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ReturnWithoutCall`] when the call stack is empty.
+    pub fn ret(&mut self) -> Result<(), SimError> {
+        match self.call_stack.pop() {
+            Some(pc) => {
+                self.pc = pc;
+                Ok(())
+            }
+            None => Err(SimError::ReturnWithoutCall { pc: self.pc }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_branches_do_not_push() {
+        let mut w = Warp::new(0, 32);
+        w.diverge(7, u32::MAX).unwrap();
+        assert_eq!(w.pc(), 7);
+        w.diverge(3, 0).unwrap();
+        assert_eq!(w.pc(), 8);
+        assert_eq!(w.active_mask(), u32::MAX);
+    }
+
+    #[test]
+    fn if_else_reconverges() {
+        // SSY join; @P BRA then; (else body); SYNC@join... modeled directly:
+        let mut w = Warp::new(0, 32);
+        w.push_sync(10);
+        w.diverge(5, 0x0000_00ff).unwrap(); // low 8 threads take
+        assert_eq!(w.active_mask(), 0xffff_ff00);
+        // Fall-through side runs, reaches the join and syncs:
+        w.jump(10);
+        w.sync();
+        // Pending taken side resumes at 5.
+        assert_eq!(w.pc(), 5);
+        assert_eq!(w.active_mask(), 0x0000_00ff);
+        // Taken side reaches the join too.
+        w.jump(10);
+        w.sync();
+        assert_eq!(w.active_mask(), u32::MAX);
+        assert_eq!(w.pc(), 11);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut w = Warp::new(0, 4);
+        w.push_sync(20);
+        w.diverge(10, 0b0011).unwrap(); // outer split
+        assert_eq!(w.active_mask(), 0b1100);
+        w.push_sync(15);
+        w.diverge(12, 0b0100).unwrap(); // inner split of the else side
+        assert_eq!(w.active_mask(), 0b1000);
+        w.jump(15);
+        w.sync(); // inner pending side
+        assert_eq!((w.pc(), w.active_mask()), (12, 0b0100));
+        w.jump(15);
+        w.sync(); // inner join
+        assert_eq!(w.active_mask(), 0b1100);
+        w.jump(20);
+        w.sync(); // outer pending side
+        assert_eq!((w.pc(), w.active_mask()), (10, 0b0011));
+        w.jump(20);
+        w.sync(); // outer join
+        assert_eq!(w.active_mask(), 0b1111);
+    }
+
+    #[test]
+    fn exit_resumes_pending_paths() {
+        let mut w = Warp::new(0, 4);
+        w.push_sync(9);
+        w.diverge(5, 0b0011).unwrap();
+        // Fall-through side exits directly.
+        assert!(!w.exit());
+        assert_eq!((w.pc(), w.active_mask()), (5, 0b0011));
+        assert!(w.exit());
+        assert!(w.is_done());
+    }
+
+    #[test]
+    fn partial_warp_masks() {
+        let w = Warp::new(1, 20);
+        assert_eq!(w.active_mask(), (1 << 20) - 1);
+        assert_eq!(w.id(), 1);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut w = Warp::new(0, 32);
+        w.jump(3);
+        w.call(40).unwrap();
+        assert_eq!(w.pc(), 40);
+        w.ret().unwrap();
+        assert_eq!(w.pc(), 4);
+        assert!(w.ret().is_err());
+    }
+
+    #[test]
+    fn divergent_call_is_rejected() {
+        let mut w = Warp::new(0, 32);
+        w.push_sync(9);
+        w.diverge(5, 1).unwrap();
+        assert!(matches!(w.call(2), Err(SimError::DivergentCall { .. })));
+    }
+
+    #[test]
+    fn sync_after_exit_drops_dead_threads() {
+        let mut w = Warp::new(0, 2);
+        w.push_sync(9);
+        w.diverge(5, 0b01).unwrap(); // thread 0 takes
+        assert!(!w.exit()); // thread 1 exits on the fall-through side
+        assert_eq!(w.active_mask(), 0b01);
+        w.jump(9);
+        w.sync(); // join: only thread 0 is still alive
+        assert_eq!(w.active_mask(), 0b01);
+    }
+}

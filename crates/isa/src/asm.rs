@@ -1,0 +1,451 @@
+//! Text assembler and disassembler.
+//!
+//! The syntax mirrors the SASS listings of the paper's PTPs:
+//!
+//! ```text
+//! // comments run to end of line
+//! entry:  S2R R0, SR_TID_X;        // labels end with ':'
+//!         SHL R1, R0, 0x2;
+//!         LDG R2, [R1+0x100];
+//! @P0     IADD R3, R3, R2;         // '@P0' / '@!P1' guard prefixes
+//!         ISETP.LT P0, R3, R4;     // '.' modifiers
+//!         BRA entry;               // label operands
+//!         EXIT;
+//! ```
+//!
+//! Statements are terminated by `;` or end of line. Immediate literals accept
+//! decimal and `0x` hexadecimal, with an optional leading `-`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{
+    CmpOp, Guard, Instruction, MemRef, Opcode, ParseAsmError, Pred, Reg, SpecialReg, SrcOperand,
+};
+
+/// Assembles a program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] carrying the 1-based line number of the first
+/// syntax error, unknown mnemonic, undefined label, or operand-shape
+/// mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::asm;
+///
+/// let p = asm::assemble("top: IADD R1, R1, 0x1; BRA top;")?;
+/// assert_eq!(p[1].target(), Some(0));
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instruction>, ParseAsmError> {
+    let statements = split_statements(source);
+
+    // First pass: map labels to instruction indices.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut index = 0usize;
+    for stmt in &statements {
+        let mut body = stmt.text.as_str();
+        while let Some((label, rest)) = take_label(body) {
+            if labels.insert(label.to_string(), index).is_some() {
+                return Err(ParseAsmError::new(
+                    stmt.line,
+                    format!("duplicate label `{label}`"),
+                ));
+            }
+            body = rest;
+        }
+        if !body.trim().is_empty() {
+            index += 1;
+        }
+    }
+
+    // Second pass: parse instructions.
+    let mut program = Vec::with_capacity(index);
+    for stmt in &statements {
+        let mut body = stmt.text.as_str();
+        while let Some((_, rest)) = take_label(body) {
+            body = rest;
+        }
+        let body = body.trim();
+        if body.is_empty() {
+            continue;
+        }
+        let instr = parse_instruction(body, &labels)
+            .map_err(|e| e.at_line(stmt.line))?;
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+/// Disassembles a program into source text, synthesizing `L<n>:` labels at
+/// branch/`SSY`/`CAL` targets.
+///
+/// The output re-assembles to an identical program.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::asm;
+///
+/// let p = asm::assemble("top: IADD R1, R1, 0x1; BRA top; EXIT;")?;
+/// let text = asm::disassemble(&p);
+/// assert_eq!(asm::assemble(&text)?, p);
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+#[must_use]
+pub fn disassemble(program: &[Instruction]) -> String {
+    // Collect branch targets in program order and name them L0, L1, ...
+    let mut targets: Vec<usize> = program.iter().filter_map(Instruction::target).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of: HashMap<usize, String> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, format!("L{i}")))
+        .collect();
+
+    let mut out = String::new();
+    for (pc, instr) in program.iter().enumerate() {
+        if let Some(l) = label_of.get(&pc) {
+            let _ = write!(out, "{l}:");
+        }
+        out.push('\t');
+        if let Some(t) = instr.target() {
+            // Render with the label in place of the numeric target.
+            let mut text = instr.to_string();
+            let numeric = format!("{:#x};", t);
+            let with_label = format!(
+                "{};",
+                label_of
+                    .get(&t)
+                    .map(String::as_str)
+                    .unwrap_or("L_out_of_range")
+            );
+            if let Some(pos) = text.rfind(&numeric) {
+                text.replace_range(pos.., &with_label);
+            }
+            out.push_str(&text);
+        } else {
+            let _ = write!(out, "{instr}");
+        }
+        out.push('\n');
+    }
+    // Trailing labels that point one past the end (used by SSY to the join
+    // point after the last instruction).
+    if let Some(l) = label_of.get(&program.len()) {
+        let _ = writeln!(out, "{l}:");
+    }
+    out
+}
+
+struct Statement {
+    line: usize,
+    text: String,
+}
+
+/// Splits source into statements: comments stripped, `;` and newlines both
+/// terminate a statement, line numbers preserved.
+fn split_statements(source: &str) -> Vec<Statement> {
+    let mut out = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let code = match raw.find("//").or_else(|| raw.find('#')) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        for piece in code.split(';') {
+            if !piece.trim().is_empty() {
+                out.push(Statement {
+                    line,
+                    text: piece.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// If `body` begins with `ident:`, returns the label and the remainder.
+fn take_label(body: &str) -> Option<(&str, &str)> {
+    let trimmed = body.trim_start();
+    let colon = trimmed.find(':')?;
+    let candidate = &trimmed[..colon];
+    if !candidate.is_empty()
+        && candidate
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && candidate.chars().next().is_some_and(|c| !c.is_ascii_digit())
+    {
+        Some((candidate, &trimmed[colon + 1..]))
+    } else {
+        None
+    }
+}
+
+fn parse_instruction(
+    body: &str,
+    labels: &HashMap<String, usize>,
+) -> Result<Instruction, ParseAsmError> {
+    let err = |msg: String| ParseAsmError::new(0, msg);
+    let mut rest = body.trim();
+
+    // Guard prefix.
+    let mut guard = Guard::default();
+    if let Some(after) = rest.strip_prefix('@') {
+        let (negate, after) = match after.strip_prefix('!') {
+            Some(a) => (true, a),
+            None => (false, after),
+        };
+        let end = after
+            .find(|c: char| c.is_whitespace())
+            .ok_or_else(|| err("guard predicate without instruction".into()))?;
+        let pred = parse_pred(&after[..end])?;
+        guard = Guard { pred, negate };
+        rest = after[end..].trim_start();
+    }
+
+    // Mnemonic and optional '.' modifier.
+    let end = rest
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(rest.len());
+    let mnemonic_full = &rest[..end];
+    rest = rest[end..].trim();
+    let (mnemonic, modifier) = match mnemonic_full.split_once('.') {
+        Some((m, suffix)) => (m, Some(suffix)),
+        None => (mnemonic_full, None),
+    };
+    let opcode = Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| err(format!("unknown mnemonic `{mnemonic}`")))?;
+    let cmp = match modifier {
+        Some(s) => Some(
+            CmpOp::ALL
+                .iter()
+                .copied()
+                .find(|c| c.mnemonic() == s)
+                .ok_or_else(|| err(format!("unknown modifier `.{s}`")))?,
+        ),
+        None => None,
+    };
+
+    // Operands.
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let mut builder = Instruction::build(opcode).guard(guard);
+    if let Some(c) = cmp {
+        builder = builder.cmp(c);
+    }
+
+    let mut ops = operands.iter().peekable();
+    // Destination: predicate for ISETP/FSETP, register otherwise (stores and
+    // control flow have none).
+    if opcode.writes_predicate() {
+        let d = ops
+            .next()
+            .ok_or_else(|| err(format!("{opcode}: missing predicate destination")))?;
+        builder = builder.pdst(parse_pred(d)?);
+    } else if !(opcode.is_store() || opcode.is_control_flow() || opcode == Opcode::Nop) {
+        let d = ops
+            .next()
+            .ok_or_else(|| err(format!("{opcode}: missing destination")))?;
+        builder = builder.dst(parse_reg(d)?);
+    }
+
+    for op in ops {
+        builder = builder.src(parse_src(op, opcode, labels)?);
+    }
+    builder.finish()
+}
+
+fn parse_reg(s: &str) -> Result<Reg, ParseAsmError> {
+    let idx = s
+        .strip_prefix('R')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < Reg::COUNT)
+        .ok_or_else(|| ParseAsmError::new(0, format!("invalid register `{s}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_pred(s: &str) -> Result<Pred, ParseAsmError> {
+    if s == "PT" {
+        return Ok(Pred::TRUE);
+    }
+    let idx = s
+        .strip_prefix('P')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < Pred::COUNT)
+        .ok_or_else(|| ParseAsmError::new(0, format!("invalid predicate `{s}`")))?;
+    Ok(Pred::new(idx))
+}
+
+fn parse_imm(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_src(
+    s: &str,
+    opcode: Opcode,
+    labels: &HashMap<String, usize>,
+) -> Result<SrcOperand, ParseAsmError> {
+    let err = |msg: String| ParseAsmError::new(0, msg);
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(format!("unterminated memory operand `{s}`")))?;
+        let (base_s, off_s) = match inner.split_once('+') {
+            Some((b, o)) => (b.trim(), Some(o.trim())),
+            None => (inner.trim(), None),
+        };
+        let base = parse_reg(base_s)?;
+        let offset = match off_s {
+            Some(o) => u16::try_from(
+                parse_imm(o).ok_or_else(|| err(format!("invalid offset `{o}`")))?,
+            )
+            .map_err(|_| err(format!("offset `{o}` exceeds 16 bits")))?,
+            None => 0,
+        };
+        return Ok(SrcOperand::Mem(MemRef::new(base, offset)));
+    }
+    if s.starts_with('R') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        return Ok(SrcOperand::Reg(parse_reg(s)?));
+    }
+    if s == "PT" || (s.starts_with('P') && s[1..].chars().all(|c| c.is_ascii_digit())) {
+        return Ok(SrcOperand::Pred(parse_pred(s)?));
+    }
+    if let Some(sr) = SpecialReg::from_name(s) {
+        return Ok(SrcOperand::Special(sr));
+    }
+    if let Some(v) = parse_imm(s) {
+        let v32 = i32::try_from(v)
+            .or_else(|_| u32::try_from(v).map(|u| u as i32))
+            .map_err(|_| err(format!("immediate `{s}` exceeds 32 bits")))?;
+        return Ok(SrcOperand::Imm(v32));
+    }
+    if opcode.has_target() {
+        if let Some(&target) = labels.get(s) {
+            return Ok(SrcOperand::Imm(target as u32 as i32));
+        }
+        return Err(err(format!("undefined label `{s}`")));
+    }
+    Err(err(format!("unrecognized operand `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_resolves_labels_forward_and_backward() {
+        let p = assemble(
+            "start: ISETP.LT P0, R0, R1;\n\
+             @P0 BRA done;\n\
+             IADD R0, R0, 0x1;\n\
+             BRA start;\n\
+             done: EXIT;",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[1].target(), Some(4));
+        assert_eq!(p[3].target(), Some(0));
+    }
+
+    #[test]
+    fn semicolons_and_newlines_both_terminate() {
+        let a = assemble("NOP; NOP; EXIT;").unwrap();
+        let b = assemble("NOP\nNOP\nEXIT").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = assemble("NOP; // trailing\n# whole line\nEXIT; // done").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("NOP;\nFROB R1;\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        let e = assemble("NOP;\nNOP;\nBRA nowhere;").unwrap_err();
+        assert_eq!(e.line(), 3);
+        assert!(e.to_string().contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let e = assemble("a: NOP;\na: EXIT;").unwrap_err();
+        assert!(e.to_string().contains("duplicate label"));
+    }
+
+    #[test]
+    fn guards_parse() {
+        let p = assemble("@P1 IADD R0, R0, R1;\n@!P0 MOV R2, R3;").unwrap();
+        assert_eq!(p[0].guard, Guard::on(Pred::new(1)));
+        assert_eq!(p[1].guard, Guard::negated(Pred::new(0)));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("LDG R1, [R2+0x20];\nSTS [R3], R4;\nLDC R5, [R0+16];").unwrap();
+        assert_eq!(p[0].mem_ref().unwrap().offset, 0x20);
+        assert_eq!(p[1].mem_ref().unwrap().offset, 0);
+        assert_eq!(p[2].mem_ref().unwrap().offset, 16);
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "start: S2R R0, SR_TID_X;\n\
+             SHL R1, R0, 0x2;\n\
+             LDG R2, [R1+0x100];\n\
+             ISETP.GE P0, R2, R0;\n\
+             @!P0 BRA start;\n\
+             SSY end;\n\
+             @P0 IADD R2, R2, 0x1;\n\
+             SYNC;\n\
+             STG [R1+0x200], R2;\n\
+             EXIT;\n\
+             end: NOP;";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        assert_eq!(assemble(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn disassemble_handles_target_past_end() {
+        // SSY to the join point one past the last instruction.
+        let p = assemble("SSY end;\nNOP;\nend:").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].target(), Some(2));
+        let text = disassemble(&p);
+        assert_eq!(assemble(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("IADD R0, R1, -0x10;\nMOV32I R2, 0xdeadbeef;").unwrap();
+        assert_eq!(p[0].imm(), Some(-16));
+        assert_eq!(p[1].imm(), Some(0xdeadbeefu32 as i32));
+    }
+
+    #[test]
+    fn mov32i_accepts_decimal() {
+        let p = assemble("MOV32I R0, 4294967295;").unwrap();
+        assert_eq!(p[0].imm(), Some(-1));
+    }
+}

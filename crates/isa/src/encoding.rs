@@ -1,0 +1,304 @@
+//! The 64-bit binary instruction encoding.
+//!
+//! This is the word format fetched by the SM front-end and decoded by the
+//! gate-level Decoder Unit model; the compaction flow's gate-level tracing
+//! captures these words (plus pipeline context) as the DU's test patterns.
+//!
+//! Layout (bit ranges inclusive):
+//!
+//! ```text
+//! [63:58] opcode            [57:55] guard predicate   [54] guard negate
+//! [53:48] dst GPR / pdst    [47:42] source A GPR      [41:36] source B GPR
+//! [35:33] cmp modifier      [32]    short-imm flag
+//! [31:0]  low word: imm32 | imm16/offset | rC | SEL pred | special reg | target
+//! ```
+//!
+//! The low word's interpretation depends on the opcode, exactly as in real
+//! SASS where formats share the instruction width.
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_isa::{encoding, Instruction, Opcode, Reg};
+//!
+//! let i = Instruction::build(Opcode::Mov32i)
+//!     .dst(Reg::new(7))
+//!     .src(0x1234_5678)
+//!     .finish()?;
+//! let word = encoding::encode(&i);
+//! assert_eq!(word & 0xffff_ffff, 0x1234_5678);
+//! assert_eq!(encoding::decode(word)?, i);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{
+    CmpOp, DecodeError, Guard, Instruction, MemRef, Opcode, Pred, Reg, SpecialReg, SrcOperand,
+};
+
+const OPCODE_SHIFT: u32 = 58;
+const GUARD_PRED_SHIFT: u32 = 55;
+const GUARD_NEG_SHIFT: u32 = 54;
+const DST_SHIFT: u32 = 48;
+const SRC_A_SHIFT: u32 = 42;
+const SRC_B_SHIFT: u32 = 36;
+const CMP_SHIFT: u32 = 33;
+const IMM_FLAG_SHIFT: u32 = 32;
+
+/// Encodes an instruction into its 64-bit word.
+///
+/// The encoding is total for every instruction accepted by
+/// [`Instruction::validate`]; [`decode`] inverts it exactly.
+#[must_use]
+pub fn encode(instr: &Instruction) -> u64 {
+    let mut w: u64 = (instr.opcode.to_bits() as u64) << OPCODE_SHIFT;
+    w |= (instr.guard.pred.index() as u64) << GUARD_PRED_SHIFT;
+    w |= (instr.guard.negate as u64) << GUARD_NEG_SHIFT;
+    if let Some(d) = instr.dst {
+        w |= (d.index() as u64) << DST_SHIFT;
+    }
+    if let Some(p) = instr.pdst {
+        w |= (p.index() as u64) << DST_SHIFT;
+    }
+    if let Some(c) = instr.cmp {
+        w |= (c.to_bits() as u64) << CMP_SHIFT;
+    }
+
+    // rA and rB are the first two register fields in operand order (memory
+    // references contribute their base register).
+    let mut reg_fields = instr.srcs.iter().filter_map(|s| match s {
+        SrcOperand::Reg(r) => Some(*r),
+        SrcOperand::Mem(m) => Some(m.base),
+        _ => None,
+    });
+    if let Some(ra) = reg_fields.next() {
+        w |= (ra.index() as u64) << SRC_A_SHIFT;
+    }
+    if let Some(rb) = reg_fields.next() {
+        w |= (rb.index() as u64) << SRC_B_SHIFT;
+    }
+
+    // The low word holds whichever auxiliary payload the format defines.
+    let mut low: u32 = 0;
+    for src in &instr.srcs {
+        match src {
+            SrcOperand::Reg(_) => {}
+            SrcOperand::Imm(v) => {
+                if instr.opcode.has_imm32() || instr.opcode.has_target() {
+                    low = *v as u32;
+                } else {
+                    low = (*v as u32) & 0xffff;
+                    w |= 1 << IMM_FLAG_SHIFT;
+                }
+            }
+            SrcOperand::Special(sr) => low = sr.to_bits() as u32,
+            SrcOperand::Mem(m) => low = m.offset as u32,
+            SrcOperand::Pred(p) => low = p.index() as u32,
+        }
+    }
+    // rC for three-register opcodes (IMAD/FFMA).
+    if let [SrcOperand::Reg(_), SrcOperand::Reg(_), SrcOperand::Reg(rc)] = instr.srcs[..] {
+        low = rc.index() as u32;
+    }
+    w | low as u64
+}
+
+/// Decodes a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode, guard, or auxiliary fields hold
+/// reserved values.
+pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+    let op_bits = ((word >> OPCODE_SHIFT) & 0x3f) as u8;
+    let opcode = Opcode::from_bits(op_bits)
+        .ok_or_else(|| DecodeError::new(word, format!("reserved opcode field {op_bits}")))?;
+    let guard_pred = Pred::from_bits(((word >> GUARD_PRED_SHIFT) & 0x7) as u8)
+        .ok_or_else(|| DecodeError::new(word, "reserved guard predicate"))?;
+    let guard = Guard {
+        pred: guard_pred,
+        negate: (word >> GUARD_NEG_SHIFT) & 1 == 1,
+    };
+    let dst_field = ((word >> DST_SHIFT) & 0x3f) as u8;
+    let ra = Reg::new(((word >> SRC_A_SHIFT) & 0x3f) as u8);
+    let rb = Reg::new(((word >> SRC_B_SHIFT) & 0x3f) as u8);
+    let cmp_bits = ((word >> CMP_SHIFT) & 0x7) as u8;
+    let imm_flag = (word >> IMM_FLAG_SHIFT) & 1 == 1;
+    let low = word as u32;
+
+    let cmp = if opcode.has_cmp_modifier() {
+        Some(
+            CmpOp::from_bits(cmp_bits)
+                .ok_or_else(|| DecodeError::new(word, "reserved cmp modifier"))?,
+        )
+    } else {
+        None
+    };
+    let mut dst = None;
+    let mut pdst = None;
+    if opcode.writes_predicate() {
+        pdst = Some(
+            Pred::from_bits(dst_field & 0x7)
+                .ok_or_else(|| DecodeError::new(word, "reserved predicate destination"))?,
+        );
+    }
+
+    use Opcode::*;
+    let imm16 = (low as u16) as i16 as i32;
+    let srcs: Vec<SrcOperand> = match opcode {
+        Nop | Exit | Ret | Bar | Sync => vec![],
+        Bra | Ssy | Cal => vec![SrcOperand::Imm(low as i32)],
+        Mov32i => vec![SrcOperand::Imm(low as i32)],
+        Mov | Not | Iabs | I2f | F2i | F2f | I2i | Rcp | Rsq | Sin | Cos | Ex2 | Lg2 => {
+            vec![SrcOperand::Reg(ra)]
+        }
+        S2r => {
+            let sr = SpecialReg::from_bits((low & 0xf) as u8)
+                .ok_or_else(|| DecodeError::new(word, "reserved special register"))?;
+            vec![SrcOperand::Special(sr)]
+        }
+        Iadd32i | Imul32i | And32i | Or32i | Xor32i | Fadd32i | Fmul32i => {
+            vec![SrcOperand::Reg(ra), SrcOperand::Imm(low as i32)]
+        }
+        Iadd | Isub | Imul | Imnmx | And | Or | Xor | Shl | Shr | Fadd | Fmul | Fmnmx | Iset
+        | Fset | Isetp | Fsetp => {
+            if imm_flag {
+                vec![SrcOperand::Reg(ra), SrcOperand::Imm(imm16)]
+            } else {
+                vec![SrcOperand::Reg(ra), SrcOperand::Reg(rb)]
+            }
+        }
+        Imad | Ffma => vec![
+            SrcOperand::Reg(ra),
+            SrcOperand::Reg(rb),
+            SrcOperand::Reg(Reg::new((low & 0x3f) as u8)),
+        ],
+        Sel => {
+            let p = Pred::from_bits((low & 0x7) as u8)
+                .ok_or_else(|| DecodeError::new(word, "reserved SEL predicate"))?;
+            vec![
+                SrcOperand::Reg(ra),
+                SrcOperand::Reg(rb),
+                SrcOperand::Pred(p),
+            ]
+        }
+        Ldg | Lds | Ldc | Ldl => {
+            vec![SrcOperand::Mem(MemRef::new(ra, low as u16))]
+        }
+        Stg | Sts | Stl => vec![
+            SrcOperand::Mem(MemRef::new(ra, low as u16)),
+            SrcOperand::Reg(rb),
+        ],
+    };
+
+    let needs_dst =
+        !(opcode.is_store() || opcode.is_control_flow() || opcode.writes_predicate())
+            && opcode != Nop;
+    if needs_dst {
+        dst = Some(Reg::new(dst_field));
+    }
+
+    let instr = Instruction {
+        guard,
+        opcode,
+        cmp,
+        dst,
+        pdst,
+        srcs,
+    };
+    instr
+        .validate()
+        .map_err(|e| DecodeError::new(word, e.to_string()))?;
+    Ok(instr)
+}
+
+/// Encodes a whole program.
+#[must_use]
+pub fn encode_program(program: &[Instruction]) -> Vec<u64> {
+    program.iter().map(encode).collect()
+}
+
+/// Decodes a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Instruction>, DecodeError> {
+    words.iter().map(|&w| decode(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction;
+
+    fn sample_programs() -> Vec<Instruction> {
+        crate::asm::assemble(
+            "        MOV32I R1, 0x80000001;\n\
+                     S2R R0, SR_TID_X;\n\
+                     IADD R2, R1, R0;\n\
+                     IADD R2, R1, -0x10;\n\
+                     IMAD R3, R1, R2, R0;\n\
+                     ISETP.NE P2, R3, R0;\n\
+             @!P2    BRA 0x8;\n\
+                     SEL R4, R1, R2, P2;\n\
+                     LDG R5, [R4+0x40];\n\
+                     STS [R5], R3;\n\
+                     RCP R6, R5;\n\
+                     FFMA R7, R6, R5, R1;\n\
+                     FSETP.GE P0, R7, R6;\n\
+                     SSY 0xf;\n\
+                     BAR;\n\
+                     EXIT;",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_sample_round_trips() {
+        for instr in sample_programs() {
+            let word = encode(&instr);
+            let back = decode(word).unwrap_or_else(|e| panic!("{instr}: {e}"));
+            assert_eq!(back, instr, "word {word:#018x}");
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let prog = sample_programs();
+        let words = encode_program(&prog);
+        assert_eq!(decode_program(&words).unwrap(), prog);
+    }
+
+    #[test]
+    fn reserved_opcode_is_rejected() {
+        let word = 0x3fu64 << 58;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn reserved_guard_is_rejected() {
+        // Opcode NOP with guard predicate field 5 (reserved).
+        let nop = Instruction::bare(Opcode::Nop);
+        let word = (encode(&nop) & !(0x7u64 << 55)) | (5u64 << 55);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn imm16_is_sign_extended() {
+        let i = Instruction::build(Opcode::Iadd)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(-1)
+            .finish()
+            .unwrap();
+        let back = decode(encode(&i)).unwrap();
+        assert_eq!(back.imm(), Some(-1));
+    }
+
+    #[test]
+    fn opcode_field_position_is_stable() {
+        // The gate-level Decoder Unit depends on this bit position.
+        let i = Instruction::bare(Opcode::Exit);
+        assert_eq!((encode(&i) >> 58) & 0x3f, Opcode::Exit.to_bits() as u64);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for assembly parsing and binary decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing assembly text or validating an
+/// instruction's operand shape.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::asm;
+///
+/// let err = asm::assemble("FROB R1, R2;").unwrap_err();
+/// assert_eq!(err.line(), 1);
+/// assert!(err.to_string().contains("unknown mnemonic"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    line: usize,
+    msg: String,
+}
+
+impl ParseAsmError {
+    /// Creates an error at `line` (1-based; 0 when no source line applies).
+    #[must_use]
+    pub fn new(line: usize, msg: impl Into<String>) -> ParseAsmError {
+        ParseAsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// The 1-based source line, or 0 when the error is not tied to a line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Returns a copy of the error re-anchored at `line`.
+    #[must_use]
+    pub fn at_line(&self, line: usize) -> ParseAsmError {
+        ParseAsmError {
+            line,
+            msg: self.msg.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl Error for ParseAsmError {}
+
+/// An error produced while decoding a 64-bit instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u64,
+    msg: String,
+}
+
+impl DecodeError {
+    /// Creates a decode error for `word`.
+    #[must_use]
+    pub fn new(word: u64, msg: impl Into<String>) -> DecodeError {
+        DecodeError {
+            word,
+            msg: msg.into(),
+        }
+    }
+
+    /// The offending instruction word.
+    #[must_use]
+    pub fn word(&self) -> u64 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#018x}: {}", self.word, self.msg)
+    }
+}
+
+impl Error for DecodeError {}

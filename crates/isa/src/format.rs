@@ -1,0 +1,250 @@
+//! Instruction format and execution-unit classification.
+//!
+//! The compaction flow groups instructions by *format* (the PTP generators
+//! are specified in these terms: the IMM test program uses "all instruction
+//! formats using at least one immediate operand") and by the *execution unit*
+//! the instruction exercises (which decides which gate-level module sees its
+//! test patterns).
+
+use std::fmt;
+
+use crate::{Instruction, OpClass, Opcode, SrcOperand};
+
+/// The encoding/operand format of an instruction instance.
+///
+/// Unlike [`OpClass`], the format depends on the concrete operands: `IADD R1,
+/// R2, R3` is [`InstrFormat::Register`] while `IADD R1, R2, 0x10` is
+/// [`InstrFormat::Imm16`].
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{asm, InstrFormat};
+///
+/// let p = asm::assemble("IADD R1, R2, 0x10;\nMOV32I R3, 0xffff0000;\nLDG R4, [R5];")?;
+/// assert_eq!(InstrFormat::of(&p[0]), InstrFormat::Imm16);
+/// assert_eq!(InstrFormat::of(&p[1]), InstrFormat::Imm32);
+/// assert_eq!(InstrFormat::of(&p[2]), InstrFormat::Memory);
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstrFormat {
+    /// All sources are registers (or the predicate of `SEL`).
+    Register,
+    /// Carries a full 32-bit immediate (`*32I` opcodes).
+    Imm32,
+    /// Carries a short 16-bit immediate.
+    Imm16,
+    /// Addresses a memory space.
+    Memory,
+    /// Control flow (branches, sync, barrier, exit).
+    Control,
+    /// Special-register read (`S2R`).
+    Special,
+}
+
+impl InstrFormat {
+    /// Classifies an instruction instance.
+    #[must_use]
+    pub fn of(instr: &Instruction) -> InstrFormat {
+        let op = instr.opcode;
+        if op.is_memory() {
+            return InstrFormat::Memory;
+        }
+        if op.is_control_flow() || op == Opcode::Nop {
+            return InstrFormat::Control;
+        }
+        if op == Opcode::S2r {
+            return InstrFormat::Special;
+        }
+        if op.has_imm32() {
+            return InstrFormat::Imm32;
+        }
+        if instr
+            .srcs
+            .iter()
+            .any(|s| matches!(s, SrcOperand::Imm(_)))
+        {
+            return InstrFormat::Imm16;
+        }
+        InstrFormat::Register
+    }
+
+    /// Whether the format carries an immediate operand.
+    #[must_use]
+    pub fn has_immediate(self) -> bool {
+        matches!(self, InstrFormat::Imm32 | InstrFormat::Imm16)
+    }
+}
+
+impl fmt::Display for InstrFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrFormat::Register => "REG",
+            InstrFormat::Imm32 => "IMM32",
+            InstrFormat::Imm16 => "IMM16",
+            InstrFormat::Memory => "MEM",
+            InstrFormat::Control => "CTRL",
+            InstrFormat::Special => "SPEC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The execution unit inside the SM that performs an opcode.
+///
+/// This decides which gate-level module observes the instruction's operands
+/// as test patterns during the compaction flow's logic tracing stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExecUnit {
+    /// The scalar SP cores (integer ALU, logic, moves, conversions).
+    SpCore,
+    /// The FP32 units paired with the SP cores.
+    Fp32,
+    /// The special function units.
+    Sfu,
+    /// The load/store path to the memory hierarchy.
+    LoadStore,
+    /// The SM front-end / warp control (branches, barriers).
+    Control,
+}
+
+impl ExecUnit {
+    /// The unit executing `opcode`.
+    #[must_use]
+    pub fn of(opcode: Opcode) -> ExecUnit {
+        match opcode.class() {
+            OpClass::IntAlu | OpClass::Logic | OpClass::Move | OpClass::Convert => {
+                ExecUnit::SpCore
+            }
+            OpClass::Fp32 => ExecUnit::Fp32,
+            OpClass::Sfu => ExecUnit::Sfu,
+            OpClass::Memory => ExecUnit::LoadStore,
+            OpClass::Control => ExecUnit::Control,
+        }
+    }
+}
+
+impl fmt::Display for ExecUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecUnit::SpCore => "SP",
+            ExecUnit::Fp32 => "FP32",
+            ExecUnit::Sfu => "SFU",
+            ExecUnit::LoadStore => "LSU",
+            ExecUnit::Control => "CTRL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pipeline latency class of an opcode: the per-pass execute-stage cost used
+/// by the MiniGrip timing model (FlexGripPlus executes one warp through the
+/// five pipeline stages largely sequentially, so per-instruction costs are
+/// tens of cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LatencyClass {
+    /// Single-cycle ALU pass.
+    Short,
+    /// Multiplier / FP pipeline pass.
+    Medium,
+    /// SFU iterative approximation pass.
+    Long,
+    /// Memory access (adds memory-system latency).
+    MemoryAccess,
+    /// Front-end handled (branches, barriers).
+    FrontEnd,
+}
+
+impl LatencyClass {
+    /// The latency class of `opcode`.
+    #[must_use]
+    pub fn of(opcode: Opcode) -> LatencyClass {
+        use Opcode::*;
+        match opcode {
+            Imul | Imul32i | Imad | Fmul | Fmul32i | Ffma => LatencyClass::Medium,
+            Rcp | Rsq | Sin | Cos | Ex2 | Lg2 => LatencyClass::Long,
+            Ldg | Stg | Lds | Sts | Ldc | Ldl | Stl => LatencyClass::MemoryAccess,
+            Bra | Ssy | Sync | Bar | Cal | Ret | Exit | Nop => LatencyClass::FrontEnd,
+            _ => LatencyClass::Short,
+        }
+    }
+
+    /// Execute-stage cycles per lane pass.
+    #[must_use]
+    pub fn execute_cycles(self) -> u64 {
+        match self {
+            LatencyClass::Short => 6,
+            LatencyClass::Medium => 8,
+            LatencyClass::Long => 10,
+            LatencyClass::MemoryAccess => 6,
+            LatencyClass::FrontEnd => 2,
+        }
+    }
+
+    /// Extra memory-system cycles charged once per warp.
+    #[must_use]
+    pub fn memory_cycles(self) -> u64 {
+        match self {
+            LatencyClass::MemoryAccess => 30,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn format_distinguishes_operand_kinds() {
+        let reg = Instruction::build(Opcode::Iadd)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(Reg::new(2))
+            .finish()
+            .unwrap();
+        assert_eq!(InstrFormat::of(&reg), InstrFormat::Register);
+        let imm = Instruction::build(Opcode::Iadd)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(5)
+            .finish()
+            .unwrap();
+        assert_eq!(InstrFormat::of(&imm), InstrFormat::Imm16);
+        assert!(InstrFormat::Imm16.has_immediate());
+        assert!(!InstrFormat::Memory.has_immediate());
+    }
+
+    #[test]
+    fn exec_unit_covers_all_classes() {
+        for &op in &Opcode::ALL {
+            // Must not panic, and SFU ops must map to the SFU.
+            let unit = ExecUnit::of(op);
+            if op.is_sfu() {
+                assert_eq!(unit, ExecUnit::Sfu);
+            }
+            if op.is_memory() {
+                assert_eq!(unit, ExecUnit::LoadStore);
+            }
+        }
+        assert_eq!(ExecUnit::of(Opcode::I2f), ExecUnit::SpCore);
+        assert_eq!(ExecUnit::of(Opcode::Fadd), ExecUnit::Fp32);
+    }
+
+    #[test]
+    fn latency_classes_are_ordered_sensibly() {
+        assert!(LatencyClass::of(Opcode::Imul).execute_cycles()
+            > LatencyClass::of(Opcode::Iadd).execute_cycles());
+        assert!(LatencyClass::of(Opcode::Ldg).memory_cycles() > 0);
+        assert_eq!(LatencyClass::of(Opcode::Iadd).memory_cycles(), 0);
+        assert_eq!(LatencyClass::of(Opcode::Sin), LatencyClass::Long);
+    }
+
+    #[test]
+    fn control_format_includes_nop() {
+        let nop = Instruction::bare(Opcode::Nop);
+        assert_eq!(InstrFormat::of(&nop), InstrFormat::Control);
+    }
+}

@@ -1,0 +1,542 @@
+//! The decoded instruction representation and its builder.
+
+use std::fmt;
+
+use crate::{CmpOp, MemRef, Opcode, ParseAsmError, Pred, Reg, SpecialReg, SrcOperand};
+
+/// A guard predicate controlling whether a thread executes an instruction:
+/// `@P0` or `@!P2`. The default guard is the always-true `PT`.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{Guard, Pred};
+///
+/// assert!(Guard::default().is_always_true());
+/// let g = Guard::negated(Pred::new(1));
+/// assert_eq!(g.to_string(), "@!P1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The predicate register consulted.
+    pub pred: Pred,
+    /// Whether the predicate value is inverted.
+    pub negate: bool,
+}
+
+impl Guard {
+    /// A guard on `pred` being true.
+    #[must_use]
+    pub fn on(pred: Pred) -> Guard {
+        Guard {
+            pred,
+            negate: false,
+        }
+    }
+
+    /// A guard on `pred` being false.
+    #[must_use]
+    pub fn negated(pred: Pred) -> Guard {
+        Guard { pred, negate: true }
+    }
+
+    /// Whether the guard always passes (`@PT`, the default).
+    #[must_use]
+    pub fn is_always_true(self) -> bool {
+        self.pred.is_true() && !self.negate
+    }
+
+    /// Evaluates the guard given the value of the predicate register.
+    #[must_use]
+    pub fn passes(self, pred_value: bool) -> bool {
+        let v = if self.pred.is_true() {
+            true
+        } else {
+            pred_value
+        };
+        v != self.negate
+    }
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard::on(Pred::TRUE)
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negate {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// A single decoded MiniGrip instruction.
+///
+/// Construct instances with [`InstructionBuilder`] (via [`Instruction::build`])
+/// or by parsing assembly text with [`crate::asm::assemble`]. The operand
+/// shape is validated against the opcode on construction.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{Instruction, Opcode, Reg};
+///
+/// let i = Instruction::build(Opcode::Iadd)
+///     .dst(Reg::new(1))
+///     .src(Reg::new(2))
+///     .src(Reg::new(3))
+///     .finish()?;
+/// assert_eq!(i.to_string(), "IADD R1, R2, R3;");
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Guard predicate (`@P0` prefix); `PT` when unguarded.
+    pub guard: Guard,
+    /// The operation.
+    pub opcode: Opcode,
+    /// Comparison modifier for `ISETP`/`ISET`/`IMNMX`/`FSETP`/`FSET`/`FMNMX`.
+    pub cmp: Option<CmpOp>,
+    /// GPR destination, if the opcode writes one.
+    pub dst: Option<Reg>,
+    /// Predicate destination (`ISETP`/`FSETP`).
+    pub pdst: Option<Pred>,
+    /// Source operands, in assembly order (stores put the memory reference
+    /// first, matching SASS).
+    pub srcs: Vec<SrcOperand>,
+}
+
+impl Instruction {
+    /// Starts building an instruction for `opcode`.
+    #[must_use]
+    pub fn build(opcode: Opcode) -> InstructionBuilder {
+        InstructionBuilder::new(opcode)
+    }
+
+    /// A bare instruction with no operands (`NOP`, `EXIT`, `RET`, `BAR`,
+    /// `SYNC`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode requires operands.
+    #[must_use]
+    pub fn bare(opcode: Opcode) -> Instruction {
+        Instruction::build(opcode)
+            .finish()
+            .expect("opcode requires operands")
+    }
+
+    /// The branch/call/SSY target (an absolute instruction index), if any.
+    #[must_use]
+    pub fn target(&self) -> Option<usize> {
+        if !self.opcode.has_target() {
+            return None;
+        }
+        match self.srcs.first() {
+            Some(SrcOperand::Imm(v)) => Some(*v as u32 as usize),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch/call/SSY target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode does not carry a target.
+    pub fn set_target(&mut self, target: usize) {
+        assert!(self.opcode.has_target(), "{} has no target", self.opcode);
+        self.srcs = vec![SrcOperand::Imm(target as u32 as i32)];
+    }
+
+    /// The registers read by this instruction, including the base registers
+    /// of memory references and stored values.
+    #[must_use]
+    pub fn reads(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        for s in &self.srcs {
+            match s {
+                SrcOperand::Reg(r) => out.push(*r),
+                SrcOperand::Mem(m) => out.push(m.base),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The GPR written, if any (stores and predicate-setters write none).
+    #[must_use]
+    pub fn writes(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// The predicate registers read (guard plus `SEL` selector).
+    #[must_use]
+    pub fn reads_preds(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        if !self.guard.pred.is_true() {
+            out.push(self.guard.pred);
+        }
+        for s in &self.srcs {
+            if let SrcOperand::Pred(p) = s {
+                if !p.is_true() {
+                    out.push(*p);
+                }
+            }
+        }
+        out
+    }
+
+    /// The memory reference, if the opcode is a load or store.
+    #[must_use]
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        self.srcs.iter().find_map(|s| match s {
+            SrcOperand::Mem(m) => Some(*m),
+            _ => None,
+        })
+    }
+
+    /// The immediate operand, if present.
+    #[must_use]
+    pub fn imm(&self) -> Option<i32> {
+        self.srcs.iter().find_map(|s| match s {
+            SrcOperand::Imm(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Checks that the operand shape matches the opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseAsmError`] (with line 0) describing the first
+    /// mismatch. The assembler and builder call this automatically.
+    pub fn validate(&self) -> Result<(), ParseAsmError> {
+        let err = |msg: String| Err(ParseAsmError::new(0, msg));
+        let op = self.opcode;
+        if op.has_cmp_modifier() != self.cmp.is_some() {
+            return err(format!("{op}: comparison modifier mismatch"));
+        }
+        if op.writes_predicate() {
+            if self.pdst.is_none() || self.dst.is_some() {
+                return err(format!("{op}: must write exactly one predicate"));
+            }
+            if let Some(p) = self.pdst {
+                if p.is_true() {
+                    return err(format!("{op}: cannot write PT"));
+                }
+            }
+        } else if self.pdst.is_some() {
+            return err(format!("{op}: unexpected predicate destination"));
+        }
+
+        let shape: (usize, bool) = match &self.srcs[..] {
+            [] => (0, false),
+            [a] => (1, matches!(a, SrcOperand::Mem(_))),
+            [a, ..] => (self.srcs.len(), matches!(a, SrcOperand::Mem(_))),
+        };
+        let needs_dst = !(op.is_store() || op.is_control_flow() || op.writes_predicate())
+            && op != Opcode::Nop;
+        if needs_dst != self.dst.is_some() {
+            return err(format!("{op}: destination register mismatch"));
+        }
+
+        use Opcode::*;
+        let ok = match op {
+            Nop | Exit | Ret | Bar | Sync => shape == (0, false),
+            Bra | Ssy | Cal => matches!(self.srcs[..], [SrcOperand::Imm(_)]),
+            Mov32i => matches!(self.srcs[..], [SrcOperand::Imm(_)]),
+            Mov | Not | Iabs | I2f | F2i | F2f | I2i | Rcp | Rsq | Sin | Cos | Ex2 | Lg2 => {
+                matches!(self.srcs[..], [SrcOperand::Reg(_)])
+            }
+            S2r => matches!(self.srcs[..], [SrcOperand::Special(_)]),
+            Iadd32i | Imul32i | And32i | Or32i | Xor32i | Fadd32i | Fmul32i => {
+                matches!(self.srcs[..], [SrcOperand::Reg(_), SrcOperand::Imm(_)])
+            }
+            Iadd | Isub | Imul | Imnmx | And | Or | Xor | Shl | Shr | Fadd | Fmul | Fmnmx
+            | Iset | Fset | Isetp | Fsetp => matches!(
+                self.srcs[..],
+                [SrcOperand::Reg(_), SrcOperand::Reg(_)]
+                    | [SrcOperand::Reg(_), SrcOperand::Imm(_)]
+            ),
+            Imad | Ffma => matches!(
+                self.srcs[..],
+                [SrcOperand::Reg(_), SrcOperand::Reg(_), SrcOperand::Reg(_)]
+            ),
+            Sel => matches!(
+                self.srcs[..],
+                [SrcOperand::Reg(_), SrcOperand::Reg(_), SrcOperand::Pred(_)]
+            ),
+            Ldg | Lds | Ldc | Ldl => matches!(self.srcs[..], [SrcOperand::Mem(_)]),
+            Stg | Sts | Stl => {
+                matches!(self.srcs[..], [SrcOperand::Mem(_), SrcOperand::Reg(_)])
+            }
+        };
+        if !ok {
+            return err(format!(
+                "{op}: invalid operand shape {:?} (mem-first: {})",
+                shape.0, shape.1
+            ));
+        }
+        // Short immediates must fit in 16 bits unless the format is 32I.
+        if !op.has_imm32() && !op.has_target() {
+            if let Some(v) = self.imm() {
+                if !(-(1 << 15)..(1 << 15)).contains(&v) {
+                    return err(format!("{op}: immediate {v} exceeds 16 bits"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.guard.is_always_true() {
+            write!(f, "{} ", self.guard)?;
+        }
+        write!(f, "{}", self.opcode)?;
+        if let Some(c) = self.cmp {
+            write!(f, ".{c}")?;
+        }
+        let mut sep = " ";
+        if let Some(p) = self.pdst {
+            write!(f, "{sep}{p}")?;
+            sep = ", ";
+        }
+        if let Some(d) = self.dst {
+            write!(f, "{sep}{d}")?;
+            sep = ", ";
+        }
+        for s in &self.srcs {
+            write!(f, "{sep}{s}")?;
+            sep = ", ";
+        }
+        f.write_str(";")
+    }
+}
+
+/// Builder for [`Instruction`] values.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{CmpOp, Instruction, Opcode, Pred, Reg};
+///
+/// let i = Instruction::build(Opcode::Isetp)
+///     .cmp(CmpOp::Ge)
+///     .pdst(Pred::new(0))
+///     .src(Reg::new(1))
+///     .src(Reg::new(2))
+///     .finish()?;
+/// assert_eq!(i.to_string(), "ISETP.GE P0, R1, R2;");
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstructionBuilder {
+    inner: Instruction,
+}
+
+impl InstructionBuilder {
+    /// Starts a builder for `opcode`.
+    #[must_use]
+    pub fn new(opcode: Opcode) -> InstructionBuilder {
+        InstructionBuilder {
+            inner: Instruction {
+                guard: Guard::default(),
+                opcode,
+                cmp: None,
+                dst: None,
+                pdst: None,
+                srcs: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the guard predicate.
+    #[must_use]
+    pub fn guard(mut self, guard: Guard) -> Self {
+        self.inner.guard = guard;
+        self
+    }
+
+    /// Sets the comparison modifier.
+    #[must_use]
+    pub fn cmp(mut self, cmp: CmpOp) -> Self {
+        self.inner.cmp = Some(cmp);
+        self
+    }
+
+    /// Sets the GPR destination.
+    #[must_use]
+    pub fn dst(mut self, dst: Reg) -> Self {
+        self.inner.dst = Some(dst);
+        self
+    }
+
+    /// Sets the predicate destination.
+    #[must_use]
+    pub fn pdst(mut self, pdst: Pred) -> Self {
+        self.inner.pdst = Some(pdst);
+        self
+    }
+
+    /// Appends a source operand.
+    #[must_use]
+    pub fn src(mut self, src: impl Into<SrcOperand>) -> Self {
+        self.inner.srcs.push(src.into());
+        self
+    }
+
+    /// Appends a predicate source operand (for `SEL`).
+    #[must_use]
+    pub fn psrc(mut self, pred: Pred) -> Self {
+        self.inner.srcs.push(SrcOperand::Pred(pred));
+        self
+    }
+
+    /// Appends a memory-reference operand.
+    #[must_use]
+    pub fn mem(mut self, base: Reg, offset: u16) -> Self {
+        self.inner.srcs.push(SrcOperand::Mem(MemRef::new(base, offset)));
+        self
+    }
+
+    /// Appends a special-register operand (for `S2R`).
+    #[must_use]
+    pub fn special(mut self, sr: SpecialReg) -> Self {
+        self.inner.srcs.push(SrcOperand::Special(sr));
+        self
+    }
+
+    /// Validates and returns the instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error from [`Instruction::validate`] if the
+    /// operand shape does not match the opcode.
+    pub fn finish(self) -> Result<Instruction, ParseAsmError> {
+        self.inner.validate()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iadd() -> Instruction {
+        Instruction::build(Opcode::Iadd)
+            .dst(Reg::new(1))
+            .src(Reg::new(2))
+            .src(Reg::new(3))
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn guard_evaluation() {
+        assert!(Guard::default().passes(false));
+        assert!(Guard::on(Pred::new(0)).passes(true));
+        assert!(!Guard::on(Pred::new(0)).passes(false));
+        assert!(Guard::negated(Pred::new(0)).passes(false));
+        assert!(!Guard::negated(Pred::new(0)).passes(true));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(iadd().to_string(), "IADD R1, R2, R3;");
+        let store = Instruction::build(Opcode::Stg)
+            .mem(Reg::new(4), 8)
+            .src(Reg::new(5))
+            .finish()
+            .unwrap();
+        assert_eq!(store.to_string(), "STG [R4+0x8], R5;");
+        let guarded = Instruction::build(Opcode::Bra)
+            .guard(Guard::negated(Pred::new(0)))
+            .src(12)
+            .finish()
+            .unwrap();
+        assert_eq!(guarded.to_string(), "@!P0 BRA 0xc;");
+    }
+
+    #[test]
+    fn reads_and_writes() {
+        let i = iadd();
+        assert_eq!(i.reads(), vec![Reg::new(2), Reg::new(3)]);
+        assert_eq!(i.writes(), Some(Reg::new(1)));
+        let store = Instruction::build(Opcode::Stg)
+            .mem(Reg::new(4), 8)
+            .src(Reg::new(5))
+            .finish()
+            .unwrap();
+        assert_eq!(store.reads(), vec![Reg::new(4), Reg::new(5)]);
+        assert_eq!(store.writes(), None);
+    }
+
+    #[test]
+    fn target_round_trip() {
+        let mut b = Instruction::build(Opcode::Bra).src(7).finish().unwrap();
+        assert_eq!(b.target(), Some(7));
+        b.set_target(99);
+        assert_eq!(b.target(), Some(99));
+        assert_eq!(iadd().target(), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(Instruction::build(Opcode::Iadd).finish().is_err());
+        assert!(Instruction::build(Opcode::Nop).dst(Reg::new(0)).finish().is_err());
+        assert!(Instruction::build(Opcode::Isetp)
+            .cmp(CmpOp::Lt)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(Reg::new(2))
+            .finish()
+            .is_err());
+        assert!(Instruction::build(Opcode::Isetp)
+            .cmp(CmpOp::Lt)
+            .pdst(Pred::TRUE)
+            .src(Reg::new(1))
+            .src(Reg::new(2))
+            .finish()
+            .is_err());
+        // Missing cmp modifier.
+        assert!(Instruction::build(Opcode::Isetp)
+            .pdst(Pred::new(0))
+            .src(Reg::new(1))
+            .src(Reg::new(2))
+            .finish()
+            .is_err());
+        // Short-immediate overflow.
+        assert!(Instruction::build(Opcode::Iadd)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(0x10000)
+            .finish()
+            .is_err());
+        // 32I formats accept the full range.
+        assert!(Instruction::build(Opcode::Iadd32i)
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(i32::MIN)
+            .finish()
+            .is_ok());
+    }
+
+    #[test]
+    fn reads_preds_includes_guard_and_sel() {
+        let sel = Instruction::build(Opcode::Sel)
+            .guard(Guard::on(Pred::new(1)))
+            .dst(Reg::new(0))
+            .src(Reg::new(1))
+            .src(Reg::new(2))
+            .psrc(Pred::new(3))
+            .finish()
+            .unwrap();
+        assert_eq!(sel.reads_preds(), vec![Pred::new(1), Pred::new(3)]);
+    }
+}

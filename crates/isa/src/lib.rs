@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # warpstl-isa
+//!
+//! A SASS-like instruction set for the MiniGrip GPU model used throughout the
+//! `warpstl` workspace. The ISA mirrors the subset supported by FlexGripPlus
+//! (an open-source model of NVIDIA's G80 microarchitecture): roughly fifty
+//! assembly instructions spanning integer, logic, floating-point, special
+//! function, data movement, memory, and control-flow classes.
+//!
+//! The crate provides:
+//!
+//! - [`Opcode`] — the instruction mnemonics, grouped by [`OpClass`];
+//! - [`Instruction`] — a fully decoded instruction (guard predicate, operands,
+//!   comparison modifier);
+//! - [`encoding`] — a fixed 64-bit binary encoding with lossless round-trip
+//!   ([`encoding::encode`] / [`encoding::decode`]), the word format consumed
+//!   by the gate-level Decoder Unit model;
+//! - [`asm`] — a text assembler/disassembler with label support;
+//! - [`InstrFormat`] and [`ExecUnit`] — the format and execution-unit
+//!   classifications the compaction flow relies on (e.g. "all instruction
+//!   formats using at least one immediate operand" for the IMM test program).
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_isa::{asm, encoding};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = asm::assemble(
+//!     "        MOV32I R1, 0x1234;\n\
+//!      loop:   IADD R2, R2, R1;\n\
+//!              ISETP.LT P0, R2, R3;\n\
+//!      @P0     BRA loop;\n\
+//!              EXIT;\n",
+//! )?;
+//! assert_eq!(program.len(), 5);
+//!
+//! // The binary encoding round-trips losslessly.
+//! let word = encoding::encode(&program[1]);
+//! assert_eq!(encoding::decode(word)?, program[1]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod encoding;
+mod error;
+mod format;
+mod instruction;
+mod opcode;
+mod operand;
+
+pub use error::{DecodeError, ParseAsmError};
+pub use format::{ExecUnit, InstrFormat, LatencyClass};
+pub use instruction::{Guard, Instruction, InstructionBuilder};
+pub use opcode::{CmpOp, OpClass, Opcode};
+pub use operand::{MemRef, MemSpace, Pred, Reg, SpecialReg, SrcOperand};

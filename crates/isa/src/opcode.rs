@@ -1,0 +1,557 @@
+//! Instruction mnemonics and their classification.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The instruction mnemonics of the MiniGrip ISA.
+///
+/// The set mirrors the ~52 SASS instructions supported by FlexGripPlus:
+/// integer and logic operations executed by the SP cores, FP32 operations,
+/// transcendental operations executed by the SFUs, data movement, memory
+/// accesses over the GPU memory spaces, and SIMT control flow.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{OpClass, Opcode};
+///
+/// assert_eq!(Opcode::Iadd.class(), OpClass::IntAlu);
+/// assert!(Opcode::Rcp.is_sfu());
+/// assert!(Opcode::Bra.is_control_flow());
+/// assert_eq!("IMAD".parse::<Opcode>()?, Opcode::Imad);
+/// # Ok::<(), warpstl_isa::ParseAsmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    // --- Integer ALU (SP cores) ---
+    /// Integer add: `IADD Rd, Ra, Rb`.
+    Iadd,
+    /// Integer add with a 32-bit immediate: `IADD32I Rd, Ra, imm32`.
+    Iadd32i,
+    /// Integer subtract: `ISUB Rd, Ra, Rb`.
+    Isub,
+    /// Integer multiply (low 32 bits): `IMUL Rd, Ra, Rb`.
+    Imul,
+    /// Integer multiply with a 32-bit immediate: `IMUL32I Rd, Ra, imm32`.
+    Imul32i,
+    /// Integer multiply-add: `IMAD Rd, Ra, Rb, Rc`.
+    Imad,
+    /// Integer min/max, selected by the comparison modifier:
+    /// `IMNMX.LT Rd, Ra, Rb` is min, `.GT` is max.
+    Imnmx,
+    /// Integer compare, setting a predicate: `ISETP.LT P0, Ra, Rb`.
+    Isetp,
+    /// Integer compare, setting a register to `0`/`1`: `ISET.EQ Rd, Ra, Rb`.
+    Iset,
+    /// Integer absolute value: `IABS Rd, Ra`.
+    Iabs,
+
+    // --- Logic and shift (SP cores) ---
+    /// Bitwise AND: `AND Rd, Ra, Rb`.
+    And,
+    /// Bitwise AND with a 32-bit immediate: `AND32I Rd, Ra, imm32`.
+    And32i,
+    /// Bitwise OR: `OR Rd, Ra, Rb`.
+    Or,
+    /// Bitwise OR with a 32-bit immediate: `OR32I Rd, Ra, imm32`.
+    Or32i,
+    /// Bitwise XOR: `XOR Rd, Ra, Rb`.
+    Xor,
+    /// Bitwise XOR with a 32-bit immediate: `XOR32I Rd, Ra, imm32`.
+    Xor32i,
+    /// Bitwise NOT: `NOT Rd, Ra`.
+    Not,
+    /// Logical shift left: `SHL Rd, Ra, Rb` (shift amount from `Rb[4:0]`).
+    Shl,
+    /// Logical shift right: `SHR Rd, Ra, Rb`.
+    Shr,
+
+    // --- FP32 (FP32 units paired with the SP cores) ---
+    /// FP32 add: `FADD Rd, Ra, Rb`.
+    Fadd,
+    /// FP32 add with a 32-bit immediate (IEEE-754 bits): `FADD32I Rd, Ra, imm32`.
+    Fadd32i,
+    /// FP32 multiply: `FMUL Rd, Ra, Rb`.
+    Fmul,
+    /// FP32 multiply with a 32-bit immediate: `FMUL32I Rd, Ra, imm32`.
+    Fmul32i,
+    /// FP32 fused multiply-add: `FFMA Rd, Ra, Rb, Rc`.
+    Ffma,
+    /// FP32 min/max, selected by the comparison modifier.
+    Fmnmx,
+    /// FP32 compare, setting a register: `FSET.LT Rd, Ra, Rb`.
+    Fset,
+    /// FP32 compare, setting a predicate: `FSETP.LT P0, Ra, Rb`.
+    Fsetp,
+
+    // --- Conversion ---
+    /// Signed integer to FP32: `I2F Rd, Ra`.
+    I2f,
+    /// FP32 to signed integer (truncating): `F2I Rd, Ra`.
+    F2i,
+    /// FP32 to FP32 with modifier (used here as float move/normalize): `F2F Rd, Ra`.
+    F2f,
+    /// Integer width/sign conversion (used here as integer move with
+    /// sign-extension of the low 16 bits): `I2I Rd, Ra`.
+    I2i,
+
+    // --- Special function unit ---
+    /// Reciprocal approximation: `RCP Rd, Ra`.
+    Rcp,
+    /// Reciprocal square root approximation: `RSQ Rd, Ra`.
+    Rsq,
+    /// Sine approximation (argument in revolutions): `SIN Rd, Ra`.
+    Sin,
+    /// Cosine approximation: `COS Rd, Ra`.
+    Cos,
+    /// Base-2 exponential approximation: `EX2 Rd, Ra`.
+    Ex2,
+    /// Base-2 logarithm approximation: `LG2 Rd, Ra`.
+    Lg2,
+
+    // --- Data movement ---
+    /// Register move: `MOV Rd, Ra`.
+    Mov,
+    /// Load a 32-bit immediate: `MOV32I Rd, imm32`.
+    Mov32i,
+    /// Predicated select: `SEL Rd, Ra, Rb, P0` (`Rd = P0 ? Ra : Rb`).
+    Sel,
+    /// Read a special register: `S2R Rd, SR_TID_X`.
+    S2r,
+
+    // --- Memory ---
+    /// Load from global memory: `LDG Rd, [Ra+off]`.
+    Ldg,
+    /// Store to global memory: `STG [Ra+off], Rb`.
+    Stg,
+    /// Load from shared memory: `LDS Rd, [Ra+off]`.
+    Lds,
+    /// Store to shared memory: `STS [Ra+off], Rb`.
+    Sts,
+    /// Load from constant memory: `LDC Rd, [Ra+off]`.
+    Ldc,
+    /// Load from local memory: `LDL Rd, [Ra+off]`.
+    Ldl,
+    /// Store to local memory: `STL [Ra+off], Rb`.
+    Stl,
+
+    // --- Control flow ---
+    /// Branch (possibly divergent): `BRA target`.
+    Bra,
+    /// Push the reconvergence point for a potentially divergent region:
+    /// `SSY target`.
+    Ssy,
+    /// Pop the divergence stack and reconverge (the `.S` flag of SASS,
+    /// modeled as an explicit instruction): `SYNC`.
+    Sync,
+    /// Block-wide barrier: `BAR`.
+    Bar,
+    /// Call a subroutine: `CAL target`.
+    Cal,
+    /// Return from a subroutine: `RET`.
+    Ret,
+    /// Terminate the thread: `EXIT`.
+    Exit,
+    /// No operation: `NOP`.
+    Nop,
+}
+
+/// Coarse classification of an [`Opcode`] by the kind of work it performs.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{OpClass, Opcode};
+///
+/// let sfu_ops: Vec<_> = Opcode::ALL
+///     .iter()
+///     .filter(|op| op.class() == OpClass::Sfu)
+///     .collect();
+/// assert_eq!(sfu_ops.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Integer arithmetic executed by the SP cores.
+    IntAlu,
+    /// Bitwise logic and shifts executed by the SP cores.
+    Logic,
+    /// FP32 arithmetic executed by the FP32 units.
+    Fp32,
+    /// Format conversions.
+    Convert,
+    /// Transcendental approximations executed by the SFUs.
+    Sfu,
+    /// Register moves, selects and special-register reads.
+    Move,
+    /// Loads and stores.
+    Memory,
+    /// Branches, synchronization and program termination.
+    Control,
+}
+
+/// Comparison modifier used by `ISETP`/`ISET`/`FSETP`/`FSET`/`IMNMX`/`FMNMX`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CmpOp {
+    /// Less than.
+    #[default]
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpOp {
+    /// All comparison modifiers, in encoding order.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ];
+
+    /// Evaluates the comparison on signed 32-bit integers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use warpstl_isa::CmpOp;
+    ///
+    /// assert!(CmpOp::Lt.eval_i32(-4, 3));
+    /// assert!(!CmpOp::Ge.eval_i32(-4, 3));
+    /// ```
+    #[must_use]
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Evaluates the comparison on FP32 values (IEEE semantics; comparisons
+    /// with NaN are false except `Ne`).
+    #[must_use]
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The mnemonic suffix (`"LT"`, `"LE"`, ...).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "LT",
+            CmpOp::Le => "LE",
+            CmpOp::Gt => "GT",
+            CmpOp::Ge => "GE",
+            CmpOp::Eq => "EQ",
+            CmpOp::Ne => "NE",
+        }
+    }
+
+    /// Decodes from the 3-bit encoding field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<CmpOp> {
+        CmpOp::ALL.get(bits as usize).copied()
+    }
+
+    /// The 3-bit encoding field.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+macro_rules! opcode_table {
+    ($(($variant:ident, $mnemonic:literal, $class:ident)),+ $(,)?) => {
+        impl Opcode {
+            /// All opcodes of the ISA, in encoding order.
+            pub const ALL: [Opcode; opcode_table!(@count $($variant)+)] =
+                [$(Opcode::$variant),+];
+
+            /// The textual mnemonic (without modifiers).
+            #[must_use]
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic),+
+                }
+            }
+
+            /// The coarse operation class.
+            #[must_use]
+            pub fn class(self) -> OpClass {
+                match self {
+                    $(Opcode::$variant => OpClass::$class),+
+                }
+            }
+
+            /// Parses a bare mnemonic (no `.` modifiers).
+            #[must_use]
+            pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+                match s {
+                    $($mnemonic => Some(Opcode::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+    (@count $($t:tt)*) => { [$(opcode_table!(@unit $t)),*].len() };
+    (@unit $t:tt) => { () };
+}
+
+opcode_table! {
+    (Iadd, "IADD", IntAlu),
+    (Iadd32i, "IADD32I", IntAlu),
+    (Isub, "ISUB", IntAlu),
+    (Imul, "IMUL", IntAlu),
+    (Imul32i, "IMUL32I", IntAlu),
+    (Imad, "IMAD", IntAlu),
+    (Imnmx, "IMNMX", IntAlu),
+    (Isetp, "ISETP", IntAlu),
+    (Iset, "ISET", IntAlu),
+    (Iabs, "IABS", IntAlu),
+    (And, "AND", Logic),
+    (And32i, "AND32I", Logic),
+    (Or, "OR", Logic),
+    (Or32i, "OR32I", Logic),
+    (Xor, "XOR", Logic),
+    (Xor32i, "XOR32I", Logic),
+    (Not, "NOT", Logic),
+    (Shl, "SHL", Logic),
+    (Shr, "SHR", Logic),
+    (Fadd, "FADD", Fp32),
+    (Fadd32i, "FADD32I", Fp32),
+    (Fmul, "FMUL", Fp32),
+    (Fmul32i, "FMUL32I", Fp32),
+    (Ffma, "FFMA", Fp32),
+    (Fmnmx, "FMNMX", Fp32),
+    (Fset, "FSET", Fp32),
+    (Fsetp, "FSETP", Fp32),
+    (I2f, "I2F", Convert),
+    (F2i, "F2I", Convert),
+    (F2f, "F2F", Convert),
+    (I2i, "I2I", Convert),
+    (Rcp, "RCP", Sfu),
+    (Rsq, "RSQ", Sfu),
+    (Sin, "SIN", Sfu),
+    (Cos, "COS", Sfu),
+    (Ex2, "EX2", Sfu),
+    (Lg2, "LG2", Sfu),
+    (Mov, "MOV", Move),
+    (Mov32i, "MOV32I", Move),
+    (Sel, "SEL", Move),
+    (S2r, "S2R", Move),
+    (Ldg, "LDG", Memory),
+    (Stg, "STG", Memory),
+    (Lds, "LDS", Memory),
+    (Sts, "STS", Memory),
+    (Ldc, "LDC", Memory),
+    (Ldl, "LDL", Memory),
+    (Stl, "STL", Memory),
+    (Bra, "BRA", Control),
+    (Ssy, "SSY", Control),
+    (Sync, "SYNC", Control),
+    (Bar, "BAR", Control),
+    (Cal, "CAL", Control),
+    (Ret, "RET", Control),
+    (Exit, "EXIT", Control),
+    (Nop, "NOP", Control),
+}
+
+impl Opcode {
+    /// Whether the opcode is executed by the special function units.
+    #[must_use]
+    pub fn is_sfu(self) -> bool {
+        self.class() == OpClass::Sfu
+    }
+
+    /// Whether the opcode accesses a memory space.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        self.class() == OpClass::Memory
+    }
+
+    /// Whether the opcode is a memory store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Stg | Opcode::Sts | Opcode::Stl)
+    }
+
+    /// Whether the opcode affects control flow (including `EXIT` and `BAR`).
+    #[must_use]
+    pub fn is_control_flow(self) -> bool {
+        self.class() == OpClass::Control && self != Opcode::Nop
+    }
+
+    /// Whether the opcode carries a branch/call target in its immediate field.
+    #[must_use]
+    pub fn has_target(self) -> bool {
+        matches!(self, Opcode::Bra | Opcode::Ssy | Opcode::Cal)
+    }
+
+    /// Whether the opcode takes a comparison modifier (`.LT`, `.EQ`, ...).
+    #[must_use]
+    pub fn has_cmp_modifier(self) -> bool {
+        matches!(
+            self,
+            Opcode::Isetp
+                | Opcode::Iset
+                | Opcode::Imnmx
+                | Opcode::Fsetp
+                | Opcode::Fset
+                | Opcode::Fmnmx
+        )
+    }
+
+    /// Whether the opcode writes a predicate register instead of a GPR.
+    #[must_use]
+    pub fn writes_predicate(self) -> bool {
+        matches!(self, Opcode::Isetp | Opcode::Fsetp)
+    }
+
+    /// Whether the opcode embeds a full 32-bit immediate (the `*32I` formats
+    /// and `MOV32I`).
+    #[must_use]
+    pub fn has_imm32(self) -> bool {
+        matches!(
+            self,
+            Opcode::Iadd32i
+                | Opcode::Imul32i
+                | Opcode::And32i
+                | Opcode::Or32i
+                | Opcode::Xor32i
+                | Opcode::Fadd32i
+                | Opcode::Fmul32i
+                | Opcode::Mov32i
+        )
+    }
+
+    /// Decodes from the 6-bit opcode field of the binary encoding.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Opcode> {
+        Opcode::ALL.get(bits as usize).copied()
+    }
+
+    /// The 6-bit opcode field of the binary encoding.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Opcode {
+    type Err = crate::ParseAsmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::from_mnemonic(s)
+            .ok_or_else(|| crate::ParseAsmError::new(0, format!("unknown mnemonic `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_count_matches_flexgrip_scale() {
+        // FlexGripPlus supports up to 52 assembly instructions; we model 56.
+        assert_eq!(Opcode::ALL.len(), 56);
+    }
+
+    #[test]
+    fn opcode_bits_round_trip() {
+        for &op in &Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op.to_bits()), Some(op));
+        }
+        assert_eq!(Opcode::from_bits(Opcode::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_round_trip() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in &Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate {}", op.mnemonic());
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn cmp_op_bits_round_trip() {
+        for &c in &CmpOp::ALL {
+            assert_eq!(CmpOp::from_bits(c.to_bits()), Some(c));
+        }
+        assert_eq!(CmpOp::from_bits(6), None);
+    }
+
+    #[test]
+    fn cmp_eval_i32_is_consistent_with_operators() {
+        let pairs = [(0, 0), (1, 2), (2, 1), (-5, 5), (i32::MIN, i32::MAX)];
+        for (a, b) in pairs {
+            assert_eq!(CmpOp::Lt.eval_i32(a, b), a < b);
+            assert_eq!(CmpOp::Le.eval_i32(a, b), a <= b);
+            assert_eq!(CmpOp::Gt.eval_i32(a, b), a > b);
+            assert_eq!(CmpOp::Ge.eval_i32(a, b), a >= b);
+            assert_eq!(CmpOp::Eq.eval_i32(a, b), a == b);
+            assert_eq!(CmpOp::Ne.eval_i32(a, b), a != b);
+        }
+    }
+
+    #[test]
+    fn cmp_eval_f32_nan_semantics() {
+        assert!(!CmpOp::Lt.eval_f32(f32::NAN, 1.0));
+        assert!(!CmpOp::Eq.eval_f32(f32::NAN, f32::NAN));
+        assert!(CmpOp::Ne.eval_f32(f32::NAN, f32::NAN));
+    }
+
+    #[test]
+    fn class_partitions_are_sane() {
+        assert!(Opcode::Ldg.is_memory());
+        assert!(Opcode::Stg.is_store());
+        assert!(!Opcode::Ldg.is_store());
+        assert!(Opcode::Exit.is_control_flow());
+        assert!(!Opcode::Nop.is_control_flow());
+        assert!(Opcode::Bra.has_target());
+        assert!(Opcode::Isetp.writes_predicate());
+        assert!(Opcode::Iset.has_cmp_modifier());
+        assert!(!Opcode::Iadd.has_cmp_modifier());
+        assert!(Opcode::Mov32i.has_imm32());
+    }
+
+    #[test]
+    fn sfu_class_has_six_functions() {
+        let n = Opcode::ALL.iter().filter(|o| o.is_sfu()).count();
+        assert_eq!(n, 6);
+    }
+}

@@ -1,0 +1,361 @@
+//! Operand types: registers, predicates, special registers and memory
+//! references.
+
+use std::fmt;
+
+/// A general-purpose register `R0`–`R63` of a thread's slice of the GPRF.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::Reg;
+///
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "R5");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The number of architectural registers per thread.
+    pub const COUNT: u8 = 64;
+
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index < Reg::COUNT, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register index.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A predicate register `P0`–`P3`, or the always-true pseudo-predicate `PT`.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::Pred;
+///
+/// assert_eq!(Pred::new(2).to_string(), "P2");
+/// assert_eq!(Pred::TRUE.to_string(), "PT");
+/// assert!(Pred::TRUE.is_true());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(u8);
+
+impl Pred {
+    /// The number of writable predicate registers per thread.
+    pub const COUNT: u8 = 4;
+
+    /// The always-true pseudo-predicate `PT`.
+    pub const TRUE: Pred = Pred(7);
+
+    /// Creates a predicate register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Pred::COUNT`.
+    #[must_use]
+    pub fn new(index: u8) -> Pred {
+        assert!(index < Pred::COUNT, "predicate index {index} out of range");
+        Pred(index)
+    }
+
+    /// The encoding index (`7` for `PT`).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the always-true pseudo-predicate.
+    #[must_use]
+    pub fn is_true(self) -> bool {
+        self.0 == 7
+    }
+
+    /// Decodes from the 3-bit encoding field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<Pred> {
+        match bits {
+            0..=3 => Some(Pred(bits)),
+            7 => Some(Pred::TRUE),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Pred {
+    fn default() -> Self {
+        Pred::TRUE
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            f.write_str("PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+/// Special (read-only) registers exposed to kernels via `S2R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpecialReg {
+    /// Thread index within the block (x dimension).
+    TidX,
+    /// Block index within the grid (x dimension).
+    CtaIdX,
+    /// Number of threads per block (x dimension).
+    NTidX,
+    /// Lane index within the warp.
+    LaneId,
+    /// Warp index within the block.
+    WarpId,
+}
+
+impl SpecialReg {
+    /// All special registers, in encoding order.
+    pub const ALL: [SpecialReg; 5] = [
+        SpecialReg::TidX,
+        SpecialReg::CtaIdX,
+        SpecialReg::NTidX,
+        SpecialReg::LaneId,
+        SpecialReg::WarpId,
+    ];
+
+    /// The assembly name (`SR_TID_X`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::TidX => "SR_TID_X",
+            SpecialReg::CtaIdX => "SR_CTAID_X",
+            SpecialReg::NTidX => "SR_NTID_X",
+            SpecialReg::LaneId => "SR_LANEID",
+            SpecialReg::WarpId => "SR_WARPID",
+        }
+    }
+
+    /// Parses an assembly name.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<SpecialReg> {
+        SpecialReg::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// Decodes from the 4-bit encoding field.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(bits as usize).copied()
+    }
+
+    /// The 4-bit encoding field.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The memory space addressed by a load/store opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemSpace {
+    /// Off-chip global memory.
+    Global,
+    /// Per-block shared memory.
+    Shared,
+    /// Read-only constant memory.
+    Constant,
+    /// Per-thread local memory.
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Constant => "constant",
+            MemSpace::Local => "local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A register-plus-offset memory reference: `[Ra+0x10]`.
+///
+/// The memory space is implied by the opcode (`LDG` is global, `LDS` shared,
+/// and so on), matching SASS.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_isa::{MemRef, Reg};
+///
+/// let m = MemRef::new(Reg::new(4), 0x10);
+/// assert_eq!(m.to_string(), "[R4+0x10]");
+/// assert_eq!(MemRef::new(Reg::new(0), 0).to_string(), "[R0]");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemRef {
+    /// Base address register.
+    pub base: Reg,
+    /// Byte offset added to the base (16-bit unsigned in the encoding).
+    pub offset: u16,
+}
+
+impl MemRef {
+    /// Creates a memory reference.
+    #[must_use]
+    pub fn new(base: Reg, offset: u16) -> MemRef {
+        MemRef { base, offset }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else {
+            write!(f, "[{}+{:#x}]", self.base, self.offset)
+        }
+    }
+}
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrcOperand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// An immediate value (32-bit in `*32I` formats, 16-bit sign-extended
+    /// otherwise).
+    Imm(i32),
+    /// A special register (only with `S2R`).
+    Special(SpecialReg),
+    /// A memory reference (only with loads; stores put the reference first).
+    Mem(MemRef),
+    /// A predicate register (only with `SEL`).
+    Pred(crate::Pred),
+}
+
+impl fmt::Display for SrcOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcOperand::Reg(r) => r.fmt(f),
+            SrcOperand::Imm(v) => {
+                if *v < 0 {
+                    write!(f, "-{:#x}", (*v as i64).unsigned_abs())
+                } else {
+                    write!(f, "{v:#x}")
+                }
+            }
+            SrcOperand::Special(s) => s.fmt(f),
+            SrcOperand::Mem(m) => m.fmt(f),
+            SrcOperand::Pred(p) => p.fmt(f),
+        }
+    }
+}
+
+impl From<Reg> for SrcOperand {
+    fn from(r: Reg) -> Self {
+        SrcOperand::Reg(r)
+    }
+}
+
+impl From<MemRef> for SrcOperand {
+    fn from(m: MemRef) -> Self {
+        SrcOperand::Mem(m)
+    }
+}
+
+impl From<SpecialReg> for SrcOperand {
+    fn from(s: SpecialReg) -> Self {
+        SrcOperand::Special(s)
+    }
+}
+
+impl From<i32> for SrcOperand {
+    fn from(v: i32) -> Self {
+        SrcOperand::Imm(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_bounds() {
+        assert_eq!(Reg::new(0).to_string(), "R0");
+        assert_eq!(Reg::new(63).to_string(), "R63");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn pred_bits_round_trip() {
+        for i in 0..Pred::COUNT {
+            let p = Pred::new(i);
+            assert_eq!(Pred::from_bits(p.index()), Some(p));
+            assert!(!p.is_true());
+        }
+        assert_eq!(Pred::from_bits(7), Some(Pred::TRUE));
+        assert_eq!(Pred::from_bits(4), None);
+        assert_eq!(Pred::default(), Pred::TRUE);
+    }
+
+    #[test]
+    fn special_reg_names_round_trip() {
+        for &sr in &SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_name(sr.name()), Some(sr));
+            assert_eq!(SpecialReg::from_bits(sr.to_bits()), Some(sr));
+        }
+        assert_eq!(SpecialReg::from_name("SR_BOGUS"), None);
+    }
+
+    #[test]
+    fn memref_display() {
+        let m = MemRef::new(Reg::new(2), 0);
+        assert_eq!(m.to_string(), "[R2]");
+        let m = MemRef::new(Reg::new(2), 0x20);
+        assert_eq!(m.to_string(), "[R2+0x20]");
+    }
+
+    #[test]
+    fn src_operand_display() {
+        assert_eq!(SrcOperand::from(Reg::new(1)).to_string(), "R1");
+        assert_eq!(SrcOperand::Imm(255).to_string(), "0xff");
+        assert_eq!(SrcOperand::Imm(-16).to_string(), "-0x10");
+        assert_eq!(SrcOperand::Imm(i32::MIN).to_string(), "-0x80000000");
+        assert_eq!(
+            SrcOperand::Special(SpecialReg::TidX).to_string(),
+            "SR_TID_X"
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Prints the size of each generated GPU module.
+fn main() {
+    for k in warpstl_netlist::modules::ModuleKind::ALL {
+        println!("{}", k.build());
+    }
+}

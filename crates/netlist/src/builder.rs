@@ -1,0 +1,567 @@
+//! Netlist construction combinators: gates, buses and datapath blocks.
+
+use crate::{Gate, GateKind, NetId, Netlist, PortMap};
+
+/// A little-endian bundle of nets (`bus[0]` is the least significant bit).
+pub type Bus = Vec<NetId>;
+
+/// Builds a [`Netlist`] gate by gate.
+///
+/// All methods panic on misuse (wrong widths, dangling nets): builder misuse
+/// is a programming error in a module generator, not a runtime condition.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_netlist::Builder;
+///
+/// let mut b = Builder::new("mux_demo");
+/// let s = b.input("s");
+/// let a = b.input_bus("a", 8);
+/// let c = b.input_bus("b", 8);
+/// let y = b.mux_bus(s, &a, &c);
+/// b.output_bus("y", &y);
+/// let netlist = b.finish();
+/// assert_eq!(netlist.outputs().width(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Builder {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: PortMap,
+    outputs: PortMap,
+}
+
+impl Builder {
+    /// Starts an empty netlist named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Builder {
+        Builder {
+            name: name.to_string(),
+            gates: Vec::new(),
+            inputs: PortMap::new(),
+            outputs: PortMap::new(),
+        }
+    }
+
+    fn push(&mut self, kind: GateKind, pins: &[NetId]) -> NetId {
+        for &p in pins {
+            assert!(
+                p.index() < self.gates.len() || (kind == GateKind::Dff),
+                "{kind}: pin {p} not yet created"
+            );
+        }
+        let id = NetId(self.gates.len() as u32);
+        self.gates.push(Gate::new(kind, pins));
+        id
+    }
+
+    /// Declares a 1-bit primary input.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let n = self.push(GateKind::Input, &[]);
+        self.inputs.push(name, &[n]);
+        n
+    }
+
+    /// Declares a `width`-bit primary input bus.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        let nets: Bus = (0..width).map(|_| self.push(GateKind::Input, &[])).collect();
+        self.inputs.push(name, &nets);
+        nets
+    }
+
+    /// Declares a 1-bit primary output.
+    pub fn output(&mut self, name: &str, net: NetId) {
+        self.outputs.push(name, &[net]);
+    }
+
+    /// Declares a primary output bus.
+    pub fn output_bus(&mut self, name: &str, bus: &[NetId]) {
+        self.outputs.push(name, bus);
+    }
+
+    /// Constant 0 net.
+    pub fn const0(&mut self) -> NetId {
+        self.push(GateKind::Const0, &[])
+    }
+
+    /// Constant 1 net.
+    pub fn const1(&mut self) -> NetId {
+        self.push(GateKind::Const1, &[])
+    }
+
+    /// A `width`-bit bus holding `value`.
+    pub fn constant(&mut self, width: usize, value: u64) -> Bus {
+        (0..width)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.const1()
+                } else {
+                    self.const0()
+                }
+            })
+            .collect()
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Buf, &[a])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Not, &[a])
+    }
+
+    /// 2-input AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::And, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Or, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nand, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nor, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xor, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xnor, &[a, b])
+    }
+
+    /// 2:1 mux: `sel ? a : b`.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Mux, &[sel, a, b])
+    }
+
+    /// A D flip-flop whose `d` input is connected later via
+    /// [`Builder::connect_dff`]; returns the `q` net.
+    pub fn dff_placeholder(&mut self) -> NetId {
+        // Temporarily points at itself; must be connected before finish().
+        let id = NetId(self.gates.len() as u32);
+        self.gates.push(Gate::new(GateKind::Dff, &[id]));
+        id
+    }
+
+    /// Connects the `d` input of flip-flop `q` (possibly to a later net,
+    /// forming feedback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a DFF.
+    pub fn connect_dff(&mut self, q: NetId, d: NetId) {
+        let g = &mut self.gates[q.index()];
+        assert_eq!(g.kind, GateKind::Dff, "{q} is not a DFF");
+        g.pins[0] = d;
+    }
+
+    /// A D flip-flop clocked from an already-built `d` net.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.push(GateKind::Dff, &[d])
+    }
+
+    /// AND-reduction of a non-empty slice (balanced tree).
+    pub fn and_many(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, Builder::and)
+    }
+
+    /// OR-reduction of a non-empty slice (balanced tree).
+    pub fn or_many(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, Builder::or)
+    }
+
+    /// XOR-reduction of a non-empty slice (balanced tree).
+    pub fn xor_many(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, Builder::xor)
+    }
+
+    fn reduce(&mut self, nets: &[NetId], f: fn(&mut Builder, NetId, NetId) -> NetId) -> NetId {
+        assert!(!nets.is_empty(), "reduction over empty bus");
+        let mut layer: Vec<NetId> = nets.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    f(self, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Elementwise NOT of a bus.
+    pub fn not_bus(&mut self, a: &[NetId]) -> Bus {
+        a.iter().map(|&n| self.not(n)).collect()
+    }
+
+    /// Elementwise AND of equal-width buses.
+    pub fn and_bus(&mut self, a: &[NetId], b: &[NetId]) -> Bus {
+        self.zip(a, b, Builder::and)
+    }
+
+    /// Elementwise OR of equal-width buses.
+    pub fn or_bus(&mut self, a: &[NetId], b: &[NetId]) -> Bus {
+        self.zip(a, b, Builder::or)
+    }
+
+    /// Elementwise XOR of equal-width buses.
+    pub fn xor_bus(&mut self, a: &[NetId], b: &[NetId]) -> Bus {
+        self.zip(a, b, Builder::xor)
+    }
+
+    fn zip(&mut self, a: &[NetId], b: &[NetId], f: fn(&mut Builder, NetId, NetId) -> NetId) -> Bus {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| f(self, x, y)).collect()
+    }
+
+    /// Bus-wide 2:1 mux: `sel ? a : b`.
+    pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Bus {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+    }
+
+    /// Ripple-carry adder; returns `(sum, carry_out)`.
+    pub fn add(&mut self, a: &[NetId], b: &[NetId]) -> (Bus, NetId) {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        let mut carry = self.const0();
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(x, y, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Full adder; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor(a, b);
+        let s = self.xor(axb, cin);
+        let t1 = self.and(axb, cin);
+        let t2 = self.and(a, b);
+        let c = self.or(t1, t2);
+        (s, c)
+    }
+
+    /// Two's-complement subtractor `a - b`; returns `(difference, carry_out)`
+    /// (carry_out = 1 means no borrow, i.e. `a >= b` unsigned).
+    pub fn sub(&mut self, a: &[NetId], b: &[NetId]) -> (Bus, NetId) {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        let nb = self.not_bus(b);
+        let mut carry = self.const1();
+        let mut diff = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(&nb) {
+            let (s, c) = self.full_adder(x, y, carry);
+            diff.push(s);
+            carry = c;
+        }
+        (diff, carry)
+    }
+
+    /// Equality comparator.
+    pub fn eq(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let bits = self.zip(a, b, Builder::xnor);
+        self.and_many(&bits)
+    }
+
+    /// Unsigned less-than: `a < b`.
+    pub fn lt_unsigned(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let (_, carry) = self.sub(a, b);
+        self.not(carry)
+    }
+
+    /// Signed less-than: `a < b` (two's complement).
+    pub fn lt_signed(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        assert!(!a.is_empty());
+        let lt_u = self.lt_unsigned(a, b);
+        let sa = *a.last().expect("non-empty");
+        let sb = *b.last().expect("non-empty");
+        let signs_differ = self.xor(sa, sb);
+        // If signs differ, a < b iff a is negative.
+        self.mux(signs_differ, sa, lt_u)
+    }
+
+    /// Barrel shifter left: shifts `a` by the unsigned amount on `amount`
+    /// (low `log2` bits used, wider amounts saturate the value to zero).
+    pub fn shl_barrel(&mut self, a: &[NetId], amount: &[NetId]) -> Bus {
+        self.barrel(a, amount, true)
+    }
+
+    /// Barrel shifter right (logical).
+    pub fn shr_barrel(&mut self, a: &[NetId], amount: &[NetId]) -> Bus {
+        self.barrel(a, amount, false)
+    }
+
+    fn barrel(&mut self, a: &[NetId], amount: &[NetId], left: bool) -> Bus {
+        let zero = self.const0();
+        let mut cur: Bus = a.to_vec();
+        for (stage, &sel) in amount.iter().enumerate() {
+            let shift = 1usize << stage;
+            if shift >= cur.len() {
+                // Any set bit this high zeroes the result.
+                let z: Bus = vec![zero; cur.len()];
+                cur = self.mux_bus(sel, &z, &cur);
+                continue;
+            }
+            let shifted: Bus = (0..cur.len())
+                .map(|i| {
+                    if left {
+                        if i >= shift {
+                            cur[i - shift]
+                        } else {
+                            zero
+                        }
+                    } else if i + shift < cur.len() {
+                        cur[i + shift]
+                    } else {
+                        zero
+                    }
+                })
+                .collect();
+            cur = self.mux_bus(sel, &shifted, &cur);
+        }
+        cur
+    }
+
+    /// Unsigned array multiplier; returns the full `a.len() + b.len()`-bit
+    /// product.
+    pub fn mul(&mut self, a: &[NetId], b: &[NetId]) -> Bus {
+        let zero = self.const0();
+        let width = a.len() + b.len();
+        let mut acc: Bus = vec![zero; width];
+        for (j, &bj) in b.iter().enumerate() {
+            // Partial product: (a & bj) << j, padded to `width`.
+            let mut pp: Bus = vec![zero; width];
+            for (i, &ai) in a.iter().enumerate() {
+                pp[i + j] = self.and(ai, bj);
+            }
+            let (sum, _) = self.add(&acc, &pp);
+            acc = sum;
+        }
+        acc
+    }
+
+    /// One-hot decoder: `2^sel.len()` outputs.
+    pub fn decoder(&mut self, sel: &[NetId]) -> Bus {
+        let inv: Bus = self.not_bus(sel);
+        (0..(1usize << sel.len()))
+            .map(|v| {
+                let terms: Bus = sel
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| if (v >> i) & 1 == 1 { s } else { inv[i] })
+                    .collect();
+                self.and_many(&terms)
+            })
+            .collect()
+    }
+
+    /// The number of gates created so far.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Validates and returns the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is invalid (dangling or non-causal nets,
+    /// unconnected DFF placeholders); these are generator bugs.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind == GateKind::Dff {
+                assert!(
+                    g.pins[0].index() != i || self.gates.len() == 1,
+                    "DFF n{i} left unconnected"
+                );
+            }
+        }
+        Netlist::from_parts(self.name, self.gates, self.inputs, self.outputs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicSim;
+
+    fn eval_comb(netlist: &Netlist, inputs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        let mut sim = LogicSim::new(netlist);
+        for (name, v) in inputs {
+            sim.set_input_u64(name, *v);
+        }
+        sim.eval_comb();
+        netlist
+            .outputs()
+            .iter()
+            .map(|(n, _)| (n.to_string(), sim.output_u64(n)))
+            .collect()
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let mut b = Builder::new("add8");
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        for (a, bb) in [(0u64, 0u64), (255, 1), (127, 128), (200, 100)] {
+            let out = eval_comb(&n, &[("x", a), ("y", bb)]);
+            assert_eq!(out[0].1, (a + bb) & 0xff, "{a}+{bb}");
+            assert_eq!(out[1].1, (a + bb) >> 8, "carry {a}+{bb}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_arithmetic() {
+        let mut b = Builder::new("sub8");
+        let x = b.input_bus("x", 8);
+        let y = b.input_bus("y", 8);
+        let (d, c) = b.sub(&x, &y);
+        b.output_bus("d", &d);
+        b.output("c", c);
+        let n = b.finish();
+        for (a, bb) in [(5u64, 3u64), (3, 5), (0, 0), (255, 255), (0, 1)] {
+            let out = eval_comb(&n, &[("x", a), ("y", bb)]);
+            assert_eq!(out[0].1, a.wrapping_sub(bb) & 0xff, "{a}-{bb}");
+            assert_eq!(out[1].1, u64::from(a >= bb), "borrow {a}-{bb}");
+        }
+    }
+
+    #[test]
+    fn comparators_match_semantics() {
+        let mut b = Builder::new("cmp4");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let eq = b.eq(&x, &y);
+        let ltu = b.lt_unsigned(&x, &y);
+        let lts = b.lt_signed(&x, &y);
+        b.output("eq", eq);
+        b.output("ltu", ltu);
+        b.output("lts", lts);
+        let n = b.finish();
+        for a in 0..16u64 {
+            for c in 0..16u64 {
+                let out = eval_comb(&n, &[("x", a), ("y", c)]);
+                assert_eq!(out[0].1, u64::from(a == c));
+                assert_eq!(out[1].1, u64::from(a < c));
+                let sa = (a as i64) << 60 >> 60;
+                let sc = (c as i64) << 60 >> 60;
+                assert_eq!(out[2].1, u64::from(sa < sc), "signed {sa} < {sc}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_shifters_match_semantics() {
+        let mut b = Builder::new("sh8");
+        let x = b.input_bus("x", 8);
+        let amt = b.input_bus("amt", 4);
+        let l = b.shl_barrel(&x, &amt);
+        let r = b.shr_barrel(&x, &amt);
+        b.output_bus("l", &l);
+        b.output_bus("r", &r);
+        let n = b.finish();
+        for v in [0b1011_0110u64, 0xff, 1] {
+            for s in 0..16u64 {
+                let out = eval_comb(&n, &[("x", v), ("amt", s)]);
+                let expect_l = if s >= 8 { 0 } else { (v << s) & 0xff };
+                let expect_r = if s >= 8 { 0 } else { v >> s };
+                assert_eq!(out[0].1, expect_l, "{v} << {s}");
+                assert_eq!(out[1].1, expect_r, "{v} >> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_matches_arithmetic() {
+        let mut b = Builder::new("mul6");
+        let x = b.input_bus("x", 6);
+        let y = b.input_bus("y", 6);
+        let p = b.mul(&x, &y);
+        b.output_bus("p", &p);
+        let n = b.finish();
+        for a in [0u64, 1, 7, 33, 63] {
+            for c in [0u64, 1, 5, 63] {
+                let out = eval_comb(&n, &[("x", a), ("y", c)]);
+                assert_eq!(out[0].1, a * c, "{a}*{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut b = Builder::new("dec3");
+        let s = b.input_bus("s", 3);
+        let d = b.decoder(&s);
+        b.output_bus("d", &d);
+        let n = b.finish();
+        for v in 0..8u64 {
+            let out = eval_comb(&n, &[("s", v)]);
+            assert_eq!(out[0].1, 1 << v);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let mut b = Builder::new("red");
+        let x = b.input_bus("x", 5);
+        let a = b.and_many(&x);
+        let o = b.or_many(&x);
+        let e = b.xor_many(&x);
+        b.output("a", a);
+        b.output("o", o);
+        b.output("e", e);
+        let n = b.finish();
+        for v in 0..32u64 {
+            let out = eval_comb(&n, &[("x", v)]);
+            assert_eq!(out[0].1, u64::from(v == 31));
+            assert_eq!(out[1].1, u64::from(v != 0));
+            assert_eq!(out[2].1, u64::from(v.count_ones() % 2 == 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected")]
+    fn unconnected_dff_placeholder_panics() {
+        let mut b = Builder::new("bad");
+        let a = b.input("a");
+        let _q = b.dff_placeholder();
+        b.output("y", a);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn dff_feedback_via_placeholder() {
+        let mut b = Builder::new("toggle");
+        let q = b.dff_placeholder();
+        let nq = b.not(q);
+        b.connect_dff(q, nq);
+        b.output("q", q);
+        let n = b.finish();
+        assert!(!n.is_combinational());
+        assert_eq!(n.dffs().len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Gate and net primitives.
+
+use std::fmt;
+
+/// Identifies a net (equivalently, the gate driving it — every gate drives
+/// exactly one net, and the net's id equals the driving gate's index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The driving gate's index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The cell types of the gate library.
+///
+/// This is a small structural library in the spirit of a standard-cell
+/// subset: constants, inverter/buffer, the 2-input basics, a 2:1 mux and a
+/// D flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input.
+    Input,
+    /// Constant 0.
+    Const0,
+    /// Constant 1.
+    Const1,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 multiplexer: output = `sel ? a : b` with pins `(sel, a, b)`.
+    Mux,
+    /// D flip-flop; pin 0 is `d` (connected after creation to allow
+    /// feedback). The gate's net is `q`.
+    Dff,
+}
+
+impl GateKind {
+    /// The number of input pins.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not | GateKind::Dff => 1,
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => 2,
+            GateKind::Mux => 3,
+        }
+    }
+
+    /// Evaluates the gate on bit-parallel words (each bit lane is an
+    /// independent simulation). Unused pins are ignored.
+    ///
+    /// `Dff` evaluates as a buffer of its captured state, which the
+    /// simulator supplies in `a`.
+    #[inline]
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64, c: u64) -> u64 {
+        match self {
+            GateKind::Input | GateKind::Buf | GateKind::Dff => a,
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Not => !a,
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Nand => !(a & b),
+            GateKind::Nor => !(a | b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+            GateKind::Mux => (a & b) | (!a & c),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux => "MUX",
+            GateKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A gate instance: a cell type plus its input nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The cell type.
+    pub kind: GateKind,
+    /// Input nets; only the first [`GateKind::arity`] entries are meaningful.
+    pub pins: [NetId; 3],
+}
+
+impl Gate {
+    pub(crate) const NO_NET: NetId = NetId(u32::MAX);
+
+    /// Creates a gate; unused pins are padded internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len()` differs from the kind's arity.
+    #[must_use]
+    pub fn new(kind: GateKind, pins: &[NetId]) -> Gate {
+        assert_eq!(pins.len(), kind.arity(), "{kind}: wrong pin count");
+        let mut p = [Gate::NO_NET; 3];
+        p[..pins.len()].copy_from_slice(pins);
+        Gate { kind, pins: p }
+    }
+
+    /// The meaningful input pins.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.pins[..self.kind.arity()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_truth_tables() {
+        let t = !0u64;
+        assert_eq!(GateKind::And.eval(t, 0, 0), 0);
+        assert_eq!(GateKind::And.eval(t, t, 0), t);
+        assert_eq!(GateKind::Or.eval(0, 0, 0), 0);
+        assert_eq!(GateKind::Or.eval(t, 0, 0), t);
+        assert_eq!(GateKind::Nand.eval(t, t, 0), 0);
+        assert_eq!(GateKind::Nor.eval(0, 0, 0), t);
+        assert_eq!(GateKind::Xor.eval(t, t, 0), 0);
+        assert_eq!(GateKind::Xnor.eval(t, 0, 0), 0);
+        assert_eq!(GateKind::Not.eval(t, 0, 0), 0);
+        assert_eq!(GateKind::Buf.eval(t, 0, 0), t);
+        assert_eq!(GateKind::Const1.eval(0, 0, 0), t);
+        assert_eq!(GateKind::Const0.eval(t, t, t), 0);
+        // Mux: sel ? a : b — per-lane.
+        assert_eq!(GateKind::Mux.eval(0b10, 0b11, 0b01), 0b11);
+    }
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        assert_eq!(GateKind::Input.arity(), 0);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Xor.arity(), 2);
+        assert_eq!(GateKind::Mux.arity(), 3);
+        assert_eq!(GateKind::Dff.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong pin count")]
+    fn gate_new_checks_arity() {
+        let _ = Gate::new(GateKind::And, &[NetId(0)]);
+    }
+
+    #[test]
+    fn gate_inputs_slice() {
+        let g = Gate::new(GateKind::Mux, &[NetId(0), NetId(1), NetId(2)]);
+        assert_eq!(g.inputs(), &[NetId(0), NetId(1), NetId(2)]);
+        let g = Gate::new(GateKind::Not, &[NetId(5)]);
+        assert_eq!(g.inputs(), &[NetId(5)]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Structural netlist text format.
+//!
+//! A small, ISCAS-flavoured exchange format so externally synthesized
+//! modules can be fault-simulated and targeted by the compaction flow:
+//!
+//! ```text
+//! NETLIST 1 adder4
+//! input a 4          # declares nets n0..n3
+//! input cin 1
+//! gate XOR n0 n4     # nets are named by index; gate line: KIND pins...
+//! gate DFF n9
+//! dff n12 n7         # connects DFF n12's D input to n7 (feedback allowed)
+//! output sum n5 n8 n11 n13
+//! ```
+//!
+//! Gate lines appear in topological (creation) order; the k-th declared
+//! net (inputs first, then gates) is `n<k>`.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{Builder, GateKind, NetId, Netlist};
+
+/// An error produced while parsing netlist text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    line: usize,
+    msg: String,
+}
+
+impl ParseNetlistError {
+    fn new(line: usize, msg: impl Into<String>) -> ParseNetlistError {
+        ParseNetlistError {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// The 1-based line of the error.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist text line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+fn kind_name(k: GateKind) -> &'static str {
+    match k {
+        GateKind::Input => "INPUT",
+        GateKind::Const0 => "CONST0",
+        GateKind::Const1 => "CONST1",
+        GateKind::Buf => "BUF",
+        GateKind::Not => "NOT",
+        GateKind::And => "AND",
+        GateKind::Or => "OR",
+        GateKind::Nand => "NAND",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Mux => "MUX",
+        GateKind::Dff => "DFF",
+    }
+}
+
+fn kind_from_name(s: &str) -> Option<GateKind> {
+    Some(match s {
+        "CONST0" => GateKind::Const0,
+        "CONST1" => GateKind::Const1,
+        "BUF" => GateKind::Buf,
+        "NOT" => GateKind::Not,
+        "AND" => GateKind::And,
+        "OR" => GateKind::Or,
+        "NAND" => GateKind::Nand,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "MUX" => GateKind::Mux,
+        "DFF" => GateKind::Dff,
+        _ => return None,
+    })
+}
+
+/// Serializes a netlist to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_netlist::{io, Builder};
+///
+/// let mut b = Builder::new("demo");
+/// let x = b.input_bus("x", 2);
+/// let y = b.xor(x[0], x[1]);
+/// b.output("y", y);
+/// let n = b.finish();
+/// let text = io::to_text(&n);
+/// let back = io::from_text(&text)?;
+/// assert_eq!(back.gates(), n.gates());
+/// assert_eq!(back.name(), "demo");
+/// # Ok::<(), warpstl_netlist::io::ParseNetlistError>(())
+/// ```
+#[must_use]
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "NETLIST 1 {}", netlist.name());
+    for (name, range) in netlist.inputs().iter() {
+        let _ = writeln!(s, "input {name} {}", range.len());
+    }
+    for g in netlist.gates() {
+        if g.kind == GateKind::Input {
+            continue;
+        }
+        let _ = write!(s, "gate {}", kind_name(g.kind));
+        if g.kind == GateKind::Dff {
+            // The D pin may be a forward reference: connect it separately.
+            s.push('\n');
+            continue;
+        }
+        for &p in g.inputs() {
+            let _ = write!(s, " n{}", p.0);
+        }
+        s.push('\n');
+    }
+    for &q in netlist.dffs() {
+        let d = netlist.gates()[q.index()].pins[0];
+        let _ = writeln!(s, "dff n{} n{}", q.0, d.0);
+    }
+    for (name, _) in netlist.outputs().iter() {
+        let _ = write!(s, "output {name}");
+        for &n in netlist.outputs().bus(name).expect("declared") {
+            let _ = write!(s, " n{}", n.0);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses a netlist from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending line on malformed
+/// input, unknown gate kinds, dangling nets, or non-topological order.
+pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| ParseNetlistError::new(1, "empty text"))?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("NETLIST") || h.next() != Some("1") {
+        return Err(ParseNetlistError::new(1, "bad header"));
+    }
+    let name = h.next().unwrap_or("netlist");
+    let mut b = Builder::new(name);
+    let mut net_count = 0usize;
+    let mut seen_gates = false;
+
+    let parse_net = |lineno: usize, tok: &str, max: usize| -> Result<NetId, ParseNetlistError> {
+        let idx: u32 = tok
+            .strip_prefix('n')
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseNetlistError::new(lineno, format!("bad net `{tok}`")))?;
+        if (idx as usize) >= max {
+            return Err(ParseNetlistError::new(
+                lineno,
+                format!("net `{tok}` not yet declared"),
+            ));
+        }
+        Ok(NetId(idx))
+    };
+
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("input") => {
+                if seen_gates {
+                    return Err(ParseNetlistError::new(lineno, "inputs must precede gates"));
+                }
+                let pname = parts
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "missing input name"))?;
+                let width: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "bad input width"))?;
+                b.input_bus(pname, width);
+                net_count += width;
+            }
+            Some("gate") => {
+                seen_gates = true;
+                let kname = parts
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "missing gate kind"))?;
+                let kind = kind_from_name(kname)
+                    .ok_or_else(|| ParseNetlistError::new(lineno, format!("unknown kind `{kname}`")))?;
+                if kind == GateKind::Dff {
+                    b.dff_placeholder();
+                    net_count += 1;
+                    continue;
+                }
+                let pins: Vec<NetId> = parts
+                    .map(|t| parse_net(lineno, t, net_count))
+                    .collect::<Result<_, _>>()?;
+                if pins.len() != kind.arity() {
+                    return Err(ParseNetlistError::new(
+                        lineno,
+                        format!("{kname} needs {} pins, got {}", kind.arity(), pins.len()),
+                    ));
+                }
+                match kind {
+                    GateKind::Const0 => {
+                        b.const0();
+                    }
+                    GateKind::Const1 => {
+                        b.const1();
+                    }
+                    GateKind::Buf => {
+                        b.buf(pins[0]);
+                    }
+                    GateKind::Not => {
+                        b.not(pins[0]);
+                    }
+                    GateKind::And => {
+                        b.and(pins[0], pins[1]);
+                    }
+                    GateKind::Or => {
+                        b.or(pins[0], pins[1]);
+                    }
+                    GateKind::Nand => {
+                        b.nand(pins[0], pins[1]);
+                    }
+                    GateKind::Nor => {
+                        b.nor(pins[0], pins[1]);
+                    }
+                    GateKind::Xor => {
+                        b.xor(pins[0], pins[1]);
+                    }
+                    GateKind::Xnor => {
+                        b.xnor(pins[0], pins[1]);
+                    }
+                    GateKind::Mux => {
+                        b.mux(pins[0], pins[1], pins[2]);
+                    }
+                    GateKind::Input | GateKind::Dff => unreachable!("handled above"),
+                }
+                net_count += 1;
+            }
+            Some("dff") => {
+                let q = parse_net(lineno, parts.next().unwrap_or(""), net_count)?;
+                let d = parse_net(lineno, parts.next().unwrap_or(""), net_count)?;
+                b.connect_dff(q, d);
+            }
+            Some("output") => {
+                let pname = parts
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "missing output name"))?;
+                let nets: Vec<NetId> = parts
+                    .map(|t| parse_net(lineno, t, net_count))
+                    .collect::<Result<_, _>>()?;
+                if nets.is_empty() {
+                    return Err(ParseNetlistError::new(lineno, "empty output bus"));
+                }
+                b.output_bus(pname, &nets);
+            }
+            Some(other) => {
+                return Err(ParseNetlistError::new(
+                    lineno,
+                    format!("unknown directive `{other}`"),
+                ))
+            }
+            None => {}
+        }
+    }
+    // Builder::finish panics on structural errors; catch them as parse
+    // errors so malformed text cannot crash callers.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || b.finish()))
+        .map_err(|_| ParseNetlistError::new(0, "structural validation failed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicSim;
+
+    fn sample() -> Netlist {
+        let mut b = Builder::new("mix");
+        let x = b.input_bus("x", 3);
+        let s = b.input("s");
+        let a = b.and(x[0], x[1]);
+        let o = b.nor(a, x[2]);
+        let m = b.mux(s, a, o);
+        let q = b.dff_placeholder();
+        let nx = b.xor(q, m);
+        b.connect_dff(q, nx);
+        b.output("m", m);
+        b.output("q", q);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_behaviour() {
+        let n = sample();
+        let text = to_text(&n);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.gates(), n.gates());
+        assert_eq!(back.dffs(), n.dffs());
+        // Behavioural check: same outputs for a few steps.
+        let mut s1 = LogicSim::new(&n);
+        let mut s2 = LogicSim::new(&back);
+        for v in [0b1011u64, 0b0001, 0b1111, 0b0110] {
+            s1.set_input_u64("x", v & 0b111);
+            s1.set_input_u64("s", v >> 3);
+            s2.set_input_u64("x", v & 0b111);
+            s2.set_input_u64("s", v >> 3);
+            s1.step();
+            s2.step();
+            assert_eq!(s1.output_u64("m"), s2.output_u64("m"));
+            assert_eq!(s1.output_u64("q"), s2.output_u64("q"));
+        }
+    }
+
+    #[test]
+    fn module_generators_round_trip() {
+        for kind in crate::modules::ModuleKind::ALL {
+            let n = kind.build();
+            let back = from_text(&to_text(&n)).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(back.gates().len(), n.gates().len(), "{kind}");
+            assert_eq!(back.inputs().width(), n.inputs().width(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(from_text("").is_err());
+        assert!(from_text("BOGUS").is_err());
+        let e = from_text("NETLIST 1 t\ninput a 1\ngate FROB n0\n").unwrap_err();
+        assert_eq!(e.line(), 3);
+        let e = from_text("NETLIST 1 t\ninput a 1\ngate AND n0 n7\n").unwrap_err();
+        assert_eq!(e.line(), 3);
+        // The dangling pin is reported before anything else.
+        let e = from_text("NETLIST 1 t\ngate AND n0 n1\ninput a 2\n").unwrap_err();
+        assert_eq!(e.line(), 2);
+        // Inputs after (pin-less) gates violate the section order.
+        let e = from_text("NETLIST 1 t\ngate CONST0\ninput a 1\noutput y n0\n").unwrap_err();
+        assert_eq!(e.line(), 3);
+        // Unconnected DFF placeholder -> structural failure, not a panic.
+        assert!(from_text("NETLIST 1 t\ninput a 1\ngate DFF\noutput y n1\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "NETLIST 1 c\n\ninput a 2   # two bits\ngate AND n0 n1\noutput y n2\n";
+        let n = from_text(text).unwrap();
+        assert_eq!(n.logic_gate_count(), 1);
+    }
+}

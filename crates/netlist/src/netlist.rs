@@ -1,0 +1,360 @@
+//! The netlist container: gates, ports and structural queries.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+use crate::{Gate, GateKind, NetId};
+
+/// Maps named ports (buses) to contiguous bit positions.
+///
+/// Port order is the order of declaration; bit 0 of a bus is the least
+/// significant bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortMap {
+    names: Vec<String>,
+    ranges: Vec<Range<usize>>,
+    nets: Vec<NetId>,
+}
+
+impl PortMap {
+    /// Creates an empty port map.
+    #[must_use]
+    pub fn new() -> PortMap {
+        PortMap::default()
+    }
+
+    /// Appends a bus of `nets` under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already declared.
+    pub fn push(&mut self, name: &str, nets: &[NetId]) {
+        assert!(
+            self.index_of(name).is_none(),
+            "port `{name}` declared twice"
+        );
+        let start = self.nets.len();
+        self.names.push(name.to_string());
+        self.nets.extend_from_slice(nets);
+        self.ranges.push(start..self.nets.len());
+    }
+
+    /// The flat position range of `name`, if declared.
+    #[must_use]
+    pub fn range(&self, name: &str) -> Option<Range<usize>> {
+        self.index_of(name).map(|i| self.ranges[i].clone())
+    }
+
+    /// The nets of `name`, if declared.
+    #[must_use]
+    pub fn bus(&self, name: &str) -> Option<&[NetId]> {
+        self.range(name).map(|r| &self.nets[r])
+    }
+
+    /// All nets, flattened in declaration order.
+    #[must_use]
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Total width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Iterates `(name, range)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Range<usize>)> + '_ {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.ranges.iter().cloned())
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// A structural gate-level netlist.
+///
+/// Invariants (checked by [`Builder::finish`](crate::Builder::finish)):
+///
+/// - gate `i` drives net `i`;
+/// - every non-DFF gate's inputs reference strictly earlier nets, so
+///   creation order is a topological order of the combinational logic;
+/// - DFF `d` pins may reference any net (feedback through state).
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: PortMap,
+    outputs: PortMap,
+    dffs: Vec<NetId>,
+    fanout: Vec<u32>,
+}
+
+/// A structural validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError(String);
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid netlist: {}", self.0)
+    }
+}
+
+impl Error for NetlistError {}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        name: String,
+        gates: Vec<Gate>,
+        inputs: PortMap,
+        outputs: PortMap,
+    ) -> Result<Netlist, NetlistError> {
+        let mut dffs = Vec::new();
+        let mut fanout = vec![0u32; gates.len()];
+        for (i, g) in gates.iter().enumerate() {
+            for &pin in g.inputs() {
+                if pin.index() >= gates.len() {
+                    return Err(NetlistError(format!(
+                        "gate {i} ({}) reads dangling net {pin}",
+                        g.kind
+                    )));
+                }
+                if g.kind != GateKind::Dff && pin.index() >= i {
+                    return Err(NetlistError(format!(
+                        "gate {i} ({}) reads non-causal net {pin}",
+                        g.kind
+                    )));
+                }
+                fanout[pin.index()] += 1;
+            }
+            if g.kind == GateKind::Dff {
+                dffs.push(NetId(i as u32));
+            }
+        }
+        for &n in outputs.nets() {
+            if n.index() >= gates.len() {
+                return Err(NetlistError(format!("output reads dangling net {n}")));
+            }
+            fanout[n.index()] += 1;
+        }
+        for &n in inputs.nets() {
+            if gates[n.index()].kind != GateKind::Input {
+                return Err(NetlistError(format!("input port net {n} is not an Input gate")));
+            }
+        }
+        Ok(Netlist {
+            name,
+            gates,
+            inputs,
+            outputs,
+            dffs,
+            fanout,
+        })
+    }
+
+    /// The module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates, in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The input port map.
+    #[must_use]
+    pub fn inputs(&self) -> &PortMap {
+        &self.inputs
+    }
+
+    /// The output port map.
+    #[must_use]
+    pub fn outputs(&self) -> &PortMap {
+        &self.outputs
+    }
+
+    /// Nets driven by D flip-flops.
+    #[must_use]
+    pub fn dffs(&self) -> &[NetId] {
+        &self.dffs
+    }
+
+    /// Whether the netlist has no state elements.
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        self.dffs.is_empty()
+    }
+
+    /// The number of sinks reading each net (output ports count as one
+    /// sink). Nets with fanout > 1 carry distinct fanout-branch faults.
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> u32 {
+        self.fanout[net.index()]
+    }
+
+    /// The number of gates, excluding primary inputs and constants.
+    #[must_use]
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| {
+                !matches!(
+                    g.kind,
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1
+                )
+            })
+            .count()
+    }
+
+    /// The longest combinational path, in gate levels (primary inputs,
+    /// constants and flip-flop outputs are level 0; each logic gate is one
+    /// more than its deepest input). A standard proxy for the module's
+    /// critical path.
+    #[must_use]
+    pub fn logic_depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        let mut max = 0;
+        for (i, g) in self.gates.iter().enumerate() {
+            level[i] = match g.kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => 0,
+                _ => {
+                    1 + g
+                        .inputs()
+                        .iter()
+                        .map(|p| level[p.index()])
+                        .max()
+                        .unwrap_or(0)
+                }
+            };
+            max = max.max(level[i]);
+        }
+        max
+    }
+
+    /// Per-kind gate counts (useful for reporting module sizes).
+    #[must_use]
+    pub fn kind_histogram(&self) -> HashMap<&'static str, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(kind_name(g.kind)).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+fn kind_name(k: GateKind) -> &'static str {
+    match k {
+        GateKind::Input => "INPUT",
+        GateKind::Const0 => "CONST0",
+        GateKind::Const1 => "CONST1",
+        GateKind::Buf => "BUF",
+        GateKind::Not => "NOT",
+        GateKind::And => "AND",
+        GateKind::Or => "OR",
+        GateKind::Nand => "NAND",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Mux => "MUX",
+        GateKind::Dff => "DFF",
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates ({} logic), {} inputs, {} outputs, {} DFFs",
+            self.name,
+            self.gates.len(),
+            self.logic_gate_count(),
+            self.inputs.width(),
+            self.outputs.width(),
+            self.dffs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn port_map_lookup() {
+        let mut p = PortMap::new();
+        p.push("a", &[NetId(0), NetId(1)]);
+        p.push("b", &[NetId(2)]);
+        assert_eq!(p.range("a"), Some(0..2));
+        assert_eq!(p.range("b"), Some(2..3));
+        assert_eq!(p.range("c"), None);
+        assert_eq!(p.bus("b"), Some(&[NetId(2)][..]));
+        assert_eq!(p.width(), 3);
+        let names: Vec<_> = p.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn port_map_rejects_duplicates() {
+        let mut p = PortMap::new();
+        p.push("a", &[NetId(0)]);
+        p.push("a", &[NetId(1)]);
+    }
+
+    #[test]
+    fn fanout_counts_sinks() {
+        let mut b = Builder::new("t");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and(a, x);
+        b.output("y", y);
+        let n = b.finish();
+        assert_eq!(n.fanout(a), 2);
+        assert_eq!(n.fanout(x), 1);
+        assert_eq!(n.fanout(y), 1);
+        assert!(n.is_combinational());
+        assert_eq!(n.logic_gate_count(), 2);
+    }
+
+    #[test]
+    fn logic_depth_counts_levels() {
+        let mut b = Builder::new("d");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.and(x, y); // level 1
+        let o = b.or(a, y); // level 2
+        let n = b.not(o); // level 3
+        b.output("n", n);
+        assert_eq!(b.finish().logic_depth(), 3);
+
+        // DFF outputs restart at level 0.
+        let mut b = Builder::new("seq");
+        let x = b.input("x");
+        let a = b.not(x); // 1
+        let q = b.dff(a); // 0
+        let z = b.not(q); // 1
+        b.output("z", z);
+        assert_eq!(b.finish().logic_depth(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut b = Builder::new("m");
+        let a = b.input("a");
+        b.output("y", a);
+        let n = b.finish();
+        let s = n.to_string();
+        assert!(s.contains("m:"));
+        assert!(s.contains("1 inputs"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Admissible Regions for Compaction (stage 1 of the method).
+
+use warpstl_isa::Instruction;
+
+use crate::{BasicBlocks, ControlFlowGraph};
+
+/// The ARC analysis: which basic blocks may be compacted.
+///
+/// Per the paper's stage 1, the ARC contains every BB of the PTP *except*
+/// those involved in parametric loops (CFG cycles): removing instructions
+/// from a loop body would change the iteration behaviour the test was
+/// designed around.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::{ArcAnalysis, BasicBlocks};
+///
+/// let p = warpstl_isa::asm::assemble(
+///     "MOV32I R1, 0;\n\
+///      top: IADD R1, R1, 0x1;\n\
+///      ISETP.LT P0, R1, 0x8;\n\
+///      @P0 BRA top;\n\
+///      EXIT;",
+/// ).unwrap();
+/// let bbs = BasicBlocks::of(&p);
+/// let arc = ArcAnalysis::of(&p, &bbs);
+/// assert!(!arc.is_admissible(bbs.block_of(1))); // the loop body
+/// assert!(arc.is_admissible(bbs.block_of(0)));  // the preamble
+/// assert!(arc.arc_fraction() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArcAnalysis {
+    admissible: Vec<bool>,
+    arc_instructions: usize,
+    total_instructions: usize,
+}
+
+impl ArcAnalysis {
+    /// Analyzes `program` over its basic-block partition.
+    #[must_use]
+    pub fn of(program: &[Instruction], bbs: &BasicBlocks) -> ArcAnalysis {
+        let cfg = ControlFlowGraph::of(program, bbs);
+        let admissible: Vec<bool> = bbs.iter().map(|b| !cfg.in_cycle(b)).collect();
+        let arc_instructions = bbs
+            .iter()
+            .filter(|&b| admissible[b])
+            .map(|b| bbs.range(b).len())
+            .sum();
+        ArcAnalysis {
+            admissible,
+            arc_instructions,
+            total_instructions: program.len(),
+        }
+    }
+
+    /// Whether block `b` belongs to the ARC.
+    #[must_use]
+    pub fn is_admissible(&self, b: usize) -> bool {
+        self.admissible[b]
+    }
+
+    /// The fraction of instructions inside the ARC — the paper's *ARC (%)*
+    /// column of Table I.
+    #[must_use]
+    pub fn arc_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            return 0.0;
+        }
+        self.arc_instructions as f64 / self.total_instructions as f64
+    }
+
+    /// Instructions inside the ARC.
+    #[must_use]
+    pub fn arc_instructions(&self) -> usize {
+        self.arc_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_isa::asm;
+
+    #[test]
+    fn straight_line_is_fully_admissible() {
+        let p = asm::assemble("NOP;\nNOP;\nEXIT;").unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let arc = ArcAnalysis::of(&p, &bbs);
+        assert_eq!(arc.arc_fraction(), 1.0);
+        assert_eq!(arc.arc_instructions(), 3);
+    }
+
+    #[test]
+    fn nested_branch_without_loop_is_admissible() {
+        let p = asm::assemble(
+            "SSY j;\n\
+             @P0 BRA e;\n\
+             NOP;\n\
+             BRA j;\n\
+             e: NOP;\n\
+             j: SYNC;\n\
+             EXIT;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let arc = ArcAnalysis::of(&p, &bbs);
+        assert_eq!(arc.arc_fraction(), 1.0);
+    }
+
+    #[test]
+    fn loop_fraction_matches_instruction_count() {
+        // 2 preamble + 3 loop + 1 exit: ARC = 3/6.
+        let p = asm::assemble(
+            "MOV32I R1, 0;\n\
+             MOV32I R2, 5;\n\
+             top: IADD R1, R1, 0x1;\n\
+             ISETP.LT P0, R1, R2;\n\
+             @P0 BRA top;\n\
+             EXIT;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let arc = ArcAnalysis::of(&p, &bbs);
+        assert!((arc.arc_fraction() - 0.5).abs() < 1e-12, "{}", arc.arc_fraction());
+    }
+}

@@ -1,0 +1,317 @@
+//! Basic blocks and the control-flow graph.
+
+use std::collections::BTreeSet;
+
+use warpstl_isa::{Instruction, Opcode};
+
+/// The basic-block partition of a program: maximal straight-line runs with a
+/// single entry (no in-jumps) and a single exit (no out-jumps except at the
+/// end) — the paper's BB definition, with `SSY`/`SYNC` join points treated
+/// as leaders because the divergence hardware transfers control there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlocks {
+    /// Block boundaries: block `i` spans `starts[i]..starts[i + 1]`.
+    starts: Vec<usize>,
+    len: usize,
+}
+
+impl BasicBlocks {
+    /// Partitions `program` into basic blocks.
+    #[must_use]
+    pub fn of(program: &[Instruction]) -> BasicBlocks {
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        if !program.is_empty() {
+            leaders.insert(0);
+        }
+        for (pc, instr) in program.iter().enumerate() {
+            if let Some(t) = instr.target() {
+                if t < program.len() {
+                    leaders.insert(t);
+                }
+            }
+            // Control transfers end a block: the next instruction leads.
+            if matches!(
+                instr.opcode,
+                Opcode::Bra | Opcode::Cal | Opcode::Ret | Opcode::Exit | Opcode::Sync
+            ) && pc + 1 < program.len()
+            {
+                leaders.insert(pc + 1);
+            }
+        }
+        BasicBlocks {
+            starts: leaders.into_iter().collect(),
+            len: program.len(),
+        }
+    }
+
+    /// The number of blocks.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The instruction range of block `i`.
+    #[must_use]
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        let end = self.starts.get(i + 1).copied().unwrap_or(self.len);
+        self.starts[i]..end
+    }
+
+    /// The block containing instruction `pc`.
+    #[must_use]
+    pub fn block_of(&self, pc: usize) -> usize {
+        match self.starts.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Iterates block indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> {
+        0..self.count()
+    }
+}
+
+/// The control-flow graph over basic blocks, with cycle (loop) detection.
+#[derive(Debug, Clone)]
+pub struct ControlFlowGraph {
+    successors: Vec<Vec<usize>>,
+    in_cycle: Vec<bool>,
+}
+
+impl ControlFlowGraph {
+    /// Builds the CFG of `program` over its `bbs` partition.
+    ///
+    /// Edges: fall-through for non-terminating blocks, branch targets for
+    /// `BRA` (plus fall-through when guarded), call targets *and*
+    /// fall-through for `CAL` (the return resumes there), and none after
+    /// `EXIT`. `SYNC` falls through (the divergence stack's alternate paths
+    /// are already edges of the branch that pushed them).
+    #[must_use]
+    pub fn of(program: &[Instruction], bbs: &BasicBlocks) -> ControlFlowGraph {
+        let n = bbs.count();
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            let range = bbs.range(b);
+            let last_pc = range.end - 1;
+            let last = &program[last_pc];
+            let push = |succs: &mut Vec<usize>, pc: usize| {
+                if pc < program.len() {
+                    let t = bbs.block_of(pc);
+                    if !succs.contains(&t) {
+                        succs.push(t);
+                    }
+                }
+            };
+            match last.opcode {
+                Opcode::Exit | Opcode::Ret => {}
+                Opcode::Bra => {
+                    if let Some(t) = last.target() {
+                        push(&mut successors[b], t);
+                    }
+                    if !last.guard.is_always_true() {
+                        push(&mut successors[b], last_pc + 1);
+                    }
+                }
+                Opcode::Cal => {
+                    if let Some(t) = last.target() {
+                        push(&mut successors[b], t);
+                    }
+                    push(&mut successors[b], last_pc + 1);
+                }
+                _ => push(&mut successors[b], last_pc + 1),
+            }
+        }
+        let in_cycle = find_cycles(&successors);
+        ControlFlowGraph {
+            successors,
+            in_cycle,
+        }
+    }
+
+    /// The successors of block `b`.
+    #[must_use]
+    pub fn successors(&self, b: usize) -> &[usize] {
+        &self.successors[b]
+    }
+
+    /// Whether block `b` participates in a CFG cycle (a loop) — the paper's
+    /// criterion for exclusion from the ARC.
+    #[must_use]
+    pub fn in_cycle(&self, b: usize) -> bool {
+        self.in_cycle[b]
+    }
+}
+
+/// Marks nodes in non-trivial strongly connected components (or with
+/// self-loops) using Tarjan's algorithm, iteratively.
+fn find_cycles(successors: &[Vec<usize>]) -> Vec<bool> {
+    let n = successors.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut in_cycle = vec![false; n];
+    let mut counter = 0usize;
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        node: usize,
+        child: usize,
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            node: root,
+            child: 0,
+        }];
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(top) = frames.last().copied() {
+            let v = top.node;
+            if top.child < successors[v].len() {
+                let w = successors[v][top.child];
+                frames.last_mut().expect("frame").child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame { node: w, child: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    low[parent.node] = low[parent.node].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    // Root of an SCC: pop it.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC member");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic =
+                        comp.len() > 1 || successors[v].contains(&v);
+                    if cyclic {
+                        for w in comp {
+                            in_cycle[w] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    in_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_isa::asm;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = asm::assemble("NOP;\nIADD R0, R0, 0x1;\nEXIT;").unwrap();
+        let bbs = BasicBlocks::of(&p);
+        assert_eq!(bbs.count(), 1);
+        assert_eq!(bbs.range(0), 0..3);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        assert!(!cfg.in_cycle(0));
+        assert!(cfg.successors(0).is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let p = asm::assemble(
+            "ISETP.LT P0, R0, R1;\n\
+             @P0 BRA skip;\n\
+             IADD R0, R0, 0x1;\n\
+             skip: EXIT;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        // Blocks: [0..2), [2..3), [3..4).
+        assert_eq!(bbs.count(), 3);
+        assert_eq!(bbs.block_of(1), 0);
+        assert_eq!(bbs.block_of(2), 1);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        assert_eq!(cfg.successors(0), &[2, 1]);
+        assert_eq!(cfg.successors(1), &[2]);
+        assert!((0..3).all(|b| !cfg.in_cycle(b)));
+    }
+
+    #[test]
+    fn loop_is_detected() {
+        let p = asm::assemble(
+            "MOV32I R1, 0;\n\
+             top: IADD R1, R1, 0x1;\n\
+             ISETP.LT P0, R1, 0x8;\n\
+             @P0 BRA top;\n\
+             EXIT;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        let loop_block = bbs.block_of(1);
+        assert!(cfg.in_cycle(loop_block));
+        assert!(!cfg.in_cycle(bbs.block_of(0)));
+        assert!(!cfg.in_cycle(bbs.block_of(4)));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let p = asm::assemble("top: BRA top;").unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        assert!(cfg.in_cycle(0));
+    }
+
+    #[test]
+    fn sync_and_ssy_create_join_leaders() {
+        let p = asm::assemble(
+            "SSY join;\n\
+             @P0 BRA else;\n\
+             MOV32I R1, 1;\n\
+             BRA join;\n\
+             else: MOV32I R1, 2;\n\
+             join: SYNC;\n\
+             EXIT;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        // join (pc 5) is a leader; else (pc 4) is a leader.
+        assert_eq!(bbs.block_of(5), bbs.block_of(5));
+        assert_ne!(bbs.block_of(4), bbs.block_of(3));
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        assert!((0..bbs.count()).all(|b| !cfg.in_cycle(b)));
+    }
+
+    #[test]
+    fn call_has_two_successors() {
+        let p = asm::assemble(
+            "CAL sub;\n\
+             EXIT;\n\
+             sub: NOP;\n\
+             RET;",
+        )
+        .unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        assert_eq!(cfg.successors(0).len(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! The CNTRL test program: immediate, memory and register formats arranged
+//! to create special conditions for the control-flow instructions
+//! (divergence regions and parametric loops), targeting the Decoder Unit.
+//!
+//! Configured as 1 block × 1024 threads, as in the paper. The parametric
+//! loops are *inadmissible* regions: their iteration counts are computed in
+//! registers, so compaction must leave them untouched — this is why the
+//! paper reports only 90 % ARC and moderate compaction for CNTRL.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::{CmpOp, Guard, Instruction, Opcode, Pred};
+use warpstl_netlist::modules::ModuleKind;
+
+use super::{mov32i, prologue, reg, store_result, R_A, R_B, R_LOOP, R_RES, R_TID};
+use crate::Ptp;
+
+/// Configuration of the CNTRL generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CntrlConfig {
+    /// Number of divergence (if/else) regions.
+    pub regions: usize,
+    /// Number of parametric loops.
+    pub loops: usize,
+    /// Loop iterations (register-computed).
+    pub iterations: u32,
+    /// Threads per block (the paper uses 1024).
+    pub threads: usize,
+    /// Pseudorandom seed.
+    pub seed: u64,
+}
+
+impl Default for CntrlConfig {
+    fn default() -> Self {
+        CntrlConfig {
+            regions: 8,
+            loops: 2,
+            iterations: 4,
+            threads: 1024,
+            seed: 0x5555_6666,
+        }
+    }
+}
+
+/// Generates the CNTRL PTP.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_cntrl, CntrlConfig};
+/// use warpstl_programs::{ArcAnalysis, BasicBlocks};
+///
+/// let ptp = generate_cntrl(&CntrlConfig::default());
+/// let bbs = BasicBlocks::of(&ptp.program);
+/// let arc = ArcAnalysis::of(&ptp.program, &bbs);
+/// // Divergence regions are admissible, parametric loops are not.
+/// assert!(arc.arc_fraction() > 0.7 && arc.arc_fraction() < 1.0);
+/// ```
+#[must_use]
+pub fn generate_cntrl(config: &CntrlConfig) -> Ptp {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut program = prologue(None);
+    let mut loops_emitted = 0usize;
+
+    let loop_every = (config.regions / config.loops.max(1)).max(1);
+    for r in 0..config.regions {
+        emit_divergence_region(&mut program, &mut rng, r);
+        if r % loop_every == 0 && loops_emitted < config.loops {
+            emit_parametric_loop(&mut program, &mut rng, config.iterations);
+            loops_emitted += 1;
+        }
+    }
+    // One barrier exercise (BAR is a control format too).
+    program.push(Instruction::bare(Opcode::Bar));
+    program.push(Instruction::bare(Opcode::Exit));
+
+    Ptp::new(
+        "CNTRL",
+        ModuleKind::DecoderUnit,
+        KernelConfig::new(1, config.threads),
+        program,
+    )
+}
+
+/// Emits `SSY join; ISETP; @P1 BRA then; <else SB>; BRA join; then: <then
+/// SB>; join: SYNC;` with targets computed eagerly.
+fn emit_divergence_region(program: &mut Vec<Instruction>, rng: &mut StdRng, region: usize) {
+    let p1 = Pred::new(1);
+    // Thread-dependent condition over the tid.
+    let threshold = rng.gen_range(1..1024);
+    let cond = Instruction::build(Opcode::Isetp)
+        .cmp(CmpOp::ALL[region % CmpOp::ALL.len()])
+        .pdst(p1)
+        .src(reg(R_TID))
+        .src(threshold)
+        .finish()
+        .expect("ISETP");
+
+    // Bodies are small SBs (load, op, store).
+    let else_body = region_body(rng, 0x0bad_0000 + region as u32);
+    let then_body = region_body(rng, 0x600d_0000 + region as u32);
+
+    let ssy_pc = program.len();
+    let bra_then_pc = ssy_pc + 2;
+    let else_start = bra_then_pc + 1;
+    let bra_join_pc = else_start + else_body.len();
+    let then_start = bra_join_pc + 1;
+    let join_pc = then_start + then_body.len();
+
+    program.push(
+        Instruction::build(Opcode::Ssy)
+            .src(join_pc as i32)
+            .finish()
+            .expect("SSY"),
+    );
+    program.push(cond);
+    program.push(
+        Instruction::build(Opcode::Bra)
+            .guard(Guard::on(p1))
+            .src(then_start as i32)
+            .finish()
+            .expect("BRA"),
+    );
+    program.extend(else_body);
+    program.push(
+        Instruction::build(Opcode::Bra)
+            .src(join_pc as i32)
+            .finish()
+            .expect("BRA"),
+    );
+    program.extend(then_body);
+    debug_assert_eq!(program.len(), join_pc);
+    program.push(Instruction::bare(Opcode::Sync));
+}
+
+fn region_body(rng: &mut StdRng, tag: u32) -> Vec<Instruction> {
+    // Self-contained: R_RES seeds from this body's own loads.
+    let mut body = vec![
+        mov32i(R_A, tag ^ rng.gen::<u32>()),
+        mov32i(R_B, rng.gen()),
+        Instruction::build(Opcode::Xor)
+            .dst(reg(R_RES))
+            .src(reg(R_A))
+            .src(reg(R_B))
+            .finish()
+            .expect("seed op"),
+    ];
+    for _ in 0..rng.gen_range(1..=3) {
+        let ops = [Opcode::Iadd, Opcode::Xor, Opcode::And, Opcode::Or, Opcode::Isub];
+        body.push(
+            Instruction::build(ops[rng.gen_range(0..ops.len())])
+                .dst(reg(R_RES))
+                .src(reg([R_A, R_B, R_RES][rng.gen_range(0..3)]))
+                .src(reg([R_A, R_B][rng.gen_range(0..2)]))
+                .finish()
+                .expect("op"),
+        );
+    }
+    body.push(store_result(R_RES));
+    body
+}
+
+/// Emits a parametric loop: the iteration count lives in `R8`, so the body
+/// is inadmissible for compaction.
+fn emit_parametric_loop(program: &mut Vec<Instruction>, rng: &mut StdRng, iterations: u32) {
+    let p2 = Pred::new(2);
+    program.push(mov32i(R_LOOP, iterations));
+    let top = program.len();
+    // Loop body: a small SB.
+    program.push(mov32i(R_A, rng.gen()));
+    program.push(
+        Instruction::build(Opcode::Xor)
+            .dst(reg(R_RES))
+            .src(reg(R_A))
+            .src(reg(R_LOOP))
+            .finish()
+            .expect("XOR"),
+    );
+    program.push(store_result(R_RES));
+    program.push(
+        Instruction::build(Opcode::Iadd)
+            .dst(reg(R_LOOP))
+            .src(reg(R_LOOP))
+            .src(-1)
+            .finish()
+            .expect("IADD"),
+    );
+    program.push(
+        Instruction::build(Opcode::Isetp)
+            .cmp(CmpOp::Gt)
+            .pdst(p2)
+            .src(reg(R_LOOP))
+            .src(0)
+            .finish()
+            .expect("ISETP"),
+    );
+    program.push(
+        Instruction::build(Opcode::Bra)
+            .guard(Guard::on(p2))
+            .src(top as i32)
+            .finish()
+            .expect("BRA"),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArcAnalysis, BasicBlocks, ControlFlowGraph};
+    use warpstl_gpu::{Gpu, GpuConfig, RunOptions};
+
+    fn small() -> CntrlConfig {
+        CntrlConfig {
+            regions: 3,
+            loops: 1,
+            iterations: 3,
+            threads: 64,
+            ..CntrlConfig::default()
+        }
+    }
+
+    #[test]
+    fn divergence_reconverges_and_terminates() {
+        let ptp = generate_cntrl(&small());
+        let kernel = ptp.to_kernel().unwrap();
+        let mut config = GpuConfig::default();
+        config.max_cycles = 50_000_000;
+        let r = Gpu::new(config).run(&kernel, &RunOptions::default()).unwrap();
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn loops_are_inadmissible() {
+        let ptp = generate_cntrl(&small());
+        let bbs = BasicBlocks::of(&ptp.program);
+        let cfg = ControlFlowGraph::of(&ptp.program, &bbs);
+        let cyclic = bbs.iter().filter(|&b| cfg.in_cycle(b)).count();
+        assert!(cyclic >= 1, "no loop blocks found");
+        let arc = ArcAnalysis::of(&ptp.program, &bbs);
+        assert!(arc.arc_fraction() < 1.0);
+    }
+
+    #[test]
+    fn both_branch_sides_execute() {
+        // With 64 threads and tid-dependent conditions, divergence happens;
+        // both sides store, so outputs must be nonzero for all threads.
+        let ptp = generate_cntrl(&small());
+        let kernel = ptp.to_kernel().unwrap();
+        let r = Gpu::default().run(&kernel, &RunOptions::default()).unwrap();
+        let nonzero = (0..64u64)
+            .filter(|t| {
+                r.global_mem
+                    .load_word(super::super::OUT_BASE + t * 4)
+                    .unwrap()
+                    != 0
+            })
+            .count();
+        assert!(nonzero >= 60, "only {nonzero} threads stored");
+    }
+
+    #[test]
+    fn uses_control_formats() {
+        let ptp = generate_cntrl(&small());
+        for op in [Opcode::Ssy, Opcode::Bra, Opcode::Sync, Opcode::Bar, Opcode::Exit] {
+            assert!(ptp.program.iter().any(|i| i.opcode == op), "missing {op}");
+        }
+    }
+}

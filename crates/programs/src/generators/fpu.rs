@@ -1,0 +1,170 @@
+//! The FPU test program (extension): pseudorandom FP32 operations
+//! targeting the FP32 units paired with the SP cores.
+//!
+//! The paper's evaluated STL covers the DU, the SP cores and the SFUs; the
+//! FP32 units are the remaining functional units of the FlexGripPlus SM.
+//! This generator follows the RAND recipe — self-contained
+//! load–operate–store Small Blocks with per-thread operand variation — so
+//! the same compaction flow applies unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::{CmpOp, Instruction, Opcode};
+use warpstl_netlist::modules::ModuleKind;
+
+use super::{mov32i, prologue, reg, store_result, R_A, R_B, R_C, R_RES};
+use crate::Ptp;
+
+/// Configuration of the FPU generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpuConfig {
+    /// Number of Small Blocks.
+    pub sb_count: usize,
+    /// Pseudorandom seed.
+    pub seed: u64,
+    /// Threads per block.
+    pub threads: usize,
+}
+
+impl Default for FpuConfig {
+    fn default() -> Self {
+        FpuConfig {
+            sb_count: 64,
+            seed: 0xeeee_ffff,
+            threads: 32,
+        }
+    }
+}
+
+/// FP32-unit operations the body draws from.
+const FP_OPS: [Opcode; 6] = [
+    Opcode::Fadd,
+    Opcode::Fmul,
+    Opcode::Ffma,
+    Opcode::Fmnmx,
+    Opcode::Fadd32i,
+    Opcode::Fmul32i,
+];
+
+/// Generates the FPU PTP.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_fpu, FpuConfig};
+/// use warpstl_netlist::modules::ModuleKind;
+///
+/// let ptp = generate_fpu(&FpuConfig { sb_count: 8, ..FpuConfig::default() });
+/// assert_eq!(ptp.target, ModuleKind::Fp32);
+/// ```
+#[must_use]
+pub fn generate_fpu(config: &FpuConfig) -> Ptp {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut program = prologue(None);
+
+    for _ in 0..config.sb_count {
+        // Load phase: random IEEE-754 bit patterns (covering the full
+        // encoding space exercises the unpack/align logic hardest),
+        // per-thread varied through the tid mix.
+        program.push(mov32i(R_A, rng.gen()));
+        program.push(mov32i(R_B, rng.gen()));
+        program.push(mov32i(R_C, rng.gen()));
+        program.push(mov32i(R_RES, rng.gen()));
+        program.push(
+            Instruction::build(Opcode::Xor)
+                .dst(reg(R_A))
+                .src(reg(R_A))
+                .src(reg(super::R_TID))
+                .finish()
+                .expect("lane mix"),
+        );
+
+        for _ in 0..rng.gen_range(8..=11) {
+            let op = FP_OPS[rng.gen_range(0..FP_OPS.len())];
+            let srcs = [R_A, R_B, R_C, R_RES];
+            let mut b = Instruction::build(op)
+                .dst(reg(srcs[rng.gen_range(0..4)]))
+                .src(reg(srcs[rng.gen_range(0..4)]));
+            b = match op {
+                Opcode::Fadd32i | Opcode::Fmul32i => b.src(rng.gen::<i32>()),
+                Opcode::Ffma => b
+                    .src(reg(srcs[rng.gen_range(0..4)]))
+                    .src(reg(srcs[rng.gen_range(0..4)])),
+                Opcode::Fmnmx => {
+                    let cmp = if rng.gen() { CmpOp::Lt } else { CmpOp::Gt };
+                    b.cmp(cmp).src(reg(srcs[rng.gen_range(0..4)]))
+                }
+                _ => b.src(reg(srcs[rng.gen_range(0..4)])),
+            };
+            program.push(b.finish().expect("FP op"));
+        }
+        program.push(
+            Instruction::build(Opcode::Xor)
+                .dst(reg(R_RES))
+                .src(reg(R_RES))
+                .src(reg(R_A))
+                .finish()
+                .expect("fold"),
+        );
+        program.push(store_result(R_RES));
+    }
+    program.push(Instruction::bare(Opcode::Exit));
+
+    Ptp::new(
+        "FPU",
+        ModuleKind::Fp32,
+        KernelConfig::new(1, config.threads),
+        program,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_gpu::{Gpu, RunOptions};
+
+    #[test]
+    fn all_fp32_units_receive_patterns() {
+        let ptp = generate_fpu(&FpuConfig {
+            sb_count: 4,
+            ..FpuConfig::default()
+        });
+        let kernel = ptp.to_kernel().unwrap();
+        let opts = RunOptions {
+            capture_fp32: true,
+            ..RunOptions::default()
+        };
+        let r = Gpu::default().run(&kernel, &opts).unwrap();
+        for (i, s) in r.patterns.fp32.iter().enumerate() {
+            assert!(!s.is_empty(), "FP32 unit {i} received no patterns");
+        }
+    }
+
+    #[test]
+    fn ffma_captures_two_patterns() {
+        let src = "MOV32I R1, 0x3f800000;\n\
+                   FFMA R2, R1, R1, R1;\n\
+                   EXIT;";
+        let program = warpstl_isa::asm::assemble(src).unwrap();
+        let kernel = warpstl_gpu::Kernel::new("f", program, KernelConfig::new(1, 8));
+        let opts = RunOptions {
+            capture_fp32: true,
+            ..RunOptions::default()
+        };
+        let r = Gpu::default().run(&kernel, &opts).unwrap();
+        // One FFMA over 8 threads on 8 units: 1 thread per unit, 2 patterns
+        // (multiply + add) each.
+        assert_eq!(r.patterns.fp32[0].len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = FpuConfig {
+            sb_count: 5,
+            ..FpuConfig::default()
+        };
+        assert_eq!(generate_fpu(&cfg).program, generate_fpu(&cfg).program);
+    }
+}

@@ -1,0 +1,301 @@
+//! The IMM test program: pseudorandom coverage of every instruction format
+//! with at least one immediate operand, plus register-based formats
+//! (targeting the Decoder Unit).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::{CmpOp, Guard, Instruction, Opcode, Pred};
+use warpstl_netlist::modules::ModuleKind;
+
+use super::{mov32i, prologue, reg, store_result, R_A, R_B, R_C, R_RES};
+use crate::Ptp;
+
+/// Configuration of the IMM generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImmConfig {
+    /// Number of Small Blocks (each 15–18 instructions, as in the paper).
+    pub sb_count: usize,
+    /// Pseudorandom seed.
+    pub seed: u64,
+    /// Threads per block (the paper uses 1 block × 32 threads).
+    pub threads: usize,
+}
+
+impl Default for ImmConfig {
+    fn default() -> Self {
+        ImmConfig {
+            sb_count: 64,
+            seed: 0x1111_2222,
+            threads: 32,
+        }
+    }
+}
+
+/// Opcodes usable in the pseudorandom body, grouped by operand shape.
+const IMM32_OPS: [Opcode; 7] = [
+    Opcode::Iadd32i,
+    Opcode::Imul32i,
+    Opcode::And32i,
+    Opcode::Or32i,
+    Opcode::Xor32i,
+    Opcode::Fadd32i,
+    Opcode::Fmul32i,
+];
+const IMM16_OPS: [Opcode; 9] = [
+    Opcode::Iadd,
+    Opcode::Isub,
+    Opcode::Imul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Imnmx,
+];
+const REG_OPS: [Opcode; 10] = [
+    Opcode::Iadd,
+    Opcode::Isub,
+    Opcode::Imul,
+    Opcode::Imad,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Fadd,
+    Opcode::Fmul,
+    Opcode::Ffma,
+];
+const UNARY_OPS: [Opcode; 6] = [
+    Opcode::Not,
+    Opcode::Iabs,
+    Opcode::Mov,
+    Opcode::I2f,
+    Opcode::I2i,
+    Opcode::F2f,
+];
+
+/// Generates the IMM PTP.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_imm, ImmConfig};
+///
+/// let ptp = generate_imm(&ImmConfig { sb_count: 8, ..ImmConfig::default() });
+/// assert_eq!(ptp.name, "IMM");
+/// // 15-18 instructions per SB plus prologue and EXIT.
+/// assert!(ptp.size() >= 8 * 15);
+/// ```
+#[must_use]
+pub fn generate_imm(config: &ImmConfig) -> Ptp {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut program = prologue(None);
+
+    for _ in 0..config.sb_count {
+        emit_sb(&mut program, &mut rng);
+    }
+    program.push(Instruction::bare(Opcode::Exit));
+
+    Ptp::new(
+        "IMM",
+        ModuleKind::DecoderUnit,
+        KernelConfig::new(1, config.threads),
+        program,
+    )
+}
+
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    CmpOp::ALL[rng.gen_range(0..CmpOp::ALL.len())]
+}
+
+fn random_src(rng: &mut StdRng) -> u8 {
+    [R_A, R_B, R_C, R_RES][rng.gen_range(0..4)]
+}
+
+fn random_dst(rng: &mut StdRng) -> u8 {
+    [R_A, R_B, R_C, R_RES][rng.gen_range(0..4)]
+}
+
+fn emit_sb(program: &mut Vec<Instruction>, rng: &mut StdRng) {
+    // Load phase: fresh pseudorandom operands. Every register and predicate
+    // the SB can read is defined here, so SBs carry no data dependence on
+    // one another (the paper's SBs are self-contained load–operate–store
+    // units; this is what makes them individually removable).
+    program.push(mov32i(R_A, rng.gen()));
+    program.push(mov32i(R_B, rng.gen()));
+    program.push(mov32i(R_C, rng.gen()));
+    program.push(mov32i(R_RES, rng.gen()));
+    program.push(
+        Instruction::build(Opcode::Isetp)
+            .cmp(random_cmp(rng))
+            .pdst(Pred::new(1))
+            .src(reg(R_A))
+            .src(reg(R_B))
+            .finish()
+            .expect("P1 define"),
+    );
+
+    // Operate phase: 8 to 11 pseudorandom operations mixing formats.
+    let body = rng.gen_range(8..=11);
+    for _ in 0..body {
+        let instr = match rng.gen_range(0..6) {
+            0 => {
+                let op = IMM32_OPS[rng.gen_range(0..IMM32_OPS.len())];
+                Instruction::build(op)
+                    .dst(reg(random_dst(rng)))
+                    .src(reg(random_src(rng)))
+                    .src(rng.gen::<i32>())
+                    .finish()
+                    .expect("imm32 op")
+            }
+            1 => {
+                let op = IMM16_OPS[rng.gen_range(0..IMM16_OPS.len())];
+                let mut b = Instruction::build(op)
+                    .dst(reg(random_dst(rng)))
+                    .src(reg(random_src(rng)))
+                    .src(rng.gen_range(-(1 << 15)..(1 << 15)));
+                if op.has_cmp_modifier() {
+                    b = b.cmp(random_cmp(rng));
+                }
+                b.finish().expect("imm16 op")
+            }
+            2 => {
+                let op = REG_OPS[rng.gen_range(0..REG_OPS.len())];
+                let mut b = Instruction::build(op)
+                    .dst(reg(random_dst(rng)))
+                    .src(reg(random_src(rng)))
+                    .src(reg(random_src(rng)));
+                if matches!(op, Opcode::Imad | Opcode::Ffma) {
+                    b = b.src(reg(random_src(rng)));
+                }
+                b.finish().expect("reg op")
+            }
+            3 => {
+                let op = UNARY_OPS[rng.gen_range(0..UNARY_OPS.len())];
+                Instruction::build(op)
+                    .dst(reg(random_dst(rng)))
+                    .src(reg(random_src(rng)))
+                    .finish()
+                    .expect("unary op")
+            }
+            4 => {
+                // Predicate-setting compare, immediate or register form.
+                let p = Pred::new(rng.gen_range(1..4));
+                let mut b = Instruction::build(Opcode::Isetp)
+                    .cmp(random_cmp(rng))
+                    .pdst(p)
+                    .src(reg(random_src(rng)));
+                if rng.gen() {
+                    b = b.src(rng.gen_range(-(1 << 15)..(1 << 15)));
+                } else {
+                    b = b.src(reg(random_src(rng)));
+                }
+                b.finish().expect("ISETP")
+            }
+            _ => {
+                // Occasionally a guarded op or a SEL consuming a predicate.
+                // Only P1 is read: the SB defines it in its load phase, so
+                // the dependence stays SB-local.
+                let p = Pred::new(1);
+                if rng.gen() {
+                    Instruction::build(Opcode::Sel)
+                        .dst(reg(random_dst(rng)))
+                        .src(reg(random_src(rng)))
+                        .src(reg(random_src(rng)))
+                        .psrc(p)
+                        .finish()
+                        .expect("SEL")
+                } else {
+                    let guard = if rng.gen() {
+                        Guard::on(p)
+                    } else {
+                        Guard::negated(p)
+                    };
+                    Instruction::build(Opcode::Iadd32i)
+                        .guard(guard)
+                        .dst(reg(random_dst(rng)))
+                        .src(reg(random_src(rng)))
+                        .src(rng.gen::<i32>())
+                        .finish()
+                        .expect("guarded op")
+                }
+            }
+        };
+        program.push(instr);
+    }
+
+    // Fold the operands into the result so the body is not dead code, then
+    // propagate.
+    program.push(
+        Instruction::build(Opcode::Xor)
+            .dst(reg(R_RES))
+            .src(reg(R_A))
+            .src(reg(R_B))
+            .finish()
+            .expect("fold"),
+    );
+    program.push(store_result(R_RES));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{segment_small_blocks, BasicBlocks};
+    use warpstl_isa::InstrFormat;
+
+    #[test]
+    fn covers_every_imm32_format() {
+        let ptp = generate_imm(&ImmConfig {
+            sb_count: 40,
+            ..ImmConfig::default()
+        });
+        for op in IMM32_OPS {
+            assert!(
+                ptp.program.iter().any(|i| i.opcode == op),
+                "missing {op}"
+            );
+        }
+        // The paper's IMM also includes register-based instructions.
+        let has_reg = ptp
+            .program
+            .iter()
+            .any(|i| InstrFormat::of(i) == InstrFormat::Register);
+        assert!(has_reg);
+    }
+
+    #[test]
+    fn sb_sizes_match_the_paper_band() {
+        let ptp = generate_imm(&ImmConfig {
+            sb_count: 30,
+            ..ImmConfig::default()
+        });
+        let bbs = BasicBlocks::of(&ptp.program);
+        let sbs = segment_small_blocks(&ptp.program, &bbs);
+        assert_eq!(sbs.len(), 30);
+        for sb in &sbs[1..] {
+            // The paper: SBs of 15 to 18 instructions.
+            assert!(
+                (15..=18).contains(&sb.len()),
+                "SB of {} instructions",
+                sb.len()
+            );
+        }
+    }
+
+    #[test]
+    fn never_clobbers_reserved_registers() {
+        let ptp = generate_imm(&ImmConfig {
+            sb_count: 50,
+            ..ImmConfig::default()
+        });
+        for i in &ptp.program[4..] {
+            if let Some(d) = i.dst {
+                assert!(
+                    (1..=4).contains(&d.index()),
+                    "{i} writes reserved {d}"
+                );
+            }
+        }
+    }
+}

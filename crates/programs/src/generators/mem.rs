@@ -1,0 +1,257 @@
+//! The MEM test program: pseudorandom memory-access formats (global and
+//! shared) targeting the Decoder Unit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::{Instruction, Opcode};
+use warpstl_netlist::modules::ModuleKind;
+
+use super::{prologue, reg, store_result, INPUT_BASE, R_A, R_B, R_C, R_RES, R_SLOT, R_T4};
+use crate::{Ptp, SbSlots};
+
+/// Configuration of the MEM generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of Small Blocks.
+    pub sb_count: usize,
+    /// Pseudorandom seed.
+    pub seed: u64,
+    /// Threads per block.
+    pub threads: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            sb_count: 64,
+            seed: 0x3333_4444,
+            threads: 32,
+        }
+    }
+}
+
+/// Words each SB reads from its global-memory input slot.
+pub const WORDS_PER_SB: usize = 2;
+
+/// Generates the MEM PTP.
+///
+/// Each SB loads two pseudorandom words from its per-thread input slot,
+/// exercises shared-memory traffic and a couple of operations, and
+/// propagates the result; input data lives in [`SbSlots`] layout so the
+/// compaction flow can relocate it when SBs are removed.
+///
+/// # Panics
+///
+/// Panics if `sb_count * WORDS_PER_SB` exceeds the 16-bit offset reach
+/// (8192 slots of two words).
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_mem, MemConfig};
+///
+/// let ptp = generate_mem(&MemConfig { sb_count: 8, ..MemConfig::default() });
+/// assert!(ptp.sb_slots.is_some());
+/// assert!(!ptp.global_init.is_empty());
+/// ```
+#[must_use]
+pub fn generate_mem(config: &MemConfig) -> Ptp {
+    assert!(
+        config.sb_count * WORDS_PER_SB * 4 <= u16::MAX as usize + 1,
+        "SB slots exceed the 16-bit offset reach"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Per-thread slot stride, padded to a power of two so the prologue can
+    // compute it with a shift.
+    let words = (config.sb_count * WORDS_PER_SB).next_power_of_two();
+    let shift = (words * 4).trailing_zeros();
+    let slots = SbSlots {
+        base: INPUT_BASE,
+        base_reg: R_SLOT,
+        words_per_sb: WORDS_PER_SB,
+        sb_count: config.sb_count,
+        stride_words: words,
+        threads: config.threads,
+    };
+
+    let mut program = prologue(Some(shift));
+    for k in 0..config.sb_count {
+        emit_sb(&mut program, &mut rng, k);
+    }
+    program.push(Instruction::bare(Opcode::Exit));
+
+    // Input data: pseudorandom words per (thread, SB, word). The layout is
+    // thread-major to match SbSlots::addr with a power-of-two thread stride.
+    let mut global_init = Vec::new();
+    for t in 0..config.threads {
+        for k in 0..config.sb_count {
+            for w in 0..WORDS_PER_SB {
+                let addr = INPUT_BASE
+                    + (t * words) as u64 * 4
+                    + ((k * WORDS_PER_SB + w) as u64) * 4;
+                global_init.push((addr, rng.gen()));
+            }
+        }
+    }
+
+    let mut ptp = Ptp::new(
+        "MEM",
+        ModuleKind::DecoderUnit,
+        KernelConfig::new(1, config.threads),
+        program,
+    );
+    ptp.global_init = global_init;
+    ptp.sb_slots = Some(slots);
+    ptp
+}
+
+fn emit_sb(program: &mut Vec<Instruction>, rng: &mut StdRng, k: usize) {
+    let off = (k * WORDS_PER_SB * 4) as u16;
+    let mut push = |i: Instruction| program.push(i);
+
+    // Load phase: two global words from the SB's slot.
+    push(
+        Instruction::build(Opcode::Ldg)
+            .dst(reg(R_A))
+            .mem(reg(R_SLOT), off)
+            .finish()
+            .expect("LDG"),
+    );
+    push(
+        Instruction::build(Opcode::Ldg)
+            .dst(reg(R_B))
+            .mem(reg(R_SLOT), off + 4)
+            .finish()
+            .expect("LDG"),
+    );
+    // Shared-memory round trip at the thread's own slot.
+    push(
+        Instruction::build(Opcode::Sts)
+            .mem(reg(R_T4), 0)
+            .src(reg(R_A))
+            .finish()
+            .expect("STS"),
+    );
+    push(
+        Instruction::build(Opcode::Lds)
+            .dst(reg(R_C))
+            .mem(reg(R_T4), 0)
+            .finish()
+            .expect("LDS"),
+    );
+    // Occasionally exercise the local-memory format too.
+    if k % 4 == 0 {
+        push(
+            Instruction::build(Opcode::Stl)
+                .mem(reg(R_T4), 0)
+                .src(reg(R_B))
+                .finish()
+                .expect("STL"),
+        );
+        push(
+            Instruction::build(Opcode::Ldl)
+                .dst(reg(R_B))
+                .mem(reg(R_T4), 0)
+                .finish()
+                .expect("LDL"),
+        );
+    }
+
+    // Operate phase: the first operation defines R_RES from this SB's own
+    // loads (no cross-SB dependence), then a few dependent operations.
+    push(
+        Instruction::build(Opcode::Iadd)
+            .dst(reg(R_RES))
+            .src(reg(R_A))
+            .src(reg(R_B))
+            .finish()
+            .expect("seed op"),
+    );
+    let ops = [Opcode::Iadd, Opcode::Xor, Opcode::Isub, Opcode::And, Opcode::Or];
+    for _ in 0..rng.gen_range(5..=8) {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let srcs = [R_A, R_B, R_C, R_RES];
+        push(
+            Instruction::build(op)
+                .dst(reg(R_RES))
+                .src(reg(srcs[rng.gen_range(0..4)]))
+                .src(reg(srcs[rng.gen_range(0..4)]))
+                .finish()
+                .expect("op"),
+        );
+    }
+    push(store_result(R_RES));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{segment_small_blocks, BasicBlocks};
+    use warpstl_gpu::{Gpu, RunOptions};
+
+    #[test]
+    fn sb_count_matches() {
+        let ptp = generate_mem(&MemConfig {
+            sb_count: 12,
+            ..MemConfig::default()
+        });
+        let bbs = BasicBlocks::of(&ptp.program);
+        let sbs = segment_small_blocks(&ptp.program, &bbs);
+        // Stores split runs: the STS ends one segment, the optional STL (on
+        // every fourth SB) another, and the final STG a third. 12 logical
+        // SBs = 24 store-terminated segments + 3 STL segments.
+        assert_eq!(sbs.len(), 27);
+    }
+
+    #[test]
+    fn loads_see_initialized_data() {
+        let ptp = generate_mem(&MemConfig {
+            sb_count: 4,
+            ..MemConfig::default()
+        });
+        let kernel = ptp.to_kernel().unwrap();
+        let r = Gpu::default().run(&kernel, &RunOptions::default()).unwrap();
+        // Every thread stored a result derived from nonzero random data.
+        let nonzero = (0..32u64)
+            .filter(|t| {
+                r.global_mem
+                    .load_word(super::super::OUT_BASE + t * 4)
+                    .unwrap()
+                    != 0
+            })
+            .count();
+        assert!(nonzero > 16, "only {nonzero} nonzero results");
+    }
+
+    #[test]
+    fn slot_layout_is_consistent_with_init() {
+        let cfg = MemConfig {
+            sb_count: 8,
+            threads: 4,
+            ..MemConfig::default()
+        };
+        let ptp = generate_mem(&cfg);
+        let slots = ptp.sb_slots.unwrap();
+        // The generator's addressing (power-of-two stride) must cover the
+        // words SbSlots says each SB reads... verify every init address is
+        // unique and word-aligned.
+        let mut addrs: Vec<u64> = ptp.global_init.iter().map(|&(a, _)| a).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), ptp.global_init.len());
+        assert!(addrs.iter().all(|a| a % 4 == 0));
+        assert_eq!(slots.sb_count, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit offset")]
+    fn oversized_slot_array_panics() {
+        let _ = generate_mem(&MemConfig {
+            sb_count: 9000,
+            ..MemConfig::default()
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! The six PTP generators of the paper's STL.
+//!
+//! All generators are deterministic given their seed, use the same register
+//! conventions, and emit the paper's Small-Block structure (load operands →
+//! operate → propagate to an observable point) inside fully admissible
+//! straight-line regions — except CNTRL, which deliberately contains
+//! divergence regions and parametric loops.
+//!
+//! Register conventions:
+//!
+//! | register | role |
+//! |---|---|
+//! | `R0` | thread id |
+//! | `R1`–`R3` | test operands |
+//! | `R4` | test result |
+//! | `R5` | per-thread input-slot base (memory-fed PTPs) |
+//! | `R6` | per-thread output address |
+//! | `R7` | `tid * 4` scratch |
+//! | `R8` | loop counter (CNTRL) |
+
+mod cntrl;
+mod fpu;
+mod imm;
+mod mem;
+mod rand_sp;
+mod sfu_imm;
+mod tpgen;
+
+pub use cntrl::{generate_cntrl, CntrlConfig};
+pub use fpu::{generate_fpu, FpuConfig};
+pub use imm::{generate_imm, ImmConfig};
+pub use mem::{generate_mem, MemConfig};
+pub use rand_sp::{generate_rand_sp, RandConfig};
+pub use sfu_imm::{generate_sfu_imm, generate_sfu_imm_with_stats, SfuImmConfig};
+pub use tpgen::{generate_tpgen, generate_tpgen_with_stats, TpgenConfig};
+
+use warpstl_isa::{Instruction, Opcode, Reg, SpecialReg};
+
+/// Byte address where per-SB input slots start.
+pub const INPUT_BASE: u64 = 0;
+/// Byte address of the per-thread output words.
+pub const OUT_BASE: u64 = 0x8_0000;
+
+pub(crate) const R_TID: u8 = 0;
+pub(crate) const R_A: u8 = 1;
+pub(crate) const R_B: u8 = 2;
+pub(crate) const R_C: u8 = 3;
+pub(crate) const R_RES: u8 = 4;
+pub(crate) const R_SLOT: u8 = 5;
+pub(crate) const R_OUT: u8 = 6;
+pub(crate) const R_T4: u8 = 7;
+pub(crate) const R_LOOP: u8 = 8;
+
+pub(crate) fn reg(r: u8) -> Reg {
+    Reg::new(r)
+}
+
+/// `MOV32I Rd, value`.
+pub(crate) fn mov32i(rd: u8, value: u32) -> Instruction {
+    Instruction::build(Opcode::Mov32i)
+        .dst(reg(rd))
+        .src(value as i32)
+        .finish()
+        .expect("valid MOV32I")
+}
+
+/// `STG [R_OUT], Rs` — the standard result propagation.
+pub(crate) fn store_result(rs: u8) -> Instruction {
+    Instruction::build(Opcode::Stg)
+        .mem(reg(R_OUT), 0)
+        .src(reg(rs))
+        .finish()
+        .expect("valid STG")
+}
+
+/// The common prologue: `R0 = tid`, `R7 = tid * 4`, `R6 = OUT_BASE + R7`,
+/// and optionally `R5 = INPUT_BASE + tid << slot_shift`.
+pub(crate) fn prologue(slot_shift: Option<u32>) -> Vec<Instruction> {
+    let mut p = vec![
+        Instruction::build(Opcode::S2r)
+            .dst(reg(R_TID))
+            .special(SpecialReg::TidX)
+            .finish()
+            .expect("S2R"),
+        Instruction::build(Opcode::Shl)
+            .dst(reg(R_T4))
+            .src(reg(R_TID))
+            .src(2)
+            .finish()
+            .expect("SHL"),
+        mov32i(R_OUT, OUT_BASE as u32),
+        Instruction::build(Opcode::Iadd)
+            .dst(reg(R_OUT))
+            .src(reg(R_OUT))
+            .src(reg(R_T4))
+            .finish()
+            .expect("IADD"),
+    ];
+    if let Some(shift) = slot_shift {
+        p.push(
+            Instruction::build(Opcode::Shl)
+                .dst(reg(R_SLOT))
+                .src(reg(R_TID))
+                .src(shift as i32)
+                .finish()
+                .expect("SHL"),
+        );
+        if INPUT_BASE != 0 {
+            p.push(
+                Instruction::build(Opcode::Iadd32i)
+                    .dst(reg(R_SLOT))
+                    .src(reg(R_SLOT))
+                    .src(INPUT_BASE as i32)
+                    .finish()
+                    .expect("IADD32I"),
+            );
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{segment_small_blocks, ArcAnalysis, BasicBlocks};
+    use warpstl_gpu::{Gpu, RunOptions};
+
+    /// Shared sanity harness: a generated PTP must assemble, run, and have
+    /// the declared structure.
+    fn check_runs(ptp: &crate::Ptp) -> warpstl_gpu::RunResult {
+        let kernel = ptp.to_kernel().expect("kernel");
+        Gpu::default()
+            .run(&kernel, &RunOptions::capture_all())
+            .unwrap_or_else(|e| panic!("{}: {e}", ptp.name))
+    }
+
+    #[test]
+    fn all_generators_produce_runnable_ptps() {
+        let ptps = vec![
+            generate_imm(&ImmConfig {
+                sb_count: 6,
+                ..ImmConfig::default()
+            }),
+            generate_mem(&MemConfig {
+                sb_count: 6,
+                ..MemConfig::default()
+            }),
+            generate_cntrl(&CntrlConfig {
+                regions: 2,
+                loops: 1,
+                threads: 64,
+                ..CntrlConfig::default()
+            }),
+            generate_rand_sp(&RandConfig {
+                sb_count: 6,
+                ..RandConfig::default()
+            }),
+            generate_tpgen(&TpgenConfig {
+                max_patterns: 5,
+                ..TpgenConfig::default()
+            }),
+            generate_sfu_imm(&SfuImmConfig {
+                max_patterns: 5,
+                ..SfuImmConfig::default()
+            }),
+        ];
+        for ptp in &ptps {
+            let r = check_runs(ptp);
+            assert!(r.cycles > 0, "{}", ptp.name);
+            let bbs = BasicBlocks::of(&ptp.program);
+            let sbs = segment_small_blocks(&ptp.program, &bbs);
+            assert!(!sbs.is_empty(), "{} has no SBs", ptp.name);
+            let arc = ArcAnalysis::of(&ptp.program, &bbs);
+            assert!(arc.arc_fraction() > 0.5, "{}", ptp.name);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = generate_imm(&ImmConfig {
+            sb_count: 4,
+            ..ImmConfig::default()
+        });
+        let b = generate_imm(&ImmConfig {
+            sb_count: 4,
+            ..ImmConfig::default()
+        });
+        assert_eq!(a.program, b.program);
+        let c = generate_imm(&ImmConfig {
+            sb_count: 4,
+            seed: 1234,
+            ..ImmConfig::default()
+        });
+        assert_ne!(a.program, c.program);
+    }
+
+    #[test]
+    fn prologue_shapes() {
+        assert_eq!(prologue(None).len(), 4);
+        assert_eq!(prologue(Some(5)).len(), 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! The RAND test program: pseudorandom SP-core operations designed to test
+//! all SP cores of the SM.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::{CmpOp, Instruction, Opcode};
+use warpstl_netlist::modules::ModuleKind;
+
+use super::{mov32i, prologue, reg, store_result, R_A, R_B, R_C, R_RES};
+use crate::Ptp;
+
+/// Configuration of the RAND generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandConfig {
+    /// Number of Small Blocks.
+    pub sb_count: usize,
+    /// Pseudorandom seed.
+    pub seed: u64,
+    /// Threads per block (32: one full warp spanning all SP passes).
+    pub threads: usize,
+}
+
+impl Default for RandConfig {
+    fn default() -> Self {
+        RandConfig {
+            sb_count: 64,
+            seed: 0x7777_8888,
+            threads: 32,
+        }
+    }
+}
+
+/// Register-format SP operations the body draws from.
+const SP_OPS: [Opcode; 12] = [
+    Opcode::Iadd,
+    Opcode::Isub,
+    Opcode::Imul,
+    Opcode::Imad,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Not,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Imnmx,
+    Opcode::Iabs,
+];
+
+/// Generates the RAND PTP.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_rand_sp, RandConfig};
+/// use warpstl_netlist::modules::ModuleKind;
+///
+/// let ptp = generate_rand_sp(&RandConfig { sb_count: 8, ..RandConfig::default() });
+/// assert_eq!(ptp.target, ModuleKind::SpCore);
+/// ```
+#[must_use]
+pub fn generate_rand_sp(config: &RandConfig) -> Ptp {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut program = prologue(None);
+
+    for _ in 0..config.sb_count {
+        // Load phase: per-thread-varied operands (XOR with the tid register
+        // keeps lanes distinct so all SP cores see different patterns).
+        // Every register the body can read is defined here, keeping SBs
+        // free of cross-SB data dependences.
+        program.push(mov32i(R_A, rng.gen()));
+        program.push(mov32i(R_B, rng.gen()));
+        program.push(mov32i(R_C, rng.gen()));
+        program.push(mov32i(R_RES, rng.gen()));
+        program.push(
+            Instruction::build(Opcode::Xor)
+                .dst(reg(R_A))
+                .src(reg(R_A))
+                .src(reg(super::R_TID))
+                .finish()
+                .expect("lane mix"),
+        );
+
+        // Operate phase: chained pseudorandom SP operations.
+        for _ in 0..rng.gen_range(8..=11) {
+            let op = SP_OPS[rng.gen_range(0..SP_OPS.len())];
+            let srcs = [R_A, R_B, R_C, R_RES];
+            let mut b = Instruction::build(op)
+                .dst(reg([R_A, R_B, R_C, R_RES][rng.gen_range(0..4)]))
+                .src(reg(srcs[rng.gen_range(0..4)]));
+            if !matches!(op, Opcode::Not | Opcode::Iabs) {
+                b = b.src(reg(srcs[rng.gen_range(0..4)]));
+            }
+            if matches!(op, Opcode::Imad) {
+                b = b.src(reg(srcs[rng.gen_range(0..4)]));
+            }
+            if op.has_cmp_modifier() {
+                b = b.cmp(CmpOp::ALL[rng.gen_range(0..CmpOp::ALL.len())]);
+            }
+            program.push(b.finish().expect("SP op"));
+        }
+        program.push(
+            Instruction::build(Opcode::Xor)
+                .dst(reg(R_RES))
+                .src(reg(R_RES))
+                .src(reg(R_A))
+                .finish()
+                .expect("fold"),
+        );
+        program.push(store_result(R_RES));
+    }
+    program.push(Instruction::bare(Opcode::Exit));
+
+    Ptp::new(
+        "RAND",
+        ModuleKind::SpCore,
+        KernelConfig::new(1, config.threads),
+        program,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_gpu::{Gpu, RunOptions};
+
+    #[test]
+    fn all_sp_cores_receive_patterns() {
+        let ptp = generate_rand_sp(&RandConfig {
+            sb_count: 4,
+            ..RandConfig::default()
+        });
+        let kernel = ptp.to_kernel().unwrap();
+        let opts = RunOptions {
+            capture_sp: true,
+            ..RunOptions::default()
+        };
+        let r = Gpu::default().run(&kernel, &opts).unwrap();
+        for (i, sp) in r.patterns.sp.iter().enumerate() {
+            assert!(!sp.is_empty(), "SP core {i} received no patterns");
+        }
+        // Lanes see distinct operand streams (the tid mix).
+        assert_ne!(
+            r.patterns.sp[0].row(0),
+            r.patterns.sp[1].row(0),
+            "lanes identical"
+        );
+    }
+
+    #[test]
+    fn only_sp_class_ops_in_body() {
+        let ptp = generate_rand_sp(&RandConfig {
+            sb_count: 16,
+            ..RandConfig::default()
+        });
+        use warpstl_isa::ExecUnit;
+        for i in &ptp.program {
+            let u = ExecUnit::of(i.opcode);
+            assert!(
+                matches!(u, ExecUnit::SpCore | ExecUnit::LoadStore | ExecUnit::Control),
+                "{} on {u}",
+                i.opcode
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # warpstl-programs
+//!
+//! Parallel Test Programs (PTPs), Self-Test Libraries (STLs), the structural
+//! analyses the compaction method needs — basic blocks, control-flow graph,
+//! Admissible Regions for Compaction (ARCs), Small Blocks (SBs) — and the
+//! six PTP generators matching the paper's STL:
+//!
+//! | PTP | Target module | Style | Kernel config |
+//! |---|---|---|---|
+//! | IMM | Decoder Unit | pseudorandom, immediate + register formats | 1 block × 32 threads |
+//! | MEM | Decoder Unit | pseudorandom memory accesses | 1 block × 32 threads |
+//! | CNTRL | Decoder Unit | control-flow conditions | 1 block × 1024 threads |
+//! | TPGEN | SP cores | ATPG patterns, parsed to instructions | 1 block × 32 threads |
+//! | RAND | SP cores | pseudorandom SP operations | 1 block × 32 threads |
+//! | SFU_IMM | SFUs | ATPG patterns, parsed to instructions | 1 block × 32 threads |
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_programs::generators::{ImmConfig, generate_imm};
+//! use warpstl_programs::{ArcAnalysis, BasicBlocks};
+//!
+//! let ptp = generate_imm(&ImmConfig { sb_count: 20, ..ImmConfig::default() });
+//! let bbs = BasicBlocks::of(&ptp.program);
+//! let arc = ArcAnalysis::of(&ptp.program, &bbs);
+//! // Straight-line pseudorandom PTPs are fully admissible.
+//! assert!(arc.arc_fraction() > 0.99);
+//! ```
+
+mod arc;
+mod cfg;
+pub mod generators;
+mod ptp;
+pub mod serialize;
+mod smallblock;
+mod stl;
+
+pub use arc::ArcAnalysis;
+pub use cfg::{BasicBlocks, ControlFlowGraph};
+pub use ptp::{Ptp, SbSlots};
+pub use smallblock::{segment_small_blocks, SmallBlock};
+pub use stl::Stl;

@@ -1,0 +1,205 @@
+//! The Parallel Test Program type.
+
+use warpstl_gpu::{Kernel, KernelConfig};
+use warpstl_isa::Instruction;
+use warpstl_netlist::modules::ModuleKind;
+
+/// Layout metadata for per-SB input data in global memory: SB `k` of each
+/// thread reads its operands from
+/// `base + thread * stride_words * 4 + k * words_per_sb * 4`.
+///
+/// The compaction flow uses this to *relocate* the surviving SBs' input
+/// words when SBs are removed (the paper: "removing an SB may also imply
+/// the additional removal and relocation of associated input data from the
+/// main memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbSlots {
+    /// Byte address of the input region.
+    pub base: u64,
+    /// The register holding each thread's slot base (the generators use
+    /// `R5`); loads addressing SB slots use `[base_reg + offset]`.
+    pub base_reg: u8,
+    /// Words each SB consumes per thread.
+    pub words_per_sb: usize,
+    /// Number of SBs the layout was built for.
+    pub sb_count: usize,
+    /// Words between consecutive threads' slot arrays (a power of two so
+    /// the prologue computes it with a shift).
+    pub stride_words: usize,
+    /// Threads sharing the region.
+    pub threads: usize,
+}
+
+impl SbSlots {
+    /// The byte address of word `w` of SB `sb` for `thread`.
+    #[must_use]
+    pub fn addr(&self, thread: usize, sb: usize, w: usize) -> u64 {
+        self.base + (thread * self.stride_words + sb * self.words_per_sb + w) as u64 * 4
+    }
+
+    /// Bytes each thread's slot array occupies.
+    #[must_use]
+    pub fn stride_per_thread(&self) -> u64 {
+        self.stride_words as u64 * 4
+    }
+
+    /// Decomposes a byte address into `(thread, sb, word)`, or `None` when
+    /// it lies outside the region.
+    #[must_use]
+    pub fn locate(&self, addr: u64) -> Option<(usize, usize, usize)> {
+        if addr < self.base || addr % 4 != 0 {
+            return None;
+        }
+        let word = ((addr - self.base) / 4) as usize;
+        let thread = word / self.stride_words;
+        if thread >= self.threads {
+            return None;
+        }
+        let rem = word % self.stride_words;
+        let sb = rem / self.words_per_sb;
+        if sb >= self.sb_count {
+            return None;
+        }
+        Some((thread, sb, rem % self.words_per_sb))
+    }
+}
+
+/// A Parallel Test Program: a kernel-shaped test targeting one GPU module.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_rand_sp, RandConfig};
+///
+/// let ptp = generate_rand_sp(&RandConfig { sb_count: 10, ..RandConfig::default() });
+/// assert_eq!(ptp.size(), ptp.program.len());
+/// let kernel = ptp.to_kernel().unwrap();
+/// assert_eq!(kernel.config.threads_per_block, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ptp {
+    /// The PTP name (e.g. `"IMM"`).
+    pub name: String,
+    /// The module whose faults the PTP targets.
+    pub target: ModuleKind,
+    /// Launch configuration.
+    pub kernel_config: KernelConfig,
+    /// The instruction sequence.
+    pub program: Vec<Instruction>,
+    /// Initial global-memory words, as `(byte_addr, value)` writes.
+    pub global_init: Vec<(u64, u32)>,
+    /// Per-SB input layout, when the PTP reads SB operands from memory.
+    pub sb_slots: Option<SbSlots>,
+}
+
+impl Ptp {
+    /// A PTP over `program` with no initial data.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        target: ModuleKind,
+        kernel_config: KernelConfig,
+        program: Vec<Instruction>,
+    ) -> Ptp {
+        Ptp {
+            name: name.to_string(),
+            target,
+            kernel_config,
+            program,
+            global_init: Vec::new(),
+            sb_slots: None,
+        }
+    }
+
+    /// The PTP size in instructions (the paper's *Size* column).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Builds the runnable kernel (program + launch config + data image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`warpstl_gpu::SimError`] if an initial write falls
+    /// outside global memory.
+    pub fn to_kernel(&self) -> Result<Kernel, warpstl_gpu::SimError> {
+        let mut kernel = Kernel::new(&self.name, self.program.clone(), self.kernel_config);
+        for &(addr, value) in &self.global_init {
+            kernel.data.store_global_word(addr, value)?;
+        }
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_isa::Opcode;
+
+    #[test]
+    fn sb_slots_addressing() {
+        let s = SbSlots {
+            base: 0x1000,
+            base_reg: 5,
+            words_per_sb: 2,
+            sb_count: 10,
+            stride_words: 32, // padded past 20
+            threads: 32,
+        };
+        assert_eq!(s.addr(0, 0, 0), 0x1000);
+        assert_eq!(s.addr(0, 0, 1), 0x1004);
+        assert_eq!(s.addr(0, 1, 0), 0x1008);
+        assert_eq!(s.addr(1, 0, 0), 0x1000 + 128);
+        assert_eq!(s.stride_per_thread(), 128);
+    }
+
+    #[test]
+    fn sb_slots_locate_inverts_addr() {
+        let s = SbSlots {
+            base: 0x100,
+            base_reg: 5,
+            words_per_sb: 2,
+            sb_count: 6,
+            stride_words: 16,
+            threads: 4,
+        };
+        for t in 0..4 {
+            for k in 0..6 {
+                for w in 0..2 {
+                    assert_eq!(s.locate(s.addr(t, k, w)), Some((t, k, w)));
+                }
+            }
+        }
+        // Padding words between sb_count*words_per_sb and the stride.
+        assert_eq!(s.locate(s.base + 13 * 4), None);
+        assert_eq!(s.locate(s.base + 4 * 16 * 4), None); // beyond threads
+        assert_eq!(s.locate(s.base - 4), None);
+        assert_eq!(s.locate(s.base + 2), None);
+    }
+
+    #[test]
+    fn kernel_includes_data() {
+        let mut ptp = Ptp::new(
+            "t",
+            ModuleKind::DecoderUnit,
+            KernelConfig::new(1, 32),
+            vec![Instruction::bare(Opcode::Exit)],
+        );
+        ptp.global_init.push((0x40, 77));
+        let k = ptp.to_kernel().unwrap();
+        assert_eq!(k.data.global().load_word(0x40).unwrap(), 77);
+    }
+
+    #[test]
+    fn out_of_range_data_errors() {
+        let mut ptp = Ptp::new(
+            "t",
+            ModuleKind::DecoderUnit,
+            KernelConfig::new(1, 32),
+            vec![Instruction::bare(Opcode::Exit)],
+        );
+        ptp.global_init.push((1 << 40, 1));
+        assert!(ptp.to_kernel().is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Text serialization for PTPs and STLs.
+//!
+//! An STL is shipped to customers as source artifacts; this module defines
+//! a plain-text container holding the assembly plus the launch
+//! configuration and data image, so compacted libraries can be saved,
+//! diffed and reloaded:
+//!
+//! ```text
+//! ; PTP IMM
+//! ; target decoder_unit
+//! ; kernel 1 32
+//! ; slots 0 5 2 64 128 32        (optional: SB input-slot layout)
+//! ; data 0x100 0xdeadbeef        (repeated: initial global-memory words)
+//! <assembly text>
+//! ; END
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use warpstl_gpu::KernelConfig;
+use warpstl_isa::asm;
+use warpstl_netlist::modules::ModuleKind;
+
+use crate::{Ptp, SbSlots, Stl};
+
+/// An error produced while parsing PTP/STL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePtpError(String);
+
+impl ParsePtpError {
+    fn new(msg: impl Into<String>) -> ParsePtpError {
+        ParsePtpError(msg.into())
+    }
+}
+
+impl fmt::Display for ParsePtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PTP text: {}", self.0)
+    }
+}
+
+impl Error for ParsePtpError {}
+
+/// Serializes a PTP to its text container.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_mem, MemConfig};
+/// use warpstl_programs::serialize::{ptp_from_text, ptp_to_text};
+///
+/// let ptp = generate_mem(&MemConfig { sb_count: 4, ..MemConfig::default() });
+/// let text = ptp_to_text(&ptp);
+/// let back = ptp_from_text(&text)?;
+/// assert_eq!(back.name, ptp.name);
+/// assert_eq!(back.program, ptp.program);
+/// assert_eq!(back.global_init, ptp.global_init);
+/// assert_eq!(back.sb_slots, ptp.sb_slots);
+/// # Ok::<(), warpstl_programs::serialize::ParsePtpError>(())
+/// ```
+#[must_use]
+pub fn ptp_to_text(ptp: &Ptp) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; PTP {}", ptp.name);
+    let _ = writeln!(s, "; target {}", ptp.target);
+    let _ = writeln!(
+        s,
+        "; kernel {} {}",
+        ptp.kernel_config.blocks, ptp.kernel_config.threads_per_block
+    );
+    if let Some(sl) = &ptp.sb_slots {
+        let _ = writeln!(
+            s,
+            "; slots {} {} {} {} {} {}",
+            sl.base, sl.base_reg, sl.words_per_sb, sl.sb_count, sl.stride_words, sl.threads
+        );
+    }
+    for &(addr, value) in &ptp.global_init {
+        let _ = writeln!(s, "; data {addr:#x} {value:#x}");
+    }
+    s.push_str(&asm::disassemble(&ptp.program));
+    s.push_str("; END\n");
+    s
+}
+
+/// Parses a PTP from its text container.
+///
+/// # Errors
+///
+/// Returns [`ParsePtpError`] on malformed headers or assembly.
+pub fn ptp_from_text(text: &str) -> Result<Ptp, ParsePtpError> {
+    let mut name = None;
+    let mut target = None;
+    let mut kernel = None;
+    let mut slots = None;
+    let mut data = Vec::new();
+    let mut asm_lines = Vec::new();
+
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix(';') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("PTP") => name = parts.next().map(str::to_string),
+                Some("target") => {
+                    let t = parts
+                        .next()
+                        .ok_or_else(|| ParsePtpError::new("missing target"))?;
+                    target = Some(
+                        ModuleKind::ALL
+                            .into_iter()
+                            .find(|m| m.name() == t)
+                            .ok_or_else(|| ParsePtpError::new(format!("unknown module `{t}`")))?,
+                    );
+                }
+                Some("kernel") => {
+                    let b: usize = parse_num(parts.next(), "kernel blocks")?;
+                    let t: usize = parse_num(parts.next(), "kernel threads")?;
+                    kernel = Some(KernelConfig::new(b, t));
+                }
+                Some("slots") => {
+                    slots = Some(SbSlots {
+                        base: parse_num(parts.next(), "slots base")?,
+                        base_reg: parse_num(parts.next(), "slots base_reg")?,
+                        words_per_sb: parse_num(parts.next(), "slots words")?,
+                        sb_count: parse_num(parts.next(), "slots count")?,
+                        stride_words: parse_num(parts.next(), "slots stride")?,
+                        threads: parse_num(parts.next(), "slots threads")?,
+                    });
+                }
+                Some("data") => {
+                    let addr = parse_hex(parts.next(), "data addr")?;
+                    let value = parse_hex(parts.next(), "data value")? as u32;
+                    data.push((addr, value));
+                }
+                Some("END") | None => {}
+                Some(other) => {
+                    return Err(ParsePtpError::new(format!("unknown directive `{other}`")))
+                }
+            }
+        } else {
+            asm_lines.push(line);
+        }
+    }
+
+    let program = asm::assemble(&asm_lines.join("\n"))
+        .map_err(|e| ParsePtpError::new(format!("assembly: {e}")))?;
+    let mut ptp = Ptp::new(
+        &name.ok_or_else(|| ParsePtpError::new("missing `; PTP <name>`"))?,
+        target.ok_or_else(|| ParsePtpError::new("missing `; target`"))?,
+        kernel.ok_or_else(|| ParsePtpError::new("missing `; kernel`"))?,
+        program,
+    );
+    ptp.global_init = data;
+    ptp.sb_slots = slots;
+    Ok(ptp)
+}
+
+/// Serializes a whole STL (PTPs concatenated under an `; STL` header).
+#[must_use]
+pub fn stl_to_text(stl: &Stl) -> String {
+    let mut s = format!("; STL {}\n", stl.name());
+    for ptp in stl.ptps() {
+        s.push_str(&ptp_to_text(ptp));
+    }
+    s
+}
+
+/// Parses an STL.
+///
+/// # Errors
+///
+/// Returns [`ParsePtpError`] on malformed content.
+pub fn stl_from_text(text: &str) -> Result<Stl, ParsePtpError> {
+    let mut lines = text.lines().peekable();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParsePtpError::new("empty STL"))?;
+    let name = header
+        .trim()
+        .strip_prefix("; STL ")
+        .ok_or_else(|| ParsePtpError::new("missing `; STL <name>` header"))?;
+    let mut stl = Stl::new(name.trim());
+
+    let mut current: Vec<&str> = Vec::new();
+    for line in lines {
+        current.push(line);
+        if line.trim() == "; END" {
+            stl.push(ptp_from_text(&current.join("\n"))?);
+            current.clear();
+        }
+    }
+    if current.iter().any(|l| !l.trim().is_empty()) {
+        return Err(ParsePtpError::new("trailing content after last `; END`"));
+    }
+    Ok(stl)
+}
+
+fn parse_num<T: std::str::FromStr>(s: Option<&str>, what: &str) -> Result<T, ParsePtpError> {
+    s.and_then(|v| v.parse().ok())
+        .ok_or_else(|| ParsePtpError::new(format!("bad {what}")))
+}
+
+fn parse_hex(s: Option<&str>, what: &str) -> Result<u64, ParsePtpError> {
+    let s = s.ok_or_else(|| ParsePtpError::new(format!("missing {what}")))?;
+    let v = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(v, 16).map_err(|_| ParsePtpError::new(format!("bad {what} `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_cntrl, generate_imm, CntrlConfig, ImmConfig};
+
+    #[test]
+    fn ptp_round_trips_with_control_flow() {
+        let ptp = generate_cntrl(&CntrlConfig {
+            regions: 2,
+            loops: 1,
+            threads: 64,
+            ..CntrlConfig::default()
+        });
+        let text = ptp_to_text(&ptp);
+        let back = ptp_from_text(&text).unwrap();
+        assert_eq!(back.program, ptp.program);
+        assert_eq!(back.kernel_config, ptp.kernel_config);
+        assert_eq!(back.target, ptp.target);
+    }
+
+    #[test]
+    fn stl_round_trips() {
+        let mut stl = Stl::new("lib");
+        stl.push(generate_imm(&ImmConfig {
+            sb_count: 2,
+            ..ImmConfig::default()
+        }));
+        stl.push(generate_cntrl(&CntrlConfig {
+            regions: 1,
+            loops: 1,
+            threads: 32,
+            ..CntrlConfig::default()
+        }));
+        let text = stl_to_text(&stl);
+        let back = stl_from_text(&text).unwrap();
+        assert_eq!(back.name(), "lib");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.ptps()[0].program, stl.ptps()[0].program);
+        assert_eq!(back.ptps()[1].program, stl.ptps()[1].program);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(ptp_from_text("IADD R1, R2, R3;").is_err()); // no headers
+        assert!(ptp_from_text("; PTP x\n; target bogus\n; kernel 1 1\nEXIT;").is_err());
+        assert!(ptp_from_text("; PTP x\n; target sfu\n; kernel 1 1\nFROB;").is_err());
+        assert!(stl_from_text("").is_err());
+        assert!(stl_from_text("not a header").is_err());
+    }
+
+    #[test]
+    fn data_and_slots_survive() {
+        use warpstl_gpu::KernelConfig;
+        use warpstl_isa::{Instruction, Opcode};
+        let mut ptp = Ptp::new(
+            "d",
+            warpstl_netlist::modules::ModuleKind::Sfu,
+            KernelConfig::new(2, 64),
+            vec![Instruction::bare(Opcode::Exit)],
+        );
+        ptp.global_init = vec![(0x40, 0xabcd), (0x44, 1)];
+        ptp.sb_slots = Some(SbSlots {
+            base: 0,
+            base_reg: 5,
+            words_per_sb: 2,
+            sb_count: 9,
+            stride_words: 32,
+            threads: 64,
+        });
+        let back = ptp_from_text(&ptp_to_text(&ptp)).unwrap();
+        assert_eq!(back.global_init, ptp.global_init);
+        assert_eq!(back.sb_slots, ptp.sb_slots);
+        assert_eq!(back.kernel_config.blocks, 2);
+    }
+}

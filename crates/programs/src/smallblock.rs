@@ -1,0 +1,177 @@
+//! Small-Block segmentation (the unit of removal in stage 4).
+
+use warpstl_isa::{Instruction, Opcode};
+
+use crate::BasicBlocks;
+
+/// A Small Block: a load–operate–propagate run inside one basic block.
+///
+/// Per the paper, "each BB is divided in Small Blocks of a sequence of
+/// instructions that comprises the load of test operands in the registers,
+/// execute an operation, and propagate the result to an observable point."
+/// Structurally, an SB is a maximal run of non-control instructions that
+/// *ends with a store* (the propagation); trailing store-less runs — such
+/// as address-setup preambles — and control/synchronization instructions
+/// are not SBs and are never removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallBlock {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index (the store).
+    pub end: usize,
+    /// The basic block the SB belongs to.
+    pub block: usize,
+}
+
+impl SmallBlock {
+    /// The instruction range.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// The SB length in instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the SB is empty (never true for segmented SBs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Segments every basic block of `program` into Small Blocks.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::{segment_small_blocks, BasicBlocks};
+///
+/// let p = warpstl_isa::asm::assemble(
+///     "S2R R0, SR_TID_X;\n\
+///      SHL R6, R0, 0x2;\n\
+///      MOV32I R1, 0x11;\n\
+///      IADD R4, R1, 0x1;\n\
+///      STG [R6], R4;\n\
+///      MOV32I R1, 0x22;\n\
+///      XOR R4, R1, R1;\n\
+///      STG [R6], R4;\n\
+///      EXIT;",
+/// ).unwrap();
+/// let bbs = BasicBlocks::of(&p);
+/// let sbs = segment_small_blocks(&p, &bbs);
+/// // Two SBs; the address preamble joins the first SB's run but the final
+/// // EXIT does not form one.
+/// assert_eq!(sbs.len(), 2);
+/// assert_eq!(sbs[0].range(), 0..5);
+/// assert_eq!(sbs[1].range(), 5..8);
+/// ```
+#[must_use]
+pub fn segment_small_blocks(program: &[Instruction], bbs: &BasicBlocks) -> Vec<SmallBlock> {
+    let mut sbs = Vec::new();
+    for b in bbs.iter() {
+        let range = bbs.range(b);
+        let mut run_start = range.start;
+        for pc in range.clone() {
+            let op = program[pc].opcode;
+            if op.is_control_flow() || op == Opcode::Nop {
+                // Control and sync instructions break the run and are never
+                // part of an SB.
+                run_start = pc + 1;
+            } else if op.is_store() {
+                sbs.push(SmallBlock {
+                    start: run_start,
+                    end: pc + 1,
+                    block: b,
+                });
+                run_start = pc + 1;
+            }
+        }
+        // A trailing store-less run is not an SB (nothing was propagated).
+    }
+    sbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_isa::asm;
+
+    fn segment(src: &str) -> (Vec<warpstl_isa::Instruction>, Vec<SmallBlock>) {
+        let p = asm::assemble(src).unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let sbs = segment_small_blocks(&p, &bbs);
+        (p, sbs)
+    }
+
+    #[test]
+    fn storeless_block_has_no_sbs() {
+        let (_, sbs) = segment("MOV32I R1, 1;\nIADD R2, R1, R1;\nEXIT;");
+        assert!(sbs.is_empty());
+    }
+
+    #[test]
+    fn each_store_ends_an_sb() {
+        let (_, sbs) = segment(
+            "MOV32I R1, 1;\n\
+             STG [R1], R1;\n\
+             MOV32I R2, 2;\n\
+             MOV32I R3, 3;\n\
+             STS [R2], R3;\n\
+             EXIT;",
+        );
+        assert_eq!(sbs.len(), 2);
+        assert_eq!(sbs[0].range(), 0..2);
+        assert_eq!(sbs[1].range(), 2..5);
+        assert_eq!(sbs[1].len(), 3);
+    }
+
+    #[test]
+    fn control_instructions_break_runs() {
+        let (_, sbs) = segment(
+            "SSY j;\n\
+             MOV32I R1, 1;\n\
+             j: STG [R1], R1;\n\
+             EXIT;",
+        );
+        // SSY ends a (empty) run; the store closes an SB spanning only the
+        // instructions after SSY — and SSY creates a leader at j, so the
+        // MOV and STG land in different blocks.
+        assert_eq!(sbs.len(), 1);
+        assert_eq!(sbs[0].range(), 2..3);
+    }
+
+    #[test]
+    fn sbs_respect_block_boundaries() {
+        let (p, sbs) = segment(
+            "MOV32I R1, 1;\n\
+             @P0 BRA skip;\n\
+             MOV32I R2, 2;\n\
+             STG [R2], R2;\n\
+             skip: STG [R1], R1;\n\
+             EXIT;",
+        );
+        let bbs = BasicBlocks::of(&p);
+        assert_eq!(sbs.len(), 2);
+        for sb in &sbs {
+            let b = bbs.block_of(sb.start);
+            assert_eq!(bbs.block_of(sb.end - 1), b, "SB crosses blocks");
+            assert_eq!(sb.block, b);
+        }
+    }
+
+    #[test]
+    fn sb_in_loop_is_still_reported() {
+        // Segmentation is ARC-agnostic; admissibility filtering happens in
+        // the reduction stage.
+        let (_, sbs) = segment(
+            "top: MOV32I R1, 1;\n\
+             STG [R1], R1;\n\
+             BRA top;",
+        );
+        assert_eq!(sbs.len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Self-Test Library: an ordered collection of PTPs.
+
+use std::fmt;
+
+use warpstl_netlist::modules::ModuleKind;
+
+use crate::Ptp;
+
+/// A Self-Test Library: the ordered set of PTPs shipped for in-field test.
+///
+/// Order matters: the compaction flow fault-simulates PTPs in STL order with
+/// a shared, dropping fault list per target module (the paper compacts IMM,
+/// then MEM, then CNTRL against the same Decoder Unit list).
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_programs::generators::{generate_imm, generate_rand_sp, ImmConfig, RandConfig};
+/// use warpstl_programs::Stl;
+///
+/// let mut stl = Stl::new("demo");
+/// stl.push(generate_imm(&ImmConfig { sb_count: 4, ..ImmConfig::default() }));
+/// stl.push(generate_rand_sp(&RandConfig { sb_count: 4, ..RandConfig::default() }));
+/// assert_eq!(stl.len(), 2);
+/// assert!(stl.total_size() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stl {
+    name: String,
+    ptps: Vec<Ptp>,
+}
+
+impl Stl {
+    /// An empty STL named `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Stl {
+        Stl {
+            name: name.to_string(),
+            ptps: Vec::new(),
+        }
+    }
+
+    /// The STL name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a PTP.
+    pub fn push(&mut self, ptp: Ptp) {
+        self.ptps.push(ptp);
+    }
+
+    /// The PTPs in order.
+    #[must_use]
+    pub fn ptps(&self) -> &[Ptp] {
+        &self.ptps
+    }
+
+    /// The number of PTPs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ptps.len()
+    }
+
+    /// Whether the STL has no PTPs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ptps.is_empty()
+    }
+
+    /// Total size in instructions across all PTPs.
+    #[must_use]
+    pub fn total_size(&self) -> usize {
+        self.ptps.iter().map(Ptp::size).sum()
+    }
+
+    /// The PTPs targeting `module`, in order.
+    pub fn ptps_for(&self, module: ModuleKind) -> impl Iterator<Item = &Ptp> + '_ {
+        self.ptps.iter().filter(move |p| p.target == module)
+    }
+
+    /// Replaces PTP `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace(&mut self, i: usize, ptp: Ptp) {
+        self.ptps[i] = ptp;
+    }
+}
+
+impl fmt::Display for Stl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "STL {}: {} PTPs, {} instructions",
+            self.name,
+            self.len(),
+            self.total_size()
+        )?;
+        for p in &self.ptps {
+            writeln!(
+                f,
+                "  {} -> {} ({} instructions, {} blocks x {} threads)",
+                p.name,
+                p.target,
+                p.size(),
+                p.kernel_config.blocks,
+                p.kernel_config.threads_per_block
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_gpu::KernelConfig;
+    use warpstl_isa::{Instruction, Opcode};
+
+    fn tiny(name: &str, target: ModuleKind) -> Ptp {
+        Ptp::new(
+            name,
+            target,
+            KernelConfig::new(1, 32),
+            vec![Instruction::bare(Opcode::Exit)],
+        )
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut stl = Stl::new("s");
+        stl.push(tiny("A", ModuleKind::DecoderUnit));
+        stl.push(tiny("B", ModuleKind::SpCore));
+        stl.push(tiny("C", ModuleKind::DecoderUnit));
+        assert_eq!(stl.ptps_for(ModuleKind::DecoderUnit).count(), 2);
+        assert_eq!(stl.ptps_for(ModuleKind::Sfu).count(), 0);
+        assert_eq!(stl.total_size(), 3);
+        assert!(!stl.is_empty());
+    }
+
+    #[test]
+    fn replace_swaps_in_place() {
+        let mut stl = Stl::new("s");
+        stl.push(tiny("A", ModuleKind::DecoderUnit));
+        stl.replace(0, tiny("A2", ModuleKind::DecoderUnit));
+        assert_eq!(stl.ptps()[0].name, "A2");
+    }
+
+    #[test]
+    fn display_lists_ptps() {
+        let mut stl = Stl::new("s");
+        stl.push(tiny("IMM", ModuleKind::DecoderUnit));
+        let text = stl.to_string();
+        assert!(text.contains("IMM -> decoder_unit"));
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end STL compaction: builds a six-PTP Self-Test Library covering
+//! the Decoder Unit, the SP cores and the SFUs, then compacts it exactly as
+//! the paper does — per-module dropping fault lists, IMM → MEM → CNTRL and
+//! TPGEN → RAND orders, reversed patterns for SFU_IMM — and prints the
+//! whole-STL reduction.
+//!
+//! ```sh
+//! cargo run --release --example compact_stl
+//! ```
+
+use warpstl::compactor::{CompactionReport, Compactor};
+use warpstl::netlist::modules::ModuleKind;
+use warpstl::programs::generators::{
+    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
+    generate_tpgen, CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
+};
+use warpstl::programs::Stl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small but complete STL (the paper's is ~50x larger; ratios match).
+    let mut stl = Stl::new("mini-stl");
+    stl.push(generate_imm(&ImmConfig { sb_count: 24, ..ImmConfig::default() }));
+    stl.push(generate_mem(&MemConfig { sb_count: 24, ..MemConfig::default() }));
+    stl.push(generate_cntrl(&CntrlConfig {
+        regions: 6,
+        loops: 1,
+        threads: 128,
+        ..CntrlConfig::default()
+    }));
+    stl.push(generate_tpgen(&TpgenConfig { max_patterns: 40, ..TpgenConfig::default() }));
+    stl.push(generate_rand_sp(&RandConfig { sb_count: 24, ..RandConfig::default() }));
+    stl.push(generate_sfu_imm(&SfuImmConfig { max_patterns: 40, ..SfuImmConfig::default() }));
+    println!("{stl}");
+
+    let mut reports: Vec<CompactionReport> = Vec::new();
+    for module in [ModuleKind::DecoderUnit, ModuleKind::SpCore, ModuleKind::Sfu] {
+        // The paper fault-simulates SFU_IMM's patterns in reverse order.
+        let compactor = Compactor {
+            reverse_patterns: module == ModuleKind::Sfu,
+            ..Compactor::default()
+        };
+        let mut ctx = compactor.context_for(module);
+        println!(
+            "\n=== {} ({} faults across {} instance(s)) ===",
+            module,
+            ctx.total_faults(),
+            ctx.instances()
+        );
+        let names: Vec<String> = stl.ptps_for(module).map(|p| p.name.clone()).collect();
+        for name in names {
+            let idx = stl.ptps().iter().position(|p| p.name == name).expect("present");
+            let ptp = stl.ptps()[idx].clone();
+            let outcome = compactor.compact(&ptp, &mut ctx)?;
+            println!(
+                "{:<8} {:>6} -> {:>5} instr ({:+.2}%), {:>9} -> {:>8} ccs, ΔFC {:+.2} pp",
+                outcome.report.name,
+                outcome.report.original_size,
+                outcome.report.compacted_size,
+                -outcome.report.size_reduction_pct(),
+                outcome.report.original_duration,
+                outcome.report.compacted_duration,
+                outcome.report.fc_diff_pct()
+            );
+            // Reassemble the STL with the compacted PTP (stage 5).
+            stl.replace(idx, outcome.compacted);
+            reports.push(outcome.report);
+        }
+        println!(
+            "shared fault list after this module's PTPs: {:.2}% covered",
+            ctx.coverage() * 100.0
+        );
+    }
+
+    // Whole-STL reduction (the paper reports 80.71 % size / 64.43 %
+    // duration for the selected PTPs).
+    let orig_size: usize = reports.iter().map(|r| r.original_size).sum();
+    let comp_size: usize = reports.iter().map(|r| r.compacted_size).sum();
+    let orig_ccs: u64 = reports.iter().map(|r| r.original_duration).sum();
+    let comp_ccs: u64 = reports.iter().map(|r| r.compacted_duration).sum();
+    println!("\n{:-^64}", " whole STL ");
+    println!(
+        "size:     {orig_size} -> {comp_size} instructions ({:.2} % reduction)",
+        100.0 * (1.0 - comp_size as f64 / orig_size as f64)
+    );
+    println!(
+        "duration: {orig_ccs} -> {comp_ccs} ccs ({:.2} % reduction)",
+        100.0 * (1.0 - comp_ccs as f64 / orig_ccs as f64)
+    );
+    Ok(())
+}

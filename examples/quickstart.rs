@@ -1,0 +1,67 @@
+//! Quickstart: generate a small pseudorandom test program, compact it with
+//! the single-fault-simulation method, and print the before/after numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use warpstl::compactor::Compactor;
+use warpstl::netlist::modules::ModuleKind;
+use warpstl::programs::generators::{generate_imm, ImmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Parallel Test Program for the GPU's Decoder Unit: 32 Small
+    //    Blocks of pseudorandom immediate/register-format instructions.
+    let ptp = generate_imm(&ImmConfig {
+        sb_count: 32,
+        ..ImmConfig::default()
+    });
+    println!(
+        "original PTP `{}`: {} instructions, 1 block x {} threads",
+        ptp.name,
+        ptp.size(),
+        ptp.kernel_config.threads_per_block
+    );
+
+    // 2. Compact it. The context carries the gate-level Decoder Unit model
+    //    and its fault list; `compact` runs exactly one logic simulation
+    //    (the traced GPU run) and one fault simulation.
+    let compactor = Compactor::default();
+    let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+    let outcome = compactor.compact(&ptp, &mut ctx)?;
+    let r = &outcome.report;
+
+    println!("\n{:-^64}", " compaction result ");
+    println!(
+        "size:     {:>8} -> {:>8} instructions ({:+.2} %)",
+        r.original_size,
+        r.compacted_size,
+        -r.size_reduction_pct()
+    );
+    println!(
+        "duration: {:>8} -> {:>8} clock cycles ({:+.2} %)",
+        r.original_duration,
+        r.compacted_duration,
+        -r.duration_reduction_pct()
+    );
+    println!(
+        "coverage: {:>7.2}% -> {:>7.2}%  (diff {:+.2} pp)",
+        r.fc_before * 100.0,
+        r.fc_after * 100.0,
+        r.fc_diff_pct()
+    );
+    println!(
+        "SBs removed: {}/{}, essential instructions: {}",
+        r.sbs_removed, r.sbs_total, r.essential_instructions
+    );
+    println!(
+        "simulations used: {} logic + {} fault (in {:.2?})",
+        r.logic_sim_runs, r.fault_sim_runs, r.compaction_time
+    );
+
+    // 3. The compacted PTP is a drop-in replacement: run it.
+    let kernel = outcome.compacted.to_kernel()?;
+    let run = warpstl::gpu::Gpu::default().run(&kernel, &warpstl::gpu::RunOptions::default())?;
+    println!("\ncompacted PTP re-ran in {} cycles", run.cycles);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every paper table and ablation, collecting outputs under
+# experiments/. Scale via WARPSTL_SCALE (default 32).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p experiments
+cargo build --release --workspace 2>/dev/null | tail -1
+for bin in table1 table2 table3 method_vs_baseline ablation_dropping \
+           ablation_order ablation_arc sweep_sp_cores scaling_rand extension_fpu extension_tdf extension_reorder; do
+  echo "=== $bin ==="
+  cargo run --release -q -p warpstl-bench --bin "$bin" 2>&1 | tee "experiments/$bin.txt"
+done

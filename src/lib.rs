@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # warpstl
+//!
+//! A from-scratch reproduction of *"A Compaction Method for STLs for GPU
+//! in-field test"* (DATE 2022): Self-Test Library compaction for GPUs with
+//! **one logic simulation and one fault simulation per test program**, plus
+//! every substrate the method needs — a FlexGripPlus-style SIMT GPU model,
+//! a SASS-like ISA, gate-level models of the targeted GPU modules, stuck-at
+//! and transition-delay fault simulation, PODEM ATPG, and the paper's six
+//! test-program generators.
+//!
+//! This facade re-exports the member crates under stable module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `warpstl-isa` | instructions, encoding, assembler |
+//! | [`netlist`] | `warpstl-netlist` | gate-level substrate + GPU modules |
+//! | [`fault`] | `warpstl-fault` | stuck-at & transition-delay fault simulation |
+//! | [`gpu`] | `warpstl-gpu` | the MiniGrip SIMT GPU model |
+//! | [`atpg`] | `warpstl-atpg` | PODEM + pattern→instruction conversion |
+//! | [`programs`] | `warpstl-programs` | PTPs, STLs, CFG/ARC/SB analyses, generators |
+//! | [`compactor`] | `warpstl-core` | the five-stage compaction method + baseline |
+//!
+//! # Examples
+//!
+//! Compact a pseudorandom Decoder-Unit test program:
+//!
+//! ```
+//! use warpstl::compactor::Compactor;
+//! use warpstl::netlist::modules::ModuleKind;
+//! use warpstl::programs::generators::{generate_imm, ImmConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ptp = generate_imm(&ImmConfig { sb_count: 8, ..ImmConfig::default() });
+//! let compactor = Compactor::default();
+//! let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+//! let outcome = compactor.compact(&ptp, &mut ctx)?;
+//! assert!(outcome.compacted.size() <= ptp.size());
+//! assert_eq!(outcome.report.fault_sim_runs, 1); // the paper's headline
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the repository's `README.md`, `DESIGN.md` and `EXPERIMENTS.md` for
+//! the architecture and the paper-versus-measured evaluation, and the
+//! `examples/` directory for runnable scenarios.
+
+pub use warpstl_atpg as atpg;
+pub use warpstl_core as compactor;
+pub use warpstl_fault as fault;
+pub use warpstl_gpu as gpu;
+pub use warpstl_isa as isa;
+pub use warpstl_netlist as netlist;
+pub use warpstl_programs as programs;
