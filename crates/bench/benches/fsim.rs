@@ -1,0 +1,97 @@
+//! Criterion benches for the parallel fault-simulation engine.
+//!
+//! Compares the serial reference (`fault_simulate_reference`, no cone
+//! pruning) against the cone-pruned engine (`fault_simulate`) at several
+//! thread counts, on a combinational module and on the SFU datapath.
+//! Non-drop mode is used so every run processes the same work regardless
+//! of detection order, making the comparison load-stable.
+//!
+//! `scripts/bench_fsim.sh` runs these benches and then the `bench_fsim`
+//! binary, which emits machine-readable timings to `BENCH_fsim.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use warpstl_fault::{
+    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+};
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::{Netlist, PatternSeq};
+
+fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSeq {
+    let mut p = PatternSeq::new(width);
+    for cc in 0..count as u64 {
+        let bits: Vec<bool> = (0..width)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed & 1 == 1
+            })
+            .collect();
+        p.push_bits(cc, &bits);
+    }
+    p
+}
+
+fn non_drop() -> FaultSimConfig {
+    FaultSimConfig {
+        drop_detected: false,
+        early_exit: false,
+        ..FaultSimConfig::default()
+    }
+}
+
+fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usize) {
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0xb5eed ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(netlist);
+
+    c.bench_function(&format!("fsim/{name}/reference"), |b| {
+        b.iter_batched(
+            || FaultList::new(&universe),
+            |mut list| {
+                fault_simulate_reference(
+                    netlist,
+                    &pats,
+                    &mut list,
+                    &FaultSimConfig {
+                        threads: 1,
+                        ..non_drop()
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("fsim/{name}/engine/{threads}"), |b| {
+            b.iter_batched(
+                || FaultList::new(&universe),
+                |mut list| {
+                    fault_simulate(
+                        netlist,
+                        &pats,
+                        &mut list,
+                        &FaultSimConfig {
+                            threads,
+                            ..non_drop()
+                        },
+                    )
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_fsim(c: &mut Criterion) {
+    bench_module(c, "du_256", &ModuleKind::DecoderUnit.build(), 256);
+    bench_module(c, "sfu_128", &ModuleKind::Sfu.build(), 128);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fsim
+}
+criterion_main!(benches);

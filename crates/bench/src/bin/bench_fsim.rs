@@ -1,0 +1,217 @@
+//! Measures the parallel fault-simulation engine and writes
+//! `BENCH_fsim.json` at the repo root.
+//!
+//! For each module the binary times:
+//!
+//! - the serial reference engine (`fault_simulate_reference`: no fanout-cone
+//!   pruning, single thread), and
+//! - the production engine (`fault_simulate`) at 1, 2, 4 and 8 threads,
+//!
+//! in non-drop mode (load-stable: every run simulates every fault against
+//! every pattern). It reports patterns/second, the speedup of each engine
+//! configuration over `engine` at `threads = 1`, and the speedup over the
+//! unpruned reference. The host core count is recorded so single-core
+//! results (where thread scaling cannot show) are interpretable.
+//!
+//! Usage: `cargo run --release -p warpstl-bench --bin bench_fsim`
+//! (or via `scripts/bench_fsim.sh`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use warpstl_bench::{compact_group, Scale};
+use warpstl_core::{Compactor, StageTimings};
+use warpstl_fault::{
+    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+};
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_programs::generators::{generate_cntrl, generate_imm, generate_mem};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSeq {
+    let mut p = PatternSeq::new(width);
+    for cc in 0..count as u64 {
+        let bits: Vec<bool> = (0..width)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed & 1 == 1
+            })
+            .collect();
+        p.push_bits(cc, &bits);
+    }
+    p
+}
+
+fn non_drop(threads: usize) -> FaultSimConfig {
+    FaultSimConfig {
+        drop_detected: false,
+        early_exit: false,
+        threads,
+    }
+}
+
+/// Best-of-`reps` wall time for one engine invocation, in seconds.
+fn time_best<F: FnMut(&mut FaultList)>(
+    universe: &FaultUniverse,
+    reps: usize,
+    mut run: F,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut list = FaultList::new(universe);
+        let start = Instant::now();
+        run(&mut list);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct ModuleResult {
+    name: String,
+    patterns: usize,
+    faults: usize,
+    reference_s: f64,
+    engine_s: Vec<(usize, f64)>,
+}
+
+fn measure(name: &str, netlist: &Netlist, patterns: usize, reps: usize) -> ModuleResult {
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0xb5eed ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(netlist);
+
+    eprintln!("[bench_fsim] {name}: {} collapsed faults, {patterns} patterns", {
+        universe.collapsed_len()
+    });
+    let reference_s = time_best(&universe, reps, |list| {
+        fault_simulate_reference(netlist, &pats, list, &non_drop(1));
+    });
+    eprintln!("[bench_fsim]   reference      {reference_s:.4}s");
+
+    let engine_s: Vec<(usize, f64)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let s = time_best(&universe, reps, |list| {
+                fault_simulate(netlist, &pats, list, &non_drop(t));
+            });
+            eprintln!("[bench_fsim]   engine t={t}     {s:.4}s");
+            (t, s)
+        })
+        .collect();
+
+    ModuleResult {
+        name: name.to_string(),
+        patterns,
+        faults: universe.collapsed_len(),
+        reference_s,
+        engine_s,
+    }
+}
+
+/// End-to-end compaction of the DU group (the `compact_stl` per-module
+/// flow) at bench scale: wall time plus the merged per-stage split, so the
+/// fault-sim share of the pipeline is visible.
+fn measure_compaction(threads: usize) -> (f64, StageTimings) {
+    let scale = Scale::new(128);
+    let du = vec![
+        generate_imm(&scale.imm()),
+        generate_mem(&scale.mem()),
+        generate_cntrl(&scale.cntrl()),
+    ];
+    let compactor = Compactor {
+        fsim_config: FaultSimConfig {
+            threads,
+            ..FaultSimConfig::default()
+        },
+        ..Compactor::default()
+    };
+    let start = Instant::now();
+    let group = compact_group(&du, ModuleKind::DecoderUnit, &compactor);
+    let wall = start.elapsed().as_secs_f64();
+    let stages = group
+        .rows
+        .iter()
+        .fold(StageTimings::default(), |acc, r| {
+            acc.merged(&r.stage_timings)
+        });
+    (wall, stages)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let modules = [
+        ("decoder_unit", ModuleKind::DecoderUnit, 256usize, 5usize),
+        ("sfu", ModuleKind::Sfu, 128, 5),
+    ];
+
+    let results: Vec<ModuleResult> = modules
+        .iter()
+        .map(|&(name, kind, patterns, reps)| measure(name, &kind.build(), patterns, reps))
+        .collect();
+
+    eprintln!("[bench_fsim] compacting the DU group end-to-end (bench scale)");
+    let (compact_wall_s, compact_stages) = measure_compaction(0);
+    eprintln!(
+        "[bench_fsim]   compact du_group {compact_wall_s:.4}s ({compact_stages})"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"fsim\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"non-drop mode; best of N reps; engine/1 vs reference isolates fanout-cone pruning, engine/N vs engine/1 isolates batch-level threading (meaningful only when host_cores > 1)\","
+    );
+    json.push_str("  \"modules\": [\n");
+    for (mi, m) in results.iter().enumerate() {
+        let t1 = m
+            .engine_s
+            .iter()
+            .find(|&&(t, _)| t == 1)
+            .map_or(f64::NAN, |&(_, s)| s);
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"module\": \"{}\",", m.name);
+        let _ = writeln!(json, "      \"patterns\": {},", m.patterns);
+        let _ = writeln!(json, "      \"collapsed_faults\": {},", m.faults);
+        let _ = writeln!(json, "      \"reference_s\": {:.6},", m.reference_s);
+        let _ = writeln!(
+            json,
+            "      \"reference_patterns_per_s\": {:.1},",
+            m.patterns as f64 / m.reference_s
+        );
+        json.push_str("      \"engine\": [\n");
+        for (ei, &(t, s)) in m.engine_s.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"threads\": {t}, \"seconds\": {s:.6}, \"patterns_per_s\": {:.1}, \"speedup_vs_threads1\": {:.3}, \"speedup_vs_reference\": {:.3}}}",
+                m.patterns as f64 / s,
+                t1 / s,
+                m.reference_s / s
+            );
+            json.push_str(if ei + 1 < m.engine_s.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]\n");
+        json.push_str(if mi + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"compact_du_group\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"end-to-end IMM+MEM+CNTRL compaction (the compact_stl per-module flow) at 1/128 scale with the parallel engine; stage split from CompactionReport::stage_timings\","
+    );
+    let _ = writeln!(json, "    \"wall_s\": {compact_wall_s:.6},");
+    let _ = writeln!(json, "    \"trace_s\": {:.6},", compact_stages.trace.as_secs_f64());
+    let _ = writeln!(json, "    \"fsim_s\": {:.6},", compact_stages.fsim.as_secs_f64());
+    let _ = writeln!(json, "    \"label_s\": {:.6},", compact_stages.label.as_secs_f64());
+    let _ = writeln!(json, "    \"reduce_s\": {:.6},", compact_stages.reduce.as_secs_f64());
+    let _ = writeln!(json, "    \"eval_s\": {:.6}", compact_stages.eval.as_secs_f64());
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fsim.json");
+    std::fs::write(path, &json).expect("write BENCH_fsim.json");
+    println!("{json}");
+    eprintln!("[bench_fsim] wrote {path}");
+}

@@ -14,7 +14,7 @@ use warpstl_fault::{fault_simulate, FaultList, FaultSimConfig};
 use warpstl_gpu::{Gpu, RunOptions, SimError};
 use warpstl_programs::{segment_small_blocks, ArcAnalysis, BasicBlocks, Ptp};
 
-use crate::{CompactionReport, ModuleContext};
+use crate::{CompactionReport, ModuleContext, StageTimings};
 
 /// The iterative remove-and-refault-simulate compactor.
 #[derive(Debug, Clone, Default)]
@@ -116,6 +116,9 @@ impl IterativeCompactor {
             fault_sim_runs: fault_sims,
             logic_sim_runs: logic_sims,
             compaction_time: start.elapsed(),
+            // The iterative baseline interleaves tracing and fault
+            // simulation per candidate; it has no per-stage split.
+            stage_timings: StageTimings::default(),
         };
         Ok((current, report))
     }

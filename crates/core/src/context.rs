@@ -82,6 +82,13 @@ impl ModuleContext {
         &mut self.lists[i]
     }
 
+    /// Splits the borrow: the (shared) netlist alongside all (mutable)
+    /// per-instance fault lists, so fault simulation can borrow both at
+    /// once without cloning the netlist.
+    pub fn netlist_and_lists_mut(&mut self) -> (&Netlist, &mut [FaultList]) {
+        (&self.netlist, &mut self.lists)
+    }
+
     /// Fresh fault lists (for standalone evaluations).
     #[must_use]
     pub fn fresh_lists(&self) -> Vec<FaultList> {

@@ -75,12 +75,12 @@ pub fn label_instructions(
     report: &FaultSimReport,
 ) -> Labels {
     let mut essential = vec![false; program_len];
-    for pc in 0..program_len {
+    for (pc, flag) in essential.iter_mut().enumerate() {
         // "for each warp Wj executed by I ... for each clock cycle k in Wj:
         //  if FSR_cc_k detects faults then essential; go to next instruction"
         for rec in trace.records_for_pc(pc) {
             if report.detections_in_range(rec.cc_start, rec.cc_end) > 0 {
-                essential[pc] = true;
+                *flag = true;
                 break;
             }
         }

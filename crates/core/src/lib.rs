@@ -59,5 +59,5 @@ pub use label::{label_instructions, Labels};
 pub use pipeline::{CompactionOutcome, Compactor};
 pub use reduce::{reduce_ptp, reduce_ptp_with, Reduction};
 pub use reorder::{reorder_ptp, time_to_fraction, Reorder, ReorderError};
-pub use report::{CompactionReport, PtpFeatures};
+pub use report::{CompactionReport, PtpFeatures, StageTimings};
 pub use stl_flow::{compact_stl, compact_stl_with, StlOutcome};

@@ -1,13 +1,63 @@
 //! The five-stage compaction pipeline.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
 use warpstl_fault::{fault_simulate, FaultList, FaultSimConfig, FaultSimReport};
 use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::{Netlist, PatternSeq};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
 
-use crate::{label_instructions, CompactionReport, ModuleContext, PtpFeatures};
+use crate::{label_instructions, CompactionReport, ModuleContext, PtpFeatures, StageTimings};
+
+/// Fault-simulates the per-instance pattern streams against their fault
+/// lists, one scoped worker per non-empty stream (instance-level
+/// parallelism), and returns the per-instance reports in instance order
+/// (`None` where the stream was empty and the list untouched).
+///
+/// The engine's thread budget is divided across the concurrent instances so
+/// instance- and batch-level parallelism compose instead of oversubscribing.
+/// Reports and list updates are bit-identical to a serial instance loop:
+/// each instance owns its list, and results are collected in instance order.
+fn simulate_instances(
+    netlist: &Netlist,
+    streams: &[Cow<'_, PatternSeq>],
+    lists: &mut [FaultList],
+    config: &FaultSimConfig,
+) -> Vec<Option<FaultSimReport>> {
+    debug_assert_eq!(streams.len(), lists.len());
+    let active = streams.iter().filter(|s| !s.is_empty()).count();
+    let budget = config.resolved_threads();
+    let per_instance = FaultSimConfig {
+        threads: (budget / active.max(1)).max(1),
+        ..*config
+    };
+    if active <= 1 || budget <= 1 {
+        return streams
+            .iter()
+            .zip(lists.iter_mut())
+            .map(|(s, list)| {
+                (!s.is_empty()).then(|| fault_simulate(netlist, s.as_ref(), list, &per_instance))
+            })
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .zip(lists.iter_mut())
+            .map(|(s, list)| {
+                (!s.is_empty()).then(|| {
+                    scope.spawn(move || fault_simulate(netlist, s.as_ref(), list, &per_instance))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("fault-sim worker panicked")))
+            .collect()
+    })
+}
 
 /// The compaction method's driver.
 ///
@@ -77,16 +127,19 @@ impl Compactor {
 
     /// Fault-simulates a traced run's module patterns against the context's
     /// shared fault lists, merging the per-instance Fault Sim Reports.
+    ///
+    /// The netlist is borrowed (not cloned) and the pattern streams are only
+    /// materialized when `reverse_patterns` demands it; the instances run
+    /// concurrently (see [`simulate_instances`]).
     fn fault_sim(&self, run: &RunResult, ctx: &mut ModuleContext) -> FaultSimReport {
-        let netlist = ctx.netlist().clone();
-        let streams: Vec<warpstl_netlist::PatternSeq> = ctx
+        let streams: Vec<Cow<'_, PatternSeq>> = ctx
             .streams(&run.patterns)
             .into_iter()
             .map(|s| {
                 if self.reverse_patterns {
-                    s.reversed()
+                    Cow::Owned(s.reversed())
                 } else {
-                    s.clone()
+                    Cow::Borrowed(s)
                 }
             })
             .collect();
@@ -95,13 +148,11 @@ impl Compactor {
             ctx.instances(),
             "context instance count must match the GPU configuration"
         );
+        let (netlist, lists) = ctx.netlist_and_lists_mut();
+        let reports = simulate_instances(netlist, &streams, lists, &self.fsim_config);
         let mut merged = FaultSimReport::new();
-        for (i, stream) in streams.iter().enumerate() {
-            if stream.is_empty() {
-                continue;
-            }
-            let report = fault_simulate(&netlist, stream, ctx.list_mut(i), &self.fsim_config);
-            merged.merge(&report);
+        for report in reports.iter().flatten() {
+            merged.merge(report);
         }
         merged
     }
@@ -130,14 +181,20 @@ impl Compactor {
         // stage is cheap and pure, so it is recomputed there.
         // Stage 2: ONE logic simulation with tracing + pattern capture.
         let run = self.trace(ptp)?;
+        let trace_time = start.elapsed();
 
         // Stage 3a: ONE fault simulation against the shared dropping list.
+        let stamp = Instant::now();
         let fsr = self.fault_sim(&run, ctx);
+        let fsim_time = stamp.elapsed();
 
         // Stage 3b: instruction labeling (Fig. 2).
+        let stamp = Instant::now();
         let labels = label_instructions(ptp.program.len(), &run.trace, &fsr);
+        let label_time = stamp.elapsed();
 
         // Stage 4: reduction (Fig. 3).
+        let stamp = Instant::now();
         let reduction = crate::reduce_ptp_with(ptp, &labels, self.respect_arc);
 
         // Stage 5: reassembling.
@@ -145,14 +202,17 @@ impl Compactor {
         compacted.program = reduction.program;
         compacted.global_init = reduction.global_init;
         compacted.sb_slots = reduction.sb_slots;
+        let reduce_time = stamp.elapsed();
         let compaction_time = start.elapsed();
 
         // Evaluation (outside the method's fault-simulation budget): the
         // standalone FC of the original and compacted programs, and the
         // compacted duration.
+        let stamp = Instant::now();
         let fc_before = self.standalone_coverage_of_run(&run, ctx);
         let compacted_run = self.trace(&compacted)?;
         let fc_after = self.standalone_coverage_of_run(&compacted_run, ctx);
+        let eval_time = stamp.elapsed();
 
         let report = CompactionReport {
             name: ptp.name.clone(),
@@ -168,23 +228,31 @@ impl Compactor {
             fault_sim_runs: 1,
             logic_sim_runs: 1,
             compaction_time,
+            stage_timings: StageTimings {
+                trace: trace_time,
+                fsim: fsim_time,
+                label: label_time,
+                reduce: reduce_time,
+                eval: eval_time,
+            },
         };
         Ok(CompactionOutcome { compacted, report })
     }
 
     /// The standalone fault coverage achieved by a traced run (fresh fault
-    /// lists, dropping within the run).
+    /// lists, dropping within the run), instances simulated concurrently.
     fn standalone_coverage_of_run(&self, run: &RunResult, ctx: &ModuleContext) -> f64 {
-        let netlist = ctx.netlist();
         let mut lists: Vec<FaultList> = ctx.fresh_lists();
-        let cfg = FaultSimConfig::default();
-        let streams = ctx.streams(&run.patterns);
-        for (i, stream) in streams.iter().enumerate() {
-            if stream.is_empty() {
-                continue;
-            }
-            fault_simulate(netlist, stream, &mut lists[i], &cfg);
-        }
+        let cfg = FaultSimConfig {
+            threads: self.fsim_config.threads,
+            ..FaultSimConfig::default()
+        };
+        let streams: Vec<Cow<'_, PatternSeq>> = ctx
+            .streams(&run.patterns)
+            .into_iter()
+            .map(Cow::Borrowed)
+            .collect();
+        simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg);
         lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
     }
 
@@ -219,18 +287,19 @@ impl Compactor {
         ptps: &[&Ptp],
         ctx: &ModuleContext,
     ) -> Result<f64, SimError> {
-        let netlist = ctx.netlist();
         let mut lists: Vec<FaultList> = ctx.fresh_lists();
-        let cfg = FaultSimConfig::default();
+        let cfg = FaultSimConfig {
+            threads: self.fsim_config.threads,
+            ..FaultSimConfig::default()
+        };
         for ptp in ptps {
             let run = self.trace(ptp)?;
-            let streams = ctx.streams(&run.patterns);
-            for (i, stream) in streams.iter().enumerate() {
-                if stream.is_empty() {
-                    continue;
-                }
-                fault_simulate(netlist, stream, &mut lists[i], &cfg);
-            }
+            let streams: Vec<Cow<'_, PatternSeq>> = ctx
+                .streams(&run.patterns)
+                .into_iter()
+                .map(Cow::Borrowed)
+                .collect();
+            simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg);
         }
         Ok(lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64)
     }

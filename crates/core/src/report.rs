@@ -32,6 +32,57 @@ impl fmt::Display for PtpFeatures {
     }
 }
 
+/// Wall-clock time spent in each pipeline stage of one compaction.
+///
+/// `trace`, `fsim`, `label` and `reduce` partition
+/// [`CompactionReport::compaction_time`] (the method's own cost — the
+/// paper's last column); `eval` is the evaluation overhead outside it
+/// (standalone coverage of the original and compacted programs, and the
+/// compacted program's re-run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Stage 2: the single traced logic simulation.
+    pub trace: Duration,
+    /// Stage 3a: the single fault simulation.
+    pub fsim: Duration,
+    /// Stage 3b: instruction labeling.
+    pub label: Duration,
+    /// Stages 4–5: Small-Block reduction and reassembly.
+    pub reduce: Duration,
+    /// Post-compaction evaluation (standalone coverages, compacted re-run).
+    pub eval: Duration,
+}
+
+impl StageTimings {
+    /// The total across all stages, evaluation included.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.trace + self.fsim + self.label + self.reduce + self.eval
+    }
+
+    /// Element-wise sum (used by [`CompactionReport::combined`]).
+    #[must_use]
+    pub fn merged(&self, other: &StageTimings) -> StageTimings {
+        StageTimings {
+            trace: self.trace + other.trace,
+            fsim: self.fsim + other.fsim,
+            label: self.label + other.label,
+            reduce: self.reduce + other.reduce,
+            eval: self.eval + other.eval,
+        }
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace {:?} | fsim {:?} | label {:?} | reduce {:?} | eval {:?}",
+            self.trace, self.fsim, self.label, self.reduce, self.eval
+        )
+    }
+}
+
 /// The result of compacting one PTP — one row of Table II/III.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompactionReport {
@@ -62,6 +113,8 @@ pub struct CompactionReport {
     pub logic_sim_runs: usize,
     /// Wall-clock time of the compaction (the paper's last column).
     pub compaction_time: Duration,
+    /// Per-stage breakdown of where that time (plus evaluation) went.
+    pub stage_timings: StageTimings,
 }
 
 impl CompactionReport {
@@ -109,6 +162,9 @@ impl CompactionReport {
             fault_sim_runs: parts.iter().map(|r| r.fault_sim_runs).sum(),
             logic_sim_runs: parts.iter().map(|r| r.logic_sim_runs).sum(),
             compaction_time: parts.iter().map(|r| r.compaction_time).sum(),
+            stage_timings: parts
+                .iter()
+                .fold(StageTimings::default(), |acc, r| acc.merged(&r.stage_timings)),
         }
     }
 }
@@ -148,6 +204,13 @@ mod tests {
             fault_sim_runs: 1,
             logic_sim_runs: 1,
             compaction_time: Duration::from_millis(1234),
+            stage_timings: StageTimings {
+                trace: Duration::from_millis(600),
+                fsim: Duration::from_millis(500),
+                label: Duration::from_millis(34),
+                reduce: Duration::from_millis(100),
+                eval: Duration::from_millis(900),
+            },
         }
     }
 
@@ -167,6 +230,16 @@ mod tests {
         assert_eq!(c.original_size, 2000);
         assert_eq!(c.fault_sim_runs, 2);
         assert!((c.fc_diff_pct() + 1.0).abs() < 1e-9);
+        assert_eq!(c.stage_timings.fsim, Duration::from_millis(1000));
+        assert_eq!(c.stage_timings.total(), Duration::from_millis(4268));
+    }
+
+    #[test]
+    fn stage_timings_display_names_every_stage() {
+        let s = sample().stage_timings.to_string();
+        for stage in ["trace", "fsim", "label", "reduce", "eval"] {
+            assert!(s.contains(stage), "missing {stage} in {s}");
+        }
     }
 
     #[test]

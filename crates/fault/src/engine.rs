@@ -1,0 +1,476 @@
+//! The parallel fault-simulation engine: batch-level threading plus
+//! fanout-cone pruning.
+//!
+//! [`fault_simulate`](crate::fault_simulate) partitions its target faults
+//! into 63-fault batches (63 faulty machines + the good machine per 64-bit
+//! word). The batches are *fully independent*: the target snapshot is taken
+//! once per run, every fault belongs to exactly one batch, and the
+//! [`FaultList`] is only written after all batches finish. That independence
+//! is exploited twice:
+//!
+//! 1. **Threading** — batches are split into contiguous ranges and fanned
+//!    out over a scoped worker pool (`std::thread::scope`; worker count from
+//!    [`FaultSimConfig::threads`](crate::FaultSimConfig::threads), the
+//!    `WARPSTL_THREADS` environment variable, or the machine's available
+//!    parallelism). Each worker fills private buffers which are merged in
+//!    global batch order afterwards, so the resulting [`FaultSimReport`] is
+//!    **bit-identical** to a serial run: serial detections are emitted
+//!    batch-major, and per-pattern tallies are exact integer sums, which are
+//!    order-independent.
+//!
+//! 2. **Fanout-cone pruning** — a gate's lanes can differ from the good
+//!    machine only if the gate is an injection site or (transitively) reads
+//!    one, i.e. only inside the union fanout cone
+//!    ([`FanoutCones`]) of the batch's ≤ 63 injection sites. The engine
+//!    therefore evaluates the good machine once per pattern per batch
+//!    *group* and re-evaluates only cone gates per batch, instead of the
+//!    whole netlist per batch.
+
+use warpstl_netlist::{FanoutCones, Gate, GateKind, Netlist, PatternSeq};
+
+use crate::{Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite, Polarity};
+
+/// How many batches a worker interleaves in one pattern sweep. Each batch in
+/// a group costs a full-width value buffer, so the group bounds memory while
+/// still amortizing the shared good-machine evaluation across its members.
+const GROUP: usize = 16;
+
+/// Resolves the worker count: explicit config, then `WARPSTL_THREADS`, then
+/// the machine's available parallelism.
+pub(crate) fn resolve_threads(config: &FaultSimConfig) -> usize {
+    if config.threads > 0 {
+        return config.threads;
+    }
+    if let Ok(s) = std::env::var("WARPSTL_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Read-only state shared by every worker.
+struct Ctx<'a> {
+    gates: &'a [Gate],
+    patterns: &'a PatternSeq,
+    cones: &'a FanoutCones,
+    in_nets: &'a [usize],
+    out_nets: &'a [usize],
+    dff_nets: &'a [usize],
+    config: FaultSimConfig,
+}
+
+/// One 63-fault batch, fully resolved for simulation: injection masks are
+/// stored per *cone position* so the pattern loop never touches full-width
+/// mask tables.
+struct BatchPlan {
+    /// `(fault id, fault)` per lane; lane `i + 1` simulates `faults[i]`.
+    faults: Vec<(FaultId, Fault)>,
+    /// Bits of the faulty lanes (bit 0, the good machine, excluded).
+    lanes_mask: u64,
+    /// Union fanout cone of the injection sites, ascending gate indices
+    /// (ascending is a topological order of the combinational logic).
+    cone: Vec<u32>,
+    /// Nets read by cone gates but not in the cone: they always carry the
+    /// good-machine value and are copied in before each cone evaluation.
+    boundary: Vec<u32>,
+    /// Stuck-at output masks, aligned with `cone`.
+    out_sa0: Vec<u64>,
+    out_sa1: Vec<u64>,
+    /// Stuck-at input-pin masks, aligned with `cone`.
+    pin_sa0: Vec<[u64; 3]>,
+    pin_sa1: Vec<[u64; 3]>,
+    /// Cone flip-flops in cone order: `(q gate, d net, pin-0 sa0, pin-0 sa1)`.
+    dffs: Vec<(u32, u32, u64, u64)>,
+    /// Output nets inside the cone (the only ones that can observe a diff).
+    outs: Vec<u32>,
+}
+
+impl BatchPlan {
+    /// Resolves one batch: builds injection masks, the union cone, and its
+    /// boundary. `in_cone` is caller-provided scratch of `gates.len()`,
+    /// false on entry and restored to false on exit.
+    fn build(ctx: &Ctx<'_>, faults: &[(FaultId, Fault)], in_cone: &mut [bool]) -> BatchPlan {
+        let cone = ctx
+            .cones
+            .union_cone(faults.iter().map(|&(_, f)| f.site.gate().index()));
+        for &g in &cone {
+            in_cone[g as usize] = true;
+        }
+
+        let mut out_sa0 = vec![0u64; cone.len()];
+        let mut out_sa1 = vec![0u64; cone.len()];
+        let mut pin_sa0 = vec![[0u64; 3]; cone.len()];
+        let mut pin_sa1 = vec![[0u64; 3]; cone.len()];
+        for (lane0, &(_, f)) in faults.iter().enumerate() {
+            let bit = 1u64 << (lane0 + 1);
+            let g = f.site.gate().index() as u32;
+            let j = cone.binary_search(&g).expect("site gate is a cone seed");
+            match (f.site, f.polarity) {
+                (FaultSite::Output(_), Polarity::Sa0) => out_sa0[j] |= bit,
+                (FaultSite::Output(_), Polarity::Sa1) => out_sa1[j] |= bit,
+                (FaultSite::InputPin(_, p), Polarity::Sa0) => pin_sa0[j][p as usize] |= bit,
+                (FaultSite::InputPin(_, p), Polarity::Sa1) => pin_sa1[j][p as usize] |= bit,
+            }
+        }
+
+        let mut boundary: Vec<u32> = Vec::new();
+        let mut dffs = Vec::new();
+        for (j, &gu) in cone.iter().enumerate() {
+            let gate = &ctx.gates[gu as usize];
+            for &pin in gate.inputs() {
+                if !in_cone[pin.index()] {
+                    boundary.push(pin.index() as u32);
+                }
+            }
+            if gate.kind == GateKind::Dff {
+                let d = gate.pins[0].index() as u32;
+                dffs.push((gu, d, pin_sa0[j][0], pin_sa1[j][0]));
+            }
+        }
+        boundary.sort_unstable();
+        boundary.dedup();
+        let outs = ctx
+            .out_nets
+            .iter()
+            .filter(|&&o| in_cone[o])
+            .map(|&o| o as u32)
+            .collect();
+
+        for &g in &cone {
+            in_cone[g as usize] = false;
+        }
+        let lanes_mask: u64 = if faults.len() == 63 {
+            !1u64
+        } else {
+            ((1u64 << (faults.len() + 1)) - 1) & !1
+        };
+        BatchPlan {
+            faults: faults.to_vec(),
+            lanes_mask,
+            cone,
+            boundary,
+            out_sa0,
+            out_sa1,
+            pin_sa0,
+            pin_sa1,
+            dffs,
+            outs,
+        }
+    }
+}
+
+/// Per-batch mutable simulation state.
+struct BatchState {
+    /// Full-width value buffer; only cone and boundary slots are live.
+    vals: Vec<u64>,
+    /// Flip-flop state, aligned with `BatchPlan::dffs`.
+    state: Vec<u64>,
+    detected_mask: u64,
+    /// Cleared on early exit; mirrors the serial engine's `break`.
+    active: bool,
+    /// Detections in occurrence order: `(fault, cc, pattern index)`.
+    detections: Vec<(FaultId, u64, usize)>,
+}
+
+/// What one worker hands back: per-batch detection logs (in the worker's
+/// batch order) plus per-pattern tallies summed over its batches.
+struct WorkerOut {
+    detections: Vec<Vec<(FaultId, u64, usize)>>,
+    activated: Vec<u32>,
+    detected: Vec<u32>,
+}
+
+/// Simulates a contiguous range of batches, interleaving them in groups of
+/// [`GROUP`] so the good machine is evaluated once per pattern per group.
+fn run_batches(ctx: &Ctx<'_>, batches: &[Vec<(FaultId, Fault)>]) -> WorkerOut {
+    let n_pat = ctx.patterns.len();
+    let n_gates = ctx.gates.len();
+    let mut out = WorkerOut {
+        detections: Vec::with_capacity(batches.len()),
+        activated: vec![0u32; n_pat],
+        detected: vec![0u32; n_pat],
+    };
+    let mut in_cone = vec![false; n_gates];
+    let mut good = vec![0u64; n_gates];
+    let mut good_state = vec![0u64; ctx.dff_nets.len()];
+
+    for group in batches.chunks(GROUP) {
+        let plans: Vec<BatchPlan> = group
+            .iter()
+            .map(|b| BatchPlan::build(ctx, b, &mut in_cone))
+            .collect();
+        let mut states: Vec<BatchState> = plans
+            .iter()
+            .map(|p| BatchState {
+                vals: vec![0u64; n_gates],
+                state: vec![0u64; p.dffs.len()],
+                detected_mask: 0,
+                active: true,
+                detections: Vec::new(),
+            })
+            .collect();
+        // The serial engine starts every batch from all-zero values and
+        // state; the good machine's trajectory is identical across batches,
+        // so resetting once per group reproduces it.
+        good.fill(0);
+        good_state.fill(0);
+
+        for t in 0..n_pat {
+            if states.iter().all(|s| !s.active) {
+                break;
+            }
+            // Good machine: inputs broadcast to every lane, no injections.
+            for (bit_pos, &net) in ctx.in_nets.iter().enumerate() {
+                good[net] = if ctx.patterns.bit(t, bit_pos) { !0 } else { 0 };
+            }
+            let mut dff_i = 0;
+            for (i, g) in ctx.gates.iter().enumerate() {
+                good[i] = match g.kind {
+                    GateKind::Input => good[i],
+                    GateKind::Const0 => 0,
+                    GateKind::Const1 => !0,
+                    GateKind::Dff => {
+                        let s = good_state[dff_i];
+                        dff_i += 1;
+                        s
+                    }
+                    kind => {
+                        let p = g.pins;
+                        let a = good[p[0].index()];
+                        let (b, c) = match kind.arity() {
+                            2 => (good[p[1].index()], 0),
+                            3 => (good[p[1].index()], good[p[2].index()]),
+                            _ => (0, 0),
+                        };
+                        kind.eval(a, b, c)
+                    }
+                };
+            }
+            for (k, &q) in ctx.dff_nets.iter().enumerate() {
+                good_state[k] = good[ctx.gates[q].pins[0].index()];
+            }
+
+            let cc = ctx.patterns.cc(t);
+            for (plan, st) in plans.iter().zip(states.iter_mut()) {
+                if !st.active {
+                    continue;
+                }
+                step_batch(ctx, plan, st, &good, t, cc, &mut out);
+            }
+        }
+        for st in states {
+            out.detections.push(st.detections);
+        }
+    }
+    out
+}
+
+/// Advances one batch by one pattern: cone evaluation, flip-flop capture,
+/// output observation, activation counting, and detection recording —
+/// the same sequence, in the same order, as the serial reference.
+fn step_batch(
+    ctx: &Ctx<'_>,
+    plan: &BatchPlan,
+    st: &mut BatchState,
+    good: &[u64],
+    t: usize,
+    cc: u64,
+    out: &mut WorkerOut,
+) {
+    let vals = &mut st.vals;
+    for &p in &plan.boundary {
+        vals[p as usize] = good[p as usize];
+    }
+    let mut dff_i = 0;
+    for (j, &gu) in plan.cone.iter().enumerate() {
+        let i = gu as usize;
+        let g = &ctx.gates[i];
+        let mut v = match g.kind {
+            // Inputs are driven broadcast, so the good word *is* the
+            // 64-lane input word. Constants likewise.
+            GateKind::Input => good[i],
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Dff => {
+                let s = st.state[dff_i];
+                dff_i += 1;
+                s
+            }
+            kind => {
+                let p = g.pins;
+                let ps0 = &plan.pin_sa0[j];
+                let ps1 = &plan.pin_sa1[j];
+                let a = (vals[p[0].index()] & !ps0[0]) | ps1[0];
+                let (b, c) = match kind.arity() {
+                    2 => ((vals[p[1].index()] & !ps0[1]) | ps1[1], 0),
+                    3 => (
+                        (vals[p[1].index()] & !ps0[1]) | ps1[1],
+                        (vals[p[2].index()] & !ps0[2]) | ps1[2],
+                    ),
+                    _ => (0, 0),
+                };
+                kind.eval(a, b, c)
+            }
+        };
+        v = (v & !plan.out_sa0[j]) | plan.out_sa1[j];
+        vals[i] = v;
+    }
+    // Capture cone flip-flops (pin-0 masks apply at the D input). A cone
+    // DFF's D net is a cone-gate input, so it is in the cone or boundary
+    // and `vals` holds its post-evaluation value.
+    for (k, &(_, d, m0, m1)) in plan.dffs.iter().enumerate() {
+        st.state[k] = (vals[d as usize] & !m0) | m1;
+    }
+
+    // Observe: only cone outputs can differ from the good machine.
+    let mut diff: u64 = 0;
+    for &o in &plan.outs {
+        let v = vals[o as usize];
+        let good_bcast = (v & 1).wrapping_neg();
+        diff |= v ^ good_bcast;
+    }
+    diff &= plan.lanes_mask;
+
+    // Activation counts read the good machine (lane 0 is unaffected by
+    // injection masks, so `good` matches the serial engine's lane 0).
+    let drop = ctx.config.drop_detected;
+    let mut activated = 0u32;
+    for (lane0, &(_, f)) in plan.faults.iter().enumerate() {
+        if drop && st.detected_mask >> (lane0 + 1) & 1 == 1 {
+            continue;
+        }
+        let good_bit = match f.site {
+            FaultSite::Output(n) => good[n.index()] & 1 == 1,
+            FaultSite::InputPin(n, p) => {
+                let src = ctx.gates[n.index()].pins[p as usize].index();
+                good[src] & 1 == 1
+            }
+        };
+        if good_bit != f.polarity.value() {
+            activated += 1;
+        }
+    }
+    out.activated[t] += activated;
+
+    if drop {
+        let newly = diff & !st.detected_mask;
+        if newly != 0 {
+            let mut rest = newly;
+            while rest != 0 {
+                let lane = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                st.detections.push((plan.faults[lane - 1].0, cc, t));
+            }
+            out.detected[t] += newly.count_ones();
+            st.detected_mask |= newly;
+            if ctx.config.early_exit && st.detected_mask == plan.lanes_mask {
+                st.active = false;
+            }
+        }
+    } else {
+        out.detected[t] += diff.count_ones();
+        let mut rest = diff & !st.detected_mask;
+        while rest != 0 {
+            let lane = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            st.detections.push((plan.faults[lane - 1].0, cc, t));
+        }
+        st.detected_mask |= diff;
+    }
+}
+
+/// The parallel engine behind [`fault_simulate`](crate::fault_simulate):
+/// plans batches, fans them out over a scoped worker pool, and merges the
+/// results deterministically.
+pub(crate) fn simulate(
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut FaultList,
+    config: &FaultSimConfig,
+) -> FaultSimReport {
+    assert_eq!(
+        patterns.width(),
+        netlist.inputs().width(),
+        "pattern width must match netlist inputs"
+    );
+    list.begin_run();
+    let mut report = FaultSimReport::new();
+
+    let targets: Vec<FaultId> = if config.drop_detected {
+        list.undetected().collect()
+    } else {
+        (0..list.len()).collect()
+    };
+    // Snapshot fault data so workers need no access to the list.
+    let batches: Vec<Vec<(FaultId, Fault)>> = targets
+        .chunks(63)
+        .map(|c| c.iter().map(|&fid| (fid, list.fault(fid))).collect())
+        .collect();
+
+    let cones = netlist.fanout_cones();
+    let in_nets: Vec<usize> = netlist.inputs().nets().iter().map(|n| n.index()).collect();
+    let out_nets: Vec<usize> = netlist.outputs().nets().iter().map(|n| n.index()).collect();
+    let dff_nets: Vec<usize> = netlist.dffs().iter().map(|n| n.index()).collect();
+    let ctx = Ctx {
+        gates: netlist.gates(),
+        patterns,
+        cones: &cones,
+        in_nets: &in_nets,
+        out_nets: &out_nets,
+        dff_nets: &dff_nets,
+        config: *config,
+    };
+
+    let workers = resolve_threads(config).min(batches.len()).max(1);
+    let outs: Vec<WorkerOut> = if workers <= 1 {
+        vec![run_batches(&ctx, &batches)]
+    } else {
+        // Contiguous ranges keep the merge order trivial: worker w owns
+        // batches [w·k, (w+1)·k), so concatenating worker outputs in spawn
+        // order is global batch order.
+        let per = batches.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .chunks(per)
+                .map(|range| {
+                    let ctx = &ctx;
+                    s.spawn(move || run_batches(ctx, range))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    // Merge. Serial detections are batch-major (the pattern loop nests
+    // inside the batch loop), so replaying per-batch logs in global batch
+    // order reproduces the serial report byte-for-byte; per-pattern tallies
+    // are exact integer sums and thus order-independent.
+    let n_pat = patterns.len();
+    let mut activated_per_pattern = vec![0u32; n_pat];
+    let mut detected_per_pattern = vec![0u32; n_pat];
+    for w in &outs {
+        for t in 0..n_pat {
+            activated_per_pattern[t] += w.activated[t];
+            detected_per_pattern[t] += w.detected[t];
+        }
+    }
+    for w in outs {
+        for batch_log in w.detections {
+            for (fid, cc, t) in batch_log {
+                list.mark_detected(fid, cc, t);
+                report.record_detection(fid, cc, t);
+            }
+        }
+    }
+    for t in 0..n_pat {
+        report.record_pattern(
+            patterns.cc(t),
+            activated_per_pattern[t],
+            detected_per_pattern[t],
+        );
+    }
+    report
+}

@@ -43,6 +43,7 @@
 //! assert!(report.total_detected() > 0);
 //! ```
 
+pub mod engine;
 mod fault;
 mod list;
 mod report;
@@ -53,5 +54,5 @@ mod universe;
 pub use fault::{Fault, FaultSite, Polarity};
 pub use list::{FaultId, FaultList, FaultStatus};
 pub use report::{FaultSimReport, PatternStats};
-pub use sim::{fault_simulate, FaultSimConfig};
+pub use sim::{fault_simulate, fault_simulate_reference, FaultSimConfig};
 pub use universe::FaultUniverse;

@@ -15,6 +15,22 @@ pub struct FaultSimConfig {
     /// Stop a fault batch early once all of its faults are detected
     /// (only meaningful with `drop_detected`).
     pub early_exit: bool,
+    /// Worker threads for batch-level parallelism. `0` (the default) means
+    /// auto: the `WARPSTL_THREADS` environment variable if set, otherwise
+    /// the machine's available parallelism. Results are bit-identical for
+    /// every thread count.
+    pub threads: usize,
+}
+
+impl FaultSimConfig {
+    /// The worker count this configuration resolves to: `threads` if
+    /// nonzero, else `WARPSTL_THREADS`, else the machine's available
+    /// parallelism. Callers running several simulations concurrently can
+    /// use this to split the budget across them.
+    #[must_use]
+    pub fn resolved_threads(&self) -> usize {
+        crate::engine::resolve_threads(self)
+    }
 }
 
 impl Default for FaultSimConfig {
@@ -22,6 +38,7 @@ impl Default for FaultSimConfig {
         FaultSimConfig {
             drop_detected: true,
             early_exit: true,
+            threads: 0,
         }
     }
 }
@@ -30,10 +47,16 @@ impl Default for FaultSimConfig {
 /// `list` and returning the per-pattern Fault Sim Report.
 ///
 /// The simulator packs 63 faulty machines plus the good machine into each
-/// 64-bit word (parallel-fault simulation), evaluates the netlist once per
-/// pattern per batch, and observes discrepancies at the module outputs —
-/// the paper's *module-level fault observability*. Sequential netlists are
-/// supported: each fault lane carries its own flip-flop state.
+/// 64-bit word (parallel-fault simulation) and observes discrepancies at
+/// the module outputs — the paper's *module-level fault observability*.
+/// Sequential netlists are supported: each fault lane carries its own
+/// flip-flop state.
+///
+/// Fault batches are independent, so the engine prunes each batch to the
+/// fanout cone of its injection sites and fans batches out over
+/// [`FaultSimConfig::threads`] workers (see [`crate::engine`] — the report
+/// is bit-identical for every thread count, and to the serial
+/// [`fault_simulate_reference`]).
 ///
 /// # Panics
 ///
@@ -63,6 +86,24 @@ impl Default for FaultSimConfig {
 /// assert_eq!(report.total_detected() as usize, list.len());
 /// ```
 pub fn fault_simulate(
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut FaultList,
+    config: &FaultSimConfig,
+) -> FaultSimReport {
+    crate::engine::simulate(netlist, patterns, list, config)
+}
+
+/// The original single-threaded engine, kept as the oracle for the parallel
+/// engine's equivalence tests and as the `threads = 1`, no-pruning baseline
+/// for benchmarks. Evaluates the *whole* netlist once per pattern per batch.
+///
+/// Semantics are identical to [`fault_simulate`]; prefer that entry point.
+///
+/// # Panics
+///
+/// Panics if `patterns.width()` differs from the netlist's input width.
+pub fn fault_simulate_reference(
     netlist: &Netlist,
     patterns: &PatternSeq,
     list: &mut FaultList,
@@ -358,6 +399,7 @@ mod tests {
         let cfg = FaultSimConfig {
             drop_detected: false,
             early_exit: false,
+            ..FaultSimConfig::default()
         };
         // Two identical detecting patterns: both report detections.
         let mut p = PatternSeq::new(2);

@@ -1,0 +1,188 @@
+//! Parallel/serial equivalence: the threaded, cone-pruned engine must
+//! produce **bit-identical** results to the serial reference — same
+//! `FaultSimReport` (per-pattern stats and detection log, cc-stamps
+//! included), same fault-list state, same coverage — for every thread
+//! count, in drop and non-drop modes, on combinational and sequential
+//! netlists.
+
+use warpstl_fault::{
+    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+};
+use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::{Builder, Netlist, PatternSeq};
+
+/// A combinational netlist with > 63 collapsed faults (multiple batches).
+fn combinational() -> Netlist {
+    ModuleKind::DecoderUnit.build()
+}
+
+/// A sequential netlist: an accumulator-style datapath with DFF feedback.
+fn sequential() -> Netlist {
+    let mut b = Builder::new("seq4");
+    let d = b.input_bus("d", 4);
+    let en = b.input("en");
+    let q: Vec<_> = (0..4).map(|_| b.dff_placeholder()).collect();
+    let x = b.xor_bus(&d, &q);
+    for (i, &qi) in q.iter().enumerate() {
+        let nxt = b.mux(en, x[i], qi);
+        b.connect_dff(qi, nxt);
+    }
+    let inv = b.not_bus(&q);
+    b.output_bus("q", &q);
+    b.output_bus("nq", &inv);
+    b.finish()
+}
+
+fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSeq {
+    let mut p = PatternSeq::new(width);
+    for cc in 0..count {
+        let bits: Vec<bool> = (0..width)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed & 1 == 1
+            })
+            .collect();
+        p.push_bits(cc as u64 * 3 + 7, &bits);
+    }
+    p
+}
+
+/// Runs reference and parallel engines side by side and asserts everything
+/// observable is identical.
+fn assert_equivalent(netlist: &Netlist, patterns: &PatternSeq, base: FaultSimConfig) {
+    let universe = FaultUniverse::enumerate(netlist);
+
+    let mut ref_list = FaultList::new(&universe);
+    let ref_cfg = FaultSimConfig { threads: 1, ..base };
+    let ref_report = fault_simulate_reference(netlist, patterns, &mut ref_list, &ref_cfg);
+
+    for threads in [1usize, 2, 8] {
+        let mut list = FaultList::new(&universe);
+        let cfg = FaultSimConfig { threads, ..base };
+        let report = fault_simulate(netlist, patterns, &mut list, &cfg);
+        assert_eq!(
+            report, ref_report,
+            "FaultSimReport diverged at {threads} threads (drop={}, early_exit={})",
+            base.drop_detected, base.early_exit
+        );
+        assert_eq!(
+            list.coverage(),
+            ref_list.coverage(),
+            "coverage diverged at {threads} threads"
+        );
+        assert_eq!(
+            list.to_report_text(),
+            ref_list.to_report_text(),
+            "fault-list state diverged at {threads} threads"
+        );
+        let dets: Vec<_> = list.detected().collect();
+        let ref_dets: Vec<_> = ref_list.detected().collect();
+        assert_eq!(dets, ref_dets, "detection cc-stamps diverged at {threads} threads");
+    }
+}
+
+fn all_modes() -> [FaultSimConfig; 3] {
+    [
+        FaultSimConfig::default(), // drop + early exit
+        FaultSimConfig {
+            early_exit: false,
+            ..FaultSimConfig::default()
+        },
+        FaultSimConfig {
+            drop_detected: false,
+            early_exit: false,
+            ..FaultSimConfig::default()
+        },
+    ]
+}
+
+#[test]
+fn combinational_module_is_equivalent_in_every_mode() {
+    let n = combinational();
+    let u = FaultUniverse::enumerate(&n);
+    assert!(u.collapsed_len() > 63, "need multiple batches");
+    let p = pseudorandom_patterns(n.inputs().width(), 48, 0x5eed_cafe_f00d_0001);
+    for cfg in all_modes() {
+        assert_equivalent(&n, &p, cfg);
+    }
+}
+
+#[test]
+fn sequential_netlist_is_equivalent_in_every_mode() {
+    let n = sequential();
+    assert!(!n.dffs().is_empty());
+    let p = pseudorandom_patterns(n.inputs().width(), 96, 0x5eed_cafe_f00d_0002);
+    for cfg in all_modes() {
+        assert_equivalent(&n, &p, cfg);
+    }
+}
+
+#[test]
+fn dropping_across_two_runs_is_equivalent() {
+    // The shared-list flow: a second run only targets survivors. Both
+    // engines must agree after each run.
+    let n = combinational();
+    let u = FaultUniverse::enumerate(&n);
+    let p1 = pseudorandom_patterns(n.inputs().width(), 20, 1);
+    let p2 = pseudorandom_patterns(n.inputs().width(), 20, 2);
+
+    let cfg_ref = FaultSimConfig::default();
+    let mut ref_list = FaultList::new(&u);
+    let ref_r1 = fault_simulate_reference(&n, &p1, &mut ref_list, &cfg_ref);
+    let ref_r2 = fault_simulate_reference(&n, &p2, &mut ref_list, &cfg_ref);
+
+    let cfg = FaultSimConfig {
+        threads: 4,
+        ..FaultSimConfig::default()
+    };
+    let mut list = FaultList::new(&u);
+    let r1 = fault_simulate(&n, &p1, &mut list, &cfg);
+    let r2 = fault_simulate(&n, &p2, &mut list, &cfg);
+
+    assert_eq!(r1, ref_r1);
+    assert_eq!(r2, ref_r2);
+    assert_eq!(list.to_report_text(), ref_list.to_report_text());
+}
+
+#[test]
+fn empty_pattern_and_saturated_list_edge_cases() {
+    let n = combinational();
+    let u = FaultUniverse::enumerate(&n);
+    let empty = PatternSeq::new(n.inputs().width());
+    let cfg = FaultSimConfig {
+        threads: 8,
+        ..FaultSimConfig::default()
+    };
+
+    let mut list = FaultList::new(&u);
+    let mut ref_list = FaultList::new(&u);
+    let r = fault_simulate(&n, &empty, &mut list, &cfg);
+    let rr = fault_simulate_reference(&n, &empty, &mut ref_list, &cfg);
+    assert_eq!(r, rr);
+    assert_eq!(r.total_detected(), 0);
+
+    // Saturate the list, then re-run with dropping: zero targets.
+    let p = pseudorandom_patterns(n.inputs().width(), 64, 99);
+    fault_simulate(&n, &p, &mut list, &cfg);
+    let before = list.to_report_text();
+    let again = fault_simulate(&n, &p, &mut list, &cfg);
+    assert_eq!(
+        again.total_detected(),
+        0,
+        "dropping must skip already-detected faults"
+    );
+    assert_eq!(list.to_report_text(), before);
+}
+
+#[test]
+fn explicit_thread_count_overrides_env() {
+    let cfg = FaultSimConfig {
+        threads: 3,
+        ..FaultSimConfig::default()
+    };
+    assert_eq!(cfg.resolved_threads(), 3);
+    let auto = FaultSimConfig::default();
+    assert!(auto.resolved_threads() >= 1);
+}

@@ -37,6 +37,7 @@
 //! ```
 
 mod builder;
+mod cones;
 mod gate;
 pub mod io;
 pub mod modules;
@@ -45,6 +46,7 @@ mod sim;
 mod vcde;
 
 pub use builder::{Builder, Bus};
+pub use cones::FanoutCones;
 pub use gate::{Gate, GateKind, NetId};
 pub use netlist::{Netlist, NetlistError, PortMap};
 pub use sim::{simulate_seq, LogicSim};

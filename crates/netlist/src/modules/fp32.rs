@@ -87,10 +87,7 @@ pub fn build() -> Netlist {
     let (ediff_ab, _) = b.sub(&ea, &eb);
     let (ediff_ba, _) = b.sub(&eb, &ea);
     let ediff = b.mux_bus(a_ge_b, &ediff_ab, &ediff_ba);
-    let sig_big = {
-        let sel = b.mux_bus(a_ge_b, &sig_a, &sig_b);
-        sel
-    };
+    let sig_big = b.mux_bus(a_ge_b, &sig_a, &sig_b);
     let sig_small = b.mux_bus(a_ge_b, &sig_b, &sig_a);
     // Align: shift the smaller significand right by min(ediff, 15).
     let sig_small_al = b.shr_barrel(&sig_small, &ediff[..4]);
@@ -174,10 +171,7 @@ fn float_lt(
     sb: crate::NetId,
 ) -> crate::NetId {
     let mag_lt = b.lt_unsigned(&a[..31], &bb[..31]);
-    let mag_gt = {
-        let lt = b.lt_unsigned(&bb[..31], &a[..31]);
-        lt
-    };
+    let mag_gt = b.lt_unsigned(&bb[..31], &a[..31]);
     // a < b: (sa & !sb) | (both positive & mag_lt) | (both negative & mag_gt)
     let nsb = b.not(sb);
     let nsa = b.not(sa);

@@ -203,6 +203,10 @@ pub fn simulate_seq(netlist: &Netlist, patterns: &PatternSeq) -> PatternSeq {
     let mut out = PatternSeq::new(out_w);
     let mut sim = LogicSim::new(netlist);
 
+    // Scratch buffers hoisted out of the per-chunk / per-lane loops.
+    let mut out_nets: Vec<u64> = Vec::with_capacity(out_w);
+    let mut bits: Vec<bool> = vec![false; out_w];
+
     if netlist.is_combinational() {
         let n = patterns.len();
         let in_w = patterns.width();
@@ -219,16 +223,13 @@ pub fn simulate_seq(netlist: &Netlist, patterns: &PatternSeq) -> PatternSeq {
                 sim.set_input_bit(bit, w);
             }
             sim.eval_comb();
-            let out_nets: Vec<u64> = netlist
-                .outputs()
-                .nets()
-                .iter()
-                .map(|&nid| sim.net_value(nid))
-                .collect();
+            out_nets.clear();
+            out_nets.extend(netlist.outputs().nets().iter().map(|&nid| sim.net_value(nid)));
             for lane in 0..lanes {
                 let idx = chunk_start + lane;
-                let bits: Vec<bool> =
-                    out_nets.iter().map(|&w| (w >> lane) & 1 == 1).collect();
+                for (b, &w) in bits.iter_mut().zip(&out_nets) {
+                    *b = (w >> lane) & 1 == 1;
+                }
                 out.push_bits(patterns.cc(idx), &bits);
             }
             chunk_start += lanes;
@@ -239,12 +240,9 @@ pub fn simulate_seq(netlist: &Netlist, patterns: &PatternSeq) -> PatternSeq {
                 sim.set_input_bit(bit, if patterns.bit(i, bit) { !0 } else { 0 });
             }
             sim.step();
-            let bits: Vec<bool> = netlist
-                .outputs()
-                .nets()
-                .iter()
-                .map(|&nid| sim.net_value(nid) & 1 == 1)
-                .collect();
+            for (b, &nid) in bits.iter_mut().zip(netlist.outputs().nets()) {
+                *b = sim.net_value(nid) & 1 == 1;
+            }
             out.push_bits(patterns.cc(i), &bits);
         }
     }

@@ -127,7 +127,7 @@ impl PatternSeq {
         self.ccs.push(cc);
         self.data.extend_from_slice(row);
         // Mask out bits beyond the width so Eq and hex round-trips are exact.
-        if self.width % 64 != 0 {
+        if !self.width.is_multiple_of(64) {
             let last = self.data.len() - 1;
             self.data[last] &= (1u64 << (self.width % 64)) - 1;
         }

@@ -91,7 +91,7 @@ impl ControlFlowGraph {
     pub fn of(program: &[Instruction], bbs: &BasicBlocks) -> ControlFlowGraph {
         let n = bbs.count();
         let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for b in 0..n {
+        for (b, succs) in successors.iter_mut().enumerate() {
             let range = bbs.range(b);
             let last_pc = range.end - 1;
             let last = &program[last_pc];
@@ -107,19 +107,19 @@ impl ControlFlowGraph {
                 Opcode::Exit | Opcode::Ret => {}
                 Opcode::Bra => {
                     if let Some(t) = last.target() {
-                        push(&mut successors[b], t);
+                        push(succs, t);
                     }
                     if !last.guard.is_always_true() {
-                        push(&mut successors[b], last_pc + 1);
+                        push(succs, last_pc + 1);
                     }
                 }
                 Opcode::Cal => {
                     if let Some(t) = last.target() {
-                        push(&mut successors[b], t);
+                        push(succs, t);
                     }
-                    push(&mut successors[b], last_pc + 1);
+                    push(succs, last_pc + 1);
                 }
-                _ => push(&mut successors[b], last_pc + 1),
+                _ => push(succs, last_pc + 1),
             }
         }
         let in_cycle = find_cycles(&successors);

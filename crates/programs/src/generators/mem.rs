@@ -143,7 +143,7 @@ fn emit_sb(program: &mut Vec<Instruction>, rng: &mut StdRng, k: usize) {
             .expect("LDS"),
     );
     // Occasionally exercise the local-memory format too.
-    if k % 4 == 0 {
+    if k.is_multiple_of(4) {
         push(
             Instruction::build(Opcode::Stl)
                 .mem(reg(R_T4), 0)

@@ -47,7 +47,7 @@ impl SbSlots {
     /// it lies outside the region.
     #[must_use]
     pub fn locate(&self, addr: u64) -> Option<(usize, usize, usize)> {
-        if addr < self.base || addr % 4 != 0 {
+        if addr < self.base || !addr.is_multiple_of(4) {
             return None;
         }
         let word = ((addr - self.base) / 4) as usize;

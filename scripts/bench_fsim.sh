@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Benchmarks the parallel fault-simulation engine.
+#
+# 1. Lints the whole workspace (clippy, warnings denied).
+# 2. Runs the `fsim` criterion bench (reference vs engine at several
+#    thread counts).
+# 3. Runs the `bench_fsim` binary, which writes machine-readable timings
+#    (patterns/sec, speedup vs threads=1, speedup vs the unpruned
+#    reference) to BENCH_fsim.json at the repo root.
+#
+# Usage: scripts/bench_fsim.sh
+set -u
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings || exit 1
+
+echo "== criterion bench: fsim =="
+cargo bench -p warpstl-bench --bench fsim
+
+echo "== BENCH_fsim.json =="
+cargo run --release -q -p warpstl-bench --bin bench_fsim

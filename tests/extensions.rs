@@ -45,8 +45,11 @@ fn fp32_capture_feeds_the_module_context() {
 
 #[test]
 fn tdf_compaction_reuses_the_labeling_stage() {
+    // Seed/size chosen so the program carries clearly redundant SBs under
+    // TDF labeling (several late SBs re-toggle already-covered pairs).
     let ptp = generate_imm(&ImmConfig {
-        sb_count: 20,
+        sb_count: 28,
+        seed: 0xdead_beef,
         ..ImmConfig::default()
     });
     let compactor = Compactor::default();

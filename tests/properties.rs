@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use warpstl::fault::{fault_simulate, FaultList, FaultSimConfig, FaultUniverse};
+use warpstl::fault::{
+    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+};
 use warpstl::isa::{asm, encoding, CmpOp, Instruction, Opcode, Pred, Reg};
 use warpstl::netlist::{Builder, LogicSim, Netlist, PatternSeq};
 
@@ -240,6 +242,33 @@ proptest! {
             prop_assert_eq!(cc, pats.cc(pattern));
             prop_assert_eq!(run, 1);
         }
+    }
+
+    /// The parallel, cone-pruned engine is bit-identical to the serial
+    /// reference on arbitrary netlists, thread counts, and modes.
+    #[test]
+    fn parallel_engine_matches_reference(
+        seed in any::<u64>(),
+        threads in 1usize..9,
+        drop_detected in any::<bool>(),
+        early_exit in any::<bool>()
+    ) {
+        let n = random_netlist(seed, 6, 30);
+        let u = FaultUniverse::enumerate(&n);
+        let mut pats = PatternSeq::new(6);
+        let mut x = seed | 3;
+        for cc in 0..24u64 {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            pats.push_value(cc * 2, x & 0x3f);
+        }
+        let base = FaultSimConfig { drop_detected, early_exit, threads };
+        let mut ref_list = FaultList::new(&u);
+        let ref_report = fault_simulate_reference(&n, &pats, &mut ref_list, &base);
+        let mut par_list = FaultList::new(&u);
+        let par_report = fault_simulate(&n, &pats, &mut par_list, &base);
+        prop_assert_eq!(par_report, ref_report);
+        prop_assert_eq!(par_list.to_report_text(), ref_list.to_report_text());
+        prop_assert_eq!(par_list.coverage(), ref_list.coverage());
     }
 
     /// VCDE serialization round-trips arbitrary pattern sequences.
