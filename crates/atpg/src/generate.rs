@@ -117,10 +117,7 @@ pub fn generate_patterns(netlist: &Netlist, config: &AtpgConfig) -> AtpgResult {
         if config.max_patterns > 0 && patterns.len() >= config.max_patterns {
             break;
         }
-        if !matches!(
-            list.status(id),
-            warpstl_fault::FaultStatus::Undetected
-        ) {
+        if !matches!(list.status(id), warpstl_fault::FaultStatus::Undetected) {
             continue;
         }
         let fault = list.fault(id);
@@ -198,7 +195,11 @@ mod tests {
         assert_eq!(r.aborted, 0);
         assert!(r.untestable <= 3, "untestable {}", r.untestable);
         // Far fewer patterns than faults, thanks to dropping.
-        assert!(r.patterns.len() * 3 < r.total, "{} patterns", r.patterns.len());
+        assert!(
+            r.patterns.len() * 3 < r.total,
+            "{} patterns",
+            r.patterns.len()
+        );
     }
 
     #[test]

@@ -227,8 +227,7 @@ impl<'a> Search<'a> {
                     )
                 }
                 _ => {
-                    let (s0, s1, s2) =
-                        (g.pins[0].index(), g.pins[1].index(), g.pins[2].index());
+                    let (s0, s1, s2) = (g.pins[0].index(), g.pins[1].index(), g.pins[2].index());
                     (
                         self.good[s0],
                         self.good[s1],
@@ -319,7 +318,11 @@ impl<'a> Search<'a> {
             }
             // Objective: set an X input to the gate's non-controlling value.
             match g.kind {
-                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor
+                GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
                 | GateKind::Xnor => {
                     let noncontrol = matches!(g.kind, GateKind::And | GateKind::Nand);
                     for &src in g.inputs() {
@@ -355,8 +358,12 @@ impl<'a> Search<'a> {
                         return Some((sel, d_on_a));
                     }
                 }
-                GateKind::Buf | GateKind::Not | GateKind::Dff | GateKind::Input
-                | GateKind::Const0 | GateKind::Const1 => {}
+                GateKind::Buf
+                | GateKind::Not
+                | GateKind::Dff
+                | GateKind::Input
+                | GateKind::Const0
+                | GateKind::Const1 => {}
             }
         }
         None
@@ -446,9 +453,7 @@ impl<'a> Search<'a> {
                     .collect();
                 return PodemOutcome::Test(assignment);
             }
-            let next = self
-                .objective()
-                .and_then(|(net, v)| self.backtrace(net, v));
+            let next = self.objective().and_then(|(net, v)| self.backtrace(net, v));
             match next {
                 Some((pos, v)) => {
                     self.pi[pos] = Tv::of(v);
@@ -496,11 +501,11 @@ mod tests {
         p.push_bits(0, &bits);
         fault_simulate(netlist, &p, &mut list, &FaultSimConfig::default());
         // The fault (or its equivalence representative) must be detected.
-        let detected: Vec<Fault> = list.detected().map(|(id, _, _, _)| list.fault(id)).collect();
-        assert!(
-            !detected.is_empty(),
-            "vector detects nothing for {fault}"
-        );
+        let detected: Vec<Fault> = list
+            .detected()
+            .map(|(id, _, _, _)| list.fault(id))
+            .collect();
+        assert!(!detected.is_empty(), "vector detects nothing for {fault}");
     }
 
     #[test]

@@ -42,7 +42,11 @@ fn non_drop() -> FaultSimConfig {
 }
 
 fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usize) {
-    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0xb5eed ^ patterns as u64);
+    let pats = pseudorandom_patterns(
+        netlist.inputs().width(),
+        patterns,
+        0xb5eed ^ patterns as u64,
+    );
     let universe = FaultUniverse::enumerate(netlist);
 
     c.bench_function(&format!("fsim/{name}/reference"), |b| {

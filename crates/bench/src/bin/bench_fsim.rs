@@ -55,11 +55,7 @@ fn non_drop(threads: usize) -> FaultSimConfig {
 }
 
 /// Best-of-`reps` wall time for one engine invocation, in seconds.
-fn time_best<F: FnMut(&mut FaultList)>(
-    universe: &FaultUniverse,
-    reps: usize,
-    mut run: F,
-) -> f64 {
+fn time_best<F: FnMut(&mut FaultList)>(universe: &FaultUniverse, reps: usize, mut run: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let mut list = FaultList::new(universe);
@@ -79,12 +75,17 @@ struct ModuleResult {
 }
 
 fn measure(name: &str, netlist: &Netlist, patterns: usize, reps: usize) -> ModuleResult {
-    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0xb5eed ^ patterns as u64);
+    let pats = pseudorandom_patterns(
+        netlist.inputs().width(),
+        patterns,
+        0xb5eed ^ patterns as u64,
+    );
     let universe = FaultUniverse::enumerate(netlist);
 
-    eprintln!("[bench_fsim] {name}: {} collapsed faults, {patterns} patterns", {
-        universe.collapsed_len()
-    });
+    eprintln!(
+        "[bench_fsim] {name}: {} collapsed faults, {patterns} patterns",
+        { universe.collapsed_len() }
+    );
     let reference_s = time_best(&universe, reps, |list| {
         fault_simulate_reference(netlist, &pats, list, &non_drop(1));
     });
@@ -130,12 +131,9 @@ fn measure_compaction(threads: usize) -> (f64, StageTimings) {
     let start = Instant::now();
     let group = compact_group(&du, ModuleKind::DecoderUnit, &compactor);
     let wall = start.elapsed().as_secs_f64();
-    let stages = group
-        .rows
-        .iter()
-        .fold(StageTimings::default(), |acc, r| {
-            acc.merged(&r.stage_timings)
-        });
+    let stages = group.rows.iter().fold(StageTimings::default(), |acc, r| {
+        acc.merged(&r.stage_timings)
+    });
     (wall, stages)
 }
 
@@ -153,9 +151,7 @@ fn main() {
 
     eprintln!("[bench_fsim] compacting the DU group end-to-end (bench scale)");
     let (compact_wall_s, compact_stages) = measure_compaction(0);
-    eprintln!(
-        "[bench_fsim]   compact du_group {compact_wall_s:.4}s ({compact_stages})"
-    );
+    eprintln!("[bench_fsim]   compact du_group {compact_wall_s:.4}s ({compact_stages})");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -191,10 +187,18 @@ fn main() {
                 t1 / s,
                 m.reference_s / s
             );
-            json.push_str(if ei + 1 < m.engine_s.len() { ",\n" } else { "\n" });
+            json.push_str(if ei + 1 < m.engine_s.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         json.push_str("      ]\n");
-        json.push_str(if mi + 1 < results.len() { "    },\n" } else { "    }\n" });
+        json.push_str(if mi + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
     }
     json.push_str("  ],\n");
     json.push_str("  \"compact_du_group\": {\n");
@@ -203,11 +207,31 @@ fn main() {
         "    \"note\": \"end-to-end IMM+MEM+CNTRL compaction (the compact_stl per-module flow) at 1/128 scale with the parallel engine; stage split from CompactionReport::stage_timings\","
     );
     let _ = writeln!(json, "    \"wall_s\": {compact_wall_s:.6},");
-    let _ = writeln!(json, "    \"trace_s\": {:.6},", compact_stages.trace.as_secs_f64());
-    let _ = writeln!(json, "    \"fsim_s\": {:.6},", compact_stages.fsim.as_secs_f64());
-    let _ = writeln!(json, "    \"label_s\": {:.6},", compact_stages.label.as_secs_f64());
-    let _ = writeln!(json, "    \"reduce_s\": {:.6},", compact_stages.reduce.as_secs_f64());
-    let _ = writeln!(json, "    \"eval_s\": {:.6}", compact_stages.eval.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "    \"trace_s\": {:.6},",
+        compact_stages.trace.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"fsim_s\": {:.6},",
+        compact_stages.fsim.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"label_s\": {:.6},",
+        compact_stages.label.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"reduce_s\": {:.6},",
+        compact_stages.reduce.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"eval_s\": {:.6}",
+        compact_stages.eval.as_secs_f64()
+    );
     json.push_str("  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fsim.json");

@@ -11,7 +11,10 @@ use warpstl_netlist::modules::ModuleKind;
 use warpstl_programs::generators::generate_imm;
 use warpstl_programs::Ptp;
 
-fn sim(ptp: &Ptp, compactor: &Compactor) -> (warpstl_gpu::RunResult, warpstl_fault::FaultSimReport) {
+fn sim(
+    ptp: &Ptp,
+    compactor: &Compactor,
+) -> (warpstl_gpu::RunResult, warpstl_fault::FaultSimReport) {
     let run = compactor.trace(ptp).expect("runs");
     let netlist = ModuleKind::DecoderUnit.build();
     let universe = FaultUniverse::enumerate(&netlist);
@@ -37,7 +40,10 @@ fn main() {
         sim(&reorder.reordered, &compactor)
     });
 
-    println!("## Extension: Small-Block reordering (IMM, {} SBs)", reorder.sb_detections.len());
+    println!(
+        "## Extension: Small-Block reordering (IMM, {} SBs)",
+        reorder.sb_detections.len()
+    );
     println!(
         "{:<28} {:>12} {:>12}",
         "time to reach (ccs)", "original", "reordered"

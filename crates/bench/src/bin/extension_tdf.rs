@@ -25,7 +25,12 @@ fn main() {
     // Stage 3 under the transition-delay model: one TDF simulation.
     let mut list = TdfList::enumerate(&netlist);
     let report = timed("TDF simulation", || {
-        tdf_simulate(&netlist, &run.patterns.du, &mut list, &FaultSimConfig::default())
+        tdf_simulate(
+            &netlist,
+            &run.patterns.du,
+            &mut list,
+            &FaultSimConfig::default(),
+        )
     });
     let fc_before = list.coverage();
 
@@ -54,10 +59,7 @@ fn main() {
         compacted.size(),
         100.0 * (1.0 - compacted.size() as f64 / ptp.size() as f64)
     );
-    println!(
-        "duration: {} -> {} ccs",
-        run.cycles, comp_run.cycles
-    );
+    println!("duration: {} -> {} ccs", run.cycles, comp_run.cycles);
     println!(
         "TDF coverage: {:.2}% -> {:.2}% (Δ {:+.2} pp)",
         fc_before * 100.0,

@@ -34,7 +34,10 @@ fn main() {
         .compact(&ptp, &ctx2)
         .expect("baseline runs");
 
-    println!("## Method vs. baseline (same IMM PTP, {} instructions)", ptp.size());
+    println!(
+        "## Method vs. baseline (same IMM PTP, {} instructions)",
+        ptp.size()
+    );
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12}",
         "compactor", "logic sims", "fault sims", "instr out", "wall time"

@@ -41,8 +41,7 @@ fn main() {
         );
         let labels = label_instructions(ptp.program.len(), &run.trace, &report);
         let reduction = reduce_ptp(&ptp, &labels);
-        let removed_frac =
-            reduction.removed_instructions as f64 / ptp.size() as f64 * 100.0;
+        let removed_frac = reduction.removed_instructions as f64 / ptp.size() as f64 * 100.0;
         println!(
             "{:>8} {:>9} {:>10} {:>10} {:>9.2} {:>8.2}",
             sb_count,

@@ -20,8 +20,8 @@ use std::time::Instant;
 use warpstl_core::{CompactionReport, Compactor, PtpFeatures};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_programs::generators::{
-    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
-    generate_tpgen, CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
+    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm, generate_tpgen,
+    CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
 };
 use warpstl_programs::Ptp;
 
@@ -228,11 +228,7 @@ impl GroupCompaction {
 ///
 /// Panics if a PTP fails to execute.
 #[must_use]
-pub fn compact_group(
-    ptps: &[Ptp],
-    module: ModuleKind,
-    compactor: &Compactor,
-) -> GroupCompaction {
+pub fn compact_group(ptps: &[Ptp], module: ModuleKind, compactor: &Compactor) -> GroupCompaction {
     let mut ctx = compactor.context_for(module);
     let mut rows = Vec::new();
     let mut compacted = Vec::new();

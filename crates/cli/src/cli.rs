@@ -7,9 +7,9 @@ use warpstl_core::Compactor;
 use warpstl_fault::FaultUniverse;
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_programs::generators::{
-    generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp,
-    generate_sfu_imm, generate_tpgen, CntrlConfig, FpuConfig, ImmConfig, MemConfig, RandConfig,
-    SfuImmConfig, TpgenConfig,
+    generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
+    generate_tpgen, CntrlConfig, FpuConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig,
+    TpgenConfig,
 };
 use warpstl_programs::serialize::{ptp_from_text, ptp_to_text};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
@@ -23,6 +23,7 @@ usage:
   warpstl features    <PTP-FILE>
   warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
   warpstl compact-stl <STL-FILE> [--out FILE]
+  warpstl lint        <PTP-FILE> [--json]
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
   warpstl modules";
@@ -34,6 +35,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("features") => features(&args[1..]),
         Some("compact") => compact(&args[1..]),
         Some("compact-stl") => compact_stl(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("patterns") => patterns(&args[1..]),
         Some("modules") => modules(),
@@ -232,6 +234,32 @@ fn compact(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Statically verifies one PTP file: use-before-def, SB structure,
+/// divergence pairing, memory races and relocation soundness — the same
+/// rule set the compaction pipeline runs as its post-reduction gate. Exits
+/// nonzero (via `Err`) when the verifier finds errors; warnings print but
+/// pass.
+fn lint(args: &[String]) -> CliResult {
+    let ptp = load(args)?;
+    let flags = Flags::new(&args[1..]);
+    let report = warpstl_verify::verify_ptp(&ptp);
+    if flags.has("--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: {} verification error(s)",
+            ptp.name,
+            report.error_count()
+        )
+        .into())
+    }
+}
+
 fn run(args: &[String]) -> CliResult {
     let ptp = load(args)?;
     let flags = Flags::new(&args[1..]);
@@ -247,7 +275,10 @@ fn run(args: &[String]) -> CliResult {
         .signatures
         .iter()
         .fold(0u32, |acc, &s| acc.rotate_left(1) ^ s);
-    println!("signature  {digest:#010x} (over {} threads)", result.signatures.len());
+    println!(
+        "signature  {digest:#010x} (over {} threads)",
+        result.signatures.len()
+    );
     if flags.has("--trace") {
         println!("trace      {} records", result.trace.len());
         let bbs = BasicBlocks::of(&ptp.program);
@@ -302,8 +333,7 @@ fn patterns(args: &[String]) -> CliResult {
     let dir = flags.value("--out-dir").ok_or("missing --out-dir DIR")?;
     fs::create_dir_all(dir)?;
     let kernel = ptp.to_kernel()?;
-    let run = warpstl_gpu::Gpu::default()
-        .run(&kernel, &warpstl_gpu::RunOptions::capture_all())?;
+    let run = warpstl_gpu::Gpu::default().run(&kernel, &warpstl_gpu::RunOptions::capture_all())?;
 
     let mut written = Vec::new();
     let mut dump = |name: String, seq: &warpstl_netlist::PatternSeq| -> CliResult {
@@ -446,6 +476,42 @@ mod tests {
         .unwrap();
         let du = fs::read_to_string(vcde_dir.join("decoder_unit.vcde")).unwrap();
         assert!(du.starts_with("VCDE 1 "));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_flags_broken_cptp_and_passes_clean_one() {
+        use warpstl_gpu::KernelConfig;
+        use warpstl_isa::asm;
+        let dir = std::env::temp_dir().join("warpstl-cli-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+
+        // The hand-crafted broken CPTP: use-before-def on R1/R6 plus an
+        // unpaired SSY.
+        let broken = Ptp::new(
+            "broken",
+            ModuleKind::DecoderUnit,
+            KernelConfig::new(1, 32),
+            asm::assemble("SSY 0x3;\nIADD R4, R1, R1;\nSTG [R6], R4;\nEXIT;").unwrap(),
+        );
+        let broken_path = dir.join("broken.ptp");
+        fs::write(&broken_path, ptp_to_text(&broken)).unwrap();
+        assert!(dispatch(&s(&["lint", broken_path.to_str().unwrap()])).is_err());
+        assert!(dispatch(&s(&["lint", broken_path.to_str().unwrap(), "--json"])).is_err());
+
+        // A pipeline-relevant generated PTP verifies clean.
+        let clean_path = dir.join("clean.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "6",
+            "--out",
+            clean_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&["lint", clean_path.to_str().unwrap()])).unwrap();
+        dispatch(&s(&["lint", clean_path.to_str().unwrap(), "--json"])).unwrap();
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,7 @@
 //!                  [--patterns N] [--seed N] [--out FILE]
 //! warpstl features <PTP-FILE>
 //! warpstl compact  <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
+//! warpstl lint     <PTP-FILE> [--json]
 //! warpstl run      <PTP-FILE> [--trace]
 //! warpstl modules
 //! ```

@@ -60,8 +60,7 @@ impl IterativeCompactor {
                     fault_simulate(netlist, stream, &mut lists[i], &cfg);
                 }
             }
-            let fc = lists.iter().map(FaultList::coverage).sum::<f64>()
-                / lists.len().max(1) as f64;
+            let fc = lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64;
             Ok((fc, run.cycles))
         };
 
@@ -117,8 +116,10 @@ impl IterativeCompactor {
             logic_sim_runs: logic_sims,
             compaction_time: start.elapsed(),
             // The iterative baseline interleaves tracing and fault
-            // simulation per candidate; it has no per-stage split.
+            // simulation per candidate; it has no per-stage split, and it
+            // predates the verification gate.
             stage_timings: StageTimings::default(),
+            verify: warpstl_verify::VerifyStats::default(),
         };
         Ok((current, report))
     }

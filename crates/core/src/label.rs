@@ -69,11 +69,7 @@ impl Labels {
 /// # }
 /// ```
 #[must_use]
-pub fn label_instructions(
-    program_len: usize,
-    trace: &Trace,
-    report: &FaultSimReport,
-) -> Labels {
+pub fn label_instructions(program_len: usize, trace: &Trace, report: &FaultSimReport) -> Labels {
     let mut essential = vec![false; program_len];
     for (pc, flag) in essential.iter_mut().enumerate() {
         // "for each warp Wj executed by I ... for each clock cycle k in Wj:

@@ -24,6 +24,15 @@
 //! 5. **PTP reassembling** — emit the compacted PTP and evaluate its fault
 //!    coverage with a final fault simulation.
 //!
+//! Between reassembly and evaluation sits a mandatory **static
+//! verification gate** ([`warpstl_verify`]): the compacted PTP is linted
+//! for dangling register uses, broken `SSY`/`SYNC` pairing, inadmissible
+//! removals, memory races and relocation gaps, and a failure aborts the
+//! run with [`CompactionError::Verify`] instead of an evaluated but
+//! meaningless CPTP. Per-rule counts land in
+//! [`CompactionReport::verify`](CompactionReport); the gate's wall time in
+//! [`StageTimings::verify`](StageTimings).
+//!
 //! The [`baseline`] module implements the prior-art iterative compactor
 //! (one fault simulation per candidate removal) the paper compares against.
 //!
@@ -47,6 +56,7 @@
 
 pub mod baseline;
 mod context;
+mod error;
 mod label;
 mod pipeline;
 mod reduce;
@@ -55,6 +65,7 @@ mod report;
 mod stl_flow;
 
 pub use context::ModuleContext;
+pub use error::CompactionError;
 pub use label::{label_instructions, Labels};
 pub use pipeline::{CompactionOutcome, Compactor};
 pub use reduce::{reduce_ptp, reduce_ptp_with, Reduction};

@@ -8,8 +8,11 @@ use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
+use warpstl_verify::{verify_reduction, Severity, VerifyOptions};
 
-use crate::{label_instructions, CompactionReport, ModuleContext, PtpFeatures, StageTimings};
+use crate::{
+    label_instructions, CompactionError, CompactionReport, ModuleContext, PtpFeatures, StageTimings,
+};
 
 /// Fault-simulates the per-instance pattern streams against their fault
 /// lists, one scoped worker per non-empty stream (instance-level
@@ -169,12 +172,15 @@ impl Compactor {
     /// # Errors
     ///
     /// Propagates [`SimError`] from the GPU model (original or compacted
-    /// program).
+    /// program) as [`CompactionError::Sim`], and aborts with
+    /// [`CompactionError::Verify`] when the post-reduction static
+    /// verification gate finds the compacted PTP malformed — the structured
+    /// report replaces a misleading fault-coverage number.
     pub fn compact(
         &self,
         ptp: &Ptp,
         ctx: &mut ModuleContext,
-    ) -> Result<CompactionOutcome, SimError> {
+    ) -> Result<CompactionOutcome, CompactionError> {
         let start = Instant::now();
 
         // Stage 1: partitioning (BBs, ARC) happens inside reduce_ptp; the
@@ -203,7 +209,28 @@ impl Compactor {
         compacted.global_init = reduction.global_init;
         compacted.sb_slots = reduction.sb_slots;
         let reduce_time = stamp.elapsed();
+
+        // Mandatory gate: statically verify the reassembled CPTP before
+        // spending fault simulations on it. ARC violations are only
+        // possible when the ARC filter is off (the ablation), where they
+        // are expected — downgrade them to warnings there.
+        let stamp = Instant::now();
+        let verify_opts = VerifyOptions {
+            arc_severity: if self.respect_arc {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+        };
+        let verify_report = verify_reduction(ptp, &compacted, &reduction.removed_pcs, &verify_opts);
+        let verify_time = stamp.elapsed();
         let compaction_time = start.elapsed();
+        if !verify_report.is_clean() {
+            return Err(CompactionError::Verify {
+                name: ptp.name.clone(),
+                report: verify_report,
+            });
+        }
 
         // Evaluation (outside the method's fault-simulation budget): the
         // standalone FC of the original and compacted programs, and the
@@ -233,8 +260,10 @@ impl Compactor {
                 fsim: fsim_time,
                 label: label_time,
                 reduce: reduce_time,
+                verify: verify_time,
                 eval: eval_time,
             },
+            verify: verify_report.stats(),
         };
         Ok(CompactionOutcome { compacted, report })
     }
@@ -282,11 +311,7 @@ impl Compactor {
     /// # Errors
     ///
     /// Propagates [`SimError`] from the GPU model.
-    pub fn combined_coverage(
-        &self,
-        ptps: &[&Ptp],
-        ctx: &ModuleContext,
-    ) -> Result<f64, SimError> {
+    pub fn combined_coverage(&self, ptps: &[&Ptp], ctx: &ModuleContext) -> Result<f64, SimError> {
         let mut lists: Vec<FaultList> = ctx.fresh_lists();
         let cfg = FaultSimConfig {
             threads: self.fsim_config.threads,
@@ -331,6 +356,8 @@ mod tests {
         // formats heavily, so compaction barely moves the coverage.
         assert!(r.fc_diff_pct().abs() < 5.0, "ΔFC {}", r.fc_diff_pct());
         assert!(r.fc_before > 0.3, "FC {}", r.fc_before);
+        // The verification gate ran and passed: zero errors on record.
+        assert_eq!(r.verify.total_errors(), 0);
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct Reduction {
     pub removed_sbs: usize,
     /// Instructions removed.
     pub removed_instructions: usize,
+    /// The removed instructions' pcs in the *original* program, ascending —
+    /// the verifier re-checks ARC admissibility against these.
+    pub removed_pcs: Vec<usize>,
     /// Candidates kept only because of register liveness.
     pub liveness_protected: usize,
 }
@@ -147,14 +150,19 @@ pub fn reduce_ptp_with(ptp: &Ptp, labels: &Labels, respect_arc: bool) -> Reducti
         _ => ptp.global_init.clone(),
     };
 
-    let removed_instructions = drop.iter().filter(|&&d| d).count();
+    let removed_pcs: Vec<usize> = drop
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, &d)| d.then_some(pc))
+        .collect();
     Reduction {
         program: new_program,
         global_init,
         sb_slots,
         total_sbs: sbs.len(),
         removed_sbs: removed.len(),
-        removed_instructions,
+        removed_instructions: removed_pcs.len(),
+        removed_pcs,
         liveness_protected,
     }
 }
@@ -163,11 +171,7 @@ pub fn reduce_ptp_with(ptp: &Ptp, labels: &Labels, respect_arc: bool) -> Reducti
 /// register or predicate the range writes. The scan is linear and
 /// conservative: only an unguarded redefinition kills a register.
 /// `dropped[pc]` marks instructions of already-removed SBs.
-fn sb_is_dead(
-    program: &[Instruction],
-    range: std::ops::Range<usize>,
-    dropped: &[bool],
-) -> bool {
+fn sb_is_dead(program: &[Instruction], range: std::ops::Range<usize>, dropped: &[bool]) -> bool {
     let mut live_regs: HashSet<Reg> = HashSet::new();
     let mut live_preds: HashSet<Pred> = HashSet::new();
     for pc in range.clone() {
@@ -196,11 +200,7 @@ fn sb_is_dead(
                 return false;
             }
         }
-        if let SrcOperand::Pred(p) = *instr
-            .srcs
-            .first()
-            .unwrap_or(&SrcOperand::Imm(0))
-        {
+        if let SrcOperand::Pred(p) = *instr.srcs.first().unwrap_or(&SrcOperand::Imm(0)) {
             if live_preds.contains(&p) {
                 return false;
             }
@@ -354,6 +354,7 @@ mod tests {
         assert_eq!(r.removed_sbs, 1);
         assert_eq!(r.program.len(), 5);
         assert_eq!(r.removed_instructions, 3);
+        assert_eq!(r.removed_pcs, vec![4, 5, 6]);
     }
 
     #[test]
@@ -465,8 +466,8 @@ mod tests {
             }
         }
         // Protect the prologue too.
-        for pc in 0..5 {
-            ess[pc] = true;
+        for e in ess.iter_mut().take(5) {
+            *e = true;
         }
         let labels = labels_all(&ess);
         let r = reduce_ptp(&ptp, &labels);
@@ -487,10 +488,7 @@ mod tests {
         assert!(n < slots.sb_count, "nothing was relocated");
         assert_eq!(used, (0..n).collect::<Vec<_>>(), "slots not dense");
         // Data volume shrank accordingly: only surviving slots keep words.
-        assert_eq!(
-            r.global_init.len(),
-            n * slots.words_per_sb * slots.threads,
-        );
+        assert_eq!(r.global_init.len(), n * slots.words_per_sb * slots.threads,);
         assert!(r.global_init.len() < ptp.global_init.len());
     }
 }

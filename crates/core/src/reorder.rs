@@ -135,13 +135,9 @@ mod tests {
     use super::*;
     use crate::Compactor;
     use warpstl_netlist::modules::ModuleKind;
-    use warpstl_programs::generators::{
-        generate_cntrl, generate_imm, CntrlConfig, ImmConfig,
-    };
+    use warpstl_programs::generators::{generate_cntrl, generate_imm, CntrlConfig, ImmConfig};
 
-    fn trace_and_sim(
-        ptp: &Ptp,
-    ) -> (warpstl_gpu::RunResult, FaultSimReport) {
+    fn trace_and_sim(ptp: &Ptp) -> (warpstl_gpu::RunResult, FaultSimReport) {
         use warpstl_fault::{fault_simulate, FaultList, FaultSimConfig, FaultUniverse};
         let compactor = Compactor::default();
         let run = compactor.trace(ptp).expect("runs");

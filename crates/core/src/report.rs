@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use warpstl_verify::VerifyStats;
+
 /// The features of a PTP before compaction — one row of Table I.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PtpFeatures {
@@ -49,6 +51,8 @@ pub struct StageTimings {
     pub label: Duration,
     /// Stages 4–5: Small-Block reduction and reassembly.
     pub reduce: Duration,
+    /// The post-reduction static verification gate.
+    pub verify: Duration,
     /// Post-compaction evaluation (standalone coverages, compacted re-run).
     pub eval: Duration,
 }
@@ -57,7 +61,7 @@ impl StageTimings {
     /// The total across all stages, evaluation included.
     #[must_use]
     pub fn total(&self) -> Duration {
-        self.trace + self.fsim + self.label + self.reduce + self.eval
+        self.trace + self.fsim + self.label + self.reduce + self.verify + self.eval
     }
 
     /// Element-wise sum (used by [`CompactionReport::combined`]).
@@ -68,6 +72,7 @@ impl StageTimings {
             fsim: self.fsim + other.fsim,
             label: self.label + other.label,
             reduce: self.reduce + other.reduce,
+            verify: self.verify + other.verify,
             eval: self.eval + other.eval,
         }
     }
@@ -77,8 +82,8 @@ impl fmt::Display for StageTimings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "trace {:?} | fsim {:?} | label {:?} | reduce {:?} | eval {:?}",
-            self.trace, self.fsim, self.label, self.reduce, self.eval
+            "trace {:?} | fsim {:?} | label {:?} | reduce {:?} | verify {:?} | eval {:?}",
+            self.trace, self.fsim, self.label, self.reduce, self.verify, self.eval
         )
     }
 }
@@ -115,6 +120,10 @@ pub struct CompactionReport {
     pub compaction_time: Duration,
     /// Per-stage breakdown of where that time (plus evaluation) went.
     pub stage_timings: StageTimings,
+    /// Per-rule diagnostic counts from the post-reduction verification
+    /// gate (a report only exists when the gate found no errors, so these
+    /// are the surviving warnings plus zeroed error rows).
+    pub verify: VerifyStats,
 }
 
 impl CompactionReport {
@@ -162,9 +171,12 @@ impl CompactionReport {
             fault_sim_runs: parts.iter().map(|r| r.fault_sim_runs).sum(),
             logic_sim_runs: parts.iter().map(|r| r.logic_sim_runs).sum(),
             compaction_time: parts.iter().map(|r| r.compaction_time).sum(),
-            stage_timings: parts
+            stage_timings: parts.iter().fold(StageTimings::default(), |acc, r| {
+                acc.merged(&r.stage_timings)
+            }),
+            verify: parts
                 .iter()
-                .fold(StageTimings::default(), |acc, r| acc.merged(&r.stage_timings)),
+                .fold(VerifyStats::default(), |acc, r| acc.merged(&r.verify)),
         }
     }
 }
@@ -209,7 +221,13 @@ mod tests {
                 fsim: Duration::from_millis(500),
                 label: Duration::from_millis(34),
                 reduce: Duration::from_millis(100),
+                verify: Duration::from_millis(16),
                 eval: Duration::from_millis(900),
+            },
+            verify: {
+                let mut v = VerifyStats::default();
+                v.warnings[0] = 1;
+                v
             },
         }
     }
@@ -231,13 +249,15 @@ mod tests {
         assert_eq!(c.fault_sim_runs, 2);
         assert!((c.fc_diff_pct() + 1.0).abs() < 1e-9);
         assert_eq!(c.stage_timings.fsim, Duration::from_millis(1000));
-        assert_eq!(c.stage_timings.total(), Duration::from_millis(4268));
+        assert_eq!(c.stage_timings.total(), Duration::from_millis(4300));
+        assert_eq!(c.verify.total_warnings(), 2);
+        assert_eq!(c.verify.total_errors(), 0);
     }
 
     #[test]
     fn stage_timings_display_names_every_stage() {
         let s = sample().stage_timings.to_string();
-        for stage in ["trace", "fsim", "label", "reduce", "eval"] {
+        for stage in ["trace", "fsim", "label", "reduce", "verify", "eval"] {
             assert!(s.contains(stage), "missing {stage} in {s}");
         }
     }

@@ -7,11 +7,10 @@
 //! — including the paper's SFU configuration (reverse-order patterns) — so
 //! callers don't re-implement the grouping.
 
-use warpstl_gpu::SimError;
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_programs::Stl;
 
-use crate::{CompactionReport, Compactor};
+use crate::{CompactionError, CompactionReport, Compactor};
 
 /// The outcome of compacting a whole STL.
 #[derive(Debug, Clone)]
@@ -53,7 +52,8 @@ impl StlOutcome {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`] raised by any PTP.
+/// Propagates the first [`CompactionError`] raised by any PTP (a GPU model
+/// failure or a verification-gate rejection).
 ///
 /// # Examples
 ///
@@ -71,7 +71,7 @@ impl StlOutcome {
 /// # Ok(())
 /// # }
 /// ```
-pub fn compact_stl(stl: &Stl) -> Result<StlOutcome, SimError> {
+pub fn compact_stl(stl: &Stl) -> Result<StlOutcome, CompactionError> {
     compact_stl_with(stl, |module| Compactor {
         reverse_patterns: module == ModuleKind::Sfu,
         ..Compactor::default()
@@ -83,11 +83,11 @@ pub fn compact_stl(stl: &Stl) -> Result<StlOutcome, SimError> {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`] raised by any PTP.
+/// Propagates the first [`CompactionError`] raised by any PTP.
 pub fn compact_stl_with(
     stl: &Stl,
     mut compactor_for: impl FnMut(ModuleKind) -> Compactor,
-) -> Result<StlOutcome, SimError> {
+) -> Result<StlOutcome, CompactionError> {
     let mut compacted = stl.clone();
     let mut reports: Vec<Option<CompactionReport>> = vec![None; stl.len()];
 
@@ -117,7 +117,10 @@ pub fn compact_stl_with(
     }
     Ok(StlOutcome {
         compacted,
-        reports: reports.into_iter().map(|r| r.expect("every PTP compacted")).collect(),
+        reports: reports
+            .into_iter()
+            .map(|r| r.expect("every PTP compacted"))
+            .collect(),
     })
 }
 

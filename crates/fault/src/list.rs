@@ -224,18 +224,12 @@ impl FaultList {
             match parts.next() {
                 Some("undetected") => {}
                 Some("detected") => {
-                    let cc = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("bad cc")?;
+                    let cc = parts.next().and_then(|v| v.parse().ok()).ok_or("bad cc")?;
                     let pattern = parts
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or("bad pattern")?;
-                    let run: u32 = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("bad run")?;
+                    let run: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or("bad run")?;
                     max_run = max_run.max(run);
                     status[i] = FaultStatus::Detected { cc, pattern, run };
                 }

@@ -200,7 +200,9 @@ mod tests {
         r.record_pattern(9, 0, 4);
         let curve = r.detection_curve();
         assert_eq!(curve, vec![(1, 1), (5, 3), (9, 7)]);
-        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
         assert_eq!(curve.last().unwrap().1, r.total_detected());
     }
 

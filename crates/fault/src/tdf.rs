@@ -372,13 +372,25 @@ mod tests {
         let n = and2();
         let mut list = TdfList::enumerate(&n);
         let mut p = PatternSeq::new(2);
-        for (cc, v) in [(0, 0b01), (1, 0b11), (2, 0b01), (3, 0b10), (4, 0b11), (5, 0b10)]
-        {
+        for (cc, v) in [
+            (0, 0b01),
+            (1, 0b11),
+            (2, 0b01),
+            (3, 0b10),
+            (4, 0b11),
+            (5, 0b10),
+        ] {
             p.push_value(cc, v);
         }
         tdf_simulate(&n, &p, &mut list, &FaultSimConfig::default());
-        assert_eq!(list.coverage(), 1.0, "undetected: {:?}",
-            list.undetected().map(|i| list.fault(i).to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            list.coverage(),
+            1.0,
+            "undetected: {:?}",
+            list.undetected()
+                .map(|i| list.fault(i).to_string())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -401,8 +413,14 @@ mod tests {
         let n = and2();
         let mut list = TdfList::enumerate(&n);
         let mut p = PatternSeq::new(2);
-        for (cc, v) in [(0, 0b01), (1, 0b11), (2, 0b01), (3, 0b10), (4, 0b11), (5, 0b10)]
-        {
+        for (cc, v) in [
+            (0, 0b01),
+            (1, 0b11),
+            (2, 0b01),
+            (3, 0b10),
+            (4, 0b11),
+            (5, 0b10),
+        ] {
             p.push_value(cc, v);
         }
         let cfg = FaultSimConfig::default();

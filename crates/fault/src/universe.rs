@@ -115,10 +115,7 @@ impl FaultUniverse {
                 let src = g.pins[k as usize];
                 if g.kind != GateKind::Dff && netlist.fanout(src) == 1 {
                     for pol in Polarity::BOTH {
-                        union(
-                            Fault::new(FaultSite::Output(src), pol),
-                            pin(k, pol),
-                        );
+                        union(Fault::new(FaultSite::Output(src), pol), pin(k, pol));
                     }
                 }
             }

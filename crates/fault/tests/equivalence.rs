@@ -79,7 +79,10 @@ fn assert_equivalent(netlist: &Netlist, patterns: &PatternSeq, base: FaultSimCon
         );
         let dets: Vec<_> = list.detected().collect();
         let ref_dets: Vec<_> = ref_list.detected().collect();
-        assert_eq!(dets, ref_dets, "detection cc-stamps diverged at {threads} threads");
+        assert_eq!(
+            dets, ref_dets,
+            "detection cc-stamps diverged at {threads} threads"
+        );
     }
 }
 

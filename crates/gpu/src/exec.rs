@@ -230,7 +230,7 @@ mod tests {
     }
 
     #[test]
-    fn sfu_ops_match_datapath_reference(){
+    fn sfu_ops_match_datapath_reference() {
         use warpstl_netlist::modules::sfu;
         let x = 0x3f80_0000u32;
         let (r, _) = exec_alu(Opcode::Rcp, None, x, 0, 0);

@@ -87,10 +87,7 @@ impl Kernel {
             name: name.to_string(),
             program,
             config,
-            data: KernelData::new(
-                gpu_defaults.global_mem_bytes,
-                gpu_defaults.const_mem_bytes,
-            ),
+            data: KernelData::new(gpu_defaults.global_mem_bytes, gpu_defaults.const_mem_bytes),
         }
     }
 }

@@ -307,8 +307,10 @@ mod tests {
     fn cycle_limit_catches_runaways() {
         let program = asm::assemble("top: BRA top;").unwrap();
         let kernel = Kernel::new("r", program, KernelConfig::new(1, 32));
-        let mut config = GpuConfig::default();
-        config.max_cycles = 10_000;
+        let config = GpuConfig {
+            max_cycles: 10_000,
+            ..GpuConfig::default()
+        };
         let err = Gpu::new(config)
             .run(&kernel, &RunOptions::default())
             .unwrap_err();

@@ -2,7 +2,7 @@
 //! the five-stage pipeline, serially per warp instruction, with tracing and
 //! module pattern capture.
 
-use warpstl_isa::{encoding, ExecUnit, Instruction, Opcode, SrcOperand, SpecialReg};
+use warpstl_isa::{encoding, ExecUnit, Instruction, Opcode, SpecialReg, SrcOperand};
 
 use crate::exec::{exec_alu, fp_op_for, sfu_func_for, sp_op_for};
 use crate::timing::{decode_offset, execute_offset, instruction_cost};

@@ -59,7 +59,10 @@ impl Trace {
 
     /// Appends a record.
     pub fn push(&mut self, rec: TraceRecord) {
-        self.by_pc.entry(rec.pc).or_default().push(self.records.len());
+        self.by_pc
+            .entry(rec.pc)
+            .or_default()
+            .push(self.records.len());
         self.records.push(rec);
     }
 

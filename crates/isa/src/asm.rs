@@ -73,8 +73,7 @@ pub fn assemble(source: &str) -> Result<Vec<Instruction>, ParseAsmError> {
         if body.is_empty() {
             continue;
         }
-        let instr = parse_instruction(body, &labels)
-            .map_err(|e| e.at_line(stmt.line))?;
+        let instr = parse_instruction(body, &labels).map_err(|e| e.at_line(stmt.line))?;
         program.push(instr);
     }
     Ok(program)
@@ -177,7 +176,10 @@ fn take_label(body: &str) -> Option<(&str, &str)> {
         && candidate
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && candidate.chars().next().is_some_and(|c| !c.is_ascii_digit())
+        && candidate
+            .chars()
+            .next()
+            .is_some_and(|c| !c.is_ascii_digit())
     {
         Some((candidate, &trimmed[colon + 1..]))
     } else {
@@ -208,9 +210,7 @@ fn parse_instruction(
     }
 
     // Mnemonic and optional '.' modifier.
-    let end = rest
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(rest.len());
+    let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
     let mnemonic_full = &rest[..end];
     rest = rest[end..].trim();
     let (mnemonic, modifier) = match mnemonic_full.split_once('.') {
@@ -313,10 +313,10 @@ fn parse_src(
         };
         let base = parse_reg(base_s)?;
         let offset = match off_s {
-            Some(o) => u16::try_from(
-                parse_imm(o).ok_or_else(|| err(format!("invalid offset `{o}`")))?,
-            )
-            .map_err(|_| err(format!("offset `{o}` exceeds 16 bits")))?,
+            Some(o) => {
+                u16::try_from(parse_imm(o).ok_or_else(|| err(format!("invalid offset `{o}`")))?)
+                    .map_err(|_| err(format!("offset `{o}` exceeds 16 bits")))?
+            }
             None => 0,
         };
         return Ok(SrcOperand::Mem(MemRef::new(base, offset)));

@@ -190,9 +190,8 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         ],
     };
 
-    let needs_dst =
-        !(opcode.is_store() || opcode.is_control_flow() || opcode.writes_predicate())
-            && opcode != Nop;
+    let needs_dst = !(opcode.is_store() || opcode.is_control_flow() || opcode.writes_predicate())
+        && opcode != Nop;
     if needs_dst {
         dst = Some(Reg::new(dst_field));
     }

@@ -60,11 +60,7 @@ impl InstrFormat {
         if op.has_imm32() {
             return InstrFormat::Imm32;
         }
-        if instr
-            .srcs
-            .iter()
-            .any(|s| matches!(s, SrcOperand::Imm(_)))
-        {
+        if instr.srcs.iter().any(|s| matches!(s, SrcOperand::Imm(_))) {
             return InstrFormat::Imm16;
         }
         InstrFormat::Register
@@ -114,9 +110,7 @@ impl ExecUnit {
     #[must_use]
     pub fn of(opcode: Opcode) -> ExecUnit {
         match opcode.class() {
-            OpClass::IntAlu | OpClass::Logic | OpClass::Move | OpClass::Convert => {
-                ExecUnit::SpCore
-            }
+            OpClass::IntAlu | OpClass::Logic | OpClass::Move | OpClass::Convert => ExecUnit::SpCore,
             OpClass::Fp32 => ExecUnit::Fp32,
             OpClass::Sfu => ExecUnit::Sfu,
             OpClass::Memory => ExecUnit::LoadStore,
@@ -235,8 +229,10 @@ mod tests {
 
     #[test]
     fn latency_classes_are_ordered_sensibly() {
-        assert!(LatencyClass::of(Opcode::Imul).execute_cycles()
-            > LatencyClass::of(Opcode::Iadd).execute_cycles());
+        assert!(
+            LatencyClass::of(Opcode::Imul).execute_cycles()
+                > LatencyClass::of(Opcode::Iadd).execute_cycles()
+        );
         assert!(LatencyClass::of(Opcode::Ldg).memory_cycles() > 0);
         assert_eq!(LatencyClass::of(Opcode::Iadd).memory_cycles(), 0);
         assert_eq!(LatencyClass::of(Opcode::Sin), LatencyClass::Long);

@@ -238,8 +238,8 @@ impl Instruction {
             [a] => (1, matches!(a, SrcOperand::Mem(_))),
             [a, ..] => (self.srcs.len(), matches!(a, SrcOperand::Mem(_))),
         };
-        let needs_dst = !(op.is_store() || op.is_control_flow() || op.writes_predicate())
-            && op != Opcode::Nop;
+        let needs_dst =
+            !(op.is_store() || op.is_control_flow() || op.writes_predicate()) && op != Opcode::Nop;
         if needs_dst != self.dst.is_some() {
             return err(format!("{op}: destination register mismatch"));
         }
@@ -259,8 +259,7 @@ impl Instruction {
             Iadd | Isub | Imul | Imnmx | And | Or | Xor | Shl | Shr | Fadd | Fmul | Fmnmx
             | Iset | Fset | Isetp | Fsetp => matches!(
                 self.srcs[..],
-                [SrcOperand::Reg(_), SrcOperand::Reg(_)]
-                    | [SrcOperand::Reg(_), SrcOperand::Imm(_)]
+                [SrcOperand::Reg(_), SrcOperand::Reg(_)] | [SrcOperand::Reg(_), SrcOperand::Imm(_)]
             ),
             Imad | Ffma => matches!(
                 self.srcs[..],
@@ -401,7 +400,9 @@ impl InstructionBuilder {
     /// Appends a memory-reference operand.
     #[must_use]
     pub fn mem(mut self, base: Reg, offset: u16) -> Self {
-        self.inner.srcs.push(SrcOperand::Mem(MemRef::new(base, offset)));
+        self.inner
+            .srcs
+            .push(SrcOperand::Mem(MemRef::new(base, offset)));
         self
     }
 
@@ -489,7 +490,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_shapes() {
         assert!(Instruction::build(Opcode::Iadd).finish().is_err());
-        assert!(Instruction::build(Opcode::Nop).dst(Reg::new(0)).finish().is_err());
+        assert!(Instruction::build(Opcode::Nop)
+            .dst(Reg::new(0))
+            .finish()
+            .is_err());
         assert!(Instruction::build(Opcode::Isetp)
             .cmp(CmpOp::Lt)
             .dst(Reg::new(0))

@@ -65,7 +65,9 @@ impl Builder {
 
     /// Declares a `width`-bit primary input bus.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
-        let nets: Bus = (0..width).map(|_| self.push(GateKind::Input, &[])).collect();
+        let nets: Bus = (0..width)
+            .map(|_| self.push(GateKind::Input, &[]))
+            .collect();
         self.inputs.push(name, &nets);
         nets
     }
@@ -234,7 +236,10 @@ impl Builder {
     /// Bus-wide 2:1 mux: `sel ? a : b`.
     pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Bus {
         assert_eq!(a.len(), b.len(), "bus width mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// Ripple-carry adder; returns `(sum, carry_out)`.

@@ -150,7 +150,9 @@ pub fn to_text(netlist: &Netlist) -> String {
 /// input, unknown gate kinds, dangling nets, or non-topological order.
 pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| ParseNetlistError::new(1, "empty text"))?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseNetlistError::new(1, "empty text"))?;
     let mut h = header.split_whitespace();
     if h.next() != Some("NETLIST") || h.next() != Some("1") {
         return Err(ParseNetlistError::new(1, "bad header"));
@@ -202,8 +204,9 @@ pub fn from_text(text: &str) -> Result<Netlist, ParseNetlistError> {
                 let kname = parts
                     .next()
                     .ok_or_else(|| ParseNetlistError::new(lineno, "missing gate kind"))?;
-                let kind = kind_from_name(kname)
-                    .ok_or_else(|| ParseNetlistError::new(lineno, format!("unknown kind `{kname}`")))?;
+                let kind = kind_from_name(kname).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("unknown kind `{kname}`"))
+                })?;
                 if kind == GateKind::Dff {
                     b.dff_placeholder();
                     net_count += 1;

@@ -307,7 +307,11 @@ mod tests {
     fn sample_instruction(op: Opcode) -> Instruction {
         use warpstl_isa::{CmpOp, Pred, SpecialReg};
         let b = Instruction::build(op);
-        let b = if op.has_cmp_modifier() { b.cmp(CmpOp::Lt) } else { b };
+        let b = if op.has_cmp_modifier() {
+            b.cmp(CmpOp::Lt)
+        } else {
+            b
+        };
         let b = if op.writes_predicate() {
             b.pdst(Pred::new(0))
         } else if !(op.is_store() || op.is_control_flow() || op == Opcode::Nop) {

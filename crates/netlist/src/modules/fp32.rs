@@ -59,8 +59,8 @@ pub fn build() -> Netlist {
     let sig_a = significand(&mut b, &ma, &ea);
     let sig_b = significand(&mut b, &mb, &eb);
     let prod = b.mul(&sig_a, &sig_b); // 26 bits
-    // Normalize: if prod[25] the product is in [2,4): shift right one and
-    // bump the exponent.
+                                      // Normalize: if prod[25] the product is in [2,4): shift right one and
+                                      // bump the exponent.
     let norm_hi = prod[25];
     let shifted: Bus = prod[1..26].to_vec();
     let unshifted: Bus = prod[0..25].to_vec();

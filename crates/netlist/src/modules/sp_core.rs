@@ -127,8 +127,22 @@ pub fn build() -> Netlist {
     // Result selection: one-hot AND-OR network over the 16 candidates.
     let op_onehot = b.decoder(&op);
     let candidates: [&[crate::NetId]; 16] = [
-        &add, &sub, &and_r, &or_r, &xor_r, &not_r, &shl, &shr, &prod[..32], &mad, &min_r, &max_r,
-        &set_r, &a, &abs_r, &sel_r,
+        &add,
+        &sub,
+        &and_r,
+        &or_r,
+        &xor_r,
+        &not_r,
+        &shl,
+        &shr,
+        &prod[..32],
+        &mad,
+        &min_r,
+        &max_r,
+        &set_r,
+        &a,
+        &abs_r,
+        &sel_r,
     ];
     let mut y = Vec::with_capacity(32);
     for bit in 0..32 {

@@ -145,7 +145,9 @@ impl Netlist {
         }
         for &n in inputs.nets() {
             if gates[n.index()].kind != GateKind::Input {
-                return Err(NetlistError(format!("input port net {n} is not an Input gate")));
+                return Err(NetlistError(format!(
+                    "input port net {n} is not an Input gate"
+                )));
             }
         }
         Ok(Netlist {

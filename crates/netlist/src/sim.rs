@@ -145,9 +145,9 @@ impl<'a> LogicSim<'a> {
             .outputs()
             .bus(name)
             .unwrap_or_else(|| panic!("no output port `{name}`"));
-        bus.iter()
-            .enumerate()
-            .fold(0, |acc, (i, &net)| acc | ((self.values[net.index()] & 1) << i))
+        bus.iter().enumerate().fold(0, |acc, (i, &net)| {
+            acc | ((self.values[net.index()] & 1) << i)
+        })
     }
 
     /// Reads an output bus as per-bit lane words.
@@ -224,7 +224,13 @@ pub fn simulate_seq(netlist: &Netlist, patterns: &PatternSeq) -> PatternSeq {
             }
             sim.eval_comb();
             out_nets.clear();
-            out_nets.extend(netlist.outputs().nets().iter().map(|&nid| sim.net_value(nid)));
+            out_nets.extend(
+                netlist
+                    .outputs()
+                    .nets()
+                    .iter()
+                    .map(|&nid| sim.net_value(nid)),
+            );
             for lane in 0..lanes {
                 let idx = chunk_start + lane;
                 for (b, &w) in bits.iter_mut().zip(&out_nets) {

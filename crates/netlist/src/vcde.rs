@@ -202,7 +202,9 @@ impl PatternSeq {
     /// Returns [`ParseVcdeError`] on malformed headers, rows, or hex fields.
     pub fn from_vcde(text: &str) -> Result<PatternSeq, ParseVcdeError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| ParseVcdeError::new("empty file"))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseVcdeError::new("empty file"))?;
         let mut parts = header.split_whitespace();
         match (parts.next(), parts.next()) {
             (Some("VCDE"), Some("1")) => {}
@@ -224,9 +226,9 @@ impl PatternSeq {
                 .next()
                 .and_then(|c| c.parse().ok())
                 .ok_or_else(|| ParseVcdeError::new(format!("row {}: bad cc", lineno + 2)))?;
-            let hex = parts
-                .next()
-                .ok_or_else(|| ParseVcdeError::new(format!("row {}: missing vector", lineno + 2)))?;
+            let hex = parts.next().ok_or_else(|| {
+                ParseVcdeError::new(format!("row {}: missing vector", lineno + 2))
+            })?;
             if hex.len() != nibbles {
                 return Err(ParseVcdeError::new(format!(
                     "row {}: expected {nibbles} hex digits, got {}",

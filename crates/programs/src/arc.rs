@@ -25,8 +25,8 @@ use crate::{BasicBlocks, ControlFlowGraph};
 /// ).unwrap();
 /// let bbs = BasicBlocks::of(&p);
 /// let arc = ArcAnalysis::of(&p, &bbs);
-/// assert!(!arc.is_admissible(bbs.block_of(1))); // the loop body
-/// assert!(arc.is_admissible(bbs.block_of(0)));  // the preamble
+/// assert!(!arc.is_admissible(bbs.block_of(1).unwrap())); // the loop body
+/// assert!(arc.is_admissible(bbs.block_of(0).unwrap()));  // the preamble
 /// assert!(arc.arc_fraction() < 1.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -122,6 +122,10 @@ mod tests {
         .unwrap();
         let bbs = BasicBlocks::of(&p);
         let arc = ArcAnalysis::of(&p, &bbs);
-        assert!((arc.arc_fraction() - 0.5).abs() < 1e-12, "{}", arc.arc_fraction());
+        assert!(
+            (arc.arc_fraction() - 0.5).abs() < 1e-12,
+            "{}",
+            arc.arc_fraction()
+        );
     }
 }

@@ -57,12 +57,18 @@ impl BasicBlocks {
         self.starts[i]..end
     }
 
-    /// The block containing instruction `pc`.
+    /// The block containing instruction `pc`, or `None` when `pc` lies
+    /// outside the program (in particular, on an empty program, where a
+    /// naive `binary_search` lower bound would underflow).
     #[must_use]
-    pub fn block_of(&self, pc: usize) -> usize {
+    pub fn block_of(&self, pc: usize) -> Option<usize> {
+        if pc >= self.len {
+            return None;
+        }
         match self.starts.binary_search(&pc) {
-            Ok(i) => i,
-            Err(i) => i - 1,
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
         }
     }
 
@@ -96,8 +102,7 @@ impl ControlFlowGraph {
             let last_pc = range.end - 1;
             let last = &program[last_pc];
             let push = |succs: &mut Vec<usize>, pc: usize| {
-                if pc < program.len() {
-                    let t = bbs.block_of(pc);
+                if let Some(t) = bbs.block_of(pc) {
                     if !succs.contains(&t) {
                         succs.push(t);
                     }
@@ -205,8 +210,7 @@ fn find_cycles(successors: &[Vec<usize>]) -> Vec<bool> {
                             break;
                         }
                     }
-                    let cyclic =
-                        comp.len() > 1 || successors[v].contains(&v);
+                    let cyclic = comp.len() > 1 || successors[v].contains(&v);
                     if cyclic {
                         for w in comp {
                             in_cycle[w] = true;
@@ -247,8 +251,8 @@ mod tests {
         let bbs = BasicBlocks::of(&p);
         // Blocks: [0..2), [2..3), [3..4).
         assert_eq!(bbs.count(), 3);
-        assert_eq!(bbs.block_of(1), 0);
-        assert_eq!(bbs.block_of(2), 1);
+        assert_eq!(bbs.block_of(1), Some(0));
+        assert_eq!(bbs.block_of(2), Some(1));
         let cfg = ControlFlowGraph::of(&p, &bbs);
         assert_eq!(cfg.successors(0), &[2, 1]);
         assert_eq!(cfg.successors(1), &[2]);
@@ -267,10 +271,10 @@ mod tests {
         .unwrap();
         let bbs = BasicBlocks::of(&p);
         let cfg = ControlFlowGraph::of(&p, &bbs);
-        let loop_block = bbs.block_of(1);
+        let loop_block = bbs.block_of(1).unwrap();
         assert!(cfg.in_cycle(loop_block));
-        assert!(!cfg.in_cycle(bbs.block_of(0)));
-        assert!(!cfg.in_cycle(bbs.block_of(4)));
+        assert!(!cfg.in_cycle(bbs.block_of(0).unwrap()));
+        assert!(!cfg.in_cycle(bbs.block_of(4).unwrap()));
     }
 
     #[test]
@@ -297,8 +301,25 @@ mod tests {
         // join (pc 5) is a leader; else (pc 4) is a leader.
         assert_eq!(bbs.block_of(5), bbs.block_of(5));
         assert_ne!(bbs.block_of(4), bbs.block_of(3));
+        assert!(bbs.block_of(4).is_some());
         let cfg = ControlFlowGraph::of(&p, &bbs);
         assert!((0..bbs.count()).all(|b| !cfg.in_cycle(b)));
+    }
+
+    #[test]
+    fn block_of_empty_program_is_none() {
+        let bbs = BasicBlocks::of(&[]);
+        assert_eq!(bbs.count(), 0);
+        assert_eq!(bbs.block_of(0), None);
+        assert_eq!(bbs.block_of(17), None);
+    }
+
+    #[test]
+    fn block_of_out_of_range_is_none() {
+        let p = asm::assemble("NOP;\nEXIT;").unwrap();
+        let bbs = BasicBlocks::of(&p);
+        assert_eq!(bbs.block_of(1), Some(0));
+        assert_eq!(bbs.block_of(2), None);
     }
 
     #[test]

@@ -148,7 +148,13 @@ fn region_body(rng: &mut StdRng, tag: u32) -> Vec<Instruction> {
             .expect("seed op"),
     ];
     for _ in 0..rng.gen_range(1..=3) {
-        let ops = [Opcode::Iadd, Opcode::Xor, Opcode::And, Opcode::Or, Opcode::Isub];
+        let ops = [
+            Opcode::Iadd,
+            Opcode::Xor,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Isub,
+        ];
         body.push(
             Instruction::build(ops[rng.gen_range(0..ops.len())])
                 .dst(reg(R_RES))
@@ -225,9 +231,13 @@ mod tests {
     fn divergence_reconverges_and_terminates() {
         let ptp = generate_cntrl(&small());
         let kernel = ptp.to_kernel().unwrap();
-        let mut config = GpuConfig::default();
-        config.max_cycles = 50_000_000;
-        let r = Gpu::new(config).run(&kernel, &RunOptions::default()).unwrap();
+        let config = GpuConfig {
+            max_cycles: 50_000_000,
+            ..GpuConfig::default()
+        };
+        let r = Gpu::new(config)
+            .run(&kernel, &RunOptions::default())
+            .unwrap();
         assert!(r.cycles > 0);
     }
 
@@ -263,7 +273,13 @@ mod tests {
     #[test]
     fn uses_control_formats() {
         let ptp = generate_cntrl(&small());
-        for op in [Opcode::Ssy, Opcode::Bra, Opcode::Sync, Opcode::Bar, Opcode::Exit] {
+        for op in [
+            Opcode::Ssy,
+            Opcode::Bra,
+            Opcode::Sync,
+            Opcode::Bar,
+            Opcode::Exit,
+        ] {
             assert!(ptp.program.iter().any(|i| i.opcode == op), "missing {op}");
         }
     }

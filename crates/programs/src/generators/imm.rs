@@ -251,10 +251,7 @@ mod tests {
             ..ImmConfig::default()
         });
         for op in IMM32_OPS {
-            assert!(
-                ptp.program.iter().any(|i| i.opcode == op),
-                "missing {op}"
-            );
+            assert!(ptp.program.iter().any(|i| i.opcode == op), "missing {op}");
         }
         // The paper's IMM also includes register-based instructions.
         let has_reg = ptp
@@ -291,10 +288,7 @@ mod tests {
         });
         for i in &ptp.program[4..] {
             if let Some(d) = i.dst {
-                assert!(
-                    (1..=4).contains(&d.index()),
-                    "{i} writes reserved {d}"
-                );
+                assert!((1..=4).contains(&d.index()), "{i} writes reserved {d}");
             }
         }
     }

@@ -89,9 +89,8 @@ pub fn generate_mem(config: &MemConfig) -> Ptp {
     for t in 0..config.threads {
         for k in 0..config.sb_count {
             for w in 0..WORDS_PER_SB {
-                let addr = INPUT_BASE
-                    + (t * words) as u64 * 4
-                    + ((k * WORDS_PER_SB + w) as u64) * 4;
+                let addr =
+                    INPUT_BASE + (t * words) as u64 * 4 + ((k * WORDS_PER_SB + w) as u64) * 4;
                 global_init.push((addr, rng.gen()));
             }
         }
@@ -170,7 +169,13 @@ fn emit_sb(program: &mut Vec<Instruction>, rng: &mut StdRng, k: usize) {
             .finish()
             .expect("seed op"),
     );
-    let ops = [Opcode::Iadd, Opcode::Xor, Opcode::Isub, Opcode::And, Opcode::Or];
+    let ops = [
+        Opcode::Iadd,
+        Opcode::Xor,
+        Opcode::Isub,
+        Opcode::And,
+        Opcode::Or,
+    ];
     for _ in 0..rng.gen_range(5..=8) {
         let op = ops[rng.gen_range(0..ops.len())];
         let srcs = [R_A, R_B, R_C, R_RES];

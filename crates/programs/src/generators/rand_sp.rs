@@ -158,7 +158,10 @@ mod tests {
         for i in &ptp.program {
             let u = ExecUnit::of(i.opcode);
             assert!(
-                matches!(u, ExecUnit::SpCore | ExecUnit::LoadStore | ExecUnit::Control),
+                matches!(
+                    u,
+                    ExecUnit::SpCore | ExecUnit::LoadStore | ExecUnit::Control
+                ),
                 "{} on {u}",
                 i.opcode
             );

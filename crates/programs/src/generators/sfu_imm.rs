@@ -127,10 +127,7 @@ mod tests {
             max_patterns: 8,
             ..SfuImmConfig::default()
         });
-        assert!(ptp
-            .program
-            .iter()
-            .any(|i| i.opcode.class() == OpClass::Sfu));
+        assert!(ptp.program.iter().any(|i| i.opcode.class() == OpClass::Sfu));
         let kernel = ptp.to_kernel().unwrap();
         let opts = RunOptions {
             capture_sfu: true,

@@ -157,8 +157,8 @@ mod tests {
         let bbs = BasicBlocks::of(&p);
         assert_eq!(sbs.len(), 2);
         for sb in &sbs {
-            let b = bbs.block_of(sb.start);
-            assert_eq!(bbs.block_of(sb.end - 1), b, "SB crosses blocks");
+            let b = bbs.block_of(sb.start).unwrap();
+            assert_eq!(bbs.block_of(sb.end - 1), Some(b), "SB crosses blocks");
             assert_eq!(sb.block, b);
         }
     }

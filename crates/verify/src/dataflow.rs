@@ -1,0 +1,421 @@
+//! Dataflow analyses over the basic-block CFG: reachability, may/must
+//! definedness, reaching definitions (def-use chains), and liveness.
+//!
+//! All analyses work on a flat *slot* space of 68 entries — one per GPR
+//! (`R0..R63`) plus one per writable predicate (`P0..P3`) — so a whole
+//! machine state fits in a `u128` bitset and the fixpoints are cheap.
+
+use std::collections::BTreeSet;
+
+use warpstl_isa::{Instruction, Pred, Reg};
+use warpstl_programs::{BasicBlocks, ControlFlowGraph};
+
+/// Number of dataflow slots: 64 GPRs + 4 writable predicates.
+pub const SLOTS: usize = Reg::COUNT as usize + Pred::COUNT as usize;
+
+/// The slot of a general-purpose register.
+#[must_use]
+pub fn reg_slot(r: Reg) -> usize {
+    r.index() as usize
+}
+
+/// The slot of a writable predicate register (`PT` has no slot).
+#[must_use]
+pub fn pred_slot(p: Pred) -> usize {
+    debug_assert!(!p.is_true(), "PT has no dataflow slot");
+    Reg::COUNT as usize + p.index() as usize
+}
+
+/// The assembly name of a slot (`R12`, `P1`).
+#[must_use]
+pub fn slot_name(slot: usize) -> String {
+    if slot < Reg::COUNT as usize {
+        format!("R{slot}")
+    } else {
+        format!("P{}", slot - Reg::COUNT as usize)
+    }
+}
+
+/// Bitmask of every slot `instr` defines (GPR destination and/or predicate
+/// destination), regardless of guard.
+#[must_use]
+pub fn def_mask(instr: &Instruction) -> u128 {
+    let mut mask = 0u128;
+    if let Some(r) = instr.writes() {
+        mask |= 1 << reg_slot(r);
+    }
+    if let Some(p) = instr.pdst {
+        if !p.is_true() {
+            mask |= 1 << pred_slot(p);
+        }
+    }
+    mask
+}
+
+/// Like [`def_mask`], but only when the definition is unconditional (an
+/// always-true guard). Guarded writes may not execute, so they neither kill
+/// prior definitions nor establish must-definedness.
+#[must_use]
+pub fn strong_def_mask(instr: &Instruction) -> u128 {
+    if instr.guard.is_always_true() {
+        def_mask(instr)
+    } else {
+        0
+    }
+}
+
+/// Every slot `instr` reads: source registers, memory base registers
+/// (including store values), the guard predicate, and `SEL` selectors.
+#[must_use]
+pub fn use_slots(instr: &Instruction) -> Vec<usize> {
+    let mut out: Vec<usize> = instr.reads().into_iter().map(reg_slot).collect();
+    out.extend(instr.reads_preds().into_iter().map(pred_slot));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The results of the dataflow pass, indexed by basic block (bitsets) and
+/// by instruction (def-use counts).
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// Whether each block is reachable from the entry block.
+    pub reachable: Vec<bool>,
+    /// Slots defined on *some* path reaching each block's entry.
+    pub may_in: Vec<u128>,
+    /// Slots defined on *every* path reaching each block's entry.
+    pub must_in: Vec<u128>,
+    /// Slots live (read before any unconditional redefinition) at each
+    /// block's entry.
+    pub live_in: Vec<u128>,
+    /// Slots live at each block's exit.
+    pub live_out: Vec<u128>,
+    /// Per-pc: how many reads any definition made at that pc reaches. Only
+    /// meaningful where [`def_mask`] is nonzero; a defining pc with count 0
+    /// is a dead definition.
+    pub use_count: Vec<usize>,
+}
+
+impl Dataflow {
+    /// Runs every analysis over `program` with its `bbs`/`cfg` structure.
+    #[must_use]
+    pub fn of(program: &[Instruction], bbs: &BasicBlocks, cfg: &ControlFlowGraph) -> Dataflow {
+        let n = bbs.count();
+        let reachable = reachability(cfg, n);
+        let preds = predecessors(cfg, n);
+        let (may_in, must_in) = definedness(program, bbs, &reachable, &preds);
+        let (live_in, live_out) = liveness(program, bbs, cfg, &preds);
+        let use_count = reaching_uses(program, bbs, &reachable, &preds);
+        Dataflow {
+            reachable,
+            may_in,
+            must_in,
+            live_in,
+            live_out,
+            use_count,
+        }
+    }
+}
+
+/// Blocks reachable from the entry block (block 0).
+fn reachability(cfg: &ControlFlowGraph, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut work = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = work.pop() {
+        for &s in cfg.successors(b) {
+            if !seen[s] {
+                seen[s] = true;
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Predecessor lists, derived from the CFG's successor lists.
+fn predecessors(cfg: &ControlFlowGraph, n: usize) -> Vec<Vec<usize>> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in 0..n {
+        for &s in cfg.successors(b) {
+            preds[s].push(b);
+        }
+    }
+    preds
+}
+
+/// Forward may-/must-defined fixpoints. May: union over predecessors, every
+/// write counts. Must: intersection over predecessors, only unguarded
+/// writes count; unreachable-from-entry blocks keep ⊤ so they never weaken
+/// a reachable join.
+fn definedness(
+    program: &[Instruction],
+    bbs: &BasicBlocks,
+    reachable: &[bool],
+    preds: &[Vec<usize>],
+) -> (Vec<u128>, Vec<u128>) {
+    let n = bbs.count();
+    let mut may_gen = vec![0u128; n];
+    let mut must_gen = vec![0u128; n];
+    for b in 0..n {
+        for pc in bbs.range(b) {
+            may_gen[b] |= def_mask(&program[pc]);
+            must_gen[b] |= strong_def_mask(&program[pc]);
+        }
+    }
+
+    let mut may_in = vec![0u128; n];
+    let mut must_in = vec![u128::MAX; n];
+    if n > 0 {
+        must_in[0] = 0;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if !reachable[b] {
+                continue;
+            }
+            let mut may = 0u128;
+            let mut must = if b == 0 { 0 } else { u128::MAX };
+            for &p in &preds[b] {
+                if !reachable[p] {
+                    continue;
+                }
+                may |= may_in[p] | may_gen[p];
+                must &= must_in[p] | must_gen[p];
+            }
+            if b == 0 {
+                // Entry also starts with nothing defined even if it has
+                // back-edge predecessors.
+                must = 0;
+                may |= 0;
+            }
+            if may != may_in[b] || must != must_in[b] {
+                may_in[b] = may;
+                must_in[b] = must;
+                changed = true;
+            }
+        }
+    }
+    (may_in, must_in)
+}
+
+/// Backward liveness fixpoint. Unguarded definitions kill; every read
+/// (including guard predicates) generates.
+fn liveness(
+    program: &[Instruction],
+    bbs: &BasicBlocks,
+    cfg: &ControlFlowGraph,
+    preds: &[Vec<usize>],
+) -> (Vec<u128>, Vec<u128>) {
+    let n = bbs.count();
+    let mut live_in = vec![0u128; n];
+    let mut live_out = vec![0u128; n];
+    // Worklist seeded with every block; re-queue predecessors on change.
+    let mut work: Vec<usize> = (0..n).rev().collect();
+    let mut queued = vec![true; n];
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        let mut out = 0u128;
+        for &s in cfg.successors(b) {
+            out |= live_in[s];
+        }
+        let mut live = out;
+        for pc in bbs.range(b).rev() {
+            let instr = &program[pc];
+            live &= !strong_def_mask(instr);
+            for slot in use_slots(instr) {
+                live |= 1 << slot;
+            }
+        }
+        live_out[b] = out;
+        if live != live_in[b] {
+            live_in[b] = live;
+            for &p in &preds[b] {
+                if !queued[p] {
+                    queued[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Reaching definitions, reduced to what the rules need: for every defining
+/// pc, the number of reads its definition reaches (def-use chain sizes).
+fn reaching_uses(
+    program: &[Instruction],
+    bbs: &BasicBlocks,
+    reachable: &[bool],
+    preds: &[Vec<usize>],
+) -> Vec<usize> {
+    let n = bbs.count();
+    // Per-block, per-slot sets of defining pcs at block entry.
+    let mut ins: Vec<Vec<BTreeSet<usize>>> = vec![vec![BTreeSet::new(); SLOTS]; n];
+    let transfer = |state: &mut Vec<BTreeSet<usize>>, pc: usize, instr: &Instruction| {
+        let strong = strong_def_mask(instr);
+        let any = def_mask(instr);
+        for (slot, defs) in state.iter_mut().enumerate() {
+            if strong >> slot & 1 == 1 {
+                defs.clear();
+            }
+            if any >> slot & 1 == 1 {
+                defs.insert(pc);
+            }
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if !reachable[b] {
+                continue;
+            }
+            let mut entry = vec![BTreeSet::new(); SLOTS];
+            for &p in &preds[b] {
+                if !reachable[p] {
+                    continue;
+                }
+                // OUT[p] = transfer of IN[p] through p's instructions.
+                let mut state = ins[p].clone();
+                for pc in bbs.range(p) {
+                    transfer(&mut state, pc, &program[pc]);
+                }
+                for slot in 0..SLOTS {
+                    entry[slot].extend(state[slot].iter().copied());
+                }
+            }
+            if entry != ins[b] {
+                ins[b] = entry;
+                changed = true;
+            }
+        }
+    }
+
+    let mut use_count = vec![0usize; program.len()];
+    for b in 0..n {
+        if !reachable[b] {
+            continue;
+        }
+        let mut state = ins[b].clone();
+        for pc in bbs.range(b) {
+            let instr = &program[pc];
+            for slot in use_slots(instr) {
+                for &def_pc in &state[slot] {
+                    use_count[def_pc] += 1;
+                }
+            }
+            transfer(&mut state, pc, instr);
+        }
+    }
+    use_count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_isa::asm;
+
+    fn analyse(src: &str) -> (Vec<Instruction>, BasicBlocks, Dataflow) {
+        let p = asm::assemble(src).unwrap();
+        let bbs = BasicBlocks::of(&p);
+        let cfg = ControlFlowGraph::of(&p, &bbs);
+        let df = Dataflow::of(&p, &bbs, &cfg);
+        (p, bbs, df)
+    }
+
+    #[test]
+    fn straight_line_definedness() {
+        let (_, _, df) = analyse("MOV32I R1, 1;\nIADD R2, R1, R1;\nEXIT;");
+        assert_eq!(df.may_in[0], 0);
+        assert_eq!(df.must_in[0], 0);
+        assert!(df.reachable[0]);
+    }
+
+    #[test]
+    fn branch_join_must_is_intersection() {
+        // R1 defined on both arms (must); R2 only on one (may, not must).
+        let (_, bbs, df) = analyse(
+            "ISETP.LT P0, R0, R0;\n\
+             @P0 BRA else_;\n\
+             MOV32I R1, 1;\n\
+             MOV32I R2, 2;\n\
+             BRA join;\n\
+             else_: MOV32I R1, 3;\n\
+             join: IADD R3, R1, R1;\n\
+             EXIT;",
+        );
+        let join = bbs.block_of(6).unwrap();
+        let r1 = 1u128 << reg_slot(Reg::new(1));
+        let r2 = 1u128 << reg_slot(Reg::new(2));
+        assert_eq!(df.must_in[join] & r1, r1, "R1 defined on every path");
+        assert_eq!(df.must_in[join] & r2, 0, "R2 only on one path");
+        assert_eq!(df.may_in[join] & r2, r2);
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_counter_live() {
+        let (_, bbs, df) = analyse(
+            "MOV32I R1, 0;\n\
+             top: IADD R1, R1, 0x1;\n\
+             ISETP.LT P0, R1, 0x8;\n\
+             @P0 BRA top;\n\
+             EXIT;",
+        );
+        let body = bbs.block_of(1).unwrap();
+        let r1 = 1u128 << reg_slot(Reg::new(1));
+        assert_eq!(
+            df.live_in[body] & r1,
+            r1,
+            "loop counter live around back edge"
+        );
+    }
+
+    #[test]
+    fn dead_def_has_zero_uses() {
+        let (_, _, df) = analyse(
+            "MOV32I R1, 1;\n\
+             MOV32I R2, 2;\n\
+             IADD R3, R1, R1;\n\
+             EXIT;",
+        );
+        assert!(df.use_count[0] > 0, "R1 def is read");
+        assert_eq!(df.use_count[1], 0, "R2 def is dead");
+        assert!(df.use_count[2] == 0, "R3 def is dead");
+    }
+
+    #[test]
+    fn guarded_def_does_not_kill() {
+        let (_, _, df) = analyse(
+            "MOV32I R1, 1;\n\
+             ISETP.LT P0, R1, 0x8;\n\
+             @P0 MOV32I R1, 2;\n\
+             STG [R6], R1;\n\
+             EXIT;",
+        );
+        // Both the MOV32I at 0 and the guarded MOV32I at 2 reach the store.
+        assert!(df.use_count[0] >= 2, "unguarded def survives guarded redef");
+        assert!(df.use_count[2] >= 1, "guarded def also reaches");
+    }
+
+    #[test]
+    fn empty_program_is_empty_analysis() {
+        let (_, bbs, df) = analyse("");
+        assert_eq!(bbs.count(), 0);
+        assert!(df.reachable.is_empty());
+        assert!(df.use_count.is_empty());
+    }
+
+    #[test]
+    fn slot_names_round_trip() {
+        assert_eq!(slot_name(reg_slot(Reg::new(12))), "R12");
+        assert_eq!(slot_name(pred_slot(Pred::new(1))), "P1");
+        assert_eq!(SLOTS, 68);
+    }
+}

@@ -1,0 +1,352 @@
+//! Static PTP verifier: a dataflow-based lint pass over [`warpstl_isa`]
+//! programs that gates the compaction flow before the expensive gate-level
+//! fault simulation.
+//!
+//! The paper's reduction step (Fig. 3) removes Small Blocks and relocates
+//! their input data — silently trusting that the surviving CPTP is still
+//! well-formed. A malformed CPTP would otherwise only surface through the
+//! final fault-simulation numbers. This crate catches the breakage
+//! statically, in microseconds:
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `use-before-def` | every read has a reaching definition |
+//! | `sb-structure` | SBs keep the load → operate → propagate shape |
+//! | `arc-admissibility` | no removal touches loop (non-ARC) blocks |
+//! | `divergence-pairing` | `SSY`/`SYNC` nest; branch targets in range |
+//! | `memory-race` | no warp-uniform store addresses (intra-warp races) |
+//! | `relocation` | surviving slot loads have backing data words |
+//!
+//! [`verify_ptp`] lints a standalone program; [`verify_reduction`]
+//! additionally re-checks a reduction against its original (rule 3). The
+//! core pipeline runs [`verify_reduction`] as a mandatory post-reduction
+//! gate, and the `warpstl lint` subcommand exposes [`verify_ptp`] on PTP
+//! files.
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_programs::generators::{generate_imm, ImmConfig};
+//!
+//! let ptp = generate_imm(&ImmConfig { sb_count: 8, ..ImmConfig::default() });
+//! let report = warpstl_verify::verify_ptp(&ptp);
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+mod dataflow;
+mod diag;
+mod rules;
+
+pub use dataflow::Dataflow;
+pub use diag::{Diagnostic, Rule, Severity, VerifyReport, VerifyStats};
+
+use warpstl_programs::{BasicBlocks, ControlFlowGraph, Ptp};
+
+/// Options for [`verify_reduction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyOptions {
+    /// Severity of ARC-admissibility findings. Defaults to
+    /// [`Severity::Error`]; flows that deliberately ignore the ARC (the
+    /// `--no-arc` ablation) downgrade it to a warning.
+    pub arc_severity: Severity,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            arc_severity: Severity::Error,
+        }
+    }
+}
+
+/// Lints a standalone PTP: rules 1, 2, 4, 5, and 6 (rule 3 needs the
+/// original program and removal set — see [`verify_reduction`]).
+#[must_use]
+pub fn verify_ptp(ptp: &Ptp) -> VerifyReport {
+    let bbs = BasicBlocks::of(&ptp.program);
+    let cfg = ControlFlowGraph::of(&ptp.program, &bbs);
+    let df = Dataflow::of(&ptp.program, &bbs, &cfg);
+    let ctx = rules::Ctx {
+        program: &ptp.program,
+        bbs: &bbs,
+        cfg: &cfg,
+        df: &df,
+    };
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(rules::use_before_def(&ctx));
+    diagnostics.extend(rules::sb_structure(&ctx));
+    diagnostics.extend(rules::divergence_pairing(&ctx));
+    diagnostics.extend(rules::memory_race(&ctx));
+    diagnostics.extend(rules::relocation(ptp));
+    VerifyReport {
+        name: ptp.name.clone(),
+        program_len: ptp.program.len(),
+        diagnostics,
+    }
+}
+
+/// Verifies a reduction: lints the compacted PTP and re-checks that the
+/// removal set respected the admissible reduction area of `original`
+/// (rule 3, `removed_pcs` indexing the *original* program).
+#[must_use]
+pub fn verify_reduction(
+    original: &Ptp,
+    compacted: &Ptp,
+    removed_pcs: &[usize],
+    opts: &VerifyOptions,
+) -> VerifyReport {
+    let mut report = verify_ptp(compacted);
+    report.diagnostics.extend(rules::arc_admissibility(
+        original,
+        removed_pcs,
+        opts.arc_severity,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_gpu::KernelConfig;
+    use warpstl_isa::asm;
+    use warpstl_netlist::modules::ModuleKind;
+    use warpstl_programs::generators::{
+        generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp, CntrlConfig,
+        FpuConfig, ImmConfig, MemConfig, RandConfig,
+    };
+    use warpstl_programs::SbSlots;
+
+    fn ptp_of(src: &str) -> Ptp {
+        Ptp::new(
+            "test",
+            ModuleKind::DecoderUnit,
+            KernelConfig::new(1, 32),
+            asm::assemble(src).unwrap(),
+        )
+    }
+
+    /// The hand-crafted broken CPTP from the acceptance criteria:
+    /// use-before-def (R1, R6) plus an unpaired SSY.
+    #[test]
+    fn broken_cptp_is_flagged() {
+        let ptp = ptp_of("SSY 0x3;\nIADD R4, R1, R1;\nSTG [R6], R4;\nEXIT;");
+        let report = verify_ptp(&ptp);
+        assert!(!report.is_clean());
+        let stats = report.stats();
+        assert!(stats.errors[Rule::UseBeforeDef.index()] >= 2, "{report}");
+        assert!(
+            stats.errors[Rule::DivergencePairing.index()] >= 1,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn sync_without_ssy_is_error() {
+        let ptp = ptp_of("MOV32I R1, 1;\nSYNC;\nEXIT;");
+        let report = verify_ptp(&ptp);
+        let stats = report.stats();
+        assert_eq!(stats.errors[Rule::DivergencePairing.index()], 1, "{report}");
+    }
+
+    #[test]
+    fn out_of_range_branch_target_is_error() {
+        let ptp = ptp_of("MOV32I R1, 1;\nBRA 0x9;\nEXIT;");
+        let report = verify_ptp(&ptp);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DivergencePairing
+                && d.severity == Severity::Error
+                && d.message.contains("outside the program")));
+    }
+
+    #[test]
+    fn uniform_store_base_is_race_warning() {
+        let ptp = ptp_of("MOV32I R6, 0x100;\nMOV32I R4, 7;\nSTG [R6], R4;\nEXIT;");
+        let report = verify_ptp(&ptp);
+        assert!(report.is_clean(), "warning must not gate: {report}");
+        assert_eq!(report.stats().warnings[Rule::MemoryRace.index()], 1);
+    }
+
+    #[test]
+    fn distinct_store_base_is_silent() {
+        let ptp = ptp_of(
+            "S2R R0, SR_TID_X;\n\
+             SHL R7, R0, 0x2;\n\
+             MOV32I R6, 0x100;\n\
+             IADD R6, R6, R7;\n\
+             MOV32I R4, 7;\n\
+             STG [R6], R4;\n\
+             EXIT;",
+        );
+        let report = verify_ptp(&ptp);
+        assert_eq!(
+            report.stats().warnings[Rule::MemoryRace.index()],
+            0,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn local_store_never_races() {
+        let ptp = ptp_of("MOV32I R6, 0x10;\nMOV32I R4, 7;\nSTL [R6], R4;\nEXIT;");
+        let report = verify_ptp(&ptp);
+        assert_eq!(report.stats().warnings[Rule::MemoryRace.index()], 0);
+    }
+
+    #[test]
+    fn bare_store_is_structure_warning() {
+        let ptp = ptp_of(
+            "S2R R0, SR_TID_X;\n\
+             SHL R6, R0, 0x2;\n\
+             MOV32I R4, 7;\n\
+             STG [R6], R4;\n\
+             STG [R6], R4;\n\
+             EXIT;",
+        );
+        let report = verify_ptp(&ptp);
+        assert!(report.is_clean(), "{report}");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::SbStructure && d.message.contains("bare store")));
+    }
+
+    #[test]
+    fn orphaned_operate_run_is_structure_warning() {
+        let ptp = ptp_of(
+            "S2R R0, SR_TID_X;\n\
+             SHL R6, R0, 0x2;\n\
+             MOV32I R4, 7;\n\
+             STG [R6], R4;\n\
+             MOV32I R3, 5;\n\
+             IADD R4, R3, R3;\n\
+             EXIT;",
+        );
+        let report = verify_ptp(&ptp);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::SbStructure && d.message.contains("orphaned")));
+    }
+
+    #[test]
+    fn relocation_missing_word_is_error() {
+        let mut ptp = ptp_of(
+            "MOV32I R5, 0x1000;\n\
+             S2R R0, SR_TID_X;\n\
+             SHL R6, R0, 0x2;\n\
+             LDG R1, [R5+0x0];\n\
+             IADD R4, R1, R1;\n\
+             STG [R6], R4;\n\
+             EXIT;",
+        );
+        ptp.sb_slots = Some(SbSlots {
+            base: 0x1000,
+            base_reg: 5,
+            words_per_sb: 2,
+            sb_count: 1,
+            stride_words: 2,
+            threads: 2,
+        });
+        // Backing data only for thread 0.
+        ptp.global_init.push((0x1000, 1));
+        let report = verify_ptp(&ptp);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::Relocation && d.message.contains("1/2 thread(s)")));
+
+        // Fill in thread 1 and the error disappears.
+        ptp.global_init.push((0x1008, 1));
+        assert_eq!(verify_ptp(&ptp).stats().errors[Rule::Relocation.index()], 0);
+    }
+
+    #[test]
+    fn relocation_out_of_layout_sb_is_error() {
+        let mut ptp = ptp_of(
+            "MOV32I R5, 0x1000;\n\
+             LDG R1, [R5+0x20];\n\
+             EXIT;",
+        );
+        ptp.sb_slots = Some(SbSlots {
+            base: 0x1000,
+            base_reg: 5,
+            words_per_sb: 2,
+            sb_count: 2,
+            stride_words: 4,
+            threads: 1,
+        });
+        let report = verify_ptp(&ptp);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::Relocation && d.message.contains("beyond the relocated")));
+    }
+
+    #[test]
+    fn arc_removal_is_flagged_in_reduction() {
+        // A loop body: removing from it violates ARC admissibility.
+        let original = ptp_of(
+            "MOV32I R1, 0;\n\
+             IADD R1, R1, 0x1;\n\
+             ISETP.LT P0, R1, 0x8;\n\
+             @P0 BRA 0x1;\n\
+             EXIT;",
+        );
+        let compacted = ptp_of("MOV32I R1, 0;\nEXIT;");
+        let report = verify_reduction(&original, &compacted, &[1, 2], &VerifyOptions::default());
+        assert_eq!(
+            report.stats().errors[Rule::ArcAdmissibility.index()],
+            1,
+            "{report}"
+        );
+
+        let relaxed = VerifyOptions {
+            arc_severity: Severity::Warning,
+        };
+        let report = verify_reduction(&original, &compacted, &[1, 2], &relaxed);
+        assert_eq!(report.stats().errors[Rule::ArcAdmissibility.index()], 0);
+        assert_eq!(report.stats().warnings[Rule::ArcAdmissibility.index()], 1);
+    }
+
+    #[test]
+    fn empty_program_verifies_without_panicking() {
+        let ptp = Ptp::new(
+            "empty",
+            ModuleKind::DecoderUnit,
+            KernelConfig::new(1, 32),
+            Vec::new(),
+        );
+        let report = verify_ptp(&ptp);
+        assert!(report.is_clean());
+        assert_eq!(report.program_len, 0);
+    }
+
+    #[test]
+    fn all_generators_verify_clean() {
+        let ptps = [
+            generate_imm(&ImmConfig {
+                sb_count: 12,
+                ..ImmConfig::default()
+            }),
+            generate_rand_sp(&RandConfig {
+                sb_count: 12,
+                ..RandConfig::default()
+            }),
+            generate_fpu(&FpuConfig {
+                sb_count: 12,
+                ..FpuConfig::default()
+            }),
+            generate_mem(&MemConfig {
+                sb_count: 12,
+                ..MemConfig::default()
+            }),
+            generate_cntrl(&CntrlConfig::default()),
+        ];
+        for ptp in &ptps {
+            let report = verify_ptp(ptp);
+            assert!(report.is_clean(), "{} not clean:\n{report}", ptp.name);
+        }
+    }
+}

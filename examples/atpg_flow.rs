@@ -84,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, stream) in run.patterns.sp.iter().enumerate() {
         let mut list = FaultList::new(&universe);
         fault_simulate(&netlist, stream, &mut list, &FaultSimConfig::default());
-        println!("SP core {i}: {:.2}% fault coverage", list.coverage() * 100.0);
+        println!(
+            "SP core {i}: {:.2}% fault coverage",
+            list.coverage() * 100.0
+        );
         total_fc += list.coverage();
     }
     println!(

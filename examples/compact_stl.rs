@@ -11,25 +11,40 @@
 use warpstl::compactor::{CompactionReport, Compactor};
 use warpstl::netlist::modules::ModuleKind;
 use warpstl::programs::generators::{
-    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
-    generate_tpgen, CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
+    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm, generate_tpgen,
+    CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
 };
 use warpstl::programs::Stl;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small but complete STL (the paper's is ~50x larger; ratios match).
     let mut stl = Stl::new("mini-stl");
-    stl.push(generate_imm(&ImmConfig { sb_count: 24, ..ImmConfig::default() }));
-    stl.push(generate_mem(&MemConfig { sb_count: 24, ..MemConfig::default() }));
+    stl.push(generate_imm(&ImmConfig {
+        sb_count: 24,
+        ..ImmConfig::default()
+    }));
+    stl.push(generate_mem(&MemConfig {
+        sb_count: 24,
+        ..MemConfig::default()
+    }));
     stl.push(generate_cntrl(&CntrlConfig {
         regions: 6,
         loops: 1,
         threads: 128,
         ..CntrlConfig::default()
     }));
-    stl.push(generate_tpgen(&TpgenConfig { max_patterns: 40, ..TpgenConfig::default() }));
-    stl.push(generate_rand_sp(&RandConfig { sb_count: 24, ..RandConfig::default() }));
-    stl.push(generate_sfu_imm(&SfuImmConfig { max_patterns: 40, ..SfuImmConfig::default() }));
+    stl.push(generate_tpgen(&TpgenConfig {
+        max_patterns: 40,
+        ..TpgenConfig::default()
+    }));
+    stl.push(generate_rand_sp(&RandConfig {
+        sb_count: 24,
+        ..RandConfig::default()
+    }));
+    stl.push(generate_sfu_imm(&SfuImmConfig {
+        max_patterns: 40,
+        ..SfuImmConfig::default()
+    }));
     println!("{stl}");
 
     let mut reports: Vec<CompactionReport> = Vec::new();
@@ -48,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let names: Vec<String> = stl.ptps_for(module).map(|p| p.name.clone()).collect();
         for name in names {
-            let idx = stl.ptps().iter().position(|p| p.name == name).expect("present");
+            let idx = stl
+                .ptps()
+                .iter()
+                .position(|p| p.name == name)
+                .expect("present");
             let ptp = stl.ptps()[idx].clone();
             let outcome = compactor.compact(&ptp, &mut ctx)?;
             println!(

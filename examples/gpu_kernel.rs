@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nkernel finished in {} clock cycles", run.cycles);
     for i in [0u64, 1, 2, 31] {
         let y = run.global_mem.load_word(0x200 + i * 4)?;
-        println!("y[{i:>2}] = {y}  (expected {})", if i % 2 == 0 { 3 * (i + 1) + 100 } else { 100 });
+        println!(
+            "y[{i:>2}] = {y}  (expected {})",
+            if i % 2 == 0 { 3 * (i + 1) + 100 } else { 100 }
+        );
     }
 
     // The hardware-monitor tracing report: one record per warp instruction.
@@ -50,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rec in run.trace.records().iter().take(6) {
         println!(
             "  cc {:>5}..{:<5} pc {:>2} warp {} {:<7} {:#010x}",
-            rec.cc_start, rec.cc_end, rec.pc, rec.warp, rec.opcode.to_string(), rec.active_mask
+            rec.cc_start,
+            rec.cc_end,
+            rec.pc,
+            rec.warp,
+            rec.opcode.to_string(),
+            rec.active_mask
         );
     }
     println!(

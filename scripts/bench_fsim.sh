@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Benchmarks the parallel fault-simulation engine.
 #
-# 1. Lints the whole workspace (clippy, warnings denied).
+# 1. Runs the repo's static-quality gate (scripts/check.sh: fmt, clippy
+#    with warnings denied, tests).
 # 2. Runs the `fsim` criterion bench (reference vs engine at several
 #    thread counts).
 # 3. Runs the `bench_fsim` binary, which writes machine-readable timings
@@ -12,8 +13,7 @@
 set -u
 cd "$(dirname "$0")/.."
 
-echo "== clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings || exit 1
+scripts/check.sh || exit 1
 
 echo "== criterion bench: fsim =="
 cargo bench -p warpstl-bench --bench fsim

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's static-quality gate: formatting, lints (warnings denied), and
+# the full test suite. CI and the bench scripts call this before anything
+# expensive; run it locally before pushing.
+#
+# Usage: scripts/check.sh
+set -u
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt (check) =="
+cargo fmt --all -- --check || exit 1
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings || exit 1
+
+echo "== tests =="
+cargo test -q || exit 1
+
+echo "check.sh: all green"

@@ -19,6 +19,7 @@
 //! | [`gpu`] | `warpstl-gpu` | the MiniGrip SIMT GPU model |
 //! | [`atpg`] | `warpstl-atpg` | PODEM + pattern→instruction conversion |
 //! | [`programs`] | `warpstl-programs` | PTPs, STLs, CFG/ARC/SB analyses, generators |
+//! | [`verify`] | `warpstl-verify` | static PTP verifier (dataflow lint rules) |
 //! | [`compactor`] | `warpstl-core` | the five-stage compaction method + baseline |
 //!
 //! # Examples
@@ -52,3 +53,4 @@ pub use warpstl_gpu as gpu;
 pub use warpstl_isa as isa;
 pub use warpstl_netlist as netlist;
 pub use warpstl_programs as programs;
+pub use warpstl_verify as verify;

@@ -6,8 +6,8 @@ use warpstl::fault::{fault_simulate, FaultList, FaultSimConfig, FaultUniverse};
 use warpstl::gpu::{Gpu, RunOptions};
 use warpstl::netlist::modules::ModuleKind;
 use warpstl::programs::generators::{
-    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
-    generate_tpgen, CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
+    generate_cntrl, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm, generate_tpgen,
+    CntrlConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig, TpgenConfig,
 };
 use warpstl::programs::{segment_small_blocks, BasicBlocks, Ptp};
 
@@ -15,7 +15,10 @@ use warpstl::programs::{segment_small_blocks, BasicBlocks, Ptp};
 fn standalone_fc(ptp: &Ptp, module: ModuleKind) -> f64 {
     let gpu = Gpu::default();
     let run = gpu
-        .run(&ptp.to_kernel().expect("kernel"), &RunOptions::capture_all())
+        .run(
+            &ptp.to_kernel().expect("kernel"),
+            &RunOptions::capture_all(),
+        )
         .expect("runs");
     let netlist = module.build();
     let universe = FaultUniverse::enumerate(&netlist);

@@ -120,7 +120,11 @@ fn tdf_and_stuck_at_label_differently() {
     );
     let sa_labels = label_instructions(ptp.program.len(), &run.trace, &sa_report);
 
-    let tdf_set: Vec<bool> = (0..ptp.size()).map(|pc| tdf_labels.is_essential(pc)).collect();
-    let sa_set: Vec<bool> = (0..ptp.size()).map(|pc| sa_labels.is_essential(pc)).collect();
+    let tdf_set: Vec<bool> = (0..ptp.size())
+        .map(|pc| tdf_labels.is_essential(pc))
+        .collect();
+    let sa_set: Vec<bool> = (0..ptp.size())
+        .map(|pc| sa_labels.is_essential(pc))
+        .collect();
     assert_ne!(tdf_set, sa_set, "fault models labeled identically");
 }

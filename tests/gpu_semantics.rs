@@ -7,7 +7,9 @@ use warpstl::isa::asm;
 fn run_threads(src: &str, threads: usize) -> warpstl::gpu::RunResult {
     let program = asm::assemble(src).expect("asm");
     let kernel = Kernel::new("t", program, KernelConfig::new(1, threads));
-    Gpu::default().run(&kernel, &RunOptions::default()).expect("run")
+    Gpu::default()
+        .run(&kernel, &RunOptions::default())
+        .expect("run")
 }
 
 #[test]
@@ -94,7 +96,9 @@ fn stores_to_read_only_constant_space_do_not_exist_in_isa() {
     // There is no ST-to-constant opcode; the nearest misuse is a bad RET.
     let program = asm::assemble("RET;").unwrap();
     let kernel = Kernel::new("r", program, KernelConfig::new(1, 32));
-    let err = Gpu::default().run(&kernel, &RunOptions::default()).unwrap_err();
+    let err = Gpu::default()
+        .run(&kernel, &RunOptions::default())
+        .unwrap_err();
     assert!(matches!(err, SimError::ReturnWithoutCall { .. }));
 }
 
@@ -103,7 +107,9 @@ fn bad_branch_target_is_reported() {
     // Assemble a branch to a numeric target beyond the program.
     let program = asm::assemble("BRA 0x30;\nEXIT;").unwrap();
     let kernel = Kernel::new("b", program, KernelConfig::new(1, 32));
-    let err = Gpu::default().run(&kernel, &RunOptions::default()).unwrap_err();
+    let err = Gpu::default()
+        .run(&kernel, &RunOptions::default())
+        .unwrap_err();
     assert!(matches!(err, SimError::BadTarget { pc: 0, .. }));
 }
 

@@ -29,56 +29,54 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         0usize..6,
         0u16..u16::MAX,
     )
-        .prop_map(
-            |(opi, gp, gneg, use_pt, d, a, b, c, imm, p, cmpi, off)| {
-                use warpstl::isa::Guard;
-                let op = Opcode::ALL[opi];
-                let guard = if use_pt {
-                    Guard::default()
-                } else if gneg {
-                    Guard::negated(Pred::new(gp))
-                } else {
-                    Guard::on(Pred::new(gp))
-                };
-                let mut builder = Instruction::build(op).guard(guard);
-                if op.has_cmp_modifier() {
-                    builder = builder.cmp(CmpOp::ALL[cmpi]);
+        .prop_map(|(opi, gp, gneg, use_pt, d, a, b, c, imm, p, cmpi, off)| {
+            use warpstl::isa::Guard;
+            let op = Opcode::ALL[opi];
+            let guard = if use_pt {
+                Guard::default()
+            } else if gneg {
+                Guard::negated(Pred::new(gp))
+            } else {
+                Guard::on(Pred::new(gp))
+            };
+            let mut builder = Instruction::build(op).guard(guard);
+            if op.has_cmp_modifier() {
+                builder = builder.cmp(CmpOp::ALL[cmpi]);
+            }
+            if op.writes_predicate() {
+                builder = builder.pdst(Pred::new(p));
+            } else if !(op.is_store() || op.is_control_flow() || op == Opcode::Nop) {
+                builder = builder.dst(Reg::new(d));
+            }
+            use Opcode::*;
+            let builder = match op {
+                Nop | Exit | Ret | Bar | Sync => builder,
+                Bra | Ssy | Cal => builder.src(imm & 0x7fff_ffff),
+                Mov32i => builder.src(imm),
+                S2r => builder.special(warpstl::isa::SpecialReg::ALL[(a % 5) as usize]),
+                Mov | Not | Iabs | I2f | F2i | F2f | I2i | Rcp | Rsq | Sin | Cos | Ex2 | Lg2 => {
+                    builder.src(Reg::new(a))
                 }
-                if op.writes_predicate() {
-                    builder = builder.pdst(Pred::new(p));
-                } else if !(op.is_store() || op.is_control_flow() || op == Opcode::Nop) {
-                    builder = builder.dst(Reg::new(d));
+                Iadd32i | Imul32i | And32i | Or32i | Xor32i | Fadd32i | Fmul32i => {
+                    builder.src(Reg::new(a)).src(imm)
                 }
-                use Opcode::*;
-                let builder = match op {
-                    Nop | Exit | Ret | Bar | Sync => builder,
-                    Bra | Ssy | Cal => builder.src(imm & 0x7fff_ffff),
-                    Mov32i => builder.src(imm),
-                    S2r => builder.special(warpstl::isa::SpecialReg::ALL[(a % 5) as usize]),
-                    Mov | Not | Iabs | I2f | F2i | F2f | I2i | Rcp | Rsq | Sin | Cos | Ex2
-                    | Lg2 => builder.src(Reg::new(a)),
-                    Iadd32i | Imul32i | And32i | Or32i | Xor32i | Fadd32i | Fmul32i => {
-                        builder.src(Reg::new(a)).src(imm)
+                Imad | Ffma => builder.src(Reg::new(a)).src(Reg::new(b)).src(Reg::new(c)),
+                Sel => builder.src(Reg::new(a)).src(Reg::new(b)).psrc(Pred::new(p)),
+                Ldg | Lds | Ldc | Ldl => builder.mem(Reg::new(a), off),
+                Stg | Sts | Stl => builder.mem(Reg::new(a), off).src(Reg::new(b)),
+                _ => {
+                    // Binary reg/imm16 forms.
+                    if imm % 2 == 0 {
+                        builder.src(Reg::new(a)).src(Reg::new(b))
+                    } else {
+                        builder.src(Reg::new(a)).src((imm % (1 << 15)).abs())
                     }
-                    Imad | Ffma => builder
-                        .src(Reg::new(a))
-                        .src(Reg::new(b))
-                        .src(Reg::new(c)),
-                    Sel => builder.src(Reg::new(a)).src(Reg::new(b)).psrc(Pred::new(p)),
-                    Ldg | Lds | Ldc | Ldl => builder.mem(Reg::new(a), off),
-                    Stg | Sts | Stl => builder.mem(Reg::new(a), off).src(Reg::new(b)),
-                    _ => {
-                        // Binary reg/imm16 forms.
-                        if imm % 2 == 0 {
-                            builder.src(Reg::new(a)).src(Reg::new(b))
-                        } else {
-                            builder.src(Reg::new(a)).src((imm % (1 << 15)).abs())
-                        }
-                    }
-                };
-                builder.finish().expect("strategy builds valid instructions")
-            },
-        )
+                }
+            };
+            builder
+                .finish()
+                .expect("strategy builds valid instructions")
+        })
 }
 
 proptest! {

@@ -6,8 +6,11 @@ use warpstl::compactor::{label_instructions, reduce_ptp, Compactor};
 use warpstl::fault::FaultSimReport;
 use warpstl::gpu::{Gpu, RunOptions};
 use warpstl::netlist::modules::ModuleKind;
-use warpstl::programs::generators::{generate_imm, generate_mem, ImmConfig, MemConfig};
+use warpstl::programs::generators::{
+    generate_cntrl, generate_imm, generate_mem, CntrlConfig, ImmConfig, MemConfig,
+};
 use warpstl::programs::{segment_small_blocks, BasicBlocks, Ptp};
+use warpstl::verify::{verify_reduction, VerifyOptions};
 
 /// A small pseudorandom PTP (IMM or MEM flavoured).
 fn arb_ptp() -> impl Strategy<Value = Ptp> {
@@ -25,6 +28,27 @@ fn arb_ptp() -> impl Strategy<Value = Ptp> {
                 ..ImmConfig::default()
             })
         }
+    })
+}
+
+/// Like [`arb_ptp`] but also drawing CNTRL programs, whose parametric loops
+/// and `SSY`/`SYNC` regions exercise the verifier's control-flow rules.
+fn arb_ptp_any_flavour() -> impl Strategy<Value = Ptp> {
+    (any::<u64>(), 2usize..10, 0usize..3).prop_map(|(seed, sb_count, flavour)| match flavour {
+        0 => generate_imm(&ImmConfig {
+            sb_count,
+            seed,
+            ..ImmConfig::default()
+        }),
+        1 => generate_mem(&MemConfig {
+            sb_count,
+            seed,
+            ..MemConfig::default()
+        }),
+        _ => generate_cntrl(&CntrlConfig {
+            seed,
+            ..CntrlConfig::default()
+        }),
     })
 }
 
@@ -107,6 +131,21 @@ proptest! {
         prop_assert!(r.removed_sbs + r.liveness_protected <= sbs.len());
         // With self-contained generators, most SBs go.
         prop_assert!(r.removed_sbs > 0);
+    }
+
+    /// Every reduce-produced CPTP passes the static verifier with zero
+    /// errors, whatever the detection labeling — the gate never rejects the
+    /// pipeline's own output.
+    #[test]
+    fn reduction_output_verifies_clean(ptp in arb_ptp_any_flavour(), mask in any::<u64>()) {
+        let (labels, _) = labels_for(&ptp, mask);
+        let r = reduce_ptp(&ptp, &labels);
+        let mut compacted = ptp.clone();
+        compacted.program = r.program;
+        compacted.global_init = r.global_init;
+        compacted.sb_slots = r.sb_slots;
+        let report = verify_reduction(&ptp, &compacted, &r.removed_pcs, &VerifyOptions::default());
+        prop_assert_eq!(report.error_count(), 0, "verifier rejected: {}", report);
     }
 
     /// Compaction is idempotent: compacting a compacted PTP with the same
