@@ -12,10 +12,12 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use warpstl_fault::{
-    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+    fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultList, FaultSimConfig,
+    FaultUniverse,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_obs::Recorder;
 
 fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSeq {
     let mut p = PatternSeq::new(width);
@@ -67,7 +69,10 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
         );
     });
 
-    for threads in [1usize, 2, 4, 8] {
+    // Oversubscribed thread counts resolve to the host core count; only
+    // bench distinct effective configurations.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for threads in [1usize, 2, 4, 8].into_iter().filter(|&t| t <= cores) {
         c.bench_function(&format!("fsim/{name}/engine/{threads}"), |b| {
             b.iter_batched(
                 || FaultList::new(&universe),
@@ -86,6 +91,30 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
             );
         });
     }
+
+    // The observability guard: `engine/1` above is the Obs=None path (what
+    // every caller gets without --trace-out); this is the same run with a
+    // live recorder. The two must stay within noise of each other, and
+    // `engine_observed` bounds the enabled cost.
+    let recorder = Recorder::new();
+    c.bench_function(&format!("fsim/{name}/engine_observed/1"), |b| {
+        b.iter_batched(
+            || FaultList::new(&universe),
+            |mut list| {
+                fault_simulate_observed(
+                    netlist,
+                    &pats,
+                    &mut list,
+                    &FaultSimConfig {
+                        threads: 1,
+                        ..non_drop()
+                    },
+                    Some(&recorder),
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
 }
 
 fn bench_fsim(c: &mut Criterion) {

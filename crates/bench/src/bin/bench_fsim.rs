@@ -6,12 +6,17 @@
 //! - the serial reference engine (`fault_simulate_reference`: no fanout-cone
 //!   pruning, single thread), and
 //! - the production engine (`fault_simulate`) at 1, 2, 4 and 8 threads,
+//!   capped at the host core count (oversubscribed configurations resolve
+//!   to the same clamped worker count and would only duplicate the
+//!   `engine/host_cores` row — they are skipped and listed in the JSON),
 //!
 //! in non-drop mode (load-stable: every run simulates every fault against
 //! every pattern). It reports patterns/second, the speedup of each engine
 //! configuration over `engine` at `threads = 1`, and the speedup over the
 //! unpruned reference. The host core count is recorded so single-core
-//! results (where thread scaling cannot show) are interpretable.
+//! results (where thread scaling cannot show) are interpretable. A final
+//! guard times the single-thread engine with a live [`Recorder`] attached
+//! against the default no-op handle, bounding the observability overhead.
 //!
 //! Usage: `cargo run --release -p warpstl-bench --bin bench_fsim`
 //! (or via `scripts/bench_fsim.sh`).
@@ -22,10 +27,12 @@ use std::time::Instant;
 use warpstl_bench::{compact_group, Scale};
 use warpstl_core::{Compactor, StageTimings};
 use warpstl_fault::{
-    fault_simulate, fault_simulate_reference, FaultList, FaultSimConfig, FaultUniverse,
+    fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultList, FaultSimConfig,
+    FaultUniverse,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_obs::Recorder;
 use warpstl_programs::generators::{generate_cntrl, generate_imm, generate_mem};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -74,7 +81,13 @@ struct ModuleResult {
     engine_s: Vec<(usize, f64)>,
 }
 
-fn measure(name: &str, netlist: &Netlist, patterns: usize, reps: usize) -> ModuleResult {
+fn measure(
+    name: &str,
+    netlist: &Netlist,
+    patterns: usize,
+    reps: usize,
+    thread_counts: &[usize],
+) -> ModuleResult {
     let pats = pseudorandom_patterns(
         netlist.inputs().width(),
         patterns,
@@ -91,7 +104,7 @@ fn measure(name: &str, netlist: &Netlist, patterns: usize, reps: usize) -> Modul
     });
     eprintln!("[bench_fsim]   reference      {reference_s:.4}s");
 
-    let engine_s: Vec<(usize, f64)> = THREAD_COUNTS
+    let engine_s: Vec<(usize, f64)> = thread_counts
         .iter()
         .map(|&t| {
             let s = time_best(&universe, reps, |list| {
@@ -137,8 +150,41 @@ fn measure_compaction(threads: usize) -> (f64, StageTimings) {
     (wall, stages)
 }
 
+/// Times the single-thread engine with a no-op [`Obs`] handle vs a live
+/// recorder on the DU module: the guard for the "zero cost when disabled"
+/// claim (and an upper bound on the enabled overhead).
+fn measure_obs_overhead(reps: usize) -> (f64, f64) {
+    let netlist = ModuleKind::DecoderUnit.build();
+    let pats = pseudorandom_patterns(netlist.inputs().width(), 128, 0xb5eed ^ 128);
+    let universe = FaultUniverse::enumerate(&netlist);
+    let noop_s = time_best(&universe, reps, |list| {
+        fault_simulate_observed(&netlist, &pats, list, &non_drop(1), None);
+    });
+    let recorder = Recorder::new();
+    let recorder_s = time_best(&universe, reps, |list| {
+        fault_simulate_observed(&netlist, &pats, list, &non_drop(1), Some(&recorder));
+    });
+    (noop_s, recorder_s)
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Thread counts beyond the host cores resolve to the same clamped
+    // worker count (see `FaultSimConfig::resolved_threads`), so sweeping
+    // them would just re-measure `engine/cores` under a different label.
+    let swept: Vec<usize> = THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t <= cores)
+        .collect();
+    let skipped: Vec<usize> = THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t > cores)
+        .collect();
+    if !skipped.is_empty() {
+        eprintln!("[bench_fsim] host has {cores} core(s); skipping oversubscribed thread counts {skipped:?}");
+    }
     let modules = [
         ("decoder_unit", ModuleKind::DecoderUnit, 256usize, 5usize),
         ("sfu", ModuleKind::Sfu, 128, 5),
@@ -146,8 +192,15 @@ fn main() {
 
     let results: Vec<ModuleResult> = modules
         .iter()
-        .map(|&(name, kind, patterns, reps)| measure(name, &kind.build(), patterns, reps))
+        .map(|&(name, kind, patterns, reps)| measure(name, &kind.build(), patterns, reps, &swept))
         .collect();
+
+    eprintln!("[bench_fsim] measuring observability overhead (engine t=1, DU)");
+    let (obs_noop_s, obs_recorder_s) = measure_obs_overhead(5);
+    eprintln!(
+        "[bench_fsim]   obs off {obs_noop_s:.4}s / on {obs_recorder_s:.4}s ({:+.2} %)",
+        100.0 * (obs_recorder_s / obs_noop_s - 1.0)
+    );
 
     eprintln!("[bench_fsim] compacting the DU group end-to-end (bench scale)");
     let (compact_wall_s, compact_stages) = measure_compaction(0);
@@ -157,9 +210,22 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"fsim\",");
     let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let skipped_list = skipped
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(json, "  \"skipped_thread_counts\": [{skipped_list}],");
+    let skipped_note = if skipped.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "; thread counts {skipped:?} exceed host_cores and were skipped (they resolve to {cores} worker(s) anyway)"
+        )
+    };
     let _ = writeln!(
         json,
-        "  \"note\": \"non-drop mode; best of N reps; engine/1 vs reference isolates fanout-cone pruning, engine/N vs engine/1 isolates batch-level threading (meaningful only when host_cores > 1)\","
+        "  \"note\": \"non-drop mode; best of N reps; engine/1 vs reference isolates fanout-cone pruning, engine/N vs engine/1 isolates batch-level threading (meaningful only when host_cores > 1){skipped_note}\","
     );
     json.push_str("  \"modules\": [\n");
     for (mi, m) in results.iter().enumerate() {
@@ -201,6 +267,19 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"obs_overhead\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"engine t=1 on the DU, 128 patterns: Obs=None (the default everywhere observability is not requested) vs a live Recorder; None must be within noise of the pre-instrumentation engine\","
+    );
+    let _ = writeln!(json, "    \"noop_s\": {obs_noop_s:.6},");
+    let _ = writeln!(json, "    \"recorder_s\": {obs_recorder_s:.6},");
+    let _ = writeln!(
+        json,
+        "    \"recorder_overhead_pct\": {:.2}",
+        100.0 * (obs_recorder_s / obs_noop_s - 1.0)
+    );
+    json.push_str("  },\n");
     json.push_str("  \"compact_du_group\": {\n");
     let _ = writeln!(
         json,

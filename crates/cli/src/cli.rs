@@ -2,10 +2,12 @@
 
 use std::error::Error;
 use std::fs;
+use std::sync::Arc;
 
 use warpstl_core::Compactor;
 use warpstl_fault::FaultUniverse;
 use warpstl_netlist::modules::ModuleKind;
+use warpstl_obs::Recorder;
 use warpstl_programs::generators::{
     generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
     generate_tpgen, CntrlConfig, FpuConfig, ImmConfig, MemConfig, RandConfig, SfuImmConfig,
@@ -22,7 +24,8 @@ usage:
                       [--sb-count N] [--patterns N] [--seed N] [--out FILE]
   warpstl features    <PTP-FILE>
   warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
-  warpstl compact-stl <STL-FILE> [--out FILE]
+                      [--trace-out FILE]
+  warpstl compact-stl <STL-FILE> [--out FILE] [--trace-out FILE]
   warpstl lint        <PTP-FILE> [--json]
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
@@ -194,12 +197,31 @@ fn features(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Builds the recorder backing `--trace-out` (attached only when the flag
+/// is present, so the default path stays instrumentation-free) and, after
+/// the run, writes the Chrome trace JSON next to a metrics summary.
+fn write_trace(path: &str, rec: &Recorder) -> CliResult {
+    fs::write(path, rec.to_chrome_trace())?;
+    let m = rec.metrics();
+    eprintln!(
+        "wrote trace {path} ({} spans, {} counters, {} histograms) — open in ui.perfetto.dev or about://tracing",
+        rec.spans().len(),
+        m.counters.len(),
+        m.histograms.len()
+    );
+    Ok(())
+}
+
 fn compact(args: &[String]) -> CliResult {
     let ptp = load(args)?;
     let flags = Flags::new(&args[1..]);
+    let recorder = flags
+        .value("--trace-out")
+        .map(|_| Arc::new(Recorder::new()));
     let compactor = Compactor {
         reverse_patterns: flags.has("--reverse"),
         respect_arc: !flags.has("--no-arc"),
+        obs: recorder.clone(),
         ..Compactor::default()
     };
     let mut ctx = compactor.context_for(ptp.target);
@@ -230,6 +252,9 @@ fn compact(args: &[String]) -> CliResult {
     if let Some(path) = flags.value("--out") {
         fs::write(path, ptp_to_text(&out.compacted))?;
         eprintln!("wrote {path}");
+    }
+    if let (Some(path), Some(rec)) = (flags.value("--trace-out"), recorder.as_deref()) {
+        write_trace(path, rec)?;
     }
     Ok(())
 }
@@ -301,7 +326,16 @@ fn compact_stl(args: &[String]) -> CliResult {
     let flags = Flags::new(&args[1..]);
     let stl = stl_from_text(&fs::read_to_string(path)?)?;
 
-    let outcome = warpstl_core::compact_stl(&stl)?;
+    // One recorder shared by every module's compactor: the trace shows the
+    // whole STL on a single timeline and the metrics aggregate across PTPs.
+    let recorder = flags
+        .value("--trace-out")
+        .map(|_| Arc::new(Recorder::new()));
+    let outcome = warpstl_core::compact_stl_with(&stl, |module| Compactor {
+        reverse_patterns: module == ModuleKind::Sfu,
+        obs: recorder.clone(),
+        ..Compactor::default()
+    })?;
     for r in &outcome.reports {
         println!(
             "{:<10} {:>7} -> {:>6} instr ({:+.2} %), ΔFC {:+.2} pp",
@@ -321,6 +355,9 @@ fn compact_stl(args: &[String]) -> CliResult {
     if let Some(out) = flags.value("--out") {
         fs::write(out, stl_to_text(&outcome.compacted))?;
         eprintln!("wrote {out}");
+    }
+    if let (Some(trace_path), Some(rec)) = (flags.value("--trace-out"), recorder.as_deref()) {
+        write_trace(trace_path, rec)?;
     }
     Ok(())
 }
@@ -476,6 +513,70 @@ mod tests {
         .unwrap();
         let du = fs::read_to_string(vcde_dir.join("decoder_unit.vcde")).unwrap();
         assert!(du.starts_with("VCDE 1 "));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_with_stage_spans() {
+        let dir = std::env::temp_dir().join("warpstl-cli-trace-test");
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        let trace_path = dir.join("trace.json");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "4",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+        for stage in [
+            "stage.trace",
+            "stage.fsim",
+            "stage.label",
+            "stage.reduce",
+            "stage.verify",
+            "stage.eval",
+        ] {
+            assert!(trace.contains(&format!("\"{stage}\"")), "missing {stage}");
+        }
+        assert!(trace.contains("\"fsim.worker\""));
+        assert!(trace.contains("\"warpstlMetrics\""));
+
+        // The same flag on compact-stl shares one recorder across modules.
+        let stl_path = dir.join("lib.stl");
+        let stl_trace = dir.join("stl-trace.json");
+        {
+            use warpstl_programs::generators::{generate_imm, ImmConfig};
+            use warpstl_programs::serialize::stl_to_text;
+            use warpstl_programs::Stl;
+            let mut stl = Stl::new("lib");
+            stl.push(generate_imm(&ImmConfig {
+                sb_count: 4,
+                ..ImmConfig::default()
+            }));
+            fs::write(&stl_path, stl_to_text(&stl)).unwrap();
+        }
+        dispatch(&s(&[
+            "compact-stl",
+            stl_path.to_str().unwrap(),
+            "--trace-out",
+            stl_trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = fs::read_to_string(&stl_trace).unwrap();
+        assert!(trace.contains("\"stl.module\""));
+        assert!(trace.contains("\"stage.fsim\""));
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -120,6 +120,7 @@ impl IterativeCompactor {
             // predates the verification gate.
             stage_timings: StageTimings::default(),
             verify: warpstl_verify::VerifyStats::default(),
+            metrics: warpstl_obs::Metrics::default(),
         };
         Ok((current, report))
     }

@@ -1,14 +1,16 @@
 //! The five-stage compaction pipeline.
 
 use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
-use warpstl_fault::{fault_simulate, FaultList, FaultSimConfig, FaultSimReport};
+use warpstl_fault::{fault_simulate_observed, FaultList, FaultSimConfig, FaultSimReport};
 use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_obs::{Metrics, Obs, ObsExt, Recorder};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
-use warpstl_verify::{verify_reduction, Severity, VerifyOptions};
+use warpstl_verify::{verify_reduction_observed, Severity, VerifyOptions};
 
 use crate::{
     label_instructions, CompactionError, CompactionReport, ModuleContext, PtpFeatures, StageTimings,
@@ -28,6 +30,7 @@ fn simulate_instances(
     streams: &[Cow<'_, PatternSeq>],
     lists: &mut [FaultList],
     config: &FaultSimConfig,
+    obs: Obs<'_>,
 ) -> Vec<Option<FaultSimReport>> {
     debug_assert_eq!(streams.len(), lists.len());
     let active = streams.iter().filter(|s| !s.is_empty()).count();
@@ -36,12 +39,16 @@ fn simulate_instances(
         threads: (budget / active.max(1)).max(1),
         ..*config
     };
+    let mut span = obs.span("pipeline", "pipeline.instances");
+    span.arg("active", active);
+    span.arg("threads_each", per_instance.threads);
     if active <= 1 || budget <= 1 {
         return streams
             .iter()
             .zip(lists.iter_mut())
             .map(|(s, list)| {
-                (!s.is_empty()).then(|| fault_simulate(netlist, s.as_ref(), list, &per_instance))
+                (!s.is_empty())
+                    .then(|| fault_simulate_observed(netlist, s.as_ref(), list, &per_instance, obs))
             })
             .collect();
     }
@@ -51,7 +58,9 @@ fn simulate_instances(
             .zip(lists.iter_mut())
             .map(|(s, list)| {
                 (!s.is_empty()).then(|| {
-                    scope.spawn(move || fault_simulate(netlist, s.as_ref(), list, &per_instance))
+                    scope.spawn(move || {
+                        fault_simulate_observed(netlist, s.as_ref(), list, &per_instance, obs)
+                    })
                 })
             })
             .collect();
@@ -82,6 +91,12 @@ pub struct Compactor {
     /// Disabling this reproduces the failure mode the paper warns about
     /// (see the ARC ablation).
     pub respect_arc: bool,
+    /// Observability sink. `None` (the default) keeps every instrumentation
+    /// point a guaranteed no-op; `Some` collects spans and metrics for all
+    /// pipeline stages and the fault-engine internals, exportable with
+    /// [`Recorder::to_chrome_trace`]. Share one recorder across the PTPs of
+    /// an STL to get a single contiguous trace.
+    pub obs: Option<Arc<Recorder>>,
 }
 
 impl Default for Compactor {
@@ -91,6 +106,7 @@ impl Default for Compactor {
             fsim_config: FaultSimConfig::default(),
             reverse_patterns: false,
             respect_arc: true,
+            obs: None,
         }
     }
 }
@@ -105,6 +121,13 @@ pub struct CompactionOutcome {
 }
 
 impl Compactor {
+    /// The borrowed observability handle instrumented code passes around
+    /// (`None` when no recorder is attached).
+    #[must_use]
+    pub fn observer(&self) -> Obs<'_> {
+        self.obs.as_deref()
+    }
+
     /// Builds the shared per-module context (netlist, collapsed fault
     /// universe, one dropping fault list per instance).
     #[must_use]
@@ -152,7 +175,8 @@ impl Compactor {
             "context instance count must match the GPU configuration"
         );
         let (netlist, lists) = ctx.netlist_and_lists_mut();
-        let reports = simulate_instances(netlist, &streams, lists, &self.fsim_config);
+        let reports =
+            simulate_instances(netlist, &streams, lists, &self.fsim_config, self.observer());
         let mut merged = FaultSimReport::new();
         for report in reports.iter().flatten() {
             merged.merge(report);
@@ -182,32 +206,57 @@ impl Compactor {
         ctx: &mut ModuleContext,
     ) -> Result<CompactionOutcome, CompactionError> {
         let start = Instant::now();
+        let obs = self.observer();
+        // Snapshot the shared recorder so the report carries this PTP's
+        // metric *delta* even when several compacts share one recorder.
+        let metrics_before = self.obs.as_deref().map(Recorder::metrics);
+        let mut compact_span = obs.span("pipeline", "compact");
+        compact_span.arg("ptp", &ptp.name);
 
         // Stage 1: partitioning (BBs, ARC) happens inside reduce_ptp; the
         // stage is cheap and pure, so it is recomputed there.
         // Stage 2: ONE logic simulation with tracing + pattern capture.
-        let run = self.trace(ptp)?;
+        let run = {
+            let _s = obs.span("stage", "stage.trace");
+            self.trace(ptp)?
+        };
+        obs.add("pipeline.logic_sim_runs", 1);
         let trace_time = start.elapsed();
 
         // Stage 3a: ONE fault simulation against the shared dropping list.
         let stamp = Instant::now();
-        let fsr = self.fault_sim(&run, ctx);
+        let fsr = {
+            let _s = obs.span("stage", "stage.fsim");
+            self.fault_sim(&run, ctx)
+        };
+        obs.add("pipeline.fsim_runs", 1);
         let fsim_time = stamp.elapsed();
 
         // Stage 3b: instruction labeling (Fig. 2).
         let stamp = Instant::now();
-        let labels = label_instructions(ptp.program.len(), &run.trace, &fsr);
+        let labels = {
+            let _s = obs.span("stage", "stage.label");
+            label_instructions(ptp.program.len(), &run.trace, &fsr)
+        };
+        obs.add("label.essential", labels.essential_count() as u64);
         let label_time = stamp.elapsed();
 
-        // Stage 4: reduction (Fig. 3).
+        // Stage 4: reduction (Fig. 3) + stage 5: reassembling.
         let stamp = Instant::now();
+        let reduce_span = obs.span("stage", "stage.reduce");
         let reduction = crate::reduce_ptp_with(ptp, &labels, self.respect_arc);
 
-        // Stage 5: reassembling.
         let mut compacted = ptp.clone();
         compacted.program = reduction.program;
         compacted.global_init = reduction.global_init;
         compacted.sb_slots = reduction.sb_slots;
+        drop(reduce_span);
+        obs.add("reduce.sbs_total", reduction.total_sbs as u64);
+        obs.add("reduce.sbs_removed", reduction.removed_sbs as u64);
+        obs.add(
+            "reduce.instructions_removed",
+            reduction.removed_pcs.len() as u64,
+        );
         let reduce_time = stamp.elapsed();
 
         // Mandatory gate: statically verify the reassembled CPTP before
@@ -222,10 +271,14 @@ impl Compactor {
                 Severity::Warning
             },
         };
-        let verify_report = verify_reduction(ptp, &compacted, &reduction.removed_pcs, &verify_opts);
+        let verify_report = {
+            let _s = obs.span("stage", "stage.verify");
+            verify_reduction_observed(ptp, &compacted, &reduction.removed_pcs, &verify_opts, obs)
+        };
         let verify_time = stamp.elapsed();
         let compaction_time = start.elapsed();
         if !verify_report.is_clean() {
+            obs.add("pipeline.verify_rejects", 1);
             return Err(CompactionError::Verify {
                 name: ptp.name.clone(),
                 report: verify_report,
@@ -236,10 +289,29 @@ impl Compactor {
         // standalone FC of the original and compacted programs, and the
         // compacted duration.
         let stamp = Instant::now();
-        let fc_before = self.standalone_coverage_of_run(&run, ctx);
-        let compacted_run = self.trace(&compacted)?;
-        let fc_after = self.standalone_coverage_of_run(&compacted_run, ctx);
+        let (fc_before, compacted_run, fc_after) = {
+            let _s = obs.span("stage", "stage.eval");
+            let fc_before = self.standalone_coverage_of_run(&run, ctx);
+            let compacted_run = self.trace(&compacted)?;
+            let fc_after = self.standalone_coverage_of_run(&compacted_run, ctx);
+            (fc_before, compacted_run, fc_after)
+        };
         let eval_time = stamp.elapsed();
+
+        obs.add("pipeline.ptps", 1);
+        obs.record(
+            "pipeline.size_reduction_pct",
+            100.0 * (1.0 - compacted.size() as f64 / ptp.size().max(1) as f64),
+        );
+
+        compact_span.arg("compacted_size", compacted.size());
+        drop(compact_span);
+        // The per-PTP slice of the recorder: everything added since the
+        // snapshot above (on a private recorder this is simply everything).
+        let metrics = match (&metrics_before, self.obs.as_deref()) {
+            (Some(before), Some(rec)) => rec.metrics().delta_since(before),
+            _ => Metrics::default(),
+        };
 
         let report = CompactionReport {
             name: ptp.name.clone(),
@@ -264,6 +336,7 @@ impl Compactor {
                 eval: eval_time,
             },
             verify: verify_report.stats(),
+            metrics,
         };
         Ok(CompactionOutcome { compacted, report })
     }
@@ -281,7 +354,7 @@ impl Compactor {
             .into_iter()
             .map(Cow::Borrowed)
             .collect();
-        simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg);
+        simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg, self.observer());
         lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
     }
 
@@ -324,7 +397,7 @@ impl Compactor {
                 .into_iter()
                 .map(Cow::Borrowed)
                 .collect();
-            simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg);
+            simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg, self.observer());
         }
         Ok(lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64)
     }
@@ -442,6 +515,73 @@ mod tests {
             "ΔFC {}",
             out.report.fc_diff_pct()
         );
+    }
+
+    #[test]
+    fn observed_compaction_records_stage_spans_and_metrics() {
+        let compactor = Compactor {
+            obs: Some(Arc::new(Recorder::new())),
+            ..Compactor::default()
+        };
+        let ptp = generate_imm(&ImmConfig {
+            sb_count: 8,
+            ..ImmConfig::default()
+        });
+        let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+        let out = compactor.compact(&ptp, &mut ctx).unwrap();
+
+        let rec = compactor.obs.as_deref().unwrap();
+        let spans = rec.spans();
+        for stage in [
+            "stage.trace",
+            "stage.fsim",
+            "stage.label",
+            "stage.reduce",
+            "stage.verify",
+            "stage.eval",
+        ] {
+            assert_eq!(
+                spans.iter().filter(|s| s.name == stage).count(),
+                1,
+                "expected exactly one {stage} span"
+            );
+        }
+        assert!(
+            spans.iter().any(|s| s.name == "fsim.worker"),
+            "fault-engine worker spans missing"
+        );
+        // The report carries the delta, which on a fresh recorder is the
+        // whole run; its pipeline counters match the report's fields.
+        let m = &out.report.metrics;
+        assert_eq!(m.counter("pipeline.ptps"), 1);
+        assert_eq!(
+            m.counter("pipeline.fsim_runs"),
+            out.report.fault_sim_runs as u64
+        );
+        assert_eq!(
+            m.counter("label.essential"),
+            out.report.essential_instructions as u64
+        );
+        assert_eq!(
+            m.counter("reduce.sbs_removed"),
+            out.report.sbs_removed as u64
+        );
+        assert_eq!(m.counter("verify.errors"), 0);
+        // Eval-stage simulations observe too, so the raw engine counter
+        // exceeds the method's single budgeted run.
+        assert!(m.counter("fsim.runs") > 1);
+    }
+
+    #[test]
+    fn disabled_observer_leaves_metrics_empty() {
+        let compactor = Compactor::default();
+        let ptp = generate_imm(&ImmConfig {
+            sb_count: 6,
+            ..ImmConfig::default()
+        });
+        let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+        let out = compactor.compact(&ptp, &mut ctx).unwrap();
+        assert!(out.report.metrics.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use warpstl_obs::Metrics;
 use warpstl_verify::VerifyStats;
 
 /// The features of a PTP before compaction — one row of Table I.
@@ -124,6 +125,11 @@ pub struct CompactionReport {
     /// gate (a report only exists when the gate found no errors, so these
     /// are the surviving warnings plus zeroed error rows).
     pub verify: VerifyStats,
+    /// Aggregated observability counters and histograms for this
+    /// compaction (empty unless the [`Compactor`](crate::Compactor) ran
+    /// with a recorder attached). For a shared recorder the compactor
+    /// stores the per-PTP *delta*, so sibling reports don't double-count.
+    pub metrics: Metrics,
 }
 
 impl CompactionReport {
@@ -177,6 +183,10 @@ impl CompactionReport {
             verify: parts
                 .iter()
                 .fold(VerifyStats::default(), |acc, r| acc.merged(&r.verify)),
+            metrics: parts.iter().fold(Metrics::default(), |mut acc, r| {
+                acc.merge(&r.metrics);
+                acc
+            }),
         }
     }
 }
@@ -229,6 +239,11 @@ mod tests {
                 v.warnings[0] = 1;
                 v
             },
+            metrics: {
+                let mut m = Metrics::default();
+                m.add("pipeline.fsim_runs", 1);
+                m
+            },
         }
     }
 
@@ -252,6 +267,7 @@ mod tests {
         assert_eq!(c.stage_timings.total(), Duration::from_millis(4300));
         assert_eq!(c.verify.total_warnings(), 2);
         assert_eq!(c.verify.total_errors(), 0);
+        assert_eq!(c.metrics.counter("pipeline.fsim_runs"), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! callers don't re-implement the grouping.
 
 use warpstl_netlist::modules::ModuleKind;
+use warpstl_obs::{Metrics, ObsExt};
 use warpstl_programs::Stl;
 
 use crate::{CompactionError, CompactionReport, Compactor};
@@ -43,6 +44,17 @@ impl StlOutcome {
     #[must_use]
     pub fn fault_sim_runs(&self) -> usize {
         self.reports.iter().map(|r| r.fault_sim_runs).sum()
+    }
+
+    /// The whole-STL observability metrics: every report's per-PTP delta
+    /// merged back together (empty when no recorder was attached).
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut merged = Metrics::default();
+        for r in &self.reports {
+            merged.merge(&r.metrics);
+        }
+        merged
     }
 }
 
@@ -101,6 +113,8 @@ pub fn compact_stl_with(
 
     for module in modules {
         let compactor = compactor_for(module);
+        let mut module_span = compactor.observer().span("stl", "stl.module");
+        module_span.arg("module", format_args!("{module:?}"));
         let mut ctx = compactor.context_for(module);
         let indices: Vec<usize> = stl
             .ptps()
@@ -109,6 +123,7 @@ pub fn compact_stl_with(
             .filter(|(_, p)| p.target == module)
             .map(|(i, _)| i)
             .collect();
+        module_span.arg("ptps", indices.len());
         for i in indices {
             let outcome = compactor.compact(&stl.ptps()[i].clone(), &mut ctx)?;
             compacted.replace(i, outcome.compacted);

@@ -27,6 +27,7 @@
 //!    whole netlist per batch.
 
 use warpstl_netlist::{FanoutCones, Gate, GateKind, Netlist, PatternSeq};
+use warpstl_obs::{Metrics, Obs, ObsExt};
 
 use crate::{Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite, Polarity};
 
@@ -36,19 +37,38 @@ use crate::{Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite
 const GROUP: usize = 16;
 
 /// Resolves the worker count: explicit config, then `WARPSTL_THREADS`, then
-/// the machine's available parallelism.
+/// the machine's available parallelism — always clamped to the host's
+/// available parallelism. Oversubscribing OS threads on a smaller host only
+/// adds scheduling overhead (up to 20 % on a 1-core host in `BENCH_fsim`),
+/// and the engine's results are bit-identical for every worker count, so
+/// capping is safe.
 pub(crate) fn resolve_threads(config: &FaultSimConfig) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     if config.threads > 0 {
-        return config.threads;
+        return config.threads.min(host);
     }
-    if let Ok(s) = std::env::var("WARPSTL_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    match std::env::var("WARPSTL_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n.min(host),
+            _ => warn_invalid_threads_once(&s),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => warn_invalid_threads_once("<non-unicode>"),
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    host
+}
+
+/// An invalid `WARPSTL_THREADS` used to be silently ignored; surface it
+/// (once per process — the engine is called in loops) instead of letting a
+/// typo fall back to auto without a trace.
+fn warn_invalid_threads_once(value: &str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: invalid WARPSTL_THREADS value `{value}` (expected a positive \
+             integer); falling back to available parallelism"
+        );
+    });
 }
 
 /// Read-only state shared by every worker.
@@ -185,7 +205,23 @@ struct WorkerOut {
 
 /// Simulates a contiguous range of batches, interleaving them in groups of
 /// [`GROUP`] so the good machine is evaluated once per pattern per group.
-fn run_batches(ctx: &Ctx<'_>, batches: &[Vec<(FaultId, Fault)>]) -> WorkerOut {
+///
+/// When observability is live, the whole range is wrapped in a
+/// `fsim.worker` span, each group gets a nested `fsim.group` span, and
+/// per-batch counters (batches, cone sizes, executed batch-steps, early
+/// exits) accumulate in a worker-local [`Metrics`] buffer flushed once at
+/// the end — the pattern loop itself stays untouched.
+fn run_batches(
+    ctx: &Ctx<'_>,
+    batches: &[Vec<(FaultId, Fault)>],
+    obs: Obs<'_>,
+    first_batch: usize,
+) -> WorkerOut {
+    let mut worker_span = obs.span("fsim", "fsim.worker");
+    worker_span.arg("first_batch", first_batch);
+    worker_span.arg("batches", batches.len());
+    let mut local = Metrics::default();
+
     let n_pat = ctx.patterns.len();
     let n_gates = ctx.gates.len();
     let mut out = WorkerOut {
@@ -197,11 +233,21 @@ fn run_batches(ctx: &Ctx<'_>, batches: &[Vec<(FaultId, Fault)>]) -> WorkerOut {
     let mut good = vec![0u64; n_gates];
     let mut good_state = vec![0u64; ctx.dff_nets.len()];
 
-    for group in batches.chunks(GROUP) {
+    for (gi, group) in batches.chunks(GROUP).enumerate() {
+        let mut group_span = obs.span("fsim", "fsim.group");
         let plans: Vec<BatchPlan> = group
             .iter()
             .map(|b| BatchPlan::build(ctx, b, &mut in_cone))
             .collect();
+        if obs.enabled() {
+            let cone_gates: usize = plans.iter().map(|p| p.cone.len()).sum();
+            group_span.arg("first_batch", first_batch + gi * GROUP);
+            group_span.arg("batches", group.len());
+            group_span.arg("cone_gates", cone_gates);
+            local.add("fsim.batches", group.len() as u64);
+            local.add("fsim.cone_gates", cone_gates as u64);
+            local.add("fsim.cone_gate_slots", (n_gates * group.len()) as u64);
+        }
         let mut states: Vec<BatchState> = plans
             .iter()
             .map(|p| BatchState {
@@ -218,6 +264,7 @@ fn run_batches(ctx: &Ctx<'_>, batches: &[Vec<(FaultId, Fault)>]) -> WorkerOut {
         good.fill(0);
         good_state.fill(0);
 
+        let mut steps: u64 = 0;
         for t in 0..n_pat {
             if states.iter().all(|s| !s.active) {
                 break;
@@ -259,11 +306,20 @@ fn run_batches(ctx: &Ctx<'_>, batches: &[Vec<(FaultId, Fault)>]) -> WorkerOut {
                     continue;
                 }
                 step_batch(ctx, plan, st, &good, t, cc, &mut out);
+                steps += 1;
             }
+        }
+        if obs.enabled() {
+            let early = states.iter().filter(|s| !s.active).count();
+            local.add("fsim.batch_steps", steps);
+            local.add("fsim.early_exit_batches", early as u64);
         }
         for st in states {
             out.detections.push(st.detections);
         }
+    }
+    if let Some(rec) = obs {
+        rec.merge_metrics(&local);
     }
     out
 }
@@ -390,12 +446,14 @@ pub(crate) fn simulate(
     patterns: &PatternSeq,
     list: &mut FaultList,
     config: &FaultSimConfig,
+    obs: Obs<'_>,
 ) -> FaultSimReport {
     assert_eq!(
         patterns.width(),
         netlist.inputs().width(),
         "pattern width must match netlist inputs"
     );
+    let mut run_span = obs.span("fsim", "fsim.run");
     list.begin_run();
     let mut report = FaultSimReport::new();
 
@@ -425,8 +483,22 @@ pub(crate) fn simulate(
     };
 
     let workers = resolve_threads(config).min(batches.len()).max(1);
+    if obs.enabled() {
+        run_span.arg("faults", targets.len());
+        run_span.arg("batches", batches.len());
+        run_span.arg("patterns", patterns.len());
+        run_span.arg("workers", workers);
+        obs.add("fsim.runs", 1);
+        obs.add("fsim.target_faults", targets.len() as u64);
+        obs.add("fsim.patterns", patterns.len() as u64);
+        obs.add("fsim.workers", workers as u64);
+    }
+    // `workers == 1` runs inline on the caller's thread: spawning an OS
+    // thread for a single worker only costs (the threads=8-on-1-core
+    // regression of BENCH_fsim).
     let outs: Vec<WorkerOut> = if workers <= 1 {
-        vec![run_batches(&ctx, &batches)]
+        obs.record("fsim.batches_per_worker", batches.len() as f64);
+        vec![run_batches(&ctx, &batches, obs, 0)]
     } else {
         // Contiguous ranges keep the merge order trivial: worker w owns
         // batches [w·k, (w+1)·k), so concatenating worker outputs in spawn
@@ -435,9 +507,11 @@ pub(crate) fn simulate(
         std::thread::scope(|s| {
             let handles: Vec<_> = batches
                 .chunks(per)
-                .map(|range| {
+                .enumerate()
+                .map(|(w, range)| {
                     let ctx = &ctx;
-                    s.spawn(move || run_batches(ctx, range))
+                    obs.record("fsim.batches_per_worker", range.len() as f64);
+                    s.spawn(move || run_batches(ctx, range, obs, w * per))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -470,6 +544,16 @@ pub(crate) fn simulate(
             patterns.cc(t),
             activated_per_pattern[t],
             detected_per_pattern[t],
+        );
+    }
+    if obs.enabled() {
+        obs.add(
+            "fsim.detections",
+            u64::from(detected_per_pattern.iter().sum::<u32>()),
+        );
+        obs.add(
+            "fsim.activations",
+            activated_per_pattern.iter().map(|&a| u64::from(a)).sum(),
         );
     }
     report

@@ -54,5 +54,5 @@ mod universe;
 pub use fault::{Fault, FaultSite, Polarity};
 pub use list::{FaultId, FaultList, FaultStatus};
 pub use report::{FaultSimReport, PatternStats};
-pub use sim::{fault_simulate, fault_simulate_reference, FaultSimConfig};
+pub use sim::{fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultSimConfig};
 pub use universe::FaultUniverse;

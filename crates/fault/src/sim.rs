@@ -17,16 +17,19 @@ pub struct FaultSimConfig {
     pub early_exit: bool,
     /// Worker threads for batch-level parallelism. `0` (the default) means
     /// auto: the `WARPSTL_THREADS` environment variable if set, otherwise
-    /// the machine's available parallelism. Results are bit-identical for
-    /// every thread count.
+    /// the machine's available parallelism. Requests beyond the host's
+    /// available parallelism are clamped to it (oversubscription only adds
+    /// scheduling overhead), and results are bit-identical for every
+    /// thread count.
     pub threads: usize,
 }
 
 impl FaultSimConfig {
     /// The worker count this configuration resolves to: `threads` if
     /// nonzero, else `WARPSTL_THREADS`, else the machine's available
-    /// parallelism. Callers running several simulations concurrently can
-    /// use this to split the budget across them.
+    /// parallelism — clamped to the host's available parallelism in every
+    /// case. Callers running several simulations concurrently can use this
+    /// to split the budget across them.
     #[must_use]
     pub fn resolved_threads(&self) -> usize {
         crate::engine::resolve_threads(self)
@@ -91,7 +94,27 @@ pub fn fault_simulate(
     list: &mut FaultList,
     config: &FaultSimConfig,
 ) -> FaultSimReport {
-    crate::engine::simulate(netlist, patterns, list, config)
+    crate::engine::simulate(netlist, patterns, list, config, None)
+}
+
+/// [`fault_simulate`] with an observability handle: when `obs` is
+/// `Some(recorder)`, the engine emits `fsim.run` / `fsim.worker` /
+/// `fsim.group` spans and its internal counters (batches, cone-prune
+/// sizes, detections, activations, early exits) into the recorder. With
+/// `None` this is exactly [`fault_simulate`] — the disabled path reads no
+/// clock and takes no lock.
+///
+/// # Panics
+///
+/// Panics if `patterns.width()` differs from the netlist's input width.
+pub fn fault_simulate_observed(
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut FaultList,
+    config: &FaultSimConfig,
+    obs: warpstl_obs::Obs<'_>,
+) -> FaultSimReport {
+    crate::engine::simulate(netlist, patterns, list, config, obs)
 }
 
 /// The original single-threaded engine, kept as the oracle for the parallel

@@ -180,12 +180,20 @@ fn empty_pattern_and_saturated_list_edge_cases() {
 }
 
 #[test]
-fn explicit_thread_count_overrides_env() {
+fn explicit_thread_count_overrides_env_but_clamps_to_host() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = FaultSimConfig {
         threads: 3,
         ..FaultSimConfig::default()
     };
-    assert_eq!(cfg.resolved_threads(), 3);
+    assert_eq!(cfg.resolved_threads(), 3.min(host));
+    // A request far beyond any host is capped, never oversubscribed.
+    let huge = FaultSimConfig {
+        threads: 4096,
+        ..FaultSimConfig::default()
+    };
+    assert_eq!(huge.resolved_threads(), host);
     let auto = FaultSimConfig::default();
-    assert!(auto.resolved_threads() >= 1);
+    let resolved = auto.resolved_threads();
+    assert!(resolved >= 1 && resolved <= host);
 }

@@ -1,0 +1,234 @@
+//! Metric snapshots: named counters and histogram summaries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of one histogram: count, sum, min and max of the
+/// observed values (enough for means and rates without storing samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// A summary of a single observation.
+    #[must_use]
+    pub fn of(value: f64) -> HistogramSummary {
+        HistogramSummary {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    /// Folds one more observation in.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary (as if its observations were recorded here).
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistogramSummary {
+    fn default() -> HistogramSummary {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the metrics registry: every counter and
+/// histogram by name. Mergeable (across workers, instances, and PTPs) and
+/// diffable (for per-compaction deltas out of a shared recorder).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Metrics {
+    /// The value of counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges `other` in: counters add, histograms fold.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The change since `earlier` (a previous snapshot of the same
+    /// registry): counters subtract; histogram counts and sums subtract,
+    /// while `min`/`max` keep the later snapshot's run-wide extremes
+    /// (per-interval extremes are not recoverable from summaries).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Metrics) -> Metrics {
+        let mut out = Metrics::default();
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(k));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, h) in &self.histograms {
+            let prev = earlier.histograms.get(k);
+            let count = h.count.saturating_sub(prev.map_or(0, |p| p.count));
+            if count > 0 {
+                out.histograms.insert(
+                    k.clone(),
+                    HistogramSummary {
+                        count,
+                        sum: h.sum - prev.map_or(0.0, |p| p.sum),
+                        min: h.min,
+                        max: h.max,
+                    },
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "{k} ~ count {} mean {:.3} min {:.3} max {:.3}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_folds_histograms() {
+        let mut a = Metrics::default();
+        a.add("c", 1);
+        a.observe("h", 5.0);
+        let mut b = Metrics::default();
+        b.add("c", 2);
+        b.add("only_b", 7);
+        b.observe("h", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.histograms["h"].count, 2);
+        assert_eq!(a.histograms["h"].min, 1.0);
+        assert_eq!(a.histograms["h"].max, 5.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let mut before = Metrics::default();
+        before.add("c", 10);
+        before.observe("h", 1.0);
+        let mut after = before.clone();
+        after.add("c", 5);
+        after.add("new", 2);
+        after.observe("h", 3.0);
+        let d = after.delta_since(&before);
+        assert_eq!(d.counter("c"), 5);
+        assert_eq!(d.counter("new"), 2);
+        assert_eq!(d.histograms["h"].count, 1);
+        assert!((d.histograms["h"].sum - 3.0).abs() < 1e-12);
+        // Unchanged counters are omitted from the delta.
+        assert!(!d.counters.contains_key("h_missing"));
+    }
+
+    #[test]
+    fn display_lists_every_metric() {
+        let mut m = Metrics::default();
+        m.add("a.count", 3);
+        m.observe("b.hist", 2.0);
+        let s = m.to_string();
+        assert!(s.contains("a.count = 3"));
+        assert!(s.contains("b.hist ~ count 1"));
+    }
+
+    #[test]
+    fn empty_histogram_merge_is_identity() {
+        let mut h = HistogramSummary::of(4.0);
+        h.merge(&HistogramSummary::default());
+        assert_eq!(h.count, 1);
+        let mut e = HistogramSummary::default();
+        e.merge(&HistogramSummary::of(4.0));
+        assert_eq!(e.count, 1);
+        assert_eq!(e.min, 4.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Chrome trace-event JSON export.
+//!
+//! The emitted file follows the [Trace Event Format] (JSON object form):
+//! every span becomes a complete event (`"ph": "X"`) with microsecond
+//! `ts`/`dur`, and every thread seen gets a `thread_name` metadata event so
+//! viewers label the lanes. Metrics ride along under a top-level
+//! `"warpstlMetrics"` key, which the format explicitly allows and viewers
+//! ignore. Load the file in `about://tracing` or <https://ui.perfetto.dev>.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::thread::ThreadId;
+
+use crate::Recorder;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (no NaN/Infinity in the grammar — clamp to
+/// null-free sentinels).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl Recorder {
+    /// Serializes everything recorded so far as a Chrome trace-event JSON
+    /// document (spans as complete events, thread-name metadata, metrics
+    /// under `warpstlMetrics`).
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let metrics = self.metrics();
+
+        // Stable small integers per OS thread, in order of first
+        // appearance; tid 0 is whichever thread recorded first (usually
+        // the pipeline thread).
+        let mut tids: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut order: Vec<ThreadId> = Vec::new();
+        let mut tid_of = |t: ThreadId, order: &mut Vec<ThreadId>| -> u32 {
+            let key = thread_key(t);
+            *tids.entry(key).or_insert_with(|| {
+                order.push(t);
+                u32::try_from(order.len() - 1).unwrap_or(u32::MAX)
+            })
+        };
+
+        let mut out = String::new();
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+        let mut first = true;
+        for span in &spans {
+            let tid = tid_of(span.thread, &mut order);
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}",
+                json_escape(&span.name),
+                json_escape(span.cat),
+                tid,
+                span.start_us,
+                span.dur_us
+            );
+            if !span.args.is_empty() {
+                out.push_str(", \"args\": {");
+                for (i, (k, v)) in span.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\": \"{}\"", json_escape(k), json_escape(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        // Thread-name metadata so viewers label lanes meaningfully.
+        for (i, _) in order.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let label = if i == 0 {
+                "pipeline".to_string()
+            } else {
+                format!("worker-{i}")
+            };
+            let _ = write!(
+                out,
+                "    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {i}, \"args\": {{\"name\": \"{label}\"}}}}",
+            );
+        }
+        out.push_str("\n  ],\n  \"warpstlMetrics\": {\n    \"counters\": {");
+        for (i, (k, v)) in metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n      \"{}\": {v}", json_escape(k));
+        }
+        out.push_str("\n    },\n    \"histograms\": {");
+        for (i, (k, h)) in metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                json_escape(k),
+                h.count,
+                json_f64(h.sum),
+                json_f64(if h.count == 0 { 0.0 } else { h.min }),
+                json_f64(if h.count == 0 { 0.0 } else { h.max })
+            );
+        }
+        out.push_str("\n    }\n  }\n}\n");
+        out
+    }
+}
+
+/// A stable sort key for a [`ThreadId`] (its Debug form carries the
+/// numeric id; falling back to a hash keeps this total if that ever
+/// changes).
+fn thread_key(t: ThreadId) -> u64 {
+    let dbg = format!("{t:?}");
+    let digits: String = dbg.chars().filter(char::is_ascii_digit).collect();
+    digits.parse().unwrap_or_else(|_| {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Obs, ObsExt, Recorder};
+
+    /// A minimal JSON well-formedness walker: verifies balanced structure
+    /// and quoting without a parser dependency.
+    fn assert_json_balanced(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn export_contains_spans_threads_and_metrics() {
+        let rec = Recorder::new();
+        let obs: Obs<'_> = Some(&rec);
+        {
+            let _a = obs.span("stage", "stage.trace").with_arg("ptp", "IMM");
+            obs.add("pipeline.ptps", 1);
+            obs.record("fsim.batches_per_worker", 3.0);
+        }
+        std::thread::scope(|s| {
+            let rec = &rec;
+            s.spawn(move || {
+                let obs: Obs<'_> = Some(rec);
+                let _w = obs.span("fsim", "fsim.worker");
+            });
+        });
+        let json = rec.to_chrome_trace();
+        assert_json_balanced(&json);
+        assert!(json.contains("\"stage.trace\""));
+        assert!(json.contains("\"fsim.worker\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"pipeline.ptps\": 1"));
+        assert!(json.contains("\"fsim.batches_per_worker\""));
+        // Two distinct lanes: pipeline + one worker.
+        assert!(json.contains("\"name\": \"pipeline\""));
+        assert!(json.contains("\"name\": \"worker-1\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let rec = Recorder::new();
+        let obs: Obs<'_> = Some(&rec);
+        drop(obs.span("cat", "name").with_arg("k", "a\"b\\c\nd"));
+        let json = rec.to_chrome_trace();
+        assert_json_balanced(&json);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_document() {
+        let rec = Recorder::new();
+        let json = rec.to_chrome_trace();
+        assert_json_balanced(&json);
+        assert!(json.contains("\"traceEvents\""));
+    }
+}

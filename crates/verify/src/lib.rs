@@ -40,6 +40,7 @@ mod rules;
 pub use dataflow::Dataflow;
 pub use diag::{Diagnostic, Rule, Severity, VerifyReport, VerifyStats};
 
+use warpstl_obs::{Obs, ObsExt};
 use warpstl_programs::{BasicBlocks, ControlFlowGraph, Ptp};
 
 /// Options for [`verify_reduction`].
@@ -63,9 +64,23 @@ impl Default for VerifyOptions {
 /// original program and removal set — see [`verify_reduction`]).
 #[must_use]
 pub fn verify_ptp(ptp: &Ptp) -> VerifyReport {
-    let bbs = BasicBlocks::of(&ptp.program);
-    let cfg = ControlFlowGraph::of(&ptp.program, &bbs);
-    let df = Dataflow::of(&ptp.program, &bbs, &cfg);
+    verify_ptp_observed(ptp, None)
+}
+
+/// [`verify_ptp`] with an observability handle: each rule pass gets a
+/// `verify.rule.<name>` span and the report's per-rule hit counts land in
+/// the recorder as `verify.hits.<name>` counters (plus `verify.errors` /
+/// `verify.warnings` totals). `None` is exactly [`verify_ptp`].
+#[must_use]
+pub fn verify_ptp_observed(ptp: &Ptp, obs: Obs<'_>) -> VerifyReport {
+    let _span = obs.span("verify", "verify.ptp");
+    let (bbs, cfg, df) = {
+        let _s = obs.span("verify", "verify.dataflow");
+        let bbs = BasicBlocks::of(&ptp.program);
+        let cfg = ControlFlowGraph::of(&ptp.program, &bbs);
+        let df = Dataflow::of(&ptp.program, &bbs, &cfg);
+        (bbs, cfg, df)
+    };
     let ctx = rules::Ctx {
         program: &ptp.program,
         bbs: &bbs,
@@ -73,16 +88,28 @@ pub fn verify_ptp(ptp: &Ptp) -> VerifyReport {
         df: &df,
     };
     let mut diagnostics = Vec::new();
-    diagnostics.extend(rules::use_before_def(&ctx));
-    diagnostics.extend(rules::sb_structure(&ctx));
-    diagnostics.extend(rules::divergence_pairing(&ctx));
-    diagnostics.extend(rules::memory_race(&ctx));
-    diagnostics.extend(rules::relocation(ptp));
-    VerifyReport {
+    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 5] = [
+        ("verify.rule.use-before-def", &|| {
+            rules::use_before_def(&ctx)
+        }),
+        ("verify.rule.sb-structure", &|| rules::sb_structure(&ctx)),
+        ("verify.rule.divergence-pairing", &|| {
+            rules::divergence_pairing(&ctx)
+        }),
+        ("verify.rule.memory-race", &|| rules::memory_race(&ctx)),
+        ("verify.rule.relocation", &|| rules::relocation(ptp)),
+    ];
+    for (name, pass) in passes {
+        let _s = obs.span("verify", name);
+        diagnostics.extend(pass());
+    }
+    let report = VerifyReport {
         name: ptp.name.clone(),
         program_len: ptp.program.len(),
         diagnostics,
-    }
+    };
+    record_rule_hits(&report, obs);
+    report
 }
 
 /// Verifies a reduction: lints the compacted PTP and re-checks that the
@@ -95,13 +122,50 @@ pub fn verify_reduction(
     removed_pcs: &[usize],
     opts: &VerifyOptions,
 ) -> VerifyReport {
-    let mut report = verify_ptp(compacted);
-    report.diagnostics.extend(rules::arc_admissibility(
-        original,
-        removed_pcs,
-        opts.arc_severity,
-    ));
+    verify_reduction_observed(original, compacted, removed_pcs, opts, None)
+}
+
+/// [`verify_reduction`] with an observability handle (see
+/// [`verify_ptp_observed`] for what gets recorded).
+#[must_use]
+pub fn verify_reduction_observed(
+    original: &Ptp,
+    compacted: &Ptp,
+    removed_pcs: &[usize],
+    opts: &VerifyOptions,
+    obs: Obs<'_>,
+) -> VerifyReport {
+    // The standalone lint records its own rule hits; suppress them here and
+    // record once over the full diagnostic set so nothing double-counts.
+    let mut report = verify_ptp_observed(compacted, None);
+    let _span = obs.span("verify", "verify.reduction");
+    {
+        let _s = obs.span("verify", "verify.rule.arc-admissibility");
+        report.diagnostics.extend(rules::arc_admissibility(
+            original,
+            removed_pcs,
+            opts.arc_severity,
+        ));
+    }
+    record_rule_hits(&report, obs);
     report
+}
+
+/// Feeds a report's per-rule error/warning counts into the recorder.
+fn record_rule_hits(report: &VerifyReport, obs: Obs<'_>) {
+    if !obs.enabled() {
+        return;
+    }
+    let stats = report.stats();
+    for rule in Rule::ALL {
+        let hits = stats.errors[rule.index()] + stats.warnings[rule.index()];
+        if hits > 0 {
+            obs.add(&format!("verify.hits.{}", rule.name()), hits as u64);
+        }
+    }
+    obs.add("verify.errors", stats.total_errors() as u64);
+    obs.add("verify.warnings", stats.total_warnings() as u64);
+    obs.add("verify.programs", 1);
 }
 
 #[cfg(test)]

@@ -16,4 +16,31 @@ cargo clippy --workspace --all-targets -- -D warnings || exit 1
 echo "== tests =="
 cargo test -q || exit 1
 
+echo "== trace-out smoke test =="
+# End-to-end observability check: compact a small PTP with --trace-out and
+# validate that the emitted file is real JSON with one complete span per
+# pipeline stage (plus the fault-engine worker spans).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q --release -p warpstl-cli -- generate IMM --sb-count 4 \
+    --out "$SMOKE_DIR/imm.ptp" || exit 1
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --trace-out "$SMOKE_DIR/trace.json" >/dev/null || exit 1
+python3 - "$SMOKE_DIR/trace.json" <<'EOF' || exit 1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+complete = [e["name"] for e in events if e.get("ph") == "X"]
+stages = ["stage.trace", "stage.fsim", "stage.label",
+          "stage.reduce", "stage.verify", "stage.eval"]
+for stage in stages:
+    n = complete.count(stage)
+    assert n == 1, f"expected exactly one {stage} span, found {n}"
+assert complete.count("fsim.worker") >= 1, "missing fsim.worker spans"
+assert "warpstlMetrics" in trace, "missing embedded metrics"
+print(f"trace OK: {len(events)} events, all {len(stages)} stage spans present")
+EOF
+
 echo "check.sh: all green"

@@ -20,6 +20,7 @@
 //! | [`atpg`] | `warpstl-atpg` | PODEM + pattern→instruction conversion |
 //! | [`programs`] | `warpstl-programs` | PTPs, STLs, CFG/ARC/SB analyses, generators |
 //! | [`verify`] | `warpstl-verify` | static PTP verifier (dataflow lint rules) |
+//! | [`obs`] | `warpstl-obs` | spans, metrics, Chrome-trace export |
 //! | [`compactor`] | `warpstl-core` | the five-stage compaction method + baseline |
 //!
 //! # Examples
@@ -52,5 +53,6 @@ pub use warpstl_fault as fault;
 pub use warpstl_gpu as gpu;
 pub use warpstl_isa as isa;
 pub use warpstl_netlist as netlist;
+pub use warpstl_obs as obs;
 pub use warpstl_programs as programs;
 pub use warpstl_verify as verify;

@@ -1,11 +1,14 @@
 //! Property-based tests over the compaction pipeline's invariants.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use warpstl::compactor::{label_instructions, reduce_ptp, Compactor};
 use warpstl::fault::FaultSimReport;
 use warpstl::gpu::{Gpu, RunOptions};
 use warpstl::netlist::modules::ModuleKind;
+use warpstl::obs::Recorder;
 use warpstl::programs::generators::{
     generate_cntrl, generate_imm, generate_mem, CntrlConfig, ImmConfig, MemConfig,
 };
@@ -146,6 +149,38 @@ proptest! {
         compacted.sb_slots = r.sb_slots;
         let report = verify_reduction(&ptp, &compacted, &r.removed_pcs, &VerifyOptions::default());
         prop_assert_eq!(report.error_count(), 0, "verifier rejected: {}", report);
+    }
+
+    /// The observability counters a compaction records agree with the
+    /// `CompactionReport` it returns, for every generated program: the
+    /// metrics layer is a second bookkeeping path through the same pipeline,
+    /// so any drift between the two is a bug in one of them.
+    #[test]
+    fn metrics_counters_match_report_fields(ptp in arb_ptp()) {
+        let compactor = Compactor {
+            obs: Some(Arc::new(Recorder::new())),
+            ..Compactor::default()
+        };
+        let mut ctx = compactor.context_for(ModuleKind::DecoderUnit);
+        let out = compactor.compact(&ptp, &mut ctx).expect("compacts");
+        let r = &out.report;
+        let m = &r.metrics;
+
+        prop_assert_eq!(m.counter("pipeline.ptps"), 1);
+        prop_assert_eq!(m.counter("pipeline.fsim_runs"), r.fault_sim_runs as u64);
+        prop_assert_eq!(m.counter("pipeline.logic_sim_runs"), r.logic_sim_runs as u64);
+        prop_assert_eq!(m.counter("label.essential"), r.essential_instructions as u64);
+        prop_assert_eq!(m.counter("reduce.sbs_total"), r.sbs_total as u64);
+        prop_assert_eq!(m.counter("reduce.sbs_removed"), r.sbs_removed as u64);
+        prop_assert_eq!(
+            m.counter("reduce.instructions_removed"),
+            (r.original_size - r.compacted_size) as u64
+        );
+        prop_assert_eq!(m.counter("verify.errors"), r.verify.total_errors() as u64);
+        prop_assert_eq!(m.counter("verify.warnings"), r.verify.total_warnings() as u64);
+        // Raw engine counters include the eval-stage simulations, so they
+        // bound the pipeline's budgeted count from above.
+        prop_assert!(m.counter("fsim.runs") >= m.counter("pipeline.fsim_runs"));
     }
 
     /// Compaction is idempotent: compacting a compacted PTP with the same
