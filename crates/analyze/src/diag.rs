@@ -1,0 +1,354 @@
+//! Diagnostics: lint rules, severities, and the analysis report.
+//!
+//! The shapes deliberately mirror `warpstl-verify`'s diagnostics so the
+//! two gates of the pipeline (netlist analysis before fault simulation,
+//! program verification after reduction) read the same way: a small rule
+//! enum with stable kebab-case names, per-rule count arrays, and a
+//! hand-rolled JSON serialization (the build environment has no serde).
+
+use std::fmt;
+
+use warpstl_netlist::NetId;
+
+/// The analyzer's lint rule set. Each diagnostic belongs to exactly one
+/// rule; [`AnalyzeStats`] counts diagnostics per rule so reports can show
+/// where a netlist is malformed at a glance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A cycle through combinational gates (no flip-flop on the path).
+    /// Logic values would oscillate or latch; simulation is undefined.
+    CombLoop,
+    /// A gate pin (or output port) references a net no gate drives.
+    UndrivenNet,
+    /// A non-constant gate whose output is provably constant because of
+    /// constant gates upstream — dead logic that can never toggle.
+    DeadLogic,
+    /// A gate from which no primary output is reachable (including
+    /// floating nets nothing reads); its faults are untestable.
+    Unreachable,
+}
+
+impl Rule {
+    /// The number of rules.
+    pub const COUNT: usize = 4;
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; Rule::COUNT] = [
+        Rule::CombLoop,
+        Rule::UndrivenNet,
+        Rule::DeadLogic,
+        Rule::Unreachable,
+    ];
+
+    /// The stable kebab-case rule name (used in human and JSON output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CombLoop => "comb-loop",
+            Rule::UndrivenNet => "undriven-net",
+            Rule::DeadLogic => "dead-logic",
+            Rule::Unreachable => "unreachable",
+        }
+    }
+
+    /// The rule's index into [`AnalyzeStats`] arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Rule::ALL.iter().position(|&r| r == self).expect("listed")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How severe a diagnostic is. Errors gate the compaction pipeline (and
+/// give `warpstl analyze` a nonzero exit); warnings are reported but do
+/// not block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Reported, but does not gate the pipeline.
+    Warning,
+    /// Gates the pipeline: the netlist is considered malformed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The net (gate) the finding anchors to, when there is one.
+    pub net: Option<NetId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error diagnostic at `net`.
+    #[must_use]
+    pub fn error(rule: Rule, net: NetId, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            net: Some(net),
+            message: message.into(),
+        }
+    }
+
+    /// A warning diagnostic at `net`.
+    #[must_use]
+    pub fn warning(rule: Rule, net: NetId, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            net: Some(net),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if let Some(net) = self.net {
+            write!(f, " {net}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Per-rule diagnostic counts — the structured summary recorded in
+/// `CompactionReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Errors per rule, indexed by [`Rule::index`].
+    pub errors: [usize; Rule::COUNT],
+    /// Warnings per rule, indexed by [`Rule::index`].
+    pub warnings: [usize; Rule::COUNT],
+}
+
+impl AnalyzeStats {
+    /// Total errors across all rules.
+    #[must_use]
+    pub fn total_errors(&self) -> usize {
+        self.errors.iter().sum()
+    }
+
+    /// Total warnings across all rules.
+    #[must_use]
+    pub fn total_warnings(&self) -> usize {
+        self.warnings.iter().sum()
+    }
+
+    /// Element-wise sum (for combined report rows).
+    #[must_use]
+    pub fn merged(&self, other: &AnalyzeStats) -> AnalyzeStats {
+        let mut out = *self;
+        for i in 0..Rule::COUNT {
+            out.errors[i] += other.errors[i];
+            out.warnings[i] += other.warnings[i];
+        }
+        out
+    }
+}
+
+impl fmt::Display for AnalyzeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        for rule in Rule::ALL {
+            let i = rule.index();
+            write!(f, "{sep}{rule} {}/{}", self.errors[i], self.warnings[i])?;
+            sep = " | ";
+        }
+        Ok(())
+    }
+}
+
+/// The analyzer's findings for one netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeReport {
+    /// The analyzed netlist's name.
+    pub name: String,
+    /// The analyzed netlist's gate count.
+    pub gates: usize,
+    /// Every finding, in rule order then net order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalyzeReport {
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether the netlist passed (no errors; warnings allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// The per-rule counts.
+    #[must_use]
+    pub fn stats(&self) -> AnalyzeStats {
+        let mut stats = AnalyzeStats::default();
+        for d in &self.diagnostics {
+            let i = d.rule.index();
+            match d.severity {
+                Severity::Error => stats.errors[i] += 1,
+                Severity::Warning => stats.warnings[i] += 1,
+            }
+        }
+        stats
+    }
+
+    /// Serializes the report as a single JSON object (hand-rolled: the
+    /// build environment has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"netlist\":\"{}\",", escape_json(&self.name)));
+        out.push_str(&format!("\"gates\":{},", self.gates));
+        out.push_str(&format!("\"errors\":{},", self.error_count()));
+        out.push_str(&format!("\"warnings\":{},", self.warning_count()));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"net\":{},\"message\":\"{}\"}}",
+                d.rule,
+                d.severity,
+                d.net
+                    .map_or_else(|| "null".to_string(), |n| n.index().to_string()),
+                escape_json(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for AnalyzeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{}: {} error(s), {} warning(s) over {} gate(s)",
+            self.name,
+            self.error_count(),
+            self.warning_count(),
+            self.gates
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AnalyzeReport {
+        AnalyzeReport {
+            name: "T".into(),
+            gates: 9,
+            diagnostics: vec![
+                Diagnostic::error(Rule::CombLoop, NetId(3), "cycle n3 -> n4 -> n3"),
+                Diagnostic::warning(Rule::DeadLogic, NetId(5), "constant 0"),
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = report();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        let stats = r.stats();
+        assert_eq!(stats.errors[Rule::CombLoop.index()], 1);
+        assert_eq!(stats.warnings[Rule::DeadLogic.index()], 1);
+        assert_eq!(stats.total_errors(), 1);
+        assert_eq!(stats.total_warnings(), 1);
+    }
+
+    #[test]
+    fn stats_merge_elementwise() {
+        let a = report().stats();
+        let b = a.merged(&a);
+        assert_eq!(b.total_errors(), 2);
+        assert_eq!(b.total_warnings(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let j = report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"comb-loop\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\"errors\":1"));
+        assert!(j.contains("\"net\":3"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn display_names_rule_and_severity() {
+        let d = Diagnostic::error(Rule::UndrivenNet, NetId(7), "pin floats");
+        assert_eq!(d.to_string(), "error[undriven-net] n7: pin floats");
+        let s = report().to_string();
+        assert!(s.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn rule_indices_are_stable() {
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            assert_eq!(rule.index(), i);
+        }
+    }
+}

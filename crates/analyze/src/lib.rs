@@ -1,0 +1,136 @@
+//! Static testability analysis for warpstl netlists.
+//!
+//! One pass over a [`Netlist`] yields an
+//! [`Analysis`] with two halves:
+//!
+//! - [`Scoap`] — SCOAP controllability (`CC0`/`CC1`) and observability
+//!   (`CO`) scores per net (Goldstein 1979). Downstream consumers use
+//!   them to guide PODEM pin choices and to order fault-simulation
+//!   targets hardest-first.
+//! - [`AnalyzeReport`] — structural lints (combinational loops, undriven
+//!   nets, dead logic behind constants, gates unreachable from any
+//!   output) as structured [`Diagnostic`]s. Error-severity findings gate
+//!   the compaction pipeline before any fault simulation runs.
+//!
+//! The analysis is purely structural: it never simulates, so it is safe
+//! to run on malformed netlists (that is the point of the lint gate).
+
+#![warn(missing_docs)]
+
+mod diag;
+mod lint;
+mod scoap;
+
+pub use diag::{AnalyzeReport, AnalyzeStats, Diagnostic, Rule, Severity};
+pub use lint::lint;
+pub use scoap::Scoap;
+
+use warpstl_netlist::Netlist;
+use warpstl_obs::{Obs, ObsExt};
+
+/// The combined result of one analysis pass: SCOAP scores plus lints.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// SCOAP controllability/observability scores per net.
+    pub scoap: Scoap,
+    /// Structural lint findings.
+    pub report: AnalyzeReport,
+}
+
+impl Analysis {
+    /// Whether the netlist passed the lint gate (no error-severity
+    /// diagnostics; warnings allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+}
+
+/// Analyzes `netlist`: computes SCOAP scores and runs every lint pass.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_netlist::modules::ModuleKind;
+///
+/// let netlist = ModuleKind::DecoderUnit.build();
+/// let analysis = warpstl_analyze::analyze(&netlist);
+/// assert!(analysis.is_clean());
+/// assert_eq!(analysis.scoap.observability_keys().len(), netlist.gates().len());
+/// ```
+#[must_use]
+pub fn analyze(netlist: &Netlist) -> Analysis {
+    analyze_observed(netlist, None)
+}
+
+/// [`analyze`] with observability: emits `analyze.scoap` / `analyze.lint`
+/// spans under `analyze.run`, plus `analyze.errors` / `analyze.warnings`
+/// counters and one `analyze.rule.<name>` counter per rule that fired.
+#[must_use]
+pub fn analyze_observed(netlist: &Netlist, obs: Obs<'_>) -> Analysis {
+    let run = obs.span("analyze", "analyze.run");
+    let scoap = {
+        let _s = obs.span("analyze", "analyze.scoap");
+        Scoap::compute(netlist)
+    };
+    let report = {
+        let _s = obs.span("analyze", "analyze.lint");
+        lint::lint(netlist)
+    };
+    let stats = report.stats();
+    obs.add("analyze.errors", stats.total_errors() as u64);
+    obs.add("analyze.warnings", stats.total_warnings() as u64);
+    for rule in Rule::ALL {
+        let i = rule.index();
+        let fired = stats.errors[i] + stats.warnings[i];
+        if fired > 0 {
+            obs.add(&format!("analyze.rule.{}", rule.name()), fired as u64);
+        }
+    }
+    drop(run.with_arg("gates", netlist.gates().len()));
+    Analysis { scoap, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_netlist::{fixtures, modules::ModuleKind};
+    use warpstl_obs::Recorder;
+
+    #[test]
+    fn bundled_modules_are_clean() {
+        for kind in ModuleKind::ALL {
+            let netlist = kind.build();
+            let a = analyze(&netlist);
+            assert!(a.is_clean(), "{}: {}", kind.name(), a.report);
+            assert_eq!(a.scoap.observability_keys().len(), netlist.gates().len());
+        }
+    }
+
+    #[test]
+    fn loop_fixture_fails_the_gate() {
+        let a = analyze(&fixtures::combinational_loop());
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn observed_run_emits_spans_and_counters() {
+        let rec = Recorder::new();
+        let a = analyze_observed(&fixtures::combinational_loop(), Some(&rec));
+        assert!(!a.is_clean());
+        let spans = rec.spans();
+        for name in ["analyze.run", "analyze.scoap", "analyze.lint"] {
+            assert_eq!(
+                spans.iter().filter(|s| s.name == name).count(),
+                1,
+                "expected exactly one {name} span"
+            );
+        }
+        let metrics = rec.metrics();
+        assert_eq!(
+            metrics.counter("analyze.errors"),
+            a.report.error_count() as u64
+        );
+        assert!(metrics.counter("analyze.rule.comb-loop") >= 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! Structural netlist lints: the analysis gate's rule passes.
+//!
+//! Four passes, each linear in gates + pins:
+//!
+//! 1. **undriven-net** (error) — pins or output ports referencing nets no
+//!    gate drives. Impossible through [`Builder`](warpstl_netlist::Builder),
+//!    but imported or fixture netlists can carry them.
+//! 2. **comb-loop** (error) — cycles through combinational gates. DFF `d`
+//!    pins are sequential boundaries and do not close loops.
+//! 3. **dead-logic** (warning) — gates whose output is provably constant
+//!    by three-valued constant propagation from `CONST0`/`CONST1` (e.g.
+//!    the adder stage fed by a constant-0 carry-in). Their faults are
+//!    partly untestable, which is worth surfacing but not fatal.
+//! 4. **unreachable** (warning) — gates from which no primary output is
+//!    reachable, including floating nets nothing reads. No fault on them
+//!    can ever be observed.
+
+use warpstl_netlist::{Gate, GateKind, NetId, Netlist};
+
+use crate::diag::{AnalyzeReport, Diagnostic, Rule};
+
+/// Runs every lint pass over `netlist` and collects the findings.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_netlist::fixtures;
+///
+/// let report = warpstl_analyze::lint(&fixtures::combinational_loop());
+/// assert!(!report.is_clean());
+/// ```
+#[must_use]
+pub fn lint(netlist: &Netlist) -> AnalyzeReport {
+    let mut diagnostics = Vec::new();
+    undriven_nets(netlist, &mut diagnostics);
+    comb_loops(netlist, &mut diagnostics);
+    dead_logic(netlist, &mut diagnostics);
+    unreachable_gates(netlist, &mut diagnostics);
+    AnalyzeReport {
+        name: netlist.name().to_string(),
+        gates: netlist.gates().len(),
+        diagnostics,
+    }
+}
+
+/// Pass 1: pins and output ports must reference existing gates.
+fn undriven_nets(netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let n = netlist.gates().len();
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for (p, &pin) in g.inputs().iter().enumerate() {
+            if pin.index() >= n {
+                out.push(Diagnostic::error(
+                    Rule::UndrivenNet,
+                    NetId(i as u32),
+                    format!("gate n{i} ({}) pin {p} reads undriven net {pin}", g.kind),
+                ));
+            }
+        }
+    }
+    for (name, range) in netlist.outputs().iter() {
+        for &net in &netlist.outputs().nets()[range] {
+            if net.index() >= n {
+                out.push(Diagnostic::error(
+                    Rule::UndrivenNet,
+                    net,
+                    format!("output port `{name}` reads undriven net {net}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Pass 2: depth-first search for cycles over combinational edges.
+///
+/// Iterative (module netlists are thousands of gates deep), with the
+/// classic three colors: white (unvisited), grey (on the current path),
+/// black (done). A grey→grey edge closes a cycle; the grey path suffix
+/// names it. DFF gates are skipped entirely — their `d` pin crosses a
+/// register boundary, so feedback through them is legal.
+fn comb_loops(netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let gates = netlist.gates();
+    let n = gates.len();
+    fn comb_pins(g: &Gate) -> &[NetId] {
+        if g.kind == GateKind::Dff {
+            &[]
+        } else {
+            g.inputs()
+        }
+    }
+    let mut color = vec![WHITE; n];
+    // (gate, next pin to explore); doubles as the current DFS path.
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if color[start] != WHITE {
+            continue;
+        }
+        color[start] = GREY;
+        stack.push((start, 0));
+        while let Some(&mut (i, ref mut pin)) = stack.last_mut() {
+            let pins = comb_pins(&gates[i]);
+            if *pin >= pins.len() {
+                color[i] = BLACK;
+                stack.pop();
+                continue;
+            }
+            let src = pins[*pin].index();
+            *pin += 1;
+            if src >= n {
+                continue; // undriven; reported by pass 1
+            }
+            match color[src] {
+                WHITE => {
+                    color[src] = GREY;
+                    stack.push((src, 0));
+                }
+                GREY => {
+                    // The path suffix from `src` back to `i` is the cycle.
+                    let from = stack
+                        .iter()
+                        .position(|&(g, _)| g == src)
+                        .expect("grey gate is on the path");
+                    let cycle: Vec<String> = stack[from..]
+                        .iter()
+                        .map(|&(g, _)| format!("n{g}"))
+                        .collect();
+                    out.push(Diagnostic::error(
+                        Rule::CombLoop,
+                        NetId(src as u32),
+                        format!(
+                            "combinational loop: {} -> n{src} (no flip-flop breaks the cycle)",
+                            cycle.join(" -> ")
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Three-valued constant lattice for pass 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cv {
+    Zero,
+    One,
+    Unknown,
+}
+
+impl Cv {
+    fn not(self) -> Cv {
+        match self {
+            Cv::Zero => Cv::One,
+            Cv::One => Cv::Zero,
+            Cv::Unknown => Cv::Unknown,
+        }
+    }
+}
+
+/// Pass 3: constant propagation flags gates that can never toggle.
+fn dead_logic(netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let gates = netlist.gates();
+    let n = gates.len();
+    let mut cv = vec![Cv::Unknown; n];
+    for (i, g) in gates.iter().enumerate() {
+        let at = |cv: &[Cv], pin: usize| {
+            let idx = g.pins[pin].index();
+            // Dangling and forward (feedback) references are Unknown.
+            if idx >= n || (idx >= i && g.kind != GateKind::Dff) {
+                Cv::Unknown
+            } else {
+                cv[idx]
+            }
+        };
+        let v = match g.kind {
+            GateKind::Input | GateKind::Dff => Cv::Unknown,
+            GateKind::Const0 => Cv::Zero,
+            GateKind::Const1 => Cv::One,
+            GateKind::Buf => at(&cv, 0),
+            GateKind::Not => at(&cv, 0).not(),
+            GateKind::And => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::Zero, _) | (_, Cv::Zero) => Cv::Zero,
+                (Cv::One, Cv::One) => Cv::One,
+                _ => Cv::Unknown,
+            },
+            GateKind::Or => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::One, _) | (_, Cv::One) => Cv::One,
+                (Cv::Zero, Cv::Zero) => Cv::Zero,
+                _ => Cv::Unknown,
+            },
+            GateKind::Nand => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::Zero, _) | (_, Cv::Zero) => Cv::One,
+                (Cv::One, Cv::One) => Cv::Zero,
+                _ => Cv::Unknown,
+            },
+            GateKind::Nor => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::One, _) | (_, Cv::One) => Cv::Zero,
+                (Cv::Zero, Cv::Zero) => Cv::One,
+                _ => Cv::Unknown,
+            },
+            GateKind::Xor => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::Unknown, _) | (_, Cv::Unknown) => Cv::Unknown,
+                (a, b) if a == b => Cv::Zero,
+                _ => Cv::One,
+            },
+            GateKind::Xnor => match (at(&cv, 0), at(&cv, 1)) {
+                (Cv::Unknown, _) | (_, Cv::Unknown) => Cv::Unknown,
+                (a, b) if a == b => Cv::One,
+                _ => Cv::Zero,
+            },
+            GateKind::Mux => match at(&cv, 0) {
+                Cv::One => at(&cv, 1),
+                Cv::Zero => at(&cv, 2),
+                Cv::Unknown => {
+                    let (a, b) = (at(&cv, 1), at(&cv, 2));
+                    if a == b && a != Cv::Unknown {
+                        a
+                    } else {
+                        Cv::Unknown
+                    }
+                }
+            },
+        };
+        cv[i] = v;
+        let is_const_kind = matches!(
+            g.kind,
+            GateKind::Const0 | GateKind::Const1 | GateKind::Input
+        );
+        if !is_const_kind && v != Cv::Unknown {
+            out.push(Diagnostic::warning(
+                Rule::DeadLogic,
+                NetId(i as u32),
+                format!(
+                    "gate n{i} ({}) is constant {} behind constant gates",
+                    g.kind,
+                    if v == Cv::One { 1 } else { 0 }
+                ),
+            ));
+        }
+    }
+}
+
+/// Pass 4: backward reachability from the primary outputs over every edge
+/// (including DFF `d` pins — a fault observable after a state update is
+/// still observable).
+fn unreachable_gates(netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let gates = netlist.gates();
+    let n = gates.len();
+    let mut reached = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for &o in netlist.outputs().nets() {
+        if o.index() < n && !reached[o.index()] {
+            reached[o.index()] = true;
+            stack.push(o.index());
+        }
+    }
+    while let Some(i) = stack.pop() {
+        for &pin in gates[i].inputs() {
+            let src = pin.index();
+            if src < n && !reached[src] {
+                reached[src] = true;
+                stack.push(src);
+            }
+        }
+    }
+    for (i, g) in gates.iter().enumerate() {
+        if reached[i] || g.kind == GateKind::Input {
+            continue;
+        }
+        let floating = netlist.fanout(NetId(i as u32)) == 0;
+        out.push(Diagnostic::warning(
+            Rule::Unreachable,
+            NetId(i as u32),
+            if floating {
+                format!("gate n{i} ({}) drives a floating net (no readers)", g.kind)
+            } else {
+                format!("gate n{i} ({}) cannot reach any primary output", g.kind)
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use warpstl_netlist::{fixtures, Builder};
+
+    fn diags_for(report: &AnalyzeReport, rule: Rule) -> Vec<&Diagnostic> {
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_netlist_is_clean() {
+        let mut b = Builder::new("clean");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.xor(x, y);
+        b.output("z", z);
+        let r = lint(&b.finish());
+        assert!(r.is_clean());
+        assert!(r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn loop_fixture_flags_comb_loop_error() {
+        let r = lint(&fixtures::combinational_loop());
+        assert!(!r.is_clean());
+        let loops = diags_for(&r, Rule::CombLoop);
+        assert_eq!(loops.len(), 1, "one cycle, one diagnostic: {r}");
+        assert_eq!(loops[0].severity, Severity::Error);
+        assert!(loops[0].message.contains("n2"), "{}", loops[0].message);
+        assert!(loops[0].message.contains("n3"), "{}", loops[0].message);
+    }
+
+    #[test]
+    fn undriven_fixture_flags_undriven_error() {
+        let r = lint(&fixtures::undriven());
+        assert!(!r.is_clean());
+        let und = diags_for(&r, Rule::UndrivenNet);
+        assert_eq!(und.len(), 1);
+        assert!(und[0].message.contains("n7"), "{}", und[0].message);
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_loop() {
+        let mut b = Builder::new("toggle");
+        let q = b.dff_placeholder();
+        let nq = b.not(q);
+        b.connect_dff(q, nq);
+        b.output("q", q);
+        let r = lint(&b.finish());
+        assert!(diags_for(&r, Rule::CombLoop).is_empty(), "{r}");
+    }
+
+    #[test]
+    fn constant_fed_and_is_dead_logic_warning() {
+        let mut b = Builder::new("dead");
+        let x = b.input("x");
+        let k = b.const0();
+        let dead = b.and(x, k); // constant 0
+        let alive = b.or(x, k); // follows x: not constant
+        let z = b.or(dead, alive);
+        b.output("z", z);
+        let r = lint(&b.finish());
+        // Warnings do not gate.
+        assert!(r.is_clean());
+        let dl = diags_for(&r, Rule::DeadLogic);
+        assert_eq!(dl.len(), 1, "{r}");
+        assert_eq!(dl[0].net, Some(dead));
+        assert!(dl[0].message.contains("constant 0"));
+    }
+
+    #[test]
+    fn unreachable_and_floating_gates_warn() {
+        let mut b = Builder::new("un");
+        let x = b.input("x");
+        let y = b.input("y");
+        let float = b.and(x, y); // nothing reads it
+        let feeder = b.or(x, y);
+        let sink = b.not(feeder); // read by nothing on an output path
+        let _ = sink;
+        let z = b.xor(x, y);
+        b.output("z", z);
+        let r = lint(&b.finish());
+        assert!(r.is_clean());
+        let un = diags_for(&r, Rule::Unreachable);
+        let nets: Vec<_> = un.iter().filter_map(|d| d.net).collect();
+        assert!(nets.contains(&float));
+        assert!(nets.contains(&feeder));
+        assert!(nets.contains(&sink));
+        assert!(un.iter().any(|d| d.message.contains("floating net")), "{r}");
+    }
+
+    #[test]
+    fn bundled_modules_have_no_lint_errors() {
+        for kind in warpstl_netlist::modules::ModuleKind::ALL {
+            let r = lint(&kind.build());
+            assert!(r.is_clean(), "{}: {r}", kind.name());
+            assert!(diags_for(&r, Rule::CombLoop).is_empty());
+            assert!(diags_for(&r, Rule::UndrivenNet).is_empty());
+        }
+    }
+}

@@ -1,5 +1,7 @@
-//! The PODEM test-generation algorithm.
+//! The PODEM test-generation algorithm, optionally guided by SCOAP
+//! testability scores (see [`Podem::with_guidance`]).
 
+use warpstl_analyze::Scoap;
 use warpstl_fault::{Fault, FaultSite, Polarity};
 use warpstl_netlist::{GateKind, NetId, Netlist};
 
@@ -125,6 +127,7 @@ pub enum PodemOutcome {
 pub struct Podem<'a> {
     netlist: &'a Netlist,
     backtrack_limit: usize,
+    guidance: Option<&'a Scoap>,
 }
 
 impl<'a> Podem<'a> {
@@ -143,6 +146,7 @@ impl<'a> Podem<'a> {
         Podem {
             netlist,
             backtrack_limit: 1000,
+            guidance: None,
         }
     }
 
@@ -153,10 +157,23 @@ impl<'a> Podem<'a> {
         self
     }
 
+    /// Guides pin choices with SCOAP scores (computed for the *same*
+    /// netlist): where the unguided search picks the first X input,
+    /// the guided search picks by controllability — the cheapest input
+    /// when any one suffices, the hardest when all are needed (failing
+    /// on the hardest first prunes doomed subtrees sooner). Verdicts
+    /// (testable/untestable) are unaffected; only the search order and
+    /// the produced vectors may change.
+    #[must_use]
+    pub fn with_guidance(mut self, scoap: &'a Scoap) -> Podem<'a> {
+        self.guidance = Some(scoap);
+        self
+    }
+
     /// Attempts to generate a test for `fault`.
     #[must_use]
     pub fn generate(&self, fault: Fault) -> PodemOutcome {
-        Search::new(self.netlist, fault, self.backtrack_limit).run()
+        Search::new(self.netlist, fault, self.backtrack_limit, self.guidance).run()
     }
 }
 
@@ -164,6 +181,7 @@ struct Search<'a> {
     netlist: &'a Netlist,
     fault: Fault,
     limit: usize,
+    guidance: Option<&'a Scoap>,
     /// PI assignment by flat input position.
     pi: Vec<Tv>,
     good: Vec<Tv>,
@@ -173,7 +191,12 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn new(netlist: &'a Netlist, fault: Fault, limit: usize) -> Search<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        fault: Fault,
+        limit: usize,
+        guidance: Option<&'a Scoap>,
+    ) -> Search<'a> {
         let n = netlist.gates().len();
         let mut pi_pos = vec![None; n];
         for (pos, &net) in netlist.inputs().nets().iter().enumerate() {
@@ -183,10 +206,35 @@ impl<'a> Search<'a> {
             netlist,
             fault,
             limit,
+            guidance,
             pi: vec![Tv::X; netlist.inputs().width()],
             good: vec![Tv::X; n],
             faulty: vec![Tv::X; n],
             pi_pos,
+        }
+    }
+
+    /// Chooses which of two pins to backtrace into when driving both to
+    /// `inner`. Unguided (or with one pin already assigned) this is the
+    /// first X pin, preserving the historical search order. Guided with
+    /// both pins X, controllability decides: the *cheapest* pin when any
+    /// one suffices (`all_needed == false`), the *hardest* when every pin
+    /// must reach `inner` — failing on the hardest first prunes doomed
+    /// subtrees sooner.
+    fn pick_pin(&self, a: NetId, b: NetId, inner: bool, all_needed: bool) -> NetId {
+        let a_x = self.good[a.index()] == Tv::X;
+        let b_x = self.good[b.index()] == Tv::X;
+        if a_x && b_x {
+            if let Some(s) = self.guidance {
+                let (ca, cb) = (s.control_cost(a, inner), s.control_cost(b, inner));
+                let a_first = if all_needed { ca >= cb } else { ca <= cb };
+                return if a_first { a } else { b };
+            }
+        }
+        if a_x {
+            a
+        } else {
+            b
         }
     }
 
@@ -325,10 +373,26 @@ impl<'a> Search<'a> {
                 | GateKind::Xor
                 | GateKind::Xnor => {
                     let noncontrol = matches!(g.kind, GateKind::And | GateKind::Nand);
+                    // Unguided: the first X input. Guided: the X input
+                    // whose non-controlling value is cheapest to justify
+                    // (ties keep pin order, matching the unguided walk).
+                    let mut best: Option<(NetId, u32)> = None;
                     for &src in g.inputs() {
-                        if self.good[src.index()] == Tv::X {
-                            return Some((src, noncontrol));
+                        if self.good[src.index()] != Tv::X {
+                            continue;
                         }
+                        match self.guidance {
+                            None => return Some((src, noncontrol)),
+                            Some(s) => {
+                                let c = s.control_cost(src, noncontrol);
+                                if best.is_none_or(|(_, bc)| c < bc) {
+                                    best = Some((src, c));
+                                }
+                            }
+                        }
+                    }
+                    if let Some((src, _)) = best {
+                        return Some((src, noncontrol));
                     }
                 }
                 GateKind::Mux => {
@@ -390,8 +454,14 @@ impl<'a> Search<'a> {
                 }
                 GateKind::Nand | GateKind::Nor => {
                     let inner = !value;
-                    let (a, b) = (g.pins[0], g.pins[1]);
-                    let pick = if self.good[a.index()] == Tv::X { a } else { b };
+                    // Inner AND (NAND) needs every pin at 1; inner OR
+                    // (NOR) needs every pin at 0.
+                    let all_needed = if g.kind == GateKind::Nand {
+                        inner
+                    } else {
+                        !inner
+                    };
+                    let pick = self.pick_pin(g.pins[0], g.pins[1], inner, all_needed);
                     if self.good[pick.index()] != Tv::X {
                         return None;
                     }
@@ -399,8 +469,12 @@ impl<'a> Search<'a> {
                     net = pick;
                 }
                 GateKind::And | GateKind::Or => {
-                    let (a, b) = (g.pins[0], g.pins[1]);
-                    let pick = if self.good[a.index()] == Tv::X { a } else { b };
+                    let all_needed = if g.kind == GateKind::And {
+                        value
+                    } else {
+                        !value
+                    };
+                    let pick = self.pick_pin(g.pins[0], g.pins[1], value, all_needed);
                     if self.good[pick.index()] != Tv::X {
                         return None;
                     }
@@ -615,6 +689,66 @@ mod tests {
         assert_eq!(tested + untestable, u.collapsed_len());
         assert!(untestable <= 3, "untestable {untestable}");
         assert!(tested > u.collapsed_len() * 9 / 10);
+    }
+
+    #[test]
+    fn guided_adder_faults_all_testable_and_verified() {
+        // SCOAP guidance changes search order, never verdicts: the same
+        // faults are testable, and every guided vector really detects its
+        // fault under simulation.
+        let mut b = Builder::new("add4g");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        let u = FaultUniverse::enumerate(&n);
+        let scoap = warpstl_analyze::Scoap::compute(&n);
+        let plain = Podem::new(&n);
+        let guided = Podem::new(&n).with_guidance(&scoap);
+        for &f in u.faults() {
+            let pv = plain.generate(f);
+            let gv = guided.generate(f);
+            match (&pv, &gv) {
+                (PodemOutcome::Test(_), PodemOutcome::Test(pis)) => {
+                    check_test_detects(&n, f, pis);
+                }
+                (PodemOutcome::Untestable, PodemOutcome::Untestable) => {}
+                other => panic!("verdict diverged on {f}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn guided_search_steers_toward_cheap_pins() {
+        // o = OR(deep, easy): justifying o = 1 should pick the cheap
+        // input, not the 4-gate chain, when guidance is on.
+        let mut b = Builder::new("steer");
+        let x = b.input("x");
+        let easy = b.input("easy");
+        let mut deep = x;
+        for i in 0..4 {
+            let t = b.input(&format!("t{i}"));
+            deep = b.and(deep, t);
+        }
+        let o = b.or(deep, easy);
+        b.output("o", o);
+        let n = b.finish();
+        let scoap = warpstl_analyze::Scoap::compute(&n);
+        let guided = Podem::new(&n).with_guidance(&scoap);
+        // o/SA0 is excited by o = 1; the guided search should satisfy it
+        // through `easy` alone, leaving the deep chain's inputs X.
+        let f = Fault::new(FaultSite::Output(o), Polarity::Sa0);
+        match guided.generate(f) {
+            PodemOutcome::Test(pis) => {
+                assert_eq!(pis[1], Some(true), "easy input drives the OR");
+                let assigned = pis.iter().filter(|p| p.is_some()).count();
+                assert_eq!(assigned, 1, "deep chain left as don't-care: {pis:?}");
+                check_test_detects(&n, f, &pis);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -11,9 +11,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use warpstl_analyze::Scoap;
 use warpstl_fault::{
-    fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultList, FaultSimConfig,
-    FaultUniverse,
+    fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
+    FaultList, FaultSimConfig, FaultUniverse, SimGuide,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -115,6 +116,46 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
             BatchSize::SmallInput,
         );
     });
+
+    // Dominance collapsing + hardest-first ordering vs the equivalence-only
+    // baseline, both in drop mode (dominance only activates there): the
+    // static-analysis payoff the `bench_fsim` binary quantifies.
+    let dominance = universe.dominance(netlist);
+    let keys = Scoap::compute(netlist).observability_keys();
+    let drop1 = FaultSimConfig {
+        threads: 1,
+        ..FaultSimConfig::default()
+    };
+    c.bench_function(&format!("fsim/{name}/drop/baseline"), |b| {
+        b.iter_batched(
+            || FaultList::new(&universe),
+            |mut list| fault_simulate(netlist, &pats, &mut list, &drop1),
+            BatchSize::SmallInput,
+        );
+    });
+    let guide = SimGuide {
+        dominance: Some(&dominance),
+        order_keys: Some(&keys),
+    };
+    c.bench_function(&format!("fsim/{name}/drop/guided"), |b| {
+        b.iter_batched(
+            || FaultList::new(&universe),
+            |mut list| fault_simulate_guided(netlist, &pats, &mut list, &drop1, None, &guide),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The analyzer itself (SCOAP + all four lint passes) per bundled module —
+/// the pipeline runs this once per compaction as its gate, so its cost must
+/// stay negligible next to a fault simulation.
+fn bench_analyze(c: &mut Criterion) {
+    for kind in ModuleKind::ALL {
+        let netlist = kind.build();
+        c.bench_function(&format!("analyze/{}", kind.name()), |b| {
+            b.iter(|| warpstl_analyze::analyze(&netlist));
+        });
+    }
 }
 
 fn bench_fsim(c: &mut Criterion) {
@@ -125,6 +166,6 @@ fn bench_fsim(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fsim
+    targets = bench_fsim, bench_analyze
 }
 criterion_main!(benches);

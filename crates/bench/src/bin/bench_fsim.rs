@@ -24,11 +24,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use warpstl_analyze::Scoap;
 use warpstl_bench::{compact_group, Scale};
 use warpstl_core::{Compactor, StageTimings};
 use warpstl_fault::{
-    fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultList, FaultSimConfig,
-    FaultUniverse,
+    fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
+    FaultList, FaultSimConfig, FaultUniverse, SimGuide,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -124,6 +125,86 @@ fn measure(
     }
 }
 
+struct DominanceResult {
+    name: String,
+    patterns: usize,
+    collapsed: usize,
+    direct: usize,
+    dominated: usize,
+    analysis_s: f64,
+    baseline_s: f64,
+    guided_s: f64,
+    coverage: f64,
+}
+
+/// Times the drop-mode dominance+ordering run against the equivalence-only
+/// baseline (single thread, so the difference is pure work reduction) and
+/// asserts the two report identical coverage over the full universe.
+fn measure_dominance(
+    name: &str,
+    netlist: &Netlist,
+    patterns: usize,
+    reps: usize,
+) -> DominanceResult {
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0xd0d0 ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(netlist);
+
+    // One-time per-module analysis cost (shared by every PTP of an STL).
+    let start = Instant::now();
+    let dominance = universe.dominance(netlist);
+    let keys = Scoap::compute(netlist).observability_keys();
+    let analysis_s = start.elapsed().as_secs_f64();
+    let guide = SimGuide {
+        dominance: Some(&dominance),
+        order_keys: Some(&keys),
+    };
+    let cfg = FaultSimConfig {
+        threads: 1,
+        ..FaultSimConfig::default()
+    };
+
+    eprintln!(
+        "[bench_fsim] {name}: {} collapsed classes, {} dominated, {patterns} patterns (drop mode)",
+        universe.collapsed_len(),
+        dominance.removed().len()
+    );
+    let baseline_s = time_best(&universe, reps, |list| {
+        fault_simulate(netlist, &pats, list, &cfg);
+    });
+    eprintln!("[bench_fsim]   equivalence-only {baseline_s:.4}s");
+    let guided_s = time_best(&universe, reps, |list| {
+        fault_simulate_guided(netlist, &pats, list, &cfg, None, &guide);
+    });
+    eprintln!(
+        "[bench_fsim]   dominance+order  {guided_s:.4}s ({:.2}x)",
+        baseline_s / guided_s
+    );
+
+    // Coverage identity: the reduced run must report exactly the baseline's
+    // coverage over the full universe.
+    let mut base_list = FaultList::new(&universe);
+    fault_simulate(netlist, &pats, &mut base_list, &cfg);
+    let mut guided_list = FaultList::new(&universe);
+    fault_simulate_guided(netlist, &pats, &mut guided_list, &cfg, None, &guide);
+    assert_eq!(
+        guided_list.coverage(),
+        base_list.coverage(),
+        "{name}: dominance+ordering changed the reported coverage"
+    );
+
+    DominanceResult {
+        name: name.to_string(),
+        patterns,
+        collapsed: universe.collapsed_len(),
+        direct: dominance.direct().len(),
+        dominated: dominance.removed().len(),
+        analysis_s,
+        baseline_s,
+        guided_s,
+        coverage: base_list.coverage(),
+    }
+}
+
 /// End-to-end compaction of the DU group (the `compact_stl` per-module
 /// flow) at bench scale: wall time plus the merged per-stage split, so the
 /// fault-sim share of the pipeline is visible.
@@ -150,7 +231,7 @@ fn measure_compaction(threads: usize) -> (f64, StageTimings) {
     (wall, stages)
 }
 
-/// Times the single-thread engine with a no-op [`Obs`] handle vs a live
+/// Times the single-thread engine with a no-op `Obs` handle vs a live
 /// recorder on the DU module: the guard for the "zero cost when disabled"
 /// claim (and an upper bound on the enabled overhead).
 fn measure_obs_overhead(reps: usize) -> (f64, f64) {
@@ -193,6 +274,18 @@ fn main() {
     let results: Vec<ModuleResult> = modules
         .iter()
         .map(|&(name, kind, patterns, reps)| measure(name, &kind.build(), patterns, reps, &swept))
+        .collect();
+
+    eprintln!("[bench_fsim] measuring dominance+ordering vs equivalence-only (drop mode, t=1)");
+    let dominance_results: Vec<DominanceResult> = ModuleKind::ALL
+        .iter()
+        .map(|kind| {
+            let patterns = match kind {
+                ModuleKind::DecoderUnit => 2048,
+                _ => 512,
+            };
+            measure_dominance(kind.name(), &kind.build(), patterns, 5)
+        })
         .collect();
 
     eprintln!("[bench_fsim] measuring observability overhead (engine t=1, DU)");
@@ -267,6 +360,35 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"dominance\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"drop mode, single thread, best of N reps: equivalence-only target list vs dominance-collapsed list with SCOAP hardest-first group ordering and segmented re-packing of undetected faults; coverage over the full universe is asserted identical before recording; analysis_s is the one-time per-module SCOAP+dominance build shared across an STL\","
+    );
+    json.push_str("    \"modules\": [\n");
+    for (di, d) in dominance_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"module\": \"{}\", \"patterns\": {}, \"collapsed_classes\": {}, \"direct\": {}, \"dominated\": {}, \"analysis_s\": {:.6}, \"equivalence_only_s\": {:.6}, \"dominance_ordering_s\": {:.6}, \"speedup\": {:.3}, \"coverage\": {:.6}}}",
+            d.name,
+            d.patterns,
+            d.collapsed,
+            d.direct,
+            d.dominated,
+            d.analysis_s,
+            d.baseline_s,
+            d.guided_s,
+            d.baseline_s / d.guided_s,
+            d.coverage
+        );
+        json.push_str(if di + 1 < dominance_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     json.push_str("  \"obs_overhead\": {\n");
     let _ = writeln!(
         json,
@@ -288,6 +410,11 @@ fn main() {
     let _ = writeln!(json, "    \"wall_s\": {compact_wall_s:.6},");
     let _ = writeln!(
         json,
+        "    \"analyze_s\": {:.6},",
+        compact_stages.analyze.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
         "    \"trace_s\": {:.6},",
         compact_stages.trace.as_secs_f64()
     );
@@ -305,6 +432,11 @@ fn main() {
         json,
         "    \"reduce_s\": {:.6},",
         compact_stages.reduce.as_secs_f64()
+    );
+    let _ = writeln!(
+        json,
+        "    \"verify_s\": {:.6},",
+        compact_stages.verify.as_secs_f64()
     );
     let _ = writeln!(
         json,

@@ -27,6 +27,9 @@ usage:
                       [--trace-out FILE]
   warpstl compact-stl <STL-FILE> [--out FILE] [--trace-out FILE]
   warpstl lint        <PTP-FILE> [--json]
+  warpstl analyze     <MODULE> [--json]
+                      (a module name from `warpstl modules`, or the
+                       `comb-loop` / `undriven` demo fixtures)
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
   warpstl modules";
@@ -39,6 +42,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("compact") => compact(&args[1..]),
         Some("compact-stl") => compact_stl(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("patterns") => patterns(&args[1..]),
         Some("modules") => modules(),
@@ -280,6 +284,77 @@ fn lint(args: &[String]) -> CliResult {
             "{}: {} verification error(s)",
             ptp.name,
             report.error_count()
+        )
+        .into())
+    }
+}
+
+/// Resolves a netlist name: the bundled modules first, then the lint demo
+/// fixtures (a seeded combinational loop and an undriven net) so the gate
+/// can be exercised from the command line.
+fn netlist_by_name(name: &str) -> Result<warpstl_netlist::Netlist, Box<dyn Error>> {
+    if let Some(kind) = ModuleKind::ALL.iter().find(|k| k.name() == name) {
+        return Ok(kind.build());
+    }
+    match name {
+        "comb-loop" => Ok(warpstl_netlist::fixtures::combinational_loop()),
+        "undriven" => Ok(warpstl_netlist::fixtures::undriven()),
+        other => Err(format!(
+            "unknown module `{other}` (see `warpstl modules`, or use `comb-loop` / `undriven`)"
+        )
+        .into()),
+    }
+}
+
+/// Statically analyzes one module netlist: SCOAP testability measures,
+/// fault dominance on top of the equivalence-collapsed universe, and the
+/// structural lints the compaction pipeline runs as its pre-simulation
+/// gate. Exits nonzero (via `Err`) when a lint error fires; warnings print
+/// but pass.
+fn analyze(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("analyze: missing module name")?;
+    let flags = Flags::new(&args[1..]);
+    let netlist = netlist_by_name(name)?;
+    let analysis = warpstl_analyze::analyze(&netlist);
+    if flags.has("--json") {
+        println!("{}", analysis.report.to_json());
+    } else {
+        let (max_co, mean_co) = analysis.scoap.co_summary();
+        println!(
+            "netlist    {} ({} gates, depth {})",
+            netlist.name(),
+            netlist.logic_gate_count(),
+            netlist.logic_depth()
+        );
+        println!("SCOAP CO   max {max_co}, mean {mean_co:.1}");
+        // The fault model (and with it the dominance view) is only
+        // defined on netlists that pass the lint gate — that is what the
+        // gate protects the pipeline from.
+        if analysis.is_clean() {
+            let universe = FaultUniverse::enumerate(&netlist);
+            let dominance = universe.dominance(&netlist);
+            println!(
+                "faults     {} total, {} after equivalence ({:.1} %)",
+                universe.total_len(),
+                universe.collapsed_len(),
+                universe.collapse_ratio() * 100.0
+            );
+            println!(
+                "dominance  {} direct + {} dominated ({:.1} % of classes simulated)",
+                dominance.direct().len(),
+                dominance.removed().len(),
+                dominance.reduction_ratio() * 100.0
+            );
+        }
+        println!("{}", analysis.report);
+    }
+    if analysis.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: {} analysis error(s)",
+            netlist.name(),
+            analysis.report.error_count()
         )
         .into())
     }
@@ -614,6 +689,25 @@ mod tests {
         dispatch(&s(&["lint", clean_path.to_str().unwrap()])).unwrap();
         dispatch(&s(&["lint", clean_path.to_str().unwrap(), "--json"])).unwrap();
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_passes_modules_and_flags_fixtures() {
+        // Every bundled module passes the gate, plain and JSON.
+        for kind in ModuleKind::ALL {
+            assert!(dispatch(&s(&["analyze", kind.name()])).is_ok());
+        }
+        assert!(dispatch(&s(&["analyze", "decoder_unit", "--json"])).is_ok());
+
+        // The seeded fixtures fail with a nonzero exit (an Err here).
+        let err = dispatch(&s(&["analyze", "comb-loop"])).unwrap_err();
+        assert!(err.to_string().contains("analysis error"));
+        assert!(dispatch(&s(&["analyze", "comb-loop", "--json"])).is_err());
+        assert!(dispatch(&s(&["analyze", "undriven"])).is_err());
+
+        // Unknown names and a missing argument are flagged.
+        assert!(dispatch(&s(&["analyze", "warp_scheduler"])).is_err());
+        assert!(dispatch(&s(&["analyze"])).is_err());
     }
 
     #[test]

@@ -119,6 +119,7 @@ impl IterativeCompactor {
             // simulation per candidate; it has no per-stage split, and it
             // predates the verification gate.
             stage_timings: StageTimings::default(),
+            analyze: warpstl_analyze::AnalyzeStats::default(),
             verify: warpstl_verify::VerifyStats::default(),
             metrics: warpstl_obs::Metrics::default(),
         };

@@ -1,6 +1,7 @@
 //! Per-module compaction context: the netlist and the shared fault lists.
 
-use warpstl_fault::{FaultList, FaultUniverse};
+use warpstl_analyze::{analyze, Analysis};
+use warpstl_fault::{DominanceView, FaultList, FaultUniverse, SimGuide};
 use warpstl_gpu::ModulePatterns;
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -30,20 +31,33 @@ pub struct ModuleContext {
     netlist: Netlist,
     universe: FaultUniverse,
     lists: Vec<FaultList>,
+    analysis: Analysis,
+    dominance: DominanceView,
+    order_keys: Vec<f64>,
 }
 
 impl ModuleContext {
     /// Builds the context for `module` with `instances` fault lists.
+    ///
+    /// The one-pass static analysis (SCOAP measures, lints) and the
+    /// dominance view run here, once per module — every PTP compacted
+    /// against this context reuses them.
     #[must_use]
     pub fn new(module: ModuleKind, instances: usize) -> ModuleContext {
         let netlist = module.build();
         let universe = FaultUniverse::enumerate(&netlist);
         let lists = (0..instances).map(|_| FaultList::new(&universe)).collect();
+        let analysis = analyze(&netlist);
+        let dominance = universe.dominance(&netlist);
+        let order_keys = analysis.scoap.observability_keys();
         ModuleContext {
             module,
             netlist,
             universe,
             lists,
+            analysis,
+            dominance,
+            order_keys,
         }
     }
 
@@ -65,6 +79,35 @@ impl ModuleContext {
         &self.universe
     }
 
+    /// The module's static analysis (SCOAP measures + lint report).
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The module's fault-dominance view over the collapsed universe.
+    #[must_use]
+    pub fn dominance(&self) -> &DominanceView {
+        &self.dominance
+    }
+
+    /// Per-gate observability keys (hardest-first ordering uses them).
+    #[must_use]
+    pub fn order_keys(&self) -> &[f64] {
+        &self.order_keys
+    }
+
+    /// The simulation guide (dominance + ordering) borrowed from this
+    /// context — hand it to
+    /// [`fault_simulate_guided`](warpstl_fault::fault_simulate_guided).
+    #[must_use]
+    pub fn sim_guide(&self) -> SimGuide<'_> {
+        SimGuide {
+            dominance: Some(&self.dominance),
+            order_keys: Some(&self.order_keys),
+        }
+    }
+
     /// The number of module instances (= fault lists).
     #[must_use]
     pub fn instances(&self) -> usize {
@@ -82,11 +125,15 @@ impl ModuleContext {
         &mut self.lists[i]
     }
 
-    /// Splits the borrow: the (shared) netlist alongside all (mutable)
-    /// per-instance fault lists, so fault simulation can borrow both at
-    /// once without cloning the netlist.
-    pub fn netlist_and_lists_mut(&mut self) -> (&Netlist, &mut [FaultList]) {
-        (&self.netlist, &mut self.lists)
+    /// Splits the borrow: the (shared) netlist and simulation guide
+    /// alongside all (mutable) per-instance fault lists, so fault
+    /// simulation can borrow everything at once without cloning.
+    pub fn netlist_and_lists_mut(&mut self) -> (&Netlist, &mut [FaultList], SimGuide<'_>) {
+        let guide = SimGuide {
+            dominance: Some(&self.dominance),
+            order_keys: Some(&self.order_keys),
+        };
+        (&self.netlist, &mut self.lists, guide)
     }
 
     /// Fresh fault lists (for standalone evaluations).
@@ -148,6 +195,20 @@ mod tests {
         assert_eq!(c.streams(&caps).len(), 2);
         let c = ModuleContext::new(ModuleKind::DecoderUnit, 1);
         assert_eq!(c.streams(&caps).len(), 1);
+    }
+
+    #[test]
+    fn context_carries_analysis_products() {
+        let c = ModuleContext::new(ModuleKind::DecoderUnit, 1);
+        // Bundled modules pass the lint gate.
+        assert!(c.analysis().is_clean());
+        // Dominance genuinely shrinks the collapsed universe...
+        assert!(!c.dominance().is_identity());
+        assert!(c.dominance().reduction_ratio() < 1.0);
+        // ...and the ordering keys cover every gate.
+        assert_eq!(c.order_keys().len(), c.netlist().gates().len());
+        let guide = c.sim_guide();
+        assert!(guide.dominance.is_some() && guide.order_keys.is_some());
     }
 
     #[test]

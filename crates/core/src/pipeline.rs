@@ -4,7 +4,8 @@ use std::borrow::Cow;
 use std::sync::Arc;
 use std::time::Instant;
 
-use warpstl_fault::{fault_simulate_observed, FaultList, FaultSimConfig, FaultSimReport};
+use warpstl_analyze::analyze_observed;
+use warpstl_fault::{fault_simulate_guided, FaultList, FaultSimConfig, FaultSimReport, SimGuide};
 use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -31,6 +32,7 @@ fn simulate_instances(
     lists: &mut [FaultList],
     config: &FaultSimConfig,
     obs: Obs<'_>,
+    guide: SimGuide<'_>,
 ) -> Vec<Option<FaultSimReport>> {
     debug_assert_eq!(streams.len(), lists.len());
     let active = streams.iter().filter(|s| !s.is_empty()).count();
@@ -47,8 +49,9 @@ fn simulate_instances(
             .iter()
             .zip(lists.iter_mut())
             .map(|(s, list)| {
-                (!s.is_empty())
-                    .then(|| fault_simulate_observed(netlist, s.as_ref(), list, &per_instance, obs))
+                (!s.is_empty()).then(|| {
+                    fault_simulate_guided(netlist, s.as_ref(), list, &per_instance, obs, &guide)
+                })
             })
             .collect();
     }
@@ -59,7 +62,7 @@ fn simulate_instances(
             .map(|(s, list)| {
                 (!s.is_empty()).then(|| {
                     scope.spawn(move || {
-                        fault_simulate_observed(netlist, s.as_ref(), list, &per_instance, obs)
+                        fault_simulate_guided(netlist, s.as_ref(), list, &per_instance, obs, &guide)
                     })
                 })
             })
@@ -174,9 +177,15 @@ impl Compactor {
             ctx.instances(),
             "context instance count must match the GPU configuration"
         );
-        let (netlist, lists) = ctx.netlist_and_lists_mut();
-        let reports =
-            simulate_instances(netlist, &streams, lists, &self.fsim_config, self.observer());
+        let (netlist, lists, guide) = ctx.netlist_and_lists_mut();
+        let reports = simulate_instances(
+            netlist,
+            &streams,
+            lists,
+            &self.fsim_config,
+            self.observer(),
+            guide,
+        );
         let mut merged = FaultSimReport::new();
         for report in reports.iter().flatten() {
             merged.merge(report);
@@ -213,15 +222,34 @@ impl Compactor {
         let mut compact_span = obs.span("pipeline", "compact");
         compact_span.arg("ptp", &ptp.name);
 
+        // Mandatory gate: statically analyze the target netlist before
+        // spending the single logic and fault simulation on it. Lint
+        // errors (combinational loops, undriven nets) make the fault
+        // model — and therefore the whole compaction — meaningless.
+        let analysis = {
+            let _s = obs.span("stage", "stage.analyze");
+            analyze_observed(ctx.netlist(), obs)
+        };
+        let analyze_time = start.elapsed();
+        if !analysis.report.is_clean() {
+            obs.add("pipeline.analyze_rejects", 1);
+            return Err(CompactionError::Analyze {
+                name: ctx.netlist().name().to_string(),
+                report: analysis.report,
+            });
+        }
+        let analyze_stats = analysis.report.stats();
+
         // Stage 1: partitioning (BBs, ARC) happens inside reduce_ptp; the
         // stage is cheap and pure, so it is recomputed there.
         // Stage 2: ONE logic simulation with tracing + pattern capture.
+        let stamp = Instant::now();
         let run = {
             let _s = obs.span("stage", "stage.trace");
             self.trace(ptp)?
         };
         obs.add("pipeline.logic_sim_runs", 1);
-        let trace_time = start.elapsed();
+        let trace_time = stamp.elapsed();
 
         // Stage 3a: ONE fault simulation against the shared dropping list.
         let stamp = Instant::now();
@@ -328,6 +356,7 @@ impl Compactor {
             logic_sim_runs: 1,
             compaction_time,
             stage_timings: StageTimings {
+                analyze: analyze_time,
                 trace: trace_time,
                 fsim: fsim_time,
                 label: label_time,
@@ -335,6 +364,7 @@ impl Compactor {
                 verify: verify_time,
                 eval: eval_time,
             },
+            analyze: analyze_stats,
             verify: verify_report.stats(),
             metrics,
         };
@@ -354,7 +384,14 @@ impl Compactor {
             .into_iter()
             .map(Cow::Borrowed)
             .collect();
-        simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg, self.observer());
+        simulate_instances(
+            ctx.netlist(),
+            &streams,
+            &mut lists,
+            &cfg,
+            self.observer(),
+            ctx.sim_guide(),
+        );
         lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
     }
 
@@ -397,7 +434,14 @@ impl Compactor {
                 .into_iter()
                 .map(Cow::Borrowed)
                 .collect();
-            simulate_instances(ctx.netlist(), &streams, &mut lists, &cfg, self.observer());
+            simulate_instances(
+                ctx.netlist(),
+                &streams,
+                &mut lists,
+                &cfg,
+                self.observer(),
+                ctx.sim_guide(),
+            );
         }
         Ok(lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64)
     }
@@ -533,6 +577,7 @@ mod tests {
         let rec = compactor.obs.as_deref().unwrap();
         let spans = rec.spans();
         for stage in [
+            "stage.analyze",
             "stage.trace",
             "stage.fsim",
             "stage.label",
@@ -549,6 +594,10 @@ mod tests {
         assert!(
             spans.iter().any(|s| s.name == "fsim.worker"),
             "fault-engine worker spans missing"
+        );
+        assert!(
+            spans.iter().any(|s| s.name == "analyze.run"),
+            "netlist-analyzer spans missing"
         );
         // The report carries the delta, which on a fresh recorder is the
         // whole run; its pipeline counters match the report's fields.
@@ -567,6 +616,8 @@ mod tests {
             out.report.sbs_removed as u64
         );
         assert_eq!(m.counter("verify.errors"), 0);
+        assert_eq!(m.counter("analyze.errors"), 0);
+        assert_eq!(out.report.analyze.total_errors(), 0);
         // Eval-stage simulations observe too, so the raw engine counter
         // exceeds the method's single budgeted run.
         assert!(m.counter("fsim.runs") > 1);

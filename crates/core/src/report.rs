@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use warpstl_analyze::AnalyzeStats;
 use warpstl_obs::Metrics;
 use warpstl_verify::VerifyStats;
 
@@ -44,6 +45,8 @@ impl fmt::Display for PtpFeatures {
 /// compacted program's re-run).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
+    /// The pre-simulation static netlist analysis gate (SCOAP + lints).
+    pub analyze: Duration,
     /// Stage 2: the single traced logic simulation.
     pub trace: Duration,
     /// Stage 3a: the single fault simulation.
@@ -62,13 +65,14 @@ impl StageTimings {
     /// The total across all stages, evaluation included.
     #[must_use]
     pub fn total(&self) -> Duration {
-        self.trace + self.fsim + self.label + self.reduce + self.verify + self.eval
+        self.analyze + self.trace + self.fsim + self.label + self.reduce + self.verify + self.eval
     }
 
     /// Element-wise sum (used by [`CompactionReport::combined`]).
     #[must_use]
     pub fn merged(&self, other: &StageTimings) -> StageTimings {
         StageTimings {
+            analyze: self.analyze + other.analyze,
             trace: self.trace + other.trace,
             fsim: self.fsim + other.fsim,
             label: self.label + other.label,
@@ -83,8 +87,8 @@ impl fmt::Display for StageTimings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "trace {:?} | fsim {:?} | label {:?} | reduce {:?} | verify {:?} | eval {:?}",
-            self.trace, self.fsim, self.label, self.reduce, self.verify, self.eval
+            "analyze {:?} | trace {:?} | fsim {:?} | label {:?} | reduce {:?} | verify {:?} | eval {:?}",
+            self.analyze, self.trace, self.fsim, self.label, self.reduce, self.verify, self.eval
         )
     }
 }
@@ -121,6 +125,10 @@ pub struct CompactionReport {
     pub compaction_time: Duration,
     /// Per-stage breakdown of where that time (plus evaluation) went.
     pub stage_timings: StageTimings,
+    /// Per-rule diagnostic counts from the pre-simulation netlist analysis
+    /// gate (a report only exists when the gate found no errors, so these
+    /// are the surviving warnings plus zeroed error rows).
+    pub analyze: AnalyzeStats,
     /// Per-rule diagnostic counts from the post-reduction verification
     /// gate (a report only exists when the gate found no errors, so these
     /// are the surviving warnings plus zeroed error rows).
@@ -180,6 +188,9 @@ impl CompactionReport {
             stage_timings: parts.iter().fold(StageTimings::default(), |acc, r| {
                 acc.merged(&r.stage_timings)
             }),
+            analyze: parts
+                .iter()
+                .fold(AnalyzeStats::default(), |acc, r| acc.merged(&r.analyze)),
             verify: parts
                 .iter()
                 .fold(VerifyStats::default(), |acc, r| acc.merged(&r.verify)),
@@ -227,12 +238,18 @@ mod tests {
             logic_sim_runs: 1,
             compaction_time: Duration::from_millis(1234),
             stage_timings: StageTimings {
+                analyze: Duration::from_millis(50),
                 trace: Duration::from_millis(600),
                 fsim: Duration::from_millis(500),
                 label: Duration::from_millis(34),
                 reduce: Duration::from_millis(100),
                 verify: Duration::from_millis(16),
                 eval: Duration::from_millis(900),
+            },
+            analyze: {
+                let mut a = AnalyzeStats::default();
+                a.warnings[2] = 1; // one dead-logic warning survived the gate
+                a
             },
             verify: {
                 let mut v = VerifyStats::default();
@@ -264,7 +281,10 @@ mod tests {
         assert_eq!(c.fault_sim_runs, 2);
         assert!((c.fc_diff_pct() + 1.0).abs() < 1e-9);
         assert_eq!(c.stage_timings.fsim, Duration::from_millis(1000));
-        assert_eq!(c.stage_timings.total(), Duration::from_millis(4300));
+        assert_eq!(c.stage_timings.analyze, Duration::from_millis(100));
+        assert_eq!(c.stage_timings.total(), Duration::from_millis(4400));
+        assert_eq!(c.analyze.total_warnings(), 2);
+        assert_eq!(c.analyze.total_errors(), 0);
         assert_eq!(c.verify.total_warnings(), 2);
         assert_eq!(c.verify.total_errors(), 0);
         assert_eq!(c.metrics.counter("pipeline.fsim_runs"), 2);
@@ -273,7 +293,9 @@ mod tests {
     #[test]
     fn stage_timings_display_names_every_stage() {
         let s = sample().stage_timings.to_string();
-        for stage in ["trace", "fsim", "label", "reduce", "verify", "eval"] {
+        for stage in [
+            "analyze", "trace", "fsim", "label", "reduce", "verify", "eval",
+        ] {
             assert!(s.contains(stage), "missing {stage} in {s}");
         }
     }

@@ -29,7 +29,10 @@
 use warpstl_netlist::{FanoutCones, Gate, GateKind, Netlist, PatternSeq};
 use warpstl_obs::{Metrics, Obs, ObsExt};
 
-use crate::{Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite, Polarity};
+use crate::{
+    Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite, FaultStatus, Polarity,
+    SimGuide,
+};
 
 /// How many batches a worker interleaves in one pattern sweep. Each batch in
 /// a group costs a full-width value buffer, so the group bounds memory while
@@ -216,6 +219,7 @@ fn run_batches(
     batches: &[Vec<(FaultId, Fault)>],
     obs: Obs<'_>,
     first_batch: usize,
+    pat_range: (usize, usize),
 ) -> WorkerOut {
     let mut worker_span = obs.span("fsim", "fsim.worker");
     worker_span.arg("first_batch", first_batch);
@@ -265,7 +269,7 @@ fn run_batches(
         good_state.fill(0);
 
         let mut steps: u64 = 0;
-        for t in 0..n_pat {
+        for t in pat_range.0..pat_range.1 {
             if states.iter().all(|s| !s.active) {
                 break;
             }
@@ -438,6 +442,83 @@ fn step_batch(
     }
 }
 
+/// Runs one explicit target list through the worker pool: plans batches,
+/// fans them out, and merges detections into `list`/`report` and
+/// per-pattern tallies into the caller's accumulators. Guided runs call
+/// this several times (direct targets, residual dominators, and once per
+/// repacking segment), so per-pattern stats are accumulated here and
+/// turned into `record_pattern` rows exactly once by the caller.
+/// `pat_range` is the half-open pattern window to simulate — `(0, n_pat)`
+/// for a monolithic run.
+#[allow(clippy::too_many_arguments)]
+fn run_target_list(
+    ctx: &Ctx<'_>,
+    targets: &[FaultId],
+    list: &mut FaultList,
+    report: &mut FaultSimReport,
+    activated_per_pattern: &mut [u32],
+    detected_per_pattern: &mut [u32],
+    obs: Obs<'_>,
+    pat_range: (usize, usize),
+) {
+    if targets.is_empty() {
+        return;
+    }
+    // Snapshot fault data so workers need no access to the list.
+    let batches: Vec<Vec<(FaultId, Fault)>> = targets
+        .chunks(63)
+        .map(|c| c.iter().map(|&fid| (fid, list.fault(fid))).collect())
+        .collect();
+    let workers = resolve_threads(&ctx.config).min(batches.len()).max(1);
+    if obs.enabled() {
+        obs.add("fsim.target_faults", targets.len() as u64);
+        obs.add("fsim.workers", workers as u64);
+    }
+    // `workers == 1` runs inline on the caller's thread: spawning an OS
+    // thread for a single worker only costs (the threads=8-on-1-core
+    // regression of BENCH_fsim).
+    let outs: Vec<WorkerOut> = if workers <= 1 {
+        obs.record("fsim.batches_per_worker", batches.len() as f64);
+        vec![run_batches(ctx, &batches, obs, 0, pat_range)]
+    } else {
+        // Contiguous ranges keep the merge order trivial: worker w owns
+        // batches [w·k, (w+1)·k), so concatenating worker outputs in spawn
+        // order is global batch order.
+        let per = batches.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = batches
+                .chunks(per)
+                .enumerate()
+                .map(|(w, range)| {
+                    obs.record("fsim.batches_per_worker", range.len() as f64);
+                    s.spawn(move || run_batches(ctx, range, obs, w * per, pat_range))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    // Merge. Serial detections are batch-major (the pattern loop nests
+    // inside the batch loop), so replaying per-batch logs in global batch
+    // order reproduces the serial report byte-for-byte; per-pattern tallies
+    // are exact integer sums and thus order-independent.
+    let n_pat = ctx.patterns.len();
+    for w in &outs {
+        for t in 0..n_pat {
+            activated_per_pattern[t] += w.activated[t];
+            detected_per_pattern[t] += w.detected[t];
+        }
+    }
+    for w in outs {
+        for batch_log in w.detections {
+            for (fid, cc, t) in batch_log {
+                list.mark_detected(fid, cc, t);
+                report.record_detection(fid, cc, t);
+            }
+        }
+    }
+}
+
 /// The parallel engine behind [`fault_simulate`](crate::fault_simulate):
 /// plans batches, fans them out over a scoped worker pool, and merges the
 /// results deterministically.
@@ -447,6 +528,177 @@ pub(crate) fn simulate(
     list: &mut FaultList,
     config: &FaultSimConfig,
     obs: Obs<'_>,
+) -> FaultSimReport {
+    simulate_guided(netlist, patterns, list, config, obs, &SimGuide::default())
+}
+
+/// Reorders the target list at worker-group granularity: targets are
+/// chunked into the 63-fault batches they will become, and the *chunks*
+/// are stably sorted by descending mean observability cost. Batch contents
+/// keep enumeration order — that adjacency is what keeps union fanout
+/// cones small, and scattering faults by per-fault cost was measured to
+/// cost more in cone bloat than homogeneity saves. Group order puts the
+/// hardest (least observable) batches first, so multi-worker runs
+/// schedule their longest jobs first and the dropping list sheds its
+/// stubborn classes as early as possible. Per-fault first detections are
+/// independent of batch composition and order, so stamps are unchanged.
+fn order_groups_hardest_first(targets: &mut Vec<FaultId>, keys: &[f64], list: &FaultList) {
+    if targets.is_empty() {
+        return;
+    }
+    let key = |id: FaultId| {
+        keys.get(list.fault(id).site.gate().index())
+            .copied()
+            .unwrap_or(0.0)
+    };
+    let mut groups: Vec<&[FaultId]> = targets.chunks(63).collect();
+    let mean = |g: &[FaultId]| g.iter().map(|&id| key(id)).sum::<f64>() / g.len() as f64;
+    // Descending mean cost; ties keep ascending first-id order so the
+    // layout is deterministic.
+    groups.sort_by(|a, b| mean(b).total_cmp(&mean(a)).then(a[0].cmp(&b[0])));
+    let reordered: Vec<FaultId> = groups.into_iter().flatten().copied().collect();
+    *targets = reordered;
+}
+
+/// How many patterns the first repacking segment of
+/// [`run_dropping_repacked`] spans; each later segment doubles, so a run
+/// of `n` patterns repacks `O(log n)` times. Detections concentrate in
+/// the earliest patterns of a pseudorandom sequence, so short early
+/// segments capture most drops while long late segments keep the
+/// re-planning overhead negligible.
+const REPACK_SEGMENT: usize = 64;
+
+/// Drop-mode driver that makes fault dropping actually *converge*: the
+/// target list is simulated in growing pattern segments, and between
+/// segments the still-undetected faults are re-packed into fresh 63-fault
+/// batches (enumeration order for cone locality, then hardest-first group
+/// order). In the monolithic run a batch keeps paying its full union-cone
+/// evaluation for every remaining pattern as long as *one* lane is
+/// undetected; re-packing shrinks the batch count — and with it the
+/// per-pattern cone work — as coverage accumulates.
+///
+/// Only sound when each pattern is independent of the last, so callers
+/// gate this on combinational netlists (no flip-flop state to carry
+/// across a re-pack). First-detection stamps are unchanged: every fault
+/// still sees every pattern in order until it drops, and drop mode
+/// ignores later detections anyway.
+#[allow(clippy::too_many_arguments)]
+fn run_dropping_repacked(
+    ctx: &Ctx<'_>,
+    mut targets: Vec<FaultId>,
+    keys: &[f64],
+    list: &mut FaultList,
+    report: &mut FaultSimReport,
+    activated_per_pattern: &mut [u32],
+    detected_per_pattern: &mut [u32],
+    obs: Obs<'_>,
+) {
+    debug_assert!(ctx.dff_nets.is_empty() && ctx.config.drop_detected);
+    let n_pat = ctx.patterns.len();
+    let mut segment = REPACK_SEGMENT;
+    let mut start = 0usize;
+    while start < n_pat && !targets.is_empty() {
+        let end = n_pat.min(start + segment);
+        // Re-pack in enumeration order (adjacent ids share fanout cones,
+        // keeping union cones tight), then order groups hardest-first.
+        targets.sort_unstable();
+        order_groups_hardest_first(&mut targets, keys, list);
+        run_target_list(
+            ctx,
+            &targets,
+            list,
+            report,
+            activated_per_pattern,
+            detected_per_pattern,
+            obs,
+            (start, end),
+        );
+        targets.retain(|&id| matches!(list.status(id), FaultStatus::Undetected));
+        if obs.enabled() {
+            obs.add("fsim.repack_segments", 1);
+        }
+        start = end;
+        segment = segment.saturating_mul(2);
+    }
+}
+
+/// Dispatches one guided target list: the segmented repacking driver when
+/// the guide provides observability keys and the netlist is combinational
+/// drop-mode, the monolithic path (with at most a one-shot group
+/// reordering) otherwise. Without keys this is byte-identical to the
+/// unguided engine.
+#[allow(clippy::too_many_arguments)]
+fn run_guided_list(
+    ctx: &Ctx<'_>,
+    targets: Vec<FaultId>,
+    guide: &SimGuide<'_>,
+    list: &mut FaultList,
+    report: &mut FaultSimReport,
+    activated_per_pattern: &mut [u32],
+    detected_per_pattern: &mut [u32],
+    obs: Obs<'_>,
+) {
+    match guide.order_keys {
+        Some(keys) if ctx.config.drop_detected && ctx.dff_nets.is_empty() => {
+            run_dropping_repacked(
+                ctx,
+                targets,
+                keys,
+                list,
+                report,
+                activated_per_pattern,
+                detected_per_pattern,
+                obs,
+            );
+        }
+        keys => {
+            let mut targets = targets;
+            if let Some(keys) = keys {
+                order_groups_hardest_first(&mut targets, keys, list);
+            }
+            run_target_list(
+                ctx,
+                &targets,
+                list,
+                report,
+                activated_per_pattern,
+                detected_per_pattern,
+                obs,
+                (0, ctx.patterns.len()),
+            );
+        }
+    }
+}
+
+/// [`simulate`] with static-analysis guidance (see
+/// [`fault_simulate_guided`](crate::fault_simulate_guided)):
+///
+/// - **Hardest-first group ordering** (`guide.order_keys`): the 63-fault
+///   worker batches are reordered by descending mean observability cost
+///   (see [`order_groups_hardest_first`]); batch contents keep enumeration
+///   order, preserving the cone locality batching exploits. On
+///   combinational netlists in drop mode the ordering is applied
+///   *repeatedly*: the run proceeds in growing pattern segments and the
+///   still-undetected faults are re-packed into fresh hardest-first
+///   groups between segments (see [`run_dropping_repacked`]), so the
+///   batch count shrinks as faults drop. The detected set and every
+///   detection stamp are unchanged either way.
+/// - **Dominance reduction** (`guide.dominance`, drop mode only): removed
+///   dominator classes are excluded from direct simulation. After the
+///   direct pass they *inherit* detection from their earliest-detected
+///   supporter (iterated to a fixpoint — supporters may themselves be
+///   inherited dominators), and whatever remains undetected gets an
+///   explicit residual pass. The final detected set — and therefore the
+///   reported coverage — is identical to simulating every class: a
+///   supporter detection implies the dominator is detectable by that very
+///   pattern, and undetected dominators are still simulated for real.
+pub(crate) fn simulate_guided(
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut FaultList,
+    config: &FaultSimConfig,
+    obs: Obs<'_>,
+    guide: &SimGuide<'_>,
 ) -> FaultSimReport {
     assert_eq!(
         patterns.width(),
@@ -462,11 +714,6 @@ pub(crate) fn simulate(
     } else {
         (0..list.len()).collect()
     };
-    // Snapshot fault data so workers need no access to the list.
-    let batches: Vec<Vec<(FaultId, Fault)>> = targets
-        .chunks(63)
-        .map(|c| c.iter().map(|&fid| (fid, list.fault(fid))).collect())
-        .collect();
 
     let cones = netlist.fanout_cones();
     let in_nets: Vec<usize> = netlist.inputs().nets().iter().map(|n| n.index()).collect();
@@ -482,63 +729,112 @@ pub(crate) fn simulate(
         config: *config,
     };
 
-    let workers = resolve_threads(config).min(batches.len()).max(1);
-    if obs.enabled() {
-        run_span.arg("faults", targets.len());
-        run_span.arg("batches", batches.len());
-        run_span.arg("patterns", patterns.len());
-        run_span.arg("workers", workers);
-        obs.add("fsim.runs", 1);
-        obs.add("fsim.target_faults", targets.len() as u64);
-        obs.add("fsim.patterns", patterns.len() as u64);
-        obs.add("fsim.workers", workers as u64);
-    }
-    // `workers == 1` runs inline on the caller's thread: spawning an OS
-    // thread for a single worker only costs (the threads=8-on-1-core
-    // regression of BENCH_fsim).
-    let outs: Vec<WorkerOut> = if workers <= 1 {
-        obs.record("fsim.batches_per_worker", batches.len() as f64);
-        vec![run_batches(&ctx, &batches, obs, 0)]
-    } else {
-        // Contiguous ranges keep the merge order trivial: worker w owns
-        // batches [w·k, (w+1)·k), so concatenating worker outputs in spawn
-        // order is global batch order.
-        let per = batches.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = batches
-                .chunks(per)
-                .enumerate()
-                .map(|(w, range)| {
-                    let ctx = &ctx;
-                    obs.record("fsim.batches_per_worker", range.len() as f64);
-                    s.spawn(move || run_batches(ctx, range, obs, w * per))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-    };
-
-    // Merge. Serial detections are batch-major (the pattern loop nests
-    // inside the batch loop), so replaying per-batch logs in global batch
-    // order reproduces the serial report byte-for-byte; per-pattern tallies
-    // are exact integer sums and thus order-independent.
     let n_pat = patterns.len();
     let mut activated_per_pattern = vec![0u32; n_pat];
     let mut detected_per_pattern = vec![0u32; n_pat];
-    for w in &outs {
-        for t in 0..n_pat {
-            activated_per_pattern[t] += w.activated[t];
-            detected_per_pattern[t] += w.detected[t];
-        }
+    if obs.enabled() {
+        run_span.arg("faults", targets.len());
+        run_span.arg("patterns", patterns.len());
+        obs.add("fsim.runs", 1);
+        obs.add("fsim.patterns", patterns.len() as u64);
     }
-    for w in outs {
-        for batch_log in w.detections {
-            for (fid, cc, t) in batch_log {
-                list.mark_detected(fid, cc, t);
-                report.record_detection(fid, cc, t);
+
+    // Dominance is per-pattern reasoning over *first* detections; in
+    // non-drop mode every pattern's observations are reported, so the
+    // reduction would change the per-pattern stats. Apply it in drop mode
+    // only (ordering is safe in both).
+    let dominance = guide
+        .dominance
+        .filter(|d| !d.is_identity() && config.drop_detected);
+    match dominance {
+        None => {
+            run_guided_list(
+                &ctx,
+                targets,
+                guide,
+                list,
+                &mut report,
+                &mut activated_per_pattern,
+                &mut detected_per_pattern,
+                obs,
+            );
+        }
+        Some(dom) => {
+            // Phase 1: simulate the non-dominator classes directly.
+            let (direct, deferred): (Vec<FaultId>, Vec<FaultId>) =
+                targets.iter().partition(|&&id| !dom.is_removed(id));
+            run_guided_list(
+                &ctx,
+                direct,
+                guide,
+                list,
+                &mut report,
+                &mut activated_per_pattern,
+                &mut detected_per_pattern,
+                obs,
+            );
+            // Phase 2: removed dominators inherit detection from their
+            // earliest-detected supporter. Iterate to a fixpoint:
+            // supporters can themselves be dominators whose detection
+            // only appears in a previous sweep.
+            let mut inherited = 0u64;
+            loop {
+                let mut changed = false;
+                for &id in &deferred {
+                    if !matches!(list.status(id), FaultStatus::Undetected) {
+                        continue;
+                    }
+                    let mut best: Option<(usize, u64)> = None;
+                    for &s in dom.supporters(id) {
+                        if let FaultStatus::Detected { cc, pattern, .. } = list.status(s) {
+                            if best.is_none_or(|(bt, _)| pattern < bt) {
+                                best = Some((pattern, cc));
+                            }
+                        }
+                    }
+                    if let Some((t, cc)) = best {
+                        list.mark_detected(id, cc, t);
+                        report.record_detection(id, cc, t);
+                        // Supporters detected in a previous run carry that
+                        // run's pattern index; only stamps from this
+                        // sequence can be tallied per pattern.
+                        if t < n_pat {
+                            detected_per_pattern[t] += 1;
+                        }
+                        inherited += 1;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
             }
+            // Phase 3: dominators nothing vouched for are simulated after
+            // all — they may still be detectable by patterns that detect
+            // none of their supporters.
+            let residual: Vec<FaultId> = deferred
+                .iter()
+                .copied()
+                .filter(|&id| matches!(list.status(id), FaultStatus::Undetected))
+                .collect();
+            if obs.enabled() {
+                obs.add("fsim.dominance_removed", deferred.len() as u64);
+                obs.add("fsim.dominance_inherited", inherited);
+                obs.add("fsim.dominance_residual", residual.len() as u64);
+            }
+            run_guided_list(
+                &ctx,
+                residual,
+                guide,
+                list,
+                &mut report,
+                &mut activated_per_pattern,
+                &mut detected_per_pattern,
+                obs,
+            );
         }
     }
+
     for t in 0..n_pat {
         report.record_pattern(
             patterns.cc(t),

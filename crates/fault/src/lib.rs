@@ -43,6 +43,7 @@
 //! assert!(report.total_detected() > 0);
 //! ```
 
+mod dominance;
 pub mod engine;
 mod fault;
 mod list;
@@ -51,8 +52,12 @@ mod sim;
 pub mod tdf;
 mod universe;
 
+pub use dominance::DominanceView;
 pub use fault::{Fault, FaultSite, Polarity};
 pub use list::{FaultId, FaultList, FaultStatus};
 pub use report::{FaultSimReport, PatternStats};
-pub use sim::{fault_simulate, fault_simulate_observed, fault_simulate_reference, FaultSimConfig};
+pub use sim::{
+    fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
+    FaultSimConfig, SimGuide,
+};
 pub use universe::FaultUniverse;

@@ -2,7 +2,7 @@
 
 use warpstl_netlist::{GateKind, Netlist, PatternSeq};
 
-use crate::{FaultId, FaultList, FaultSimReport, FaultSite, Polarity};
+use crate::{DominanceView, FaultId, FaultList, FaultSimReport, FaultSite, Polarity};
 
 /// Configuration of a fault-simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,25 @@ impl Default for FaultSimConfig {
             threads: 0,
         }
     }
+}
+
+/// Static-analysis guidance for a fault-simulation run — the bridge from
+/// `warpstl-analyze` to the engine without a crate dependency: the
+/// analyzer's SCOAP observability scores travel as a plain per-net slice,
+/// and the universe's own [`DominanceView`] travels by reference.
+///
+/// Both halves are optional and independent; the default (`None`/`None`)
+/// makes [`fault_simulate_guided`] behave exactly like [`fault_simulate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimGuide<'a> {
+    /// Dominance-reduced view of the target universe: removed dominator
+    /// classes inherit detection from their supporters instead of being
+    /// simulated directly (drop mode only; identity views are ignored).
+    pub dominance: Option<&'a DominanceView>,
+    /// Per-net observability cost (higher = harder to observe), indexed
+    /// by gate: targets are stably reordered hardest-first before
+    /// batching so each batch holds faults of similar difficulty.
+    pub order_keys: Option<&'a [f64]>,
 }
 
 /// Runs one fault simulation of `patterns` against `netlist`, updating
@@ -115,6 +134,59 @@ pub fn fault_simulate_observed(
     obs: warpstl_obs::Obs<'_>,
 ) -> FaultSimReport {
     crate::engine::simulate(netlist, patterns, list, config, obs)
+}
+
+/// [`fault_simulate`] guided by static analysis: a [`SimGuide`] carrying
+/// an optional [`DominanceView`] (simulate fewer classes, inherit the
+/// rest) and optional per-net observability keys (order targets
+/// hardest-first so batches early-exit together).
+///
+/// The *detected fault set* — and therefore [`FaultList::coverage`] — is
+/// identical to the unguided run over the same patterns: dominators
+/// inherit detection only from supporters whose tests provably detect
+/// them, and uninherited dominators are still simulated in a residual
+/// pass. Detection stamps of inherited faults may differ (they take the
+/// supporter's earliest stamp).
+///
+/// # Panics
+///
+/// Panics if `patterns.width()` differs from the netlist's input width.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_fault::{
+///     fault_simulate_guided, FaultList, FaultSimConfig, FaultUniverse, SimGuide,
+/// };
+/// use warpstl_netlist::{Builder, PatternSeq};
+///
+/// let mut b = Builder::new("and2");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let z = b.and(x, y);
+/// b.output("z", z);
+/// let n = b.finish();
+///
+/// let universe = FaultUniverse::enumerate(&n);
+/// let dominance = universe.dominance(&n);
+/// let mut list = FaultList::new(&universe);
+/// let mut pats = PatternSeq::new(2);
+/// for (cc, v) in [(0, 0b11), (1, 0b01), (2, 0b10)] {
+///     pats.push_value(cc, v);
+/// }
+/// let guide = SimGuide { dominance: Some(&dominance), order_keys: None };
+/// fault_simulate_guided(&n, &pats, &mut list, &FaultSimConfig::default(), None, &guide);
+/// assert_eq!(list.coverage(), 1.0); // identical to the unguided run
+/// ```
+pub fn fault_simulate_guided(
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut FaultList,
+    config: &FaultSimConfig,
+    obs: warpstl_obs::Obs<'_>,
+    guide: &SimGuide<'_>,
+) -> FaultSimReport {
+    crate::engine::simulate_guided(netlist, patterns, list, config, obs, guide)
 }
 
 /// The original single-threaded engine, kept as the oracle for the parallel

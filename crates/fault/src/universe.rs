@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use warpstl_netlist::{GateKind, NetId, Netlist};
 
-use crate::{Fault, FaultSite, Polarity};
+use crate::{DominanceView, Fault, FaultId, FaultSite, Polarity};
 
 /// The complete single-stuck-at fault universe of a netlist, collapsed by
 /// structural equivalence.
@@ -35,6 +35,10 @@ use crate::{Fault, FaultSite, Polarity};
 pub struct FaultUniverse {
     representatives: Vec<Fault>,
     class_sizes: Vec<u32>,
+    /// Every enumerated fault mapped to the index of its representative in
+    /// `representatives` — the lookup dominance analysis lifts fault-level
+    /// relations to class level with.
+    rep_of: HashMap<Fault, u32>,
     total: usize,
 }
 
@@ -126,7 +130,7 @@ impl FaultUniverse {
         for i in 0..faults.len() {
             class_members.entry(uf.find(i)).or_default().push(i);
         }
-        let mut reps: Vec<(Fault, u32)> = class_members
+        let mut reps: Vec<(Fault, u32, Vec<usize>)> = class_members
             .into_values()
             .map(|members| {
                 let rep = members
@@ -137,14 +141,24 @@ impl FaultUniverse {
                         FaultSite::InputPin(n, p) => (1u8, n, p, f.polarity),
                     })
                     .expect("non-empty class");
-                (rep, members.len() as u32)
+                (rep, members.len() as u32, members)
             })
             .collect();
-        reps.sort_by_key(|(f, _)| *f);
-        let (representatives, class_sizes) = reps.into_iter().unzip();
+        reps.sort_by_key(|(f, _, _)| *f);
+        let mut representatives = Vec::with_capacity(reps.len());
+        let mut class_sizes = Vec::with_capacity(reps.len());
+        let mut rep_of = HashMap::with_capacity(faults.len());
+        for (idx, (rep, size, members)) in reps.into_iter().enumerate() {
+            for m in members {
+                rep_of.insert(faults[m], idx as u32);
+            }
+            representatives.push(rep);
+            class_sizes.push(size);
+        }
         FaultUniverse {
             representatives,
             class_sizes,
+            rep_of,
             total,
         }
     }
@@ -173,10 +187,33 @@ impl FaultUniverse {
         self.total
     }
 
-    /// The collapse ratio (collapsed / total).
+    /// The collapse ratio (collapsed / total). An empty universe (a
+    /// netlist with nothing but constants) has nothing to collapse and
+    /// reports `1.0` rather than `0/0 = NaN`.
     #[must_use]
     pub fn collapse_ratio(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
         self.collapsed_len() as f64 / self.total_len() as f64
+    }
+
+    /// The id of the equivalence class containing `fault`, or `None` for
+    /// faults outside the universe (constant-gate sites and tied pins are
+    /// never enumerated).
+    #[must_use]
+    pub fn rep_of(&self, fault: Fault) -> Option<FaultId> {
+        self.rep_of.get(&fault).map(|&i| i as usize)
+    }
+
+    /// Layers fault-dominance collapsing on top of the equivalence
+    /// classes: a [`DominanceView`] naming which classes can be removed
+    /// from direct simulation because detecting one of their *supporters*
+    /// implies their detection. Identity (nothing removed) for sequential
+    /// netlists, where per-pattern dominance does not hold.
+    #[must_use]
+    pub fn dominance(&self, netlist: &Netlist) -> DominanceView {
+        DominanceView::build(self, netlist)
     }
 }
 
@@ -286,6 +323,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_universe_has_unit_collapse_ratio() {
+        // A netlist of constants only enumerates zero faults; the ratio
+        // must be 1.0, not 0/0 = NaN.
+        let mut b = Builder::new("consts");
+        let k = b.const1();
+        b.output("k", k);
+        let u = FaultUniverse::enumerate(&b.finish());
+        assert_eq!(u.total_len(), 0);
+        assert_eq!(u.collapsed_len(), 0);
+        assert_eq!(u.collapse_ratio(), 1.0);
+    }
+
+    #[test]
+    fn not_gate_inverts_equivalence() {
+        // NOT: in/SA0 ≡ out/SA1 and in/SA1 ≡ out/SA0 — the pin classes
+        // merge with the *opposite* output polarity.
+        let mut b = Builder::new("not");
+        let x = b.input("x");
+        let y = b.not(x);
+        b.output("y", y);
+        let u = FaultUniverse::enumerate(&b.finish());
+        // Universe: x, y outputs (4) + y.in0 (2) = 6; two classes remain.
+        assert_eq!(u.total_len(), 6);
+        assert_eq!(u.collapsed_len(), 2);
+        let rep = |f| u.rep_of(f).expect("in universe");
+        let pin = |p| Fault::new(FaultSite::InputPin(NetId(1), 0), p);
+        let out = |p| Fault::new(FaultSite::Output(NetId(1)), p);
+        assert_eq!(rep(pin(Polarity::Sa0)), rep(out(Polarity::Sa1)));
+        assert_eq!(rep(pin(Polarity::Sa1)), rep(out(Polarity::Sa0)));
+        assert_ne!(rep(pin(Polarity::Sa0)), rep(pin(Polarity::Sa1)));
+    }
+
+    #[test]
+    fn xor_and_xnor_pins_do_not_collapse_into_output() {
+        // XOR/XNOR have no controlling value: no per-gate equivalence (or
+        // dominance) exists, so with shared fanout the pin faults stay
+        // distinct classes from the output faults.
+        for xnor in [false, true] {
+            let mut b = Builder::new(if xnor { "xnor" } else { "xor" });
+            let x = b.input("x");
+            let y = b.input("y");
+            // Give x and y fanout 2 so stem/branch equivalence cannot
+            // merge the pins with their drivers either.
+            let g = if xnor { b.xnor(x, y) } else { b.xor(x, y) };
+            let spare = b.and(x, y);
+            b.output("g", g);
+            b.output("s", spare);
+            let u = FaultUniverse::enumerate(&b.finish());
+            let rep = |f| u.rep_of(f).expect("in universe");
+            let gate = g;
+            for pin in 0..2u8 {
+                for pol in Polarity::BOTH {
+                    let branch = Fault::new(FaultSite::InputPin(gate, pin), pol);
+                    for out_pol in Polarity::BOTH {
+                        let stem = Fault::new(FaultSite::Output(gate), out_pol);
+                        assert_ne!(
+                            rep(branch),
+                            rep(stem),
+                            "xnor={xnor} pin{pin}/{pol:?} collapsed into output"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rep_of_covers_every_enumerated_fault() {
+        let n = warpstl_netlist::modules::ModuleKind::Sfu.build();
+        let u = FaultUniverse::enumerate(&n);
+        // Representatives map to themselves, at their own index.
+        for (i, &f) in u.faults().iter().enumerate() {
+            assert_eq!(u.rep_of(f), Some(i));
+        }
+        // Class sizes and the rep_of map agree on the universe total.
+        let sizes: u32 = (0..u.collapsed_len()).map(|i| u.class_size(i)).sum();
+        assert_eq!(sizes as usize, u.total_len());
     }
 
     #[test]

@@ -392,7 +392,20 @@ impl Builder {
     /// unconnected DFF placeholders); these are generator bugs.
     #[must_use]
     pub fn finish(self) -> Netlist {
+        // `push` validates non-DFF pins at creation time, but DFF `d` pins
+        // are connected late (`connect_dff`) and used to surface only as an
+        // index panic deep inside a simulator. Re-check every pin here so
+        // misuse fails at finish time with the offending gate named.
         for (i, g) in self.gates.iter().enumerate() {
+            for (p, &pin) in g.inputs().iter().enumerate() {
+                assert!(
+                    pin.index() < self.gates.len(),
+                    "finish: gate n{i} ({}) pin {p} references {pin}, \
+                     but only {} gates exist",
+                    g.kind,
+                    self.gates.len()
+                );
+            }
             if g.kind == GateKind::Dff {
                 assert!(
                     g.pins[0].index() != i || self.gates.len() == 1,
@@ -568,5 +581,20 @@ mod tests {
         let n = b.finish();
         assert!(!n.is_combinational());
         assert_eq!(n.dffs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate n1 (DFF) pin 0 references n99")]
+    fn finish_names_gate_with_dangling_dff_pin() {
+        // `connect_dff` accepts any net (feedback may target later nets),
+        // so a bogus target used to surface only as an index panic inside
+        // a simulator. `finish` must name the offending gate instead.
+        let mut b = Builder::new("bad");
+        let a = b.input("a");
+        let q = b.dff_placeholder();
+        b.connect_dff(q, NetId(99));
+        let z = b.xor(a, q);
+        b.output("z", z);
+        let _ = b.finish();
     }
 }

@@ -1,0 +1,100 @@
+//! Deliberately malformed netlists for exercising the static analyzer.
+//!
+//! [`Builder::finish`](crate::Builder::finish) enforces the structural
+//! invariants (causal pin references, no dangling nets), so a *valid*
+//! netlist can never contain a combinational loop or an undriven pin.
+//! The analyzer lints still have to detect those defects — they guard
+//! netlists imported from outside the builder — and these fixtures are
+//! the seeded counterexamples the lint tests and the
+//! `warpstl analyze` CLI smoke tests run against.
+//!
+//! Fixture netlists must only be *analyzed*: simulating one is undefined
+//! (the simulators assume the invariants these fixtures break).
+
+use crate::{Gate, GateKind, NetId, Netlist, PortMap};
+
+/// A netlist with a two-gate combinational loop.
+///
+/// ```text
+/// n0 = INPUT x        n2 = AND(n0, n3)   <- reads n3, built later
+/// n1 = INPUT y        n3 = AND(n2, n1)   <- closes the cycle n2 -> n3 -> n2
+///                     n4 = OR(n3, n0)    -> output z
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// let n = warpstl_netlist::fixtures::combinational_loop();
+/// assert!(n.is_combinational());
+/// assert_eq!(n.gates().len(), 5);
+/// ```
+#[must_use]
+pub fn combinational_loop() -> Netlist {
+    let gates = vec![
+        Gate::new(GateKind::Input, &[]),
+        Gate::new(GateKind::Input, &[]),
+        Gate::new(GateKind::And, &[NetId(0), NetId(3)]),
+        Gate::new(GateKind::And, &[NetId(2), NetId(1)]),
+        Gate::new(GateKind::Or, &[NetId(3), NetId(0)]),
+    ];
+    let mut inputs = PortMap::new();
+    inputs.push("x", &[NetId(0)]);
+    inputs.push("y", &[NetId(1)]);
+    let mut outputs = PortMap::new();
+    outputs.push("z", &[NetId(4)]);
+    Netlist::from_parts_relaxed("fixture_comb_loop".to_string(), gates, inputs, outputs)
+}
+
+/// A netlist with an undriven (dangling) pin reference.
+///
+/// Gate `n2` reads net `n7`, but only three gates exist: the pin floats.
+///
+/// # Examples
+///
+/// ```
+/// let n = warpstl_netlist::fixtures::undriven();
+/// assert_eq!(n.gates().len(), 3);
+/// ```
+#[must_use]
+pub fn undriven() -> Netlist {
+    let gates = vec![
+        Gate::new(GateKind::Input, &[]),
+        Gate::new(GateKind::Input, &[]),
+        Gate::new(GateKind::And, &[NetId(0), NetId(7)]),
+    ];
+    let mut inputs = PortMap::new();
+    inputs.push("x", &[NetId(0)]);
+    inputs.push("y", &[NetId(1)]);
+    let mut outputs = PortMap::new();
+    outputs.push("z", &[NetId(2)]);
+    Netlist::from_parts_relaxed("fixture_undriven".to_string(), gates, inputs, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_fixture_shape() {
+        let n = combinational_loop();
+        assert_eq!(n.name(), "fixture_comb_loop");
+        assert!(n.is_combinational());
+        // The cycle: n2 reads n3 and n3 reads n2.
+        assert!(n.gates()[2].inputs().contains(&NetId(3)));
+        assert!(n.gates()[3].inputs().contains(&NetId(2)));
+        // Structural accessors stay usable.
+        assert_eq!(n.fanout(NetId(3)), 2);
+        let _ = n.logic_depth();
+    }
+
+    #[test]
+    fn undriven_fixture_shape() {
+        let n = undriven();
+        assert!(n.gates()[2]
+            .inputs()
+            .iter()
+            .any(|p| p.index() >= n.gates().len()));
+        // Dangling pins are skipped by fanout counting and depth.
+        let _ = n.logic_depth();
+    }
+}

@@ -38,6 +38,7 @@
 
 mod builder;
 mod cones;
+pub mod fixtures;
 mod gate;
 pub mod io;
 pub mod modules;

@@ -16,7 +16,7 @@
 //!
 //! Output: `y` (32-bit result). The datapath implements a *simplified*
 //! round-toward-zero single precision without subnormals, NaN payloads or
-//! overflow saturation — the [`reference`](reference) function defines the architectural semantics
+//! overflow saturation — the [`reference()`] function defines the architectural semantics
 //! bit-exactly, and the MiniGrip GPU model uses it for the FP32 opcodes'
 //! results so functional and gate-level views agree.
 

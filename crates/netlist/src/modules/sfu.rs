@@ -11,7 +11,7 @@
 //!
 //! Output: `y` (32-bit approximation result).
 //!
-//! The MiniGrip GPU model uses [`reference`] as the *architectural* result of
+//! The MiniGrip GPU model uses [`reference()`] as the *architectural* result of
 //! the SFU opcodes, so the functional simulation and the gate-level fault
 //! target agree bit-exactly (the paper's RTL and gate-level models agree the
 //! same way because one is synthesized from the other).

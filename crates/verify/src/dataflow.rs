@@ -91,7 +91,7 @@ pub struct Dataflow {
     /// Slots live at each block's exit.
     pub live_out: Vec<u128>,
     /// Per-pc: how many reads any definition made at that pc reaches. Only
-    /// meaningful where [`def_mask`] is nonzero; a defining pc with count 0
+    /// meaningful where `def_mask` is nonzero; a defining pc with count 0
     /// is a dead definition.
     pub use_count: Vec<usize>,
 }

@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings || exit 1
 echo "== tests =="
 cargo test -q || exit 1
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q || exit 1
+
 echo "== trace-out smoke test =="
 # End-to-end observability check: compact a small PTP with --trace-out and
 # validate that the emitted file is real JSON with one complete span per
@@ -33,7 +36,7 @@ with open(sys.argv[1]) as f:
     trace = json.load(f)
 events = trace["traceEvents"]
 complete = [e["name"] for e in events if e.get("ph") == "X"]
-stages = ["stage.trace", "stage.fsim", "stage.label",
+stages = ["stage.analyze", "stage.trace", "stage.fsim", "stage.label",
           "stage.reduce", "stage.verify", "stage.eval"]
 for stage in stages:
     n = complete.count(stage)
@@ -42,5 +45,24 @@ assert complete.count("fsim.worker") >= 1, "missing fsim.worker spans"
 assert "warpstlMetrics" in trace, "missing embedded metrics"
 print(f"trace OK: {len(events)} events, all {len(stages)} stage spans present")
 EOF
+
+echo "== netlist analyzer smoke test =="
+# The analyze command must produce valid JSON for a healthy bundled module
+# and exit nonzero on the seeded combinational-loop fixture.
+cargo run -q --release -p warpstl-cli -- analyze decoder_unit --json \
+    > "$SMOKE_DIR/analyze.json" || exit 1
+python3 - "$SMOKE_DIR/analyze.json" <<'EOF' || exit 1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["errors"] == 0, f"decoder_unit should lint clean: {report}"
+print(f"analyze OK: {report['netlist']}, {report['gates']} gates, 0 errors")
+EOF
+if cargo run -q --release -p warpstl-cli -- analyze comb-loop >/dev/null 2>&1; then
+    echo "analyze comb-loop should have exited nonzero" >&2
+    exit 1
+fi
+echo "analyze comb-loop: nonzero exit as expected"
 
 echo "check.sh: all green"
