@@ -22,6 +22,7 @@
 //! (or via `scripts/bench_fsim.sh`).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use warpstl_analyze::Scoap;
@@ -35,6 +36,7 @@ use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
 use warpstl_obs::Recorder;
 use warpstl_programs::generators::{generate_cntrl, generate_imm, generate_mem};
+use warpstl_store::{atomic_write, Store};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -231,6 +233,87 @@ fn measure_compaction(threads: usize) -> (f64, StageTimings) {
     (wall, stages)
 }
 
+struct CacheResult {
+    cold_s: f64,
+    warm_s: f64,
+    identical: bool,
+    warm_hits: u64,
+    warm_misses: u64,
+    cold_writes: u64,
+}
+
+impl CacheResult {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+}
+
+/// Cold-vs-warm compaction of the DU group against an on-disk artifact
+/// store: the cold run populates the cache, the warm run must replay it —
+/// reproducing every `CompactionReport` byte-for-byte while skipping the
+/// fault-simulation work entirely.
+fn measure_cache() -> CacheResult {
+    let dir = std::env::temp_dir().join(format!("warpstl-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Each run opens its own store handle so the session counters are
+    // per-run, but both point at the same directory.
+    let run = || {
+        let store = Arc::new(Store::open(&dir).expect("open bench cache dir"));
+        let scale = Scale::new(128);
+        let du = vec![
+            generate_imm(&scale.imm()),
+            generate_mem(&scale.mem()),
+            generate_cntrl(&scale.cntrl()),
+        ];
+        let compactor = Compactor {
+            store: Some(store.clone()),
+            ..Compactor::default()
+        };
+        let start = Instant::now();
+        let group = compact_group(&du, ModuleKind::DecoderUnit, &compactor);
+        let wall = start.elapsed().as_secs_f64();
+        let json: String = group
+            .rows
+            .iter()
+            .map(warpstl_core::CompactionReport::to_json)
+            .collect();
+        (wall, json, store.session())
+    };
+
+    let (cold_s, cold_json, cold_stats) = run();
+    eprintln!(
+        "[bench_fsim]   cold {cold_s:.4}s ({} write(s), {} miss(es))",
+        cold_stats.writes, cold_stats.misses
+    );
+    let (warm_s, warm_json, warm_stats) = run();
+    eprintln!(
+        "[bench_fsim]   warm {warm_s:.4}s ({} hit(s), {} miss(es), {:.2}x)",
+        warm_stats.hits,
+        warm_stats.misses,
+        cold_s / warm_s
+    );
+
+    let identical = cold_json == warm_json;
+    assert!(identical, "warm cache rerun diverged from the cold reports");
+    if cold_s / warm_s < 5.0 {
+        eprintln!(
+            "[bench_fsim]   WARNING: warm speedup {:.2}x below the 5x target",
+            cold_s / warm_s
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CacheResult {
+        cold_s,
+        warm_s,
+        identical,
+        warm_hits: warm_stats.hits,
+        warm_misses: warm_stats.misses,
+        cold_writes: cold_stats.writes,
+    }
+}
+
 /// Times the single-thread engine with a no-op `Obs` handle vs a live
 /// recorder on the DU module: the guard for the "zero cost when disabled"
 /// claim (and an upper bound on the enabled overhead).
@@ -298,6 +381,9 @@ fn main() {
     eprintln!("[bench_fsim] compacting the DU group end-to-end (bench scale)");
     let (compact_wall_s, compact_stages) = measure_compaction(0);
     eprintln!("[bench_fsim]   compact du_group {compact_wall_s:.4}s ({compact_stages})");
+
+    eprintln!("[bench_fsim] cold vs warm artifact cache (DU group)");
+    let cache = measure_cache();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -443,10 +529,23 @@ fn main() {
         "    \"eval_s\": {:.6}",
         compact_stages.eval.as_secs_f64()
     );
+    json.push_str("  },\n");
+    json.push_str("  \"cache\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"the DU-group compaction above, run twice against one on-disk artifact store: the cold run computes and writes analyze reports and per-fault detection stamps, the warm run replays them; report_identical asserts the warm CompactionReports match the cold ones byte-for-byte\","
+    );
+    let _ = writeln!(json, "    \"cold_s\": {:.6},", cache.cold_s);
+    let _ = writeln!(json, "    \"warm_s\": {:.6},", cache.warm_s);
+    let _ = writeln!(json, "    \"speedup\": {:.3},", cache.speedup());
+    let _ = writeln!(json, "    \"report_identical\": {},", cache.identical);
+    let _ = writeln!(json, "    \"cold_writes\": {},", cache.cold_writes);
+    let _ = writeln!(json, "    \"warm_hits\": {},", cache.warm_hits);
+    let _ = writeln!(json, "    \"warm_misses\": {}", cache.warm_misses);
     json.push_str("  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fsim.json");
-    std::fs::write(path, &json).expect("write BENCH_fsim.json");
+    atomic_write(path, json.as_bytes()).expect("write BENCH_fsim.json");
     println!("{json}");
     eprintln!("[bench_fsim] wrote {path}");
 }

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fs;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use warpstl_core::Compactor;
@@ -15,6 +16,7 @@ use warpstl_programs::generators::{
 };
 use warpstl_programs::serialize::{ptp_from_text, ptp_to_text};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
+use warpstl_store::{atomic_write, EntryKind, EntryStatus, Store};
 
 type CliResult = Result<(), Box<dyn Error>>;
 
@@ -24,15 +26,22 @@ usage:
                       [--sb-count N] [--patterns N] [--seed N] [--out FILE]
   warpstl features    <PTP-FILE>
   warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
-                      [--trace-out FILE]
+                      [--trace-out FILE] [--json FILE]
+                      [--cache-dir DIR] [--no-cache]
   warpstl compact-stl <STL-FILE> [--out FILE] [--trace-out FILE]
+                      [--json FILE] [--cache-dir DIR] [--no-cache]
+  warpstl cache       <stats|gc|verify|clear> [--cache-dir DIR]
   warpstl lint        <PTP-FILE> [--json]
   warpstl analyze     <MODULE> [--json]
                       (a module name from `warpstl modules`, or the
                        `comb-loop` / `undriven` demo fixtures)
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
-  warpstl modules";
+  warpstl modules
+
+caching: compact and compact-stl reuse stored artifacts when --cache-dir
+(or the WARPSTL_CACHE_DIR environment variable) names a directory;
+--no-cache disables the cache for one run.";
 
 /// Parses and runs one invocation.
 pub fn dispatch(args: &[String]) -> CliResult {
@@ -41,6 +50,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("features") => features(&args[1..]),
         Some("compact") => compact(&args[1..]),
         Some("compact-stl") => compact_stl(&args[1..]),
+        Some("cache") => cache(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("run") => run(&args[1..]),
@@ -81,6 +91,127 @@ impl<'a> Flags<'a> {
 
     fn has(&self, key: &str) -> bool {
         self.rest.iter().any(|a| a == key)
+    }
+}
+
+/// Resolves the cache directory for one invocation: `--no-cache` wins over
+/// everything, an explicit `--cache-dir DIR` wins over the environment,
+/// and `env` (the caller passes `WARPSTL_CACHE_DIR`'s value, which keeps
+/// this testable without mutating the process environment) is the
+/// fallback. `None` means caching stays off.
+fn resolve_cache_dir(flags: &Flags, env: Option<&str>) -> Option<PathBuf> {
+    if flags.has("--no-cache") {
+        return None;
+    }
+    flags.value("--cache-dir").or(env).map(PathBuf::from)
+}
+
+/// Opens the artifact store for a compaction command, if one is
+/// configured.
+fn open_store(flags: &Flags) -> Result<Option<Arc<Store>>, Box<dyn Error>> {
+    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    match resolve_cache_dir(flags, env.as_deref()) {
+        None => Ok(None),
+        Some(dir) => Ok(Some(Arc::new(Store::open(&dir)?))),
+    }
+}
+
+/// One-line cache traffic summary, printed after a cached compaction so
+/// cold/warm runs are distinguishable from the console output alone.
+fn print_cache_line(store: &Store) {
+    let s = store.session();
+    println!(
+        "cache    {} hit(s), {} miss(es), {} write(s)",
+        s.hits, s.misses, s.writes
+    );
+}
+
+/// Inspects and maintains the on-disk artifact cache. `stats` and
+/// `verify` only read; `gc` removes corrupt or version-skewed entries;
+/// `clear` removes every recognized entry (foreign files are never
+/// touched). `verify` exits nonzero when any entry fails its checksum, so
+/// CI can assert cache integrity.
+fn cache(args: &[String]) -> CliResult {
+    let action = args
+        .first()
+        .ok_or("cache: missing action (stats|gc|verify|clear)")?;
+    let flags = Flags::new(&args[1..]);
+    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    let dir = resolve_cache_dir(&flags, env.as_deref())
+        .ok_or("cache: no directory (pass --cache-dir DIR or set WARPSTL_CACHE_DIR)")?;
+    let store = Store::open(&dir)?;
+    match action.as_str() {
+        "stats" => {
+            let scan = store.scan()?;
+            println!("dir      {}", store.root().display());
+            println!(
+                "entries  {} valid, {} invalid, {} byte(s) total",
+                scan.valid_count(),
+                scan.invalid_count(),
+                scan.total_bytes()
+            );
+            for kind in EntryKind::ALL {
+                let (count, bytes) = scan.kind_summary(kind);
+                println!(
+                    "{:<12} {} entr{}, {} byte(s)",
+                    kind.name(),
+                    count,
+                    plural_y(count),
+                    bytes
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let (removed, freed) = store.gc()?;
+            println!(
+                "removed {removed} invalid entr{}, freed {freed} byte(s)",
+                plural_y(removed)
+            );
+            Ok(())
+        }
+        "verify" => {
+            let scan = store.scan()?;
+            for e in &scan.entries {
+                let status = match e.status {
+                    EntryStatus::Valid => continue,
+                    EntryStatus::Corrupt => "corrupt",
+                    EntryStatus::VersionMismatch => "version mismatch",
+                };
+                println!("{}: {status}", e.path.display());
+            }
+            println!(
+                "verified {} entr{}: {} valid, {} invalid",
+                scan.entries.len(),
+                plural_y(scan.entries.len()),
+                scan.valid_count(),
+                scan.invalid_count()
+            );
+            if scan.invalid_count() == 0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "cache: {} invalid entr{}",
+                    scan.invalid_count(),
+                    plural_y(scan.invalid_count())
+                )
+                .into())
+            }
+        }
+        "clear" => {
+            let removed = store.clear()?;
+            println!("removed {removed} entr{}", plural_y(removed));
+            Ok(())
+        }
+        other => Err(format!("cache: unknown action `{other}` (stats|gc|verify|clear)").into()),
+    }
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
     }
 }
 
@@ -205,7 +336,7 @@ fn features(args: &[String]) -> CliResult {
 /// is present, so the default path stays instrumentation-free) and, after
 /// the run, writes the Chrome trace JSON next to a metrics summary.
 fn write_trace(path: &str, rec: &Recorder) -> CliResult {
-    fs::write(path, rec.to_chrome_trace())?;
+    atomic_write(path, rec.to_chrome_trace().as_bytes())?;
     let m = rec.metrics();
     eprintln!(
         "wrote trace {path} ({} spans, {} counters, {} histograms) — open in ui.perfetto.dev or about://tracing",
@@ -222,10 +353,12 @@ fn compact(args: &[String]) -> CliResult {
     let recorder = flags
         .value("--trace-out")
         .map(|_| Arc::new(Recorder::new()));
+    let store = open_store(&flags)?;
     let compactor = Compactor {
         reverse_patterns: flags.has("--reverse"),
         respect_arc: !flags.has("--no-arc"),
         obs: recorder.clone(),
+        store: store.clone(),
         ..Compactor::default()
     };
     let mut ctx = compactor.context_for(ptp.target);
@@ -253,8 +386,15 @@ fn compact(args: &[String]) -> CliResult {
         "SBs      {} of {} removed; {} logic + {} fault simulation(s) in {:.2?}",
         r.sbs_removed, r.sbs_total, r.logic_sim_runs, r.fault_sim_runs, r.compaction_time
     );
+    if let Some(st) = store.as_deref() {
+        print_cache_line(st);
+    }
     if let Some(path) = flags.value("--out") {
-        fs::write(path, ptp_to_text(&out.compacted))?;
+        atomic_write(path, ptp_to_text(&out.compacted).as_bytes())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.value("--json") {
+        atomic_write(path, out.report.to_json().as_bytes())?;
         eprintln!("wrote {path}");
     }
     if let (Some(path), Some(rec)) = (flags.value("--trace-out"), recorder.as_deref()) {
@@ -406,9 +546,11 @@ fn compact_stl(args: &[String]) -> CliResult {
     let recorder = flags
         .value("--trace-out")
         .map(|_| Arc::new(Recorder::new()));
+    let store = open_store(&flags)?;
     let outcome = warpstl_core::compact_stl_with(&stl, |module| Compactor {
         reverse_patterns: module == ModuleKind::Sfu,
         obs: recorder.clone(),
+        store: store.clone(),
         ..Compactor::default()
     })?;
     for r in &outcome.reports {
@@ -427,9 +569,18 @@ fn compact_stl(args: &[String]) -> CliResult {
         outcome.duration_reduction_pct(),
         outcome.fault_sim_runs()
     );
+    if let Some(st) = store.as_deref() {
+        print_cache_line(st);
+    }
     if let Some(out) = flags.value("--out") {
-        fs::write(out, stl_to_text(&outcome.compacted))?;
+        atomic_write(out, stl_to_text(&outcome.compacted).as_bytes())?;
         eprintln!("wrote {out}");
+    }
+    if let Some(path) = flags.value("--json") {
+        let body: Vec<String> = outcome.reports.iter().map(|r| r.to_json()).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        atomic_write(path, json.as_bytes())?;
+        eprintln!("wrote {path}");
     }
     if let (Some(trace_path), Some(rec)) = (flags.value("--trace-out"), recorder.as_deref()) {
         write_trace(trace_path, rec)?;
@@ -715,5 +866,112 @@ mod tests {
         assert!(dispatch(&s(&["generate", "IMM", "--sb-count", "zebra"])).is_err());
         assert!(dispatch(&s(&["generate", "BOGUS"])).is_err());
         assert!(dispatch(&s(&["features", "/nonexistent/x.ptp"])).is_err());
+    }
+
+    #[test]
+    fn cache_dir_resolver_precedence() {
+        let args = s(&["--cache-dir", "/x"]);
+        let flags = Flags::new(&args);
+        assert_eq!(
+            resolve_cache_dir(&flags, Some("/env")),
+            Some(PathBuf::from("/x"))
+        );
+
+        let args = s(&[]);
+        let flags = Flags::new(&args);
+        assert_eq!(
+            resolve_cache_dir(&flags, Some("/env")),
+            Some(PathBuf::from("/env"))
+        );
+        assert_eq!(resolve_cache_dir(&flags, None), None);
+
+        let args = s(&["--no-cache", "--cache-dir", "/x"]);
+        let flags = Flags::new(&args);
+        assert_eq!(resolve_cache_dir(&flags, Some("/env")), None);
+    }
+
+    #[test]
+    fn cached_compact_is_byte_identical_and_cache_subcommands_work() {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-cli-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "4",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let cache_dir = dir.join("cache");
+        let r1 = dir.join("r1.json");
+        let r2 = dir.join("r2.json");
+        for report in [&r1, &r2] {
+            dispatch(&s(&[
+                "compact",
+                ptp_path.to_str().unwrap(),
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+                "--json",
+                report.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let cold = fs::read_to_string(&r1).unwrap();
+        let warm = fs::read_to_string(&r2).unwrap();
+        assert_eq!(cold, warm, "warm rerun must reproduce the report JSON");
+        assert!(cold.contains("\"fc_after\""));
+
+        // The warm run found entries on disk; stats/verify agree.
+        let cd = cache_dir.to_str().unwrap();
+        dispatch(&s(&["cache", "stats", "--cache-dir", cd])).unwrap();
+        dispatch(&s(&["cache", "verify", "--cache-dir", cd])).unwrap();
+
+        // Corrupt every entry: verify flags it, gc reclaims it, verify
+        // passes again, and clear empties the rest.
+        let mut corrupted = 0;
+        for dent in fs::read_dir(&cache_dir).unwrap() {
+            let path = dent.unwrap().path();
+            let mut bytes = fs::read(&path).unwrap();
+            let len = bytes.len();
+            bytes.truncate(len / 2);
+            fs::write(&path, &bytes).unwrap();
+            corrupted += 1;
+        }
+        assert!(corrupted > 0, "the cached run must have written entries");
+        assert!(dispatch(&s(&["cache", "verify", "--cache-dir", cd])).is_err());
+        dispatch(&s(&["cache", "gc", "--cache-dir", cd])).unwrap();
+        dispatch(&s(&["cache", "verify", "--cache-dir", cd])).unwrap();
+        dispatch(&s(&["cache", "clear", "--cache-dir", cd])).unwrap();
+        assert!(warpstl_store::Store::open(&cache_dir)
+            .unwrap()
+            .scan()
+            .unwrap()
+            .entries
+            .is_empty());
+
+        // --no-cache wins over --cache-dir: no new entries appear.
+        dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--cache-dir",
+            cd,
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert!(warpstl_store::Store::open(&cache_dir)
+            .unwrap()
+            .scan()
+            .unwrap()
+            .entries
+            .is_empty());
+
+        // Bad invocations are flagged.
+        assert!(dispatch(&s(&["cache", "frobnicate", "--cache-dir", cd])).is_err());
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,10 +1,13 @@
 //! Per-module compaction context: the netlist and the shared fault lists.
 
+use std::sync::Arc;
+
 use warpstl_analyze::{analyze, Analysis};
 use warpstl_fault::{DominanceView, FaultList, FaultUniverse, SimGuide};
 use warpstl_gpu::ModulePatterns;
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_store::{key_netlist, CacheCtx, Key, Store};
 
 /// The per-target-module state shared across the PTPs of an STL: the module
 /// netlist, its collapsed fault universe, and one fault list per physical
@@ -34,6 +37,8 @@ pub struct ModuleContext {
     analysis: Analysis,
     dominance: DominanceView,
     order_keys: Vec<f64>,
+    store: Option<Arc<Store>>,
+    netlist_key: Key,
 }
 
 impl ModuleContext {
@@ -50,6 +55,7 @@ impl ModuleContext {
         let analysis = analyze(&netlist);
         let dominance = universe.dominance(&netlist);
         let order_keys = analysis.scoap.observability_keys();
+        let netlist_key = key_netlist(&netlist);
         ModuleContext {
             module,
             netlist,
@@ -58,6 +64,41 @@ impl ModuleContext {
             analysis,
             dominance,
             order_keys,
+            store: None,
+            netlist_key,
+        }
+    }
+
+    /// Attaches (or detaches) the artifact store: every cacheable stage
+    /// run against this context — the analyze gate and each fault-engine
+    /// invocation — then consults it before computing. PTPs sharing the
+    /// context (the STL flow) share its hits.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<Arc<Store>>) -> ModuleContext {
+        self.store = store;
+        self
+    }
+
+    /// The attached artifact store, when caching is enabled.
+    #[must_use]
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_deref()
+    }
+
+    /// The canonical content key of this module's netlist (all per-module
+    /// artifact keys derive from it).
+    #[must_use]
+    pub fn netlist_key(&self) -> Key {
+        self.netlist_key
+    }
+
+    /// The cache handle fault-simulation call sites thread through to
+    /// [`cached_fault_sim`](warpstl_store::cached_fault_sim).
+    #[must_use]
+    pub fn cache_ctx(&self) -> CacheCtx<'_> {
+        CacheCtx {
+            store: self.store.as_deref(),
+            netlist_key: self.netlist_key,
         }
     }
 
@@ -125,15 +166,21 @@ impl ModuleContext {
         &mut self.lists[i]
     }
 
-    /// Splits the borrow: the (shared) netlist and simulation guide
-    /// alongside all (mutable) per-instance fault lists, so fault
-    /// simulation can borrow everything at once without cloning.
-    pub fn netlist_and_lists_mut(&mut self) -> (&Netlist, &mut [FaultList], SimGuide<'_>) {
+    /// Splits the borrow: the (shared) netlist, simulation guide, and
+    /// cache handle alongside all (mutable) per-instance fault lists, so
+    /// fault simulation can borrow everything at once without cloning.
+    pub fn netlist_and_lists_mut(
+        &mut self,
+    ) -> (&Netlist, &mut [FaultList], SimGuide<'_>, CacheCtx<'_>) {
         let guide = SimGuide {
             dominance: Some(&self.dominance),
             order_keys: Some(&self.order_keys),
         };
-        (&self.netlist, &mut self.lists, guide)
+        let cache = CacheCtx {
+            store: self.store.as_deref(),
+            netlist_key: self.netlist_key,
+        };
+        (&self.netlist, &mut self.lists, guide, cache)
     }
 
     /// Fresh fault lists (for standalone evaluations).

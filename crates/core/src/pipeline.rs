@@ -4,13 +4,13 @@ use std::borrow::Cow;
 use std::sync::Arc;
 use std::time::Instant;
 
-use warpstl_analyze::analyze_observed;
-use warpstl_fault::{fault_simulate_guided, FaultList, FaultSimConfig, FaultSimReport, SimGuide};
+use warpstl_fault::{FaultList, FaultSimConfig, FaultSimReport, SimGuide};
 use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
 use warpstl_obs::{Metrics, Obs, ObsExt, Recorder};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
+use warpstl_store::{cached_analyze, cached_fault_sim, CacheCtx, Store};
 use warpstl_verify::{verify_reduction_observed, Severity, VerifyOptions};
 
 use crate::{
@@ -33,6 +33,7 @@ fn simulate_instances(
     config: &FaultSimConfig,
     obs: Obs<'_>,
     guide: SimGuide<'_>,
+    cache: CacheCtx<'_>,
 ) -> Vec<Option<FaultSimReport>> {
     debug_assert_eq!(streams.len(), lists.len());
     let active = streams.iter().filter(|s| !s.is_empty()).count();
@@ -50,7 +51,7 @@ fn simulate_instances(
             .zip(lists.iter_mut())
             .map(|(s, list)| {
                 (!s.is_empty()).then(|| {
-                    fault_simulate_guided(netlist, s.as_ref(), list, &per_instance, obs, &guide)
+                    cached_fault_sim(cache, netlist, s.as_ref(), list, &per_instance, obs, &guide)
                 })
             })
             .collect();
@@ -62,7 +63,15 @@ fn simulate_instances(
             .map(|(s, list)| {
                 (!s.is_empty()).then(|| {
                     scope.spawn(move || {
-                        fault_simulate_guided(netlist, s.as_ref(), list, &per_instance, obs, &guide)
+                        cached_fault_sim(
+                            cache,
+                            netlist,
+                            s.as_ref(),
+                            list,
+                            &per_instance,
+                            obs,
+                            &guide,
+                        )
                     })
                 })
             })
@@ -100,6 +109,12 @@ pub struct Compactor {
     /// [`Recorder::to_chrome_trace`]. Share one recorder across the PTPs of
     /// an STL to get a single contiguous trace.
     pub obs: Option<Arc<Recorder>>,
+    /// Content-addressed artifact store. `None` (the default) computes
+    /// everything; `Some` makes the analyze gate and every fault-engine
+    /// invocation consult the cache first and persist misses, so a rerun
+    /// over unchanged inputs replays detection stamps instead of
+    /// simulating. Results are bit-identical either way.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for Compactor {
@@ -110,6 +125,7 @@ impl Default for Compactor {
             reverse_patterns: false,
             respect_arc: true,
             obs: None,
+            store: None,
         }
     }
 }
@@ -140,7 +156,7 @@ impl Compactor {
             ModuleKind::SpCore | ModuleKind::Fp32 => self.gpu.config.sp_cores,
             ModuleKind::Sfu => self.gpu.config.sfus,
         };
-        ModuleContext::new(module, instances)
+        ModuleContext::new(module, instances).with_store(self.store.clone())
     }
 
     /// Runs `ptp` with the hardware monitor on (the stage-2 logic
@@ -177,7 +193,7 @@ impl Compactor {
             ctx.instances(),
             "context instance count must match the GPU configuration"
         );
-        let (netlist, lists, guide) = ctx.netlist_and_lists_mut();
+        let (netlist, lists, guide, cache) = ctx.netlist_and_lists_mut();
         let reports = simulate_instances(
             netlist,
             &streams,
@@ -185,6 +201,7 @@ impl Compactor {
             &self.fsim_config,
             self.observer(),
             guide,
+            cache,
         );
         let mut merged = FaultSimReport::new();
         for report in reports.iter().flatten() {
@@ -226,19 +243,19 @@ impl Compactor {
         // spending the single logic and fault simulation on it. Lint
         // errors (combinational loops, undriven nets) make the fault
         // model — and therefore the whole compaction — meaningless.
-        let analysis = {
+        let analyze_report = {
             let _s = obs.span("stage", "stage.analyze");
-            analyze_observed(ctx.netlist(), obs)
+            cached_analyze(ctx.store(), ctx.netlist_key(), ctx.netlist(), obs)
         };
         let analyze_time = start.elapsed();
-        if !analysis.report.is_clean() {
+        if !analyze_report.is_clean() {
             obs.add("pipeline.analyze_rejects", 1);
             return Err(CompactionError::Analyze {
                 name: ctx.netlist().name().to_string(),
-                report: analysis.report,
+                report: analyze_report,
             });
         }
-        let analyze_stats = analysis.report.stats();
+        let analyze_stats = analyze_report.stats();
 
         // Stage 1: partitioning (BBs, ARC) happens inside reduce_ptp; the
         // stage is cheap and pure, so it is recomputed there.
@@ -391,6 +408,7 @@ impl Compactor {
             &cfg,
             self.observer(),
             ctx.sim_guide(),
+            ctx.cache_ctx(),
         );
         lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
     }
@@ -441,6 +459,7 @@ impl Compactor {
                 &cfg,
                 self.observer(),
                 ctx.sim_guide(),
+                ctx.cache_ctx(),
             );
         }
         Ok(lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64)

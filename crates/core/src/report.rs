@@ -161,6 +161,68 @@ impl CompactionReport {
         (self.fc_after - self.fc_before) * 100.0
     }
 
+    /// Serializes the report's *deterministic* fields as a JSON object.
+    ///
+    /// Wall-clock durations (`compaction_time`, `stage_timings`) and the
+    /// observability `metrics` are excluded: they vary run to run. What
+    /// remains is reproducible from the inputs alone, so two runs over
+    /// identical inputs — cached or not — emit byte-identical JSON. The
+    /// CLI's `--json`, the bench's cold-vs-warm block, and the check.sh
+    /// cache smoke all diff this form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"name\": \"{}\",\n",
+                "  \"original_size\": {},\n",
+                "  \"compacted_size\": {},\n",
+                "  \"original_duration\": {},\n",
+                "  \"compacted_duration\": {},\n",
+                "  \"fc_before\": {},\n",
+                "  \"fc_after\": {},\n",
+                "  \"sbs_total\": {},\n",
+                "  \"sbs_removed\": {},\n",
+                "  \"essential_instructions\": {},\n",
+                "  \"fault_sim_runs\": {},\n",
+                "  \"logic_sim_runs\": {},\n",
+                "  \"analyze_errors\": {},\n",
+                "  \"analyze_warnings\": {},\n",
+                "  \"verify_errors\": {},\n",
+                "  \"verify_warnings\": {}\n",
+                "}}"
+            ),
+            esc(&self.name),
+            self.original_size,
+            self.compacted_size,
+            self.original_duration,
+            self.compacted_duration,
+            self.fc_before,
+            self.fc_after,
+            self.sbs_total,
+            self.sbs_removed,
+            self.essential_instructions,
+            self.fault_sim_runs,
+            self.logic_sim_runs,
+            self.analyze.total_errors(),
+            self.analyze.total_warnings(),
+            self.verify.total_errors(),
+            self.verify.total_warnings(),
+        )
+    }
+
     /// Merges several reports into a combined row (the paper's
     /// `IMM+MEM+CNTRL` / `TPGEN+RAND` rows). Coverage fields must be
     /// supplied by the caller (combined FC is not a sum).
@@ -298,6 +360,24 @@ mod tests {
         ] {
             assert!(s.contains(stage), "missing {stage} in {s}");
         }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut r = sample();
+        r.name = "IM\"M\\x".into();
+        let j = r.to_json();
+        assert_eq!(j, r.clone().to_json());
+        assert!(j.contains("\"name\": \"IM\\\"M\\\\x\""));
+        assert!(j.contains("\"fc_before\": 0.7113"));
+        assert!(j.contains("\"analyze_warnings\": 1"));
+        // Volatile fields stay out: equal inputs give equal JSON even when
+        // timings and metrics differ.
+        let mut other = r.clone();
+        other.compaction_time = Duration::from_secs(99);
+        other.metrics = Metrics::default();
+        assert_eq!(other.to_json(), j);
+        assert!(!j.contains("compaction_time"));
     }
 
     #[test]

@@ -43,6 +43,23 @@ mod trace;
 
 pub use metrics::{HistogramSummary, Metrics};
 
+/// Well-known counter names shared by the crates that emit them and the
+/// crates (CLI, tests) that read them back off a [`Metrics`] snapshot.
+pub mod names {
+    /// An artifact was served from the content-addressed store.
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// A store lookup fell back to recomputation (all reasons).
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Subset of misses caused by a corrupt or truncated entry.
+    pub const CACHE_MISS_CORRUPT: &str = "cache.miss.corrupt";
+    /// Subset of misses caused by an entry-format version mismatch.
+    pub const CACHE_MISS_VERSION: &str = "cache.miss.version";
+    /// An artifact was written to the store.
+    pub const CACHE_WRITE: &str = "cache.write";
+    /// A store write failed at the filesystem (entry simply absent).
+    pub const CACHE_WRITE_ERROR: &str = "cache.write.error";
+}
+
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::thread::ThreadId;

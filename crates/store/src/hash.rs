@@ -1,0 +1,434 @@
+//! The canonical hasher: stable 128-bit content keys.
+//!
+//! Cache keys must be *canonical*: two structurally identical inputs must
+//! hash to the same [`Key`] in every process, on every thread count, for
+//! every `HashMap` iteration order — and must keep doing so across runs,
+//! because the keys name files on disk. The hasher therefore
+//!
+//! - consumes only **values** (never pointers, indices into hash tables,
+//!   or iteration-order-dependent sequences),
+//! - length-prefixes every variable-length field, so adjacent fields
+//!   cannot alias (`"ab" + "c"` ≠ `"a" + "bc"`),
+//! - tags every artifact kind with a domain string and a schema version,
+//!   so a semantic change invalidates old entries by key (never by a
+//!   format error), and
+//! - offers [`CanonicalHasher::absorb_unordered`] for genuinely unordered
+//!   collections (e.g. a netlist's `HashMap`-backed kind histogram): each
+//!   element is hashed independently and the element keys are combined
+//!   with commutative operators (XOR + wrapping sum + count), making the
+//!   result independent of enumeration order.
+//!
+//! The mixer is two independent 64-bit FNV-1a-style streams with distinct
+//! offset bases and multipliers, concatenated into a 128-bit key. This is
+//! not a cryptographic hash; it defends against accidental collisions
+//! (~2^-64 for a cache with millions of entries), not adversaries — the
+//! store additionally checksums every payload on disk.
+
+use std::fmt;
+
+use warpstl_fault::{FaultList, FaultSimConfig, FaultStatus, SimGuide};
+use warpstl_netlist::{GateKind, Netlist, PatternSeq};
+use warpstl_programs::serialize::ptp_to_text;
+use warpstl_programs::Ptp;
+
+/// Bump when the fault engine's *observable semantics* change (detection
+/// stamps, report rows): old fsim-stamp entries then miss by key.
+pub const FSIM_SCHEMA: u32 = 1;
+
+/// Bump when the netlist analyzer's rules or report shape change.
+pub const ANALYZE_SCHEMA: u32 = 1;
+
+/// A 128-bit canonical content key. Displays as 32 lowercase hex digits —
+/// the on-disk entry file stem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub u128);
+
+impl Key {
+    /// The all-zero key (placeholder when caching is disabled).
+    pub const ZERO: Key = Key(0);
+
+    /// The 32-hex-digit form used in entry file names.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+const PRIME_A: u64 = 0x0000_0100_0000_01b3; // FNV-1a prime
+const OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15; // golden-ratio constant
+const PRIME_B: u64 = 0xff51_afd7_ed55_8ccd; // splitmix64 mixer constant
+
+/// The streaming canonical hasher. See the module docs for the rules
+/// callers must follow to keep keys canonical.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> CanonicalHasher {
+        CanonicalHasher::new()
+    }
+}
+
+impl CanonicalHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> CanonicalHasher {
+        CanonicalHasher {
+            a: OFFSET_A,
+            b: OFFSET_B,
+        }
+    }
+
+    /// Absorbs one byte into both streams.
+    #[inline]
+    pub fn byte(&mut self, v: u8) {
+        self.a = (self.a ^ u64::from(v)).wrapping_mul(PRIME_A);
+        self.b = (self.b ^ u64::from(v))
+            .wrapping_mul(PRIME_B)
+            .rotate_left(31);
+    }
+
+    /// Absorbs a byte slice (content only — prefix a length yourself when
+    /// the field is variable-length next to another field).
+    pub fn bytes(&mut self, v: &[u8]) {
+        for &x in v {
+            self.byte(x);
+        }
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` (little-endian).
+    pub fn u128(&mut self, v: u128) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64` (so 32- and 64-bit hosts agree).
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Absorbs a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.byte(u8::from(v));
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn str(&mut self, v: &str) {
+        self.len(v.len());
+        self.bytes(v.as_bytes());
+    }
+
+    /// Absorbs an **unordered** collection: every element is hashed on its
+    /// own (via `each`), and the element keys are folded with commutative
+    /// operators, so the result is independent of iteration order — the
+    /// escape hatch for `HashMap`-backed metadata.
+    pub fn absorb_unordered<T>(
+        &mut self,
+        items: impl IntoIterator<Item = T>,
+        mut each: impl FnMut(&mut CanonicalHasher, T),
+    ) {
+        let mut xor = 0u128;
+        let mut sum = 0u128;
+        let mut count = 0u64;
+        for item in items {
+            let mut h = CanonicalHasher::new();
+            each(&mut h, item);
+            let k = h.finish().0;
+            xor ^= k;
+            sum = sum.wrapping_add(k);
+            count += 1;
+        }
+        self.u128(xor);
+        self.u128(sum);
+        self.u64(count);
+    }
+
+    /// The 128-bit key over everything absorbed so far.
+    #[must_use]
+    pub fn finish(&self) -> Key {
+        // One final avalanche round per stream so short inputs still
+        // spread into the high bits.
+        let mut a = self.a;
+        a ^= a >> 33;
+        a = a.wrapping_mul(PRIME_B);
+        a ^= a >> 29;
+        let mut b = self.b;
+        b ^= b >> 31;
+        b = b.wrapping_mul(PRIME_A | 1);
+        b ^= b >> 27;
+        Key((u128::from(a) << 64) | u128::from(b))
+    }
+}
+
+fn gate_kind_code(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Const0 => 1,
+        GateKind::Const1 => 2,
+        GateKind::Buf => 3,
+        GateKind::Not => 4,
+        GateKind::And => 5,
+        GateKind::Or => 6,
+        GateKind::Nand => 7,
+        GateKind::Nor => 8,
+        GateKind::Xor => 9,
+        GateKind::Xnor => 10,
+        GateKind::Mux => 11,
+        GateKind::Dff => 12,
+    }
+}
+
+/// The canonical key of a netlist's *structure*: name, gate array (kinds
+/// and meaningful pins in definition order), port maps, flip-flop nets,
+/// and the `HashMap`-backed kind histogram absorbed unordered. Everything
+/// downstream of the netlist (fault universe enumeration, dominance,
+/// SCOAP keys) is a pure function of this structure, so it needs no
+/// separate key material.
+#[must_use]
+pub fn key_netlist(netlist: &Netlist) -> Key {
+    let mut h = CanonicalHasher::new();
+    h.str("warpstl.netlist/v1");
+    h.str(netlist.name());
+    h.len(netlist.gates().len());
+    for gate in netlist.gates() {
+        h.byte(gate_kind_code(gate.kind));
+        h.len(gate.inputs().len());
+        for pin in gate.inputs() {
+            h.u32(pin.0);
+        }
+    }
+    for ports in [netlist.inputs(), netlist.outputs()] {
+        h.len(ports.width());
+        for (name, range) in ports.iter() {
+            h.str(name);
+            h.len(range.start);
+            h.len(range.end);
+        }
+        for net in ports.nets() {
+            h.u32(net.0);
+        }
+    }
+    h.len(netlist.dffs().len());
+    for net in netlist.dffs() {
+        h.u32(net.0);
+    }
+    // HashMap-backed metadata: order-independent by construction.
+    h.absorb_unordered(netlist.kind_histogram(), |h, (name, count)| {
+        h.str(name);
+        h.len(count);
+    });
+    h.finish()
+}
+
+/// The canonical key of a PTP, derived from its canonical text encoding
+/// ([`ptp_to_text`]): name, target module, launch configuration, SB-slot
+/// layout, initial-data writes, and the disassembled program. The text
+/// round-trips losslessly (`ptp_from_text`), so a serialize→deserialize
+/// cycle keys identically.
+#[must_use]
+pub fn key_ptp(ptp: &Ptp) -> Key {
+    let mut h = CanonicalHasher::new();
+    h.str("warpstl.ptp/v1");
+    h.str(&ptp_to_text(ptp));
+    h.finish()
+}
+
+/// Absorbs one pattern stream: width, then every row's clock-cycle stamp
+/// and packed words.
+fn absorb_stream(h: &mut CanonicalHasher, seq: &PatternSeq) {
+    h.len(seq.width());
+    h.len(seq.len());
+    for i in 0..seq.len() {
+        h.u64(seq.cc(i));
+        for &word in seq.row(i) {
+            h.u64(word);
+        }
+    }
+}
+
+/// The canonical key of one fault-engine invocation: netlist structure,
+/// the exact pattern stream, the fault list's *entry state* (which faults
+/// are still undetected — drop mode's behavior depends on it), the
+/// semantic `FaultSimConfig` flags, and the guide shape. Deliberately
+/// excluded: `threads` (the engine is bit-identical at every thread
+/// count), prior detection stamps (first-detection-wins makes them
+/// unobservable), and the list's run counter (replay stamps the warm
+/// list's own run number, exactly as a live simulation would).
+#[must_use]
+pub fn key_fsim(
+    netlist_key: Key,
+    patterns: &PatternSeq,
+    list: &FaultList,
+    config: &FaultSimConfig,
+    guide: &SimGuide<'_>,
+) -> Key {
+    let mut h = CanonicalHasher::new();
+    h.str("warpstl.fsim/v1");
+    h.u32(FSIM_SCHEMA);
+    h.u128(netlist_key.0);
+    absorb_stream(&mut h, patterns);
+    h.len(list.len());
+    for id in 0..list.len() {
+        h.bool(matches!(list.status(id), FaultStatus::Undetected));
+    }
+    h.bool(config.drop_detected);
+    h.bool(config.early_exit);
+    h.bool(guide.dominance.is_some());
+    h.bool(guide.order_keys.is_some());
+    h.finish()
+}
+
+/// The canonical key of the static netlist analysis artifact.
+#[must_use]
+pub fn key_analysis(netlist_key: Key) -> Key {
+    let mut h = CanonicalHasher::new();
+    h.str("warpstl.analyze/v1");
+    h.u32(ANALYZE_SCHEMA);
+    h.u128(netlist_key.0);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_netlist::modules::ModuleKind;
+    use warpstl_netlist::Builder;
+
+    #[test]
+    fn keys_are_deterministic_across_rebuilds() {
+        let a = key_netlist(&ModuleKind::DecoderUnit.build());
+        let b = key_netlist(&ModuleKind::DecoderUnit.build());
+        assert_eq!(a, b);
+        assert_ne!(a, key_netlist(&ModuleKind::Sfu.build()));
+    }
+
+    #[test]
+    fn length_prefixes_prevent_aliasing() {
+        let mut h1 = CanonicalHasher::new();
+        h1.str("ab");
+        h1.str("c");
+        let mut h2 = CanonicalHasher::new();
+        h2.str("a");
+        h2.str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn unordered_absorb_ignores_iteration_order() {
+        let items = [("and", 3usize), ("or", 7), ("not", 1), ("mux", 2)];
+        let mut fwd = CanonicalHasher::new();
+        fwd.absorb_unordered(items.iter(), |h, &(n, c)| {
+            h.str(n);
+            h.len(c);
+        });
+        let mut rev = CanonicalHasher::new();
+        rev.absorb_unordered(items.iter().rev(), |h, &(n, c)| {
+            h.str(n);
+            h.len(c);
+        });
+        assert_eq!(fwd.finish(), rev.finish());
+
+        // ...but not element content.
+        let mut other = CanonicalHasher::new();
+        other.absorb_unordered(items.iter(), |h, &(n, c)| {
+            h.str(n);
+            h.len(c + 1);
+        });
+        assert_ne!(fwd.finish(), other.finish());
+    }
+
+    #[test]
+    fn fsim_key_tracks_list_state_but_not_threads() {
+        let netlist = ModuleKind::Sfu.build();
+        let nk = key_netlist(&netlist);
+        let universe = warpstl_fault::FaultUniverse::enumerate(&netlist);
+        let mut list = warpstl_fault::FaultList::new(&universe);
+        let mut pats = PatternSeq::new(netlist.inputs().width());
+        pats.push_value(0, 0xdead_beef);
+        let guide = SimGuide::default();
+
+        let base = key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &guide);
+        let threads8 = key_fsim(
+            nk,
+            &pats,
+            &list,
+            &FaultSimConfig {
+                threads: 8,
+                ..FaultSimConfig::default()
+            },
+            &guide,
+        );
+        assert_eq!(base, threads8, "thread count must not enter the key");
+
+        list.begin_run();
+        list.mark_detected(0, 1, 0);
+        let after = key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &guide);
+        assert_ne!(base, after, "entry list state must enter the key");
+
+        let non_drop = key_fsim(
+            nk,
+            &pats,
+            &list,
+            &FaultSimConfig {
+                drop_detected: false,
+                ..FaultSimConfig::default()
+            },
+            &guide,
+        );
+        assert_ne!(after, non_drop, "semantic config flags must enter the key");
+    }
+
+    #[test]
+    fn stream_content_is_keyed_not_identity() {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.not(x);
+        b.output("y", y);
+        let n = b.finish();
+        let nk = key_netlist(&n);
+        let universe = warpstl_fault::FaultUniverse::enumerate(&n);
+        let list = warpstl_fault::FaultList::new(&universe);
+        let guide = SimGuide::default();
+        let cfg = FaultSimConfig::default();
+
+        let mut p1 = PatternSeq::new(1);
+        p1.push_bits(3, &[true]);
+        let mut p2 = PatternSeq::new(1);
+        p2.push_bits(3, &[true]);
+        assert_eq!(
+            key_fsim(nk, &p1, &list, &cfg, &guide),
+            key_fsim(nk, &p2, &list, &cfg, &guide)
+        );
+        let mut p3 = PatternSeq::new(1);
+        p3.push_bits(4, &[true]);
+        assert_ne!(
+            key_fsim(nk, &p1, &list, &cfg, &guide),
+            key_fsim(nk, &p3, &list, &cfg, &guide)
+        );
+    }
+
+    #[test]
+    fn artifact_kinds_are_domain_separated() {
+        let nk = key_netlist(&ModuleKind::DecoderUnit.build());
+        assert_ne!(key_analysis(nk), nk);
+    }
+}

@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! # warpstl-store
+//!
+//! A persistent, **content-addressed artifact cache** for incremental STL
+//! compaction. The paper's economy is "one logic simulation and one fault
+//! simulation per PTP"; this crate extends it across invocations — when
+//! the netlist, PTP encoding, fault-sim config, and entry fault-list state
+//! are byte-identical to a prior run, the pipeline replays persisted
+//! detection stamps instead of re-simulating, so re-compacting an STL
+//! where only one PTP changed pays only for that PTP.
+//!
+//! The crate has four parts:
+//!
+//! - [`hash`] — a deterministic canonical hasher producing stable 128-bit
+//!   [`Key`]s over netlist structure, PTP text encoding, pattern streams,
+//!   fault-list state, and [`FaultSimConfig`](warpstl_fault::FaultSimConfig)
+//!   — independent of `HashMap` iteration order, pointer values, and
+//!   thread count.
+//! - [`codec`] — a minimal little-endian payload codec (the build has no
+//!   serde); decoding is total, so malformed payloads become misses.
+//! - [`store`] — the on-disk store: versioned, checksummed entries written
+//!   atomically (temp file + rename), with per-session traffic counters
+//!   and scan/gc/clear maintenance. Corrupt or version-mismatched entries
+//!   degrade to misses, never errors.
+//! - [`artifacts`] — the typed artifacts (analysis reports, fault-sim
+//!   stamps) and the [`cached_analyze`] / [`cached_fault_sim`] wrappers
+//!   the pipeline calls in place of the raw compute functions.
+//!
+//! # Examples
+//!
+//! ```
+//! use warpstl_fault::{FaultList, FaultSimConfig, FaultUniverse, SimGuide};
+//! use warpstl_netlist::{Builder, PatternSeq};
+//! use warpstl_store::{cached_fault_sim, key_netlist, CacheCtx, Store};
+//!
+//! let mut b = Builder::new("m");
+//! let x = b.input("x");
+//! let y = b.not(x);
+//! b.output("y", y);
+//! let netlist = b.finish();
+//! let universe = FaultUniverse::enumerate(&netlist);
+//! let mut patterns = PatternSeq::new(netlist.inputs().width());
+//! patterns.push_value(10, 0b1);
+//! patterns.push_value(11, 0b0);
+//!
+//! let dir = std::env::temp_dir().join(format!("warpstl-doc-{}", std::process::id()));
+//! let store = Store::open(&dir).unwrap();
+//! let cache = CacheCtx { store: Some(&store), netlist_key: key_netlist(&netlist) };
+//!
+//! // Cold: simulates and persists. Warm: replays, bit-identical.
+//! let mut cold = FaultList::new(&universe);
+//! let r1 = cached_fault_sim(
+//!     cache, &netlist, &patterns, &mut cold,
+//!     &FaultSimConfig::default(), None, &SimGuide::default(),
+//! );
+//! let mut warm = FaultList::new(&universe);
+//! let r2 = cached_fault_sim(
+//!     cache, &netlist, &patterns, &mut warm,
+//!     &FaultSimConfig::default(), None, &SimGuide::default(),
+//! );
+//! assert_eq!(r1, r2);
+//! assert_eq!(store.session().hits, 1);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+pub mod artifacts;
+pub mod codec;
+pub mod hash;
+pub mod store;
+
+pub use artifacts::{cached_analyze, cached_fault_sim, detection_flags, CacheCtx, FsimStamps};
+pub use hash::{
+    key_analysis, key_fsim, key_netlist, key_ptp, CanonicalHasher, Key, ANALYZE_SCHEMA, FSIM_SCHEMA,
+};
+pub use store::{
+    atomic_write, EntryInfo, EntryKind, EntryStatus, ScanReport, SessionStats, Store,
+    FORMAT_VERSION, MAGIC,
+};
+
+// `store.rs` counts cache traffic under these shared names.
+pub use warpstl_obs::names;

@@ -1,0 +1,622 @@
+//! The on-disk store: versioned, checksummed entries under one directory.
+//!
+//! ## Entry format
+//!
+//! Every entry is one file named `<32-hex key>.<kind extension>`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "WSTLSTOR"
+//! 8       4     format version (u32 LE)            — layout of this header
+//! 12      1     entry kind code
+//! 13      8     payload length (u64 LE)
+//! 21      16    payload checksum (u128 LE)         — canonical hash
+//! 37      n     payload
+//! ```
+//!
+//! ## Degradation contract
+//!
+//! A read that fails **for any reason** — missing file, truncation, bad
+//! magic, a format-version bump, a kind mismatch, a checksum mismatch —
+//! is a *miss*, never an error: the caller recomputes and overwrites.
+//! Reasons are counted separately (session counters + `cache.miss.*` obs
+//! counters) so a corrupted cache is visible without being fatal. Writes
+//! go through [`atomic_write`] (temp file + rename in the same
+//! directory), so a crashed or interrupted process can leave at worst a
+//! stale temp file, never a truncated entry.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use warpstl_obs::{Obs, ObsExt};
+
+use crate::hash::{CanonicalHasher, Key};
+use crate::names;
+
+/// The entry-file magic.
+pub const MAGIC: [u8; 8] = *b"WSTLSTOR";
+
+/// The on-disk header layout version. Bump on any header change: old
+/// entries then degrade to misses (counted as `version_mismatch`).
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 16;
+
+/// What an entry stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A netlist [`AnalyzeReport`](warpstl_analyze::AnalyzeReport).
+    Analysis,
+    /// One fault-engine invocation's detection stamps and report rows.
+    FsimStamps,
+}
+
+impl EntryKind {
+    /// Every kind, in code order.
+    pub const ALL: [EntryKind; 2] = [EntryKind::Analysis, EntryKind::FsimStamps];
+
+    fn code(self) -> u8 {
+        match self {
+            EntryKind::Analysis => 1,
+            EntryKind::FsimStamps => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<EntryKind> {
+        EntryKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+
+    /// Human-readable kind name (CLI output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EntryKind::Analysis => "analysis",
+            EntryKind::FsimStamps => "fsim-stamps",
+        }
+    }
+
+    /// The entry-file extension for this kind.
+    #[must_use]
+    pub fn extension(self) -> &'static str {
+        match self {
+            EntryKind::Analysis => "ana",
+            EntryKind::FsimStamps => "fsr",
+        }
+    }
+
+    fn from_extension(ext: &str) -> Option<EntryKind> {
+        EntryKind::ALL.into_iter().find(|k| k.extension() == ext)
+    }
+}
+
+/// Why a read missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MissReason {
+    /// No entry file (the ordinary cold miss).
+    Absent,
+    /// Truncated file, bad magic, wrong kind, or checksum mismatch.
+    Corrupt,
+    /// The header's format version differs from [`FORMAT_VERSION`].
+    VersionMismatch,
+}
+
+#[derive(Debug, Default)]
+struct Session {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+    version_mismatch: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+/// A snapshot of one process's cache traffic (monotonic within the
+/// session; independent of the on-disk state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that fell back to recomputation (all reasons).
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Misses caused by corrupt entries (subset of `misses`).
+    pub corrupt: u64,
+    /// Misses caused by a format-version mismatch (subset of `misses`).
+    pub version_mismatch: u64,
+    /// Writes that failed at the filesystem (the entry is simply absent).
+    pub write_errors: u64,
+}
+
+/// The health of one scanned entry file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Header and checksum verify.
+    Valid,
+    /// Unreadable, truncated, or checksum-mismatched.
+    Corrupt,
+    /// Readable but written by a different [`FORMAT_VERSION`].
+    VersionMismatch,
+}
+
+/// One row of a [`Store::scan`].
+#[derive(Debug, Clone)]
+pub struct EntryInfo {
+    /// The entry file.
+    pub path: PathBuf,
+    /// The entry's kind (from its extension).
+    pub kind: EntryKind,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Verification result.
+    pub status: EntryStatus,
+}
+
+/// The result of scanning a cache directory.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Every recognized entry file.
+    pub entries: Vec<EntryInfo>,
+}
+
+impl ScanReport {
+    /// Entries with [`EntryStatus::Valid`].
+    #[must_use]
+    pub fn valid_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status == EntryStatus::Valid)
+            .count()
+    }
+
+    /// Entries that would degrade to a miss.
+    #[must_use]
+    pub fn invalid_count(&self) -> usize {
+        self.entries.len() - self.valid_count()
+    }
+
+    /// Total bytes across all recognized entries.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// `(valid, bytes)` for one kind.
+    #[must_use]
+    pub fn kind_summary(&self, kind: EntryKind) -> (usize, u64) {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind && e.status == EntryStatus::Valid)
+            .fold((0, 0), |(n, b), e| (n + 1, b + e.bytes))
+    }
+}
+
+/// The persistent content-addressed artifact cache.
+///
+/// One `Store` owns one directory. It is `Sync`: the pipeline's
+/// instance-parallel workers share it by reference. Concurrent writers of
+/// the same key are safe — both compute identical content (keys are
+/// content hashes) and the atomic rename makes one of the identical files
+/// win.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    session: Session,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(Store {
+            root,
+            session: Session::default(),
+        })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry file path for `(kind, key)`.
+    #[must_use]
+    pub fn entry_path(&self, kind: EntryKind, key: Key) -> PathBuf {
+        self.root
+            .join(format!("{}.{}", key.to_hex(), kind.extension()))
+    }
+
+    /// This process's cache-traffic counters so far.
+    #[must_use]
+    pub fn session(&self) -> SessionStats {
+        SessionStats {
+            hits: self.session.hits.load(Ordering::Relaxed),
+            misses: self.session.misses.load(Ordering::Relaxed),
+            writes: self.session.writes.load(Ordering::Relaxed),
+            corrupt: self.session.corrupt.load(Ordering::Relaxed),
+            version_mismatch: self.session.version_mismatch.load(Ordering::Relaxed),
+            write_errors: self.session.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn checksum(payload: &[u8]) -> u128 {
+        let mut h = CanonicalHasher::new();
+        h.str("warpstl.entry/v1");
+        h.len(payload.len());
+        h.bytes(payload);
+        h.finish().0
+    }
+
+    /// Serializes a full entry (header + payload) for `kind`.
+    #[must_use]
+    pub fn encode_entry(kind: EntryKind, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(kind.code());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&Store::checksum(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    fn decode_entry(kind: EntryKind, bytes: &[u8]) -> Result<Vec<u8>, MissReason> {
+        let header = bytes.get(..HEADER_LEN).ok_or(MissReason::Corrupt)?;
+        if header[..8] != MAGIC {
+            return Err(MissReason::Corrupt);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(MissReason::VersionMismatch);
+        }
+        if EntryKind::from_code(header[12]) != Some(kind) {
+            return Err(MissReason::Corrupt);
+        }
+        let len = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != len {
+            return Err(MissReason::Corrupt);
+        }
+        let checksum = u128::from_le_bytes(header[21..37].try_into().expect("16 bytes"));
+        if Store::checksum(payload) != checksum {
+            return Err(MissReason::Corrupt);
+        }
+        Ok(payload.to_vec())
+    }
+
+    fn note_miss(&self, reason: MissReason, obs: Obs<'_>) {
+        self.session.misses.fetch_add(1, Ordering::Relaxed);
+        obs.add(names::CACHE_MISS, 1);
+        match reason {
+            MissReason::Absent => {}
+            MissReason::Corrupt => {
+                self.session.corrupt.fetch_add(1, Ordering::Relaxed);
+                obs.add(names::CACHE_MISS_CORRUPT, 1);
+            }
+            MissReason::VersionMismatch => {
+                self.session
+                    .version_mismatch
+                    .fetch_add(1, Ordering::Relaxed);
+                obs.add(names::CACHE_MISS_VERSION, 1);
+            }
+        }
+    }
+
+    pub(crate) fn note_hit(&self, obs: Obs<'_>) {
+        self.session.hits.fetch_add(1, Ordering::Relaxed);
+        obs.add(names::CACHE_HIT, 1);
+    }
+
+    /// Counts a miss caused by a payload that verified its checksum but
+    /// failed typed decoding (possible only across a payload-schema skew).
+    pub(crate) fn note_payload_corrupt(&self, obs: Obs<'_>) {
+        self.note_miss(MissReason::Corrupt, obs);
+    }
+
+    /// Reads and verifies the payload of `(kind, key)`. **Does not** count
+    /// a hit — the typed wrappers count it after the payload also decodes,
+    /// so accounting stays exact; every failure path is counted here as a
+    /// miss with its reason.
+    pub(crate) fn get_verified(&self, kind: EntryKind, key: Key, obs: Obs<'_>) -> Option<Vec<u8>> {
+        let mut span = obs.span("store", "store.read");
+        let path = self.entry_path(kind, key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.note_miss(MissReason::Absent, obs);
+                return None;
+            }
+        };
+        if obs.enabled() {
+            span.arg("bytes", bytes.len());
+        }
+        match Store::decode_entry(kind, &bytes) {
+            Ok(payload) => Some(payload),
+            Err(reason) => {
+                self.note_miss(reason, obs);
+                None
+            }
+        }
+    }
+
+    /// Writes `(kind, key) -> payload` atomically. A filesystem failure is
+    /// counted (`write_errors`, `cache.write.error`) and otherwise
+    /// ignored: a cache that cannot persist simply stays cold.
+    pub fn put(&self, kind: EntryKind, key: Key, payload: &[u8], obs: Obs<'_>) {
+        let mut span = obs.span("store", "store.write");
+        if obs.enabled() {
+            span.arg("bytes", payload.len());
+        }
+        let entry = Store::encode_entry(kind, payload);
+        match atomic_write(self.entry_path(kind, key), &entry) {
+            Ok(()) => {
+                self.session.writes.fetch_add(1, Ordering::Relaxed);
+                obs.add(names::CACHE_WRITE, 1);
+            }
+            Err(_) => {
+                self.session.write_errors.fetch_add(1, Ordering::Relaxed);
+                obs.add(names::CACHE_WRITE_ERROR, 1);
+            }
+        }
+    }
+
+    /// Scans the cache directory, verifying every recognized entry file.
+    /// Files without a known extension are ignored (the store never
+    /// touches foreign files in a user-supplied directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be listed.
+    pub fn scan(&self) -> io::Result<ScanReport> {
+        let mut report = ScanReport::default();
+        for dent in fs::read_dir(&self.root)? {
+            let dent = dent?;
+            let path = dent.path();
+            if !path.is_file() {
+                continue;
+            }
+            let Some(kind) = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .and_then(EntryKind::from_extension)
+            else {
+                continue;
+            };
+            let (bytes, status) = match fs::read(&path) {
+                Ok(b) => {
+                    let status = match Store::decode_entry(kind, &b) {
+                        Ok(_) => EntryStatus::Valid,
+                        Err(MissReason::VersionMismatch) => EntryStatus::VersionMismatch,
+                        Err(_) => EntryStatus::Corrupt,
+                    };
+                    (b.len() as u64, status)
+                }
+                Err(_) => (0, EntryStatus::Corrupt),
+            };
+            report.entries.push(EntryInfo {
+                path,
+                kind,
+                bytes,
+                status,
+            });
+        }
+        report.entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(report)
+    }
+
+    /// Removes corrupt and version-mismatched entries, returning
+    /// `(removed count, freed bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be listed;
+    /// individual unremovable files are skipped.
+    pub fn gc(&self) -> io::Result<(usize, u64)> {
+        let scan = self.scan()?;
+        let mut removed = 0;
+        let mut freed = 0;
+        for entry in &scan.entries {
+            if entry.status != EntryStatus::Valid && fs::remove_file(&entry.path).is_ok() {
+                removed += 1;
+                freed += entry.bytes;
+            }
+        }
+        Ok((removed, freed))
+    }
+
+    /// Removes **every** recognized entry (foreign files survive),
+    /// returning the removed count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be listed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let scan = self.scan()?;
+        let mut removed = 0;
+        for entry in &scan.entries {
+            if fs::remove_file(&entry.path).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content lands in a temp file
+/// in the same directory and is renamed over the target, so readers (and
+/// interrupted writers) never observe a partially-written file. The shared
+/// helper behind every JSON/report artifact the toolkit writes.
+///
+/// # Errors
+///
+/// Returns the underlying error from the write or the rename (the temp
+/// file is cleaned up on a failed rename).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_obs::Recorder;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn get_raw(store: &Store, kind: EntryKind, key: Key, obs: Obs<'_>) -> Option<Vec<u8>> {
+        let payload = store.get_verified(kind, key, obs)?;
+        store.note_hit(obs);
+        Some(payload)
+    }
+
+    #[test]
+    fn round_trip_and_session_counters() {
+        let store = temp_store("roundtrip");
+        let key = Key(42);
+        assert_eq!(get_raw(&store, EntryKind::Analysis, key, None), None);
+        store.put(EntryKind::Analysis, key, b"hello", None);
+        assert_eq!(
+            get_raw(&store, EntryKind::Analysis, key, None).as_deref(),
+            Some(b"hello".as_slice())
+        );
+        // Kinds are separate namespaces even for equal keys.
+        assert_eq!(get_raw(&store, EntryKind::FsimStamps, key, None), None);
+        let s = store.session();
+        assert_eq!((s.hits, s.misses, s.writes), (1, 2, 1));
+        assert_eq!(s.corrupt, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_entry_degrades_to_miss() {
+        let store = temp_store("truncate");
+        let key = Key(7);
+        store.put(EntryKind::FsimStamps, key, b"payload-bytes", None);
+        let path = store.entry_path(EntryKind::FsimStamps, key);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let rec = Recorder::new();
+        assert_eq!(
+            get_raw(&store, EntryKind::FsimStamps, key, Some(&rec)),
+            None
+        );
+        let s = store.session();
+        assert_eq!(s.corrupt, 1);
+        assert_eq!(rec.metrics().counter(names::CACHE_MISS), 1);
+        assert_eq!(rec.metrics().counter(names::CACHE_MISS_CORRUPT), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn flipped_checksum_byte_degrades_to_miss() {
+        let store = temp_store("checksum");
+        let key = Key(9);
+        store.put(EntryKind::Analysis, key, b"payload", None);
+        let path = store.entry_path(EntryKind::Analysis, key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[22] ^= 0xff; // inside the stored checksum field
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(get_raw(&store, EntryKind::Analysis, key, None), None);
+        assert_eq!(store.session().corrupt, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn version_bump_degrades_to_miss_and_gc_reclaims() {
+        let store = temp_store("version");
+        let key = Key(11);
+        store.put(EntryKind::Analysis, key, b"payload", None);
+        let path = store.entry_path(EntryKind::Analysis, key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+
+        let rec = Recorder::new();
+        assert_eq!(get_raw(&store, EntryKind::Analysis, key, Some(&rec)), None);
+        let s = store.session();
+        assert_eq!(s.version_mismatch, 1);
+        assert_eq!(s.corrupt, 0);
+        assert_eq!(rec.metrics().counter(names::CACHE_MISS_VERSION), 1);
+
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].status, EntryStatus::VersionMismatch);
+        let (removed, freed) = store.gc().unwrap();
+        assert_eq!(removed, 1);
+        assert!(freed > 0);
+        assert_eq!(store.scan().unwrap().entries.len(), 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn scan_ignores_foreign_files_and_clear_spares_them() {
+        let store = temp_store("foreign");
+        store.put(EntryKind::Analysis, Key(1), b"a", None);
+        store.put(EntryKind::FsimStamps, Key(2), b"b", None);
+        let foreign = store.root().join("README.txt");
+        fs::write(&foreign, "not an entry").unwrap();
+
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        assert_eq!(scan.valid_count(), 2);
+        assert_eq!(scan.kind_summary(EntryKind::Analysis).0, 1);
+        assert_eq!(scan.kind_summary(EntryKind::FsimStamps).0, 1);
+        assert!(scan.total_bytes() > 0);
+
+        assert_eq!(store.clear().unwrap(), 2);
+        assert!(foreign.exists(), "clear must not delete foreign files");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("warpstl-aw-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.json");
+        atomic_write(&target, b"first").unwrap();
+        atomic_write(&target, b"second").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|d| d.ok())
+            .filter(|d| d.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

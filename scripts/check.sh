@@ -65,4 +65,28 @@ if cargo run -q --release -p warpstl-cli -- analyze comb-loop >/dev/null 2>&1; t
 fi
 echo "analyze comb-loop: nonzero exit as expected"
 
+echo "== artifact-cache smoke test =="
+# Cold run populates the cache, warm run must hit it (the cache summary
+# line reports >= 1 hit) and reproduce the report JSON byte-for-byte; the
+# cache subcommands must agree the entries are intact.
+CACHE_DIR="$SMOKE_DIR/cache"
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --cache-dir "$CACHE_DIR" --json "$SMOKE_DIR/r1.json" \
+    > "$SMOKE_DIR/cold.out" || exit 1
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --cache-dir "$CACHE_DIR" --json "$SMOKE_DIR/r2.json" \
+    > "$SMOKE_DIR/warm.out" || exit 1
+cmp "$SMOKE_DIR/r1.json" "$SMOKE_DIR/r2.json" || {
+    echo "cold and warm report JSON differ" >&2
+    exit 1
+}
+grep -Eq '^cache +[1-9][0-9]* hit' "$SMOKE_DIR/warm.out" || {
+    echo "warm run reported no cache hits:" >&2
+    cat "$SMOKE_DIR/warm.out" >&2
+    exit 1
+}
+cargo run -q --release -p warpstl-cli -- cache stats --cache-dir "$CACHE_DIR" || exit 1
+cargo run -q --release -p warpstl-cli -- cache verify --cache-dir "$CACHE_DIR" || exit 1
+echo "cache OK: warm rerun hit the cache with byte-identical report JSON"
+
 echo "check.sh: all green"
