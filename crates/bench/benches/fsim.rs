@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use warpstl_analyze::Scoap;
 use warpstl_fault::{
     fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
-    FaultList, FaultSimConfig, FaultUniverse, SimGuide,
+    FaultList, FaultSimConfig, FaultUniverse, SimBackend, SimGuide,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -36,10 +36,14 @@ fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSe
     p
 }
 
+// The `engine/*` benches pin the event backend so their names keep meaning
+// what they measured before the kernel landed; `kernel/*` benches compare
+// the backends explicitly.
 fn non_drop() -> FaultSimConfig {
     FaultSimConfig {
         drop_detected: false,
         early_exit: false,
+        backend: SimBackend::Event,
         ..FaultSimConfig::default()
     }
 }
@@ -124,6 +128,7 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
     let keys = Scoap::compute(netlist).observability_keys();
     let drop1 = FaultSimConfig {
         threads: 1,
+        backend: SimBackend::Event,
         ..FaultSimConfig::default()
     };
     c.bench_function(&format!("fsim/{name}/drop/baseline"), |b| {
@@ -136,6 +141,7 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
     let guide = SimGuide {
         dominance: Some(&dominance),
         order_keys: Some(&keys),
+        levels: None,
     };
     c.bench_function(&format!("fsim/{name}/drop/guided"), |b| {
         b.iter_batched(
@@ -144,6 +150,34 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
             BatchSize::SmallInput,
         );
     });
+}
+
+/// The levelized SoA batch kernel against the event path, single thread in
+/// non-drop mode at 512 patterns (so the 256-bit wide path sees full
+/// blocks): `kernel/<module>/{event,kernel64,kernel256}`.
+fn bench_kernel_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usize) {
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0x5e7e ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(netlist);
+    let backends = [
+        ("event", SimBackend::Event),
+        ("kernel64", SimBackend::Kernel64),
+        ("kernel256", SimBackend::Kernel),
+    ];
+    for (bname, backend) in backends {
+        let cfg = FaultSimConfig {
+            drop_detected: false,
+            early_exit: false,
+            threads: 1,
+            backend,
+        };
+        c.bench_function(&format!("kernel/{name}/{bname}"), |b| {
+            b.iter_batched(
+                || FaultList::new(&universe),
+                |mut list| fault_simulate(netlist, &pats, &mut list, &cfg),
+                BatchSize::SmallInput,
+            );
+        });
+    }
 }
 
 /// The analyzer itself (SCOAP + all four lint passes) per bundled module —
@@ -161,6 +195,8 @@ fn bench_analyze(c: &mut Criterion) {
 fn bench_fsim(c: &mut Criterion) {
     bench_module(c, "du_256", &ModuleKind::DecoderUnit.build(), 256);
     bench_module(c, "sfu_128", &ModuleKind::Sfu.build(), 128);
+    bench_kernel_module(c, "du_512", &ModuleKind::DecoderUnit.build(), 512);
+    bench_kernel_module(c, "sfu_512", &ModuleKind::Sfu.build(), 512);
 }
 
 criterion_group! {

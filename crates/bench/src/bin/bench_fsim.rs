@@ -30,7 +30,7 @@ use warpstl_bench::{compact_group, Scale};
 use warpstl_core::{Compactor, StageTimings};
 use warpstl_fault::{
     fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
-    FaultList, FaultSimConfig, FaultUniverse, SimGuide,
+    FaultList, FaultSimConfig, FaultUniverse, SimBackend, SimGuide,
 };
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
@@ -56,11 +56,15 @@ fn pseudorandom_patterns(width: usize, count: usize, mut seed: u64) -> PatternSe
     p
 }
 
+// The legacy engine rows pin the event backend so `engine/1 vs reference`
+// keeps isolating fanout-cone pruning; the levelized kernel is measured
+// separately in the `kernel` block.
 fn non_drop(threads: usize) -> FaultSimConfig {
     FaultSimConfig {
         drop_detected: false,
         early_exit: false,
         threads,
+        backend: SimBackend::Event,
     }
 }
 
@@ -155,10 +159,12 @@ fn measure_dominance(
     let start = Instant::now();
     let dominance = universe.dominance(netlist);
     let keys = Scoap::compute(netlist).observability_keys();
+    let levels = netlist.levelize();
     let analysis_s = start.elapsed().as_secs_f64();
     let guide = SimGuide {
         dominance: Some(&dominance),
         order_keys: Some(&keys),
+        levels: Some(&levels),
     };
     let cfg = FaultSimConfig {
         threads: 1,
@@ -204,6 +210,78 @@ fn measure_dominance(
         baseline_s,
         guided_s,
         coverage: base_list.coverage(),
+    }
+}
+
+struct KernelResult {
+    name: String,
+    patterns: usize,
+    faults: usize,
+    event_s: f64,
+    kernel64_s: f64,
+    kernel256_s: f64,
+}
+
+/// Times the event path against the levelized kernel at both block widths
+/// (single thread, drop mode — the production default — and 512 patterns so
+/// the 256-bit path sees full blocks), gated on bit-identity: timings are
+/// only recorded after both kernel widths reproduce the event path's report
+/// and fault list exactly.
+fn measure_kernel(name: &str, netlist: &Netlist, patterns: usize, reps: usize) -> KernelResult {
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0x5e7e ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(netlist);
+    let cfg = |backend| FaultSimConfig {
+        threads: 1,
+        backend,
+        ..FaultSimConfig::default()
+    };
+
+    let mut event_list = FaultList::new(&universe);
+    let event_report = fault_simulate(netlist, &pats, &mut event_list, &cfg(SimBackend::Event));
+    for backend in [SimBackend::Kernel64, SimBackend::Kernel] {
+        let mut list = FaultList::new(&universe);
+        let report = fault_simulate(netlist, &pats, &mut list, &cfg(backend));
+        assert_eq!(
+            report, event_report,
+            "{name}: backend {backend} diverged from the event path report"
+        );
+        assert_eq!(
+            list.to_report_text(),
+            event_list.to_report_text(),
+            "{name}: backend {backend} diverged from the event path fault list"
+        );
+    }
+
+    eprintln!(
+        "[bench_fsim] {name}: kernel vs event, {} collapsed faults, {patterns} patterns (t=1)",
+        universe.collapsed_len()
+    );
+    let event_s = time_best(&universe, reps, |list| {
+        fault_simulate(netlist, &pats, list, &cfg(SimBackend::Event));
+    });
+    eprintln!("[bench_fsim]   event          {event_s:.4}s");
+    let kernel64_s = time_best(&universe, reps, |list| {
+        fault_simulate(netlist, &pats, list, &cfg(SimBackend::Kernel64));
+    });
+    eprintln!(
+        "[bench_fsim]   kernel w=64    {kernel64_s:.4}s ({:.2}x)",
+        event_s / kernel64_s
+    );
+    let kernel256_s = time_best(&universe, reps, |list| {
+        fault_simulate(netlist, &pats, list, &cfg(SimBackend::Kernel));
+    });
+    eprintln!(
+        "[bench_fsim]   kernel w=256   {kernel256_s:.4}s ({:.2}x)",
+        event_s / kernel256_s
+    );
+
+    KernelResult {
+        name: name.to_string(),
+        patterns,
+        faults: universe.collapsed_len(),
+        event_s,
+        kernel64_s,
+        kernel256_s,
     }
 }
 
@@ -359,6 +437,12 @@ fn main() {
         .map(|&(name, kind, patterns, reps)| measure(name, &kind.build(), patterns, reps, &swept))
         .collect();
 
+    eprintln!("[bench_fsim] measuring levelized kernel vs event path (non-drop, t=1)");
+    let kernel_results: Vec<KernelResult> = ModuleKind::ALL
+        .iter()
+        .map(|kind| measure_kernel(kind.name(), &kind.build(), 512, 3))
+        .collect();
+
     eprintln!("[bench_fsim] measuring dominance+ordering vs equivalence-only (drop mode, t=1)");
     let dominance_results: Vec<DominanceResult> = ModuleKind::ALL
         .iter()
@@ -395,6 +479,16 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(json, "  \"skipped_thread_counts\": [{skipped_list}],");
+    // With every multi-thread configuration skipped the sweep degenerates
+    // to t=1 and says nothing about batch-level threading; flag it so the
+    // JSON is not misread as "threading verified" on a single-core host.
+    let threading_untested = swept == [1];
+    if threading_untested {
+        eprintln!(
+            "[bench_fsim] WARNING: host has 1 core; all multi-thread configurations were skipped, thread scaling is untested"
+        );
+    }
+    let _ = writeln!(json, "  \"threading_untested\": {threading_untested},");
     let skipped_note = if skipped.is_empty() {
         String::new()
     } else {
@@ -446,6 +540,33 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"kernel\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"levelized SoA batch kernel vs the event path, drop mode (the production default), single thread, best of N reps; kernel64/kernel256 are the 64-bit remainder and 256-bit wide block paths; bit-identity of report and fault list against the event path is asserted before any timing is recorded\","
+    );
+    json.push_str("    \"modules\": [\n");
+    for (ki, k) in kernel_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"module\": \"{}\", \"patterns\": {}, \"collapsed_faults\": {}, \"event_s\": {:.6}, \"kernel64_s\": {:.6}, \"kernel256_s\": {:.6}, \"speedup_kernel64\": {:.3}, \"speedup_kernel256\": {:.3}}}",
+            k.name,
+            k.patterns,
+            k.faults,
+            k.event_s,
+            k.kernel64_s,
+            k.kernel256_s,
+            k.event_s / k.kernel64_s,
+            k.event_s / k.kernel256_s
+        );
+        json.push_str(if ki + 1 < kernel_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
     json.push_str("  \"dominance\": {\n");
     let _ = writeln!(
         json,

@@ -6,8 +6,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use warpstl_core::Compactor;
-use warpstl_fault::FaultUniverse;
+use warpstl_fault::{FaultSimConfig, FaultUniverse, SimBackend};
 use warpstl_netlist::modules::ModuleKind;
+use warpstl_netlist::GateKind;
 use warpstl_obs::Recorder;
 use warpstl_programs::generators::{
     generate_cntrl, generate_fpu, generate_imm, generate_mem, generate_rand_sp, generate_sfu_imm,
@@ -28,11 +29,13 @@ usage:
   warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
                       [--trace-out FILE] [--json FILE]
                       [--cache-dir DIR] [--no-cache]
+                      [--sim-backend auto|event|kernel]
   warpstl compact-stl <STL-FILE> [--out FILE] [--trace-out FILE]
                       [--json FILE] [--cache-dir DIR] [--no-cache]
+                      [--sim-backend auto|event|kernel]
   warpstl cache       <stats|gc|verify|clear> [--cache-dir DIR]
   warpstl lint        <PTP-FILE> [--json]
-  warpstl analyze     <MODULE> [--json]
+  warpstl analyze     <MODULE> [--json] [--sim-backend auto|event|kernel]
                       (a module name from `warpstl modules`, or the
                        `comb-loop` / `undriven` demo fixtures)
   warpstl run         <PTP-FILE> [--trace]
@@ -41,7 +44,12 @@ usage:
 
 caching: compact and compact-stl reuse stored artifacts when --cache-dir
 (or the WARPSTL_CACHE_DIR environment variable) names a directory;
---no-cache disables the cache for one run.";
+--no-cache disables the cache for one run.
+
+fault simulation: --sim-backend picks the engine backend (`auto` uses the
+levelized kernel on combinational modules and the event path otherwise;
+results are bit-identical either way). The WARPSTL_SIM_BACKEND environment
+variable applies when the flag is absent.";
 
 /// Parses and runs one invocation.
 pub fn dispatch(args: &[String]) -> CliResult {
@@ -104,6 +112,22 @@ fn resolve_cache_dir(flags: &Flags, env: Option<&str>) -> Option<PathBuf> {
         return None;
     }
     flags.value("--cache-dir").or(env).map(PathBuf::from)
+}
+
+/// Resolves `--sim-backend` for one invocation. A valid value pins the
+/// engine backend; an invalid one warns (once — mirroring the
+/// `WARPSTL_SIM_BACKEND` handling) and falls back to `auto`; an absent
+/// flag leaves `Auto`, so the engine still consults the environment.
+fn resolve_sim_backend(flags: &Flags) -> SimBackend {
+    match flags.value("--sim-backend") {
+        None => SimBackend::Auto,
+        Some(v) => SimBackend::parse(v).unwrap_or_else(|| {
+            eprintln!(
+                "warning: invalid --sim-backend value `{v}` (expected auto, event, or kernel); falling back to auto"
+            );
+            SimBackend::Auto
+        }),
+    }
 }
 
 /// Opens the artifact store for a compaction command, if one is
@@ -359,6 +383,10 @@ fn compact(args: &[String]) -> CliResult {
         respect_arc: !flags.has("--no-arc"),
         obs: recorder.clone(),
         store: store.clone(),
+        fsim_config: FaultSimConfig {
+            backend: resolve_sim_backend(&flags),
+            ..FaultSimConfig::default()
+        },
         ..Compactor::default()
     };
     let mut ctx = compactor.context_for(ptp.target);
@@ -467,6 +495,18 @@ fn analyze(args: &[String]) -> CliResult {
             netlist.logic_depth()
         );
         println!("SCOAP CO   max {max_co}, mean {mean_co:.1}");
+        let levels = netlist.levelize();
+        let combinational = !netlist.gates().iter().any(|g| g.kind == GateKind::Dff);
+        let cfg = FaultSimConfig {
+            backend: resolve_sim_backend(&flags),
+            ..FaultSimConfig::default()
+        };
+        println!(
+            "levels     {} ranks, {} segments; sim backend {}",
+            levels.ranks(),
+            levels.segments().len(),
+            cfg.resolved_backend(combinational)
+        );
         // The fault model (and with it the dominance view) is only
         // defined on netlists that pass the lint gate — that is what the
         // gate protects the pipeline from.
@@ -547,10 +587,15 @@ fn compact_stl(args: &[String]) -> CliResult {
         .value("--trace-out")
         .map(|_| Arc::new(Recorder::new()));
     let store = open_store(&flags)?;
+    let backend = resolve_sim_backend(&flags);
     let outcome = warpstl_core::compact_stl_with(&stl, |module| Compactor {
         reverse_patterns: module == ModuleKind::Sfu,
         obs: recorder.clone(),
         store: store.clone(),
+        fsim_config: FaultSimConfig {
+            backend,
+            ..FaultSimConfig::default()
+        },
         ..Compactor::default()
     })?;
     for r in &outcome.reports {
@@ -859,6 +904,68 @@ mod tests {
         // Unknown names and a missing argument are flagged.
         assert!(dispatch(&s(&["analyze", "warp_scheduler"])).is_err());
         assert!(dispatch(&s(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn sim_backend_flag_resolves_and_tolerates_garbage() {
+        for (v, want) in [
+            ("auto", SimBackend::Auto),
+            ("event", SimBackend::Event),
+            ("kernel", SimBackend::Kernel),
+            ("kernel64", SimBackend::Kernel64),
+        ] {
+            let args = s(&["--sim-backend", v]);
+            assert_eq!(resolve_sim_backend(&Flags::new(&args)), want);
+        }
+        // No flag and an invalid value both resolve to Auto (the invalid
+        // value warns but must not abort the compaction).
+        let args = s(&[]);
+        assert_eq!(resolve_sim_backend(&Flags::new(&args)), SimBackend::Auto);
+        let args = s(&["--sim-backend", "quantum"]);
+        assert_eq!(resolve_sim_backend(&Flags::new(&args)), SimBackend::Auto);
+    }
+
+    #[test]
+    fn compact_report_is_backend_invariant() {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-cli-backend-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "4",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The report JSON carries no timings, so the event path and the
+        // kernel must produce byte-identical reports — the CLI-level face
+        // of the engine equivalence suite. An invalid value falls back to
+        // auto and still completes.
+        let mut reports = Vec::new();
+        for backend in ["event", "kernel", "bogus"] {
+            let out = dir.join(format!("{backend}.json"));
+            dispatch(&s(&[
+                "compact",
+                ptp_path.to_str().unwrap(),
+                "--sim-backend",
+                backend,
+                "--json",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            reports.push(fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(reports[0], reports[1], "event vs kernel report JSON");
+        assert_eq!(reports[1], reports[2], "auto fallback report JSON");
+
+        // `analyze` accepts the flag too and reports the resolved backend.
+        dispatch(&s(&["analyze", "decoder_unit", "--sim-backend", "event"])).unwrap();
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

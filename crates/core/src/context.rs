@@ -6,7 +6,7 @@ use warpstl_analyze::{analyze, Analysis};
 use warpstl_fault::{DominanceView, FaultList, FaultUniverse, SimGuide};
 use warpstl_gpu::ModulePatterns;
 use warpstl_netlist::modules::ModuleKind;
-use warpstl_netlist::{Netlist, PatternSeq};
+use warpstl_netlist::{Levelization, Netlist, PatternSeq};
 use warpstl_store::{key_netlist, CacheCtx, Key, Store};
 
 /// The per-target-module state shared across the PTPs of an STL: the module
@@ -37,6 +37,7 @@ pub struct ModuleContext {
     analysis: Analysis,
     dominance: DominanceView,
     order_keys: Vec<f64>,
+    levels: Levelization,
     store: Option<Arc<Store>>,
     netlist_key: Key,
 }
@@ -55,6 +56,7 @@ impl ModuleContext {
         let analysis = analyze(&netlist);
         let dominance = universe.dominance(&netlist);
         let order_keys = analysis.scoap.observability_keys();
+        let levels = netlist.levelize();
         let netlist_key = key_netlist(&netlist);
         ModuleContext {
             module,
@@ -64,6 +66,7 @@ impl ModuleContext {
             analysis,
             dominance,
             order_keys,
+            levels,
             store: None,
             netlist_key,
         }
@@ -138,6 +141,13 @@ impl ModuleContext {
         &self.order_keys
     }
 
+    /// The module's levelization (rank-major gate ordering); the levelized
+    /// simulation kernel evaluates over it.
+    #[must_use]
+    pub fn levels(&self) -> &Levelization {
+        &self.levels
+    }
+
     /// The simulation guide (dominance + ordering) borrowed from this
     /// context — hand it to
     /// [`fault_simulate_guided`](warpstl_fault::fault_simulate_guided).
@@ -146,6 +156,7 @@ impl ModuleContext {
         SimGuide {
             dominance: Some(&self.dominance),
             order_keys: Some(&self.order_keys),
+            levels: Some(&self.levels),
         }
     }
 
@@ -175,6 +186,7 @@ impl ModuleContext {
         let guide = SimGuide {
             dominance: Some(&self.dominance),
             order_keys: Some(&self.order_keys),
+            levels: Some(&self.levels),
         };
         let cache = CacheCtx {
             store: self.store.as_deref(),

@@ -394,6 +394,7 @@ impl Compactor {
         let mut lists: Vec<FaultList> = ctx.fresh_lists();
         let cfg = FaultSimConfig {
             threads: self.fsim_config.threads,
+            backend: self.fsim_config.backend,
             ..FaultSimConfig::default()
         };
         let streams: Vec<Cow<'_, PatternSeq>> = ctx
@@ -443,6 +444,7 @@ impl Compactor {
         let mut lists: Vec<FaultList> = ctx.fresh_lists();
         let cfg = FaultSimConfig {
             threads: self.fsim_config.threads,
+            backend: self.fsim_config.backend,
             ..FaultSimConfig::default()
         };
         for ptp in ptps {

@@ -26,12 +26,12 @@
 //!    *group* and re-evaluates only cone gates per batch, instead of the
 //!    whole netlist per batch.
 
-use warpstl_netlist::{FanoutCones, Gate, GateKind, Netlist, PatternSeq};
+use warpstl_netlist::{FanoutCones, Gate, GateKind, Levelization, Netlist, PatternSeq};
 use warpstl_obs::{Metrics, Obs, ObsExt};
 
 use crate::{
     Fault, FaultId, FaultList, FaultSimConfig, FaultSimReport, FaultSite, FaultStatus, Polarity,
-    SimGuide,
+    SimBackend, SimGuide,
 };
 
 /// How many batches a worker interleaves in one pattern sweep. Each batch in
@@ -74,15 +74,77 @@ fn warn_invalid_threads_once(value: &str) {
     });
 }
 
+/// Resolves the simulation backend: explicit config, then
+/// `WARPSTL_SIM_BACKEND`, then auto — and every kernel choice falls back to
+/// the event path on sequential netlists, since only the event path carries
+/// flip-flop state across patterns. Both paths produce bit-identical
+/// results, so this is purely a performance knob (and, like the thread
+/// count, it never enters artifact-cache keys).
+pub(crate) fn resolve_backend(config: &FaultSimConfig, combinational: bool) -> SimBackend {
+    let requested = if config.backend != SimBackend::Auto {
+        config.backend
+    } else {
+        match std::env::var("WARPSTL_SIM_BACKEND") {
+            Ok(s) => match SimBackend::parse(&s) {
+                Some(b) => b,
+                None => {
+                    warn_invalid_backend_once(&s);
+                    SimBackend::Auto
+                }
+            },
+            Err(std::env::VarError::NotPresent) => SimBackend::Auto,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                warn_invalid_backend_once("<non-unicode>");
+                SimBackend::Auto
+            }
+        }
+    };
+    match requested {
+        SimBackend::Event => SimBackend::Event,
+        SimBackend::Auto => {
+            if combinational {
+                SimBackend::Kernel
+            } else {
+                SimBackend::Event
+            }
+        }
+        kernel => {
+            if combinational {
+                kernel
+            } else {
+                SimBackend::Event
+            }
+        }
+    }
+}
+
+/// Mirrors [`warn_invalid_threads_once`]: an unknown `WARPSTL_SIM_BACKEND`
+/// is surfaced once per process instead of silently running on auto.
+fn warn_invalid_backend_once(value: &str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: invalid WARPSTL_SIM_BACKEND value `{value}` (expected \
+             auto, event, or kernel); falling back to auto"
+        );
+    });
+}
+
 /// Read-only state shared by every worker.
-struct Ctx<'a> {
-    gates: &'a [Gate],
-    patterns: &'a PatternSeq,
-    cones: &'a FanoutCones,
-    in_nets: &'a [usize],
-    out_nets: &'a [usize],
-    dff_nets: &'a [usize],
-    config: FaultSimConfig,
+pub(crate) struct Ctx<'a> {
+    pub(crate) gates: &'a [Gate],
+    pub(crate) patterns: &'a PatternSeq,
+    pub(crate) cones: &'a FanoutCones,
+    pub(crate) in_nets: &'a [usize],
+    pub(crate) out_nets: &'a [usize],
+    pub(crate) dff_nets: &'a [usize],
+    pub(crate) config: FaultSimConfig,
+    /// The resolved backend — never [`SimBackend::Auto`], and never a
+    /// kernel variant when `dff_nets` is non-empty.
+    pub(crate) backend: SimBackend,
+    /// Rank-major netlist layout; present whenever `backend` is a kernel
+    /// variant (borrowed from the guide or levelized per run).
+    pub(crate) levels: Option<&'a Levelization>,
 }
 
 /// One 63-fault batch, fully resolved for simulation: injection masks are
@@ -200,10 +262,42 @@ struct BatchState {
 
 /// What one worker hands back: per-batch detection logs (in the worker's
 /// batch order) plus per-pattern tallies summed over its batches.
-struct WorkerOut {
-    detections: Vec<Vec<(FaultId, u64, usize)>>,
-    activated: Vec<u32>,
-    detected: Vec<u32>,
+pub(crate) struct WorkerOut {
+    pub(crate) detections: Vec<Vec<(FaultId, u64, usize)>>,
+    pub(crate) activated: Vec<u32>,
+    pub(crate) detected: Vec<u32>,
+}
+
+/// Dispatches one worker's contiguous batch range to the backend selected
+/// in the context. Both runners honor the same contract — detections per
+/// batch in serial `(pattern, lane)` order, exact per-pattern tallies — so
+/// the merge in [`run_target_list`] is backend-agnostic.
+fn run_range(
+    ctx: &Ctx<'_>,
+    batches: &[Vec<(FaultId, Fault)>],
+    obs: Obs<'_>,
+    first_batch: usize,
+    pat_range: (usize, usize),
+) -> WorkerOut {
+    match ctx.backend {
+        SimBackend::Kernel => crate::kernel::run_batches_kernel::<4>(
+            ctx,
+            ctx.levels.expect("kernel backend carries a levelization"),
+            batches,
+            obs,
+            first_batch,
+            pat_range,
+        ),
+        SimBackend::Kernel64 => crate::kernel::run_batches_kernel::<1>(
+            ctx,
+            ctx.levels.expect("kernel backend carries a levelization"),
+            batches,
+            obs,
+            first_batch,
+            pat_range,
+        ),
+        _ => run_batches(ctx, batches, obs, first_batch, pat_range),
+    }
 }
 
 /// Simulates a contiguous range of batches, interleaving them in groups of
@@ -479,7 +573,7 @@ fn run_target_list(
     // regression of BENCH_fsim).
     let outs: Vec<WorkerOut> = if workers <= 1 {
         obs.record("fsim.batches_per_worker", batches.len() as f64);
-        vec![run_batches(ctx, &batches, obs, 0, pat_range)]
+        vec![run_range(ctx, &batches, obs, 0, pat_range)]
     } else {
         // Contiguous ranges keep the merge order trivial: worker w owns
         // batches [w·k, (w+1)·k), so concatenating worker outputs in spawn
@@ -491,7 +585,7 @@ fn run_target_list(
                 .enumerate()
                 .map(|(w, range)| {
                     obs.record("fsim.batches_per_worker", range.len() as f64);
-                    s.spawn(move || run_batches(ctx, range, obs, w * per, pat_range))
+                    s.spawn(move || run_range(ctx, range, obs, w * per, pat_range))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -719,6 +813,15 @@ pub(crate) fn simulate_guided(
     let in_nets: Vec<usize> = netlist.inputs().nets().iter().map(|n| n.index()).collect();
     let out_nets: Vec<usize> = netlist.outputs().nets().iter().map(|n| n.index()).collect();
     let dff_nets: Vec<usize> = netlist.dffs().iter().map(|n| n.index()).collect();
+    let backend = resolve_backend(config, dff_nets.is_empty());
+    // The kernel needs the rank-major layout; levelize here only when the
+    // guide did not bring the module's cached copy (O(gates log gates),
+    // negligible next to one pattern sweep).
+    let owned_levels: Option<Levelization> = match (backend, guide.levels) {
+        (SimBackend::Event, _) | (_, Some(_)) => None,
+        _ => Some(netlist.levelize()),
+    };
+    let levels = guide.levels.or(owned_levels.as_ref());
     let ctx = Ctx {
         gates: netlist.gates(),
         patterns,
@@ -727,6 +830,8 @@ pub(crate) fn simulate_guided(
         out_nets: &out_nets,
         dff_nets: &dff_nets,
         config: *config,
+        backend,
+        levels,
     };
 
     let n_pat = patterns.len();
@@ -735,8 +840,12 @@ pub(crate) fn simulate_guided(
     if obs.enabled() {
         run_span.arg("faults", targets.len());
         run_span.arg("patterns", patterns.len());
+        run_span.arg("backend", backend);
         obs.add("fsim.runs", 1);
         obs.add("fsim.patterns", patterns.len() as u64);
+        if backend != SimBackend::Event {
+            obs.add("fsim.kernel.runs", 1);
+        }
     }
 
     // Dominance is per-pattern reasoning over *first* detections; in

@@ -1,0 +1,630 @@
+//! The levelized SoA batch kernel: pattern-parallel fault simulation over
+//! rank-major gate arrays.
+//!
+//! Where the event path ([`crate::engine::run_batches`]) packs 63 faulty
+//! machines into each 64-bit word and walks one pattern at a time, the
+//! kernel turns the word the other way: **bit lanes are patterns**. A block
+//! is `W` consecutive 64-bit lane words — `W = 4` (256 patterns) on the main
+//! path, autovectorizable as plain `[u64; 4]` arithmetic, with `W = 1` kept
+//! as the remainder path for spans that don't fill a wide block.
+//!
+//! The 2D batching then looks like this:
+//!
+//! - **Pattern-parallel within a block.** The good machine is evaluated once
+//!   per worker for the whole pattern span, rank by rank over the
+//!   [`Levelization`] segments — each segment is one branch-free loop over
+//!   gates of one kind, reading and writing a flat `net × word` span
+//!   buffer.
+//! - **Fault-parallel across the existing 63-fault groups.** Batches keep
+//!   the engine's exact composition (that is what fixes the report order);
+//!   within a batch each fault is propagated alone: its faulty machine
+//!   differs from the good one only where the fault's effect survives, so
+//!   the kernel forces the site word and chases the **difference frontier**
+//!   through the levelization's rank buckets — a gate is (re)evaluated for
+//!   a block only if one of its inputs actually changed, and the frontier
+//!   dies wherever the faulty word equals the good word. Fanout-cone
+//!   pruning is implicit: the frontier is confined to the site's cone and
+//!   is usually far smaller.
+//!
+//! Two screens keep per-fault work near zero for inert blocks: an
+//! activation screen (a fault whose site sees no opposing good value in a
+//! block cannot change anything) and the frontier itself (a pin fault whose
+//! effect is absorbed by the seed gate propagates nowhere). Detection,
+//! activation, and per-pattern tallies are extracted per pattern, and the
+//! per-batch detection log is sorted back into the serial
+//! `(pattern, lane)` order — making the report **bit-identical** to the
+//! event path (the equivalence suite asserts this).
+//!
+//! Fault dropping maps naturally: a dropped fault simply stops after the
+//! block containing its first detection — the pattern-block analogue of the
+//! event path's early exit, but per fault rather than per batch. In drop
+//! mode the first `W` words of each fault are probed as narrow blocks
+//! (most faults detect within the first few dozen patterns; evaluating a
+//! full 256-lane block to find a detection in lane 3 wastes the width) and
+//! only faults that survive the probe graduate to wide blocks.
+
+use warpstl_netlist::{GateKind, Levelization};
+use warpstl_obs::{Metrics, Obs, ObsExt};
+
+use crate::engine::{Ctx, WorkerOut};
+use crate::{Fault, FaultId, FaultSite};
+
+/// Evaluates one run of same-kind gates over the gate-major span buffer
+/// (`row` words per net, block at word offset `base`). Operands are staged
+/// through fixed-size arrays so each access is one bounds-checked slice
+/// copy instead of `BW` indexed loads.
+#[inline]
+fn eval_run_strided<const BW: usize>(
+    kind: GateKind,
+    nodes: &[u32],
+    pins: &[[u32; 3]],
+    vals: &mut [u64],
+    row: usize,
+    base: usize,
+) {
+    macro_rules! unary {
+        ($f:expr) => {
+            for (k, &g) in nodes.iter().enumerate() {
+                let mut a = [0u64; BW];
+                a.copy_from_slice(&vals[pins[k][0] as usize * row + base..][..BW]);
+                let o0 = g as usize * row + base;
+                for (w, dst) in vals[o0..o0 + BW].iter_mut().enumerate() {
+                    *dst = $f(a[w]);
+                }
+            }
+        };
+    }
+    macro_rules! binary {
+        ($f:expr) => {
+            for (k, &g) in nodes.iter().enumerate() {
+                let mut a = [0u64; BW];
+                a.copy_from_slice(&vals[pins[k][0] as usize * row + base..][..BW]);
+                let mut b = [0u64; BW];
+                b.copy_from_slice(&vals[pins[k][1] as usize * row + base..][..BW]);
+                let o0 = g as usize * row + base;
+                for (w, dst) in vals[o0..o0 + BW].iter_mut().enumerate() {
+                    *dst = $f(a[w], b[w]);
+                }
+            }
+        };
+    }
+    match kind {
+        GateKind::Buf => unary!(|a: u64| a),
+        GateKind::Not => unary!(|a: u64| !a),
+        GateKind::And => binary!(|a: u64, b: u64| a & b),
+        GateKind::Or => binary!(|a: u64, b: u64| a | b),
+        GateKind::Nand => binary!(|a: u64, b: u64| !(a & b)),
+        GateKind::Nor => binary!(|a: u64, b: u64| !(a | b)),
+        GateKind::Xor => binary!(|a: u64, b: u64| a ^ b),
+        GateKind::Xnor => binary!(|a: u64, b: u64| !(a ^ b)),
+        GateKind::Mux => {
+            for (k, &g) in nodes.iter().enumerate() {
+                let mut s = [0u64; BW];
+                s.copy_from_slice(&vals[pins[k][0] as usize * row + base..][..BW]);
+                let mut a = [0u64; BW];
+                a.copy_from_slice(&vals[pins[k][1] as usize * row + base..][..BW]);
+                let mut b = [0u64; BW];
+                b.copy_from_slice(&vals[pins[k][2] as usize * row + base..][..BW]);
+                let o0 = g as usize * row + base;
+                for (w, dst) in vals[o0..o0 + BW].iter_mut().enumerate() {
+                    *dst = (s[w] & a[w]) | (!s[w] & b[w]);
+                }
+            }
+        }
+        // Sources never appear in logic segments: the good pass handles
+        // them explicitly, and DFFs never reach the kernel.
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => {
+            unreachable!("source/state kinds are not evaluated by segment runs")
+        }
+    }
+}
+
+/// Evaluates the good machine for one `BW`-word block of the span, writing
+/// into the gate-major span buffer `good` (`stride` words per gate, block at
+/// word offset `base`). Inputs come from the transposed pattern words.
+fn good_block<const BW: usize>(
+    levels: &Levelization,
+    in_slot: &[u32],
+    in_words: &[u64],
+    good: &mut [u64],
+    stride: usize,
+    base: usize,
+) {
+    for seg in levels.segments() {
+        let nodes = &levels.order()[seg.range()];
+        match seg.kind {
+            GateKind::Input => {
+                for &g in nodes {
+                    let o0 = g as usize * stride + base;
+                    let slot = in_slot[g as usize];
+                    if slot == u32::MAX {
+                        // An input gate absent from the port map is never
+                        // driven; the event path leaves it at 0.
+                        good[o0..o0 + BW].fill(0);
+                    } else {
+                        let s0 = slot as usize * stride + base;
+                        good[o0..o0 + BW].copy_from_slice(&in_words[s0..s0 + BW]);
+                    }
+                }
+            }
+            GateKind::Const0 | GateKind::Const1 => {
+                let v = if seg.kind == GateKind::Const1 {
+                    !0u64
+                } else {
+                    0
+                };
+                for &g in nodes {
+                    let o0 = g as usize * stride + base;
+                    good[o0..o0 + BW].fill(v);
+                }
+            }
+            kind => {
+                let pins = &levels.pins()[seg.range()];
+                eval_run_strided::<BW>(kind, nodes, pins, good, stride, base);
+            }
+        }
+    }
+}
+
+/// Adds 1 to `tally[t_base + bit]` for every set bit of `word`.
+#[inline]
+fn tally_bits(mut word: u64, t_base: usize, tally: &mut [u32]) {
+    while word != 0 {
+        let b = word.trailing_zeros() as usize;
+        word &= word - 1;
+        tally[t_base + b] += 1;
+    }
+}
+
+/// Per-fault cross-block state.
+struct FaultRun {
+    fid: FaultId,
+    fault: Fault,
+    /// 1-based batch lane (serial tie-break within a pattern).
+    lane: usize,
+    /// Activation is counted where the good site value opposes the stuck
+    /// value; `invert` is true for SA1 (activated when the good bit is 0).
+    invert: bool,
+    /// Gate-major row of the activation source net in the good span buffer.
+    src: usize,
+    /// First-detection pattern, once found.
+    detected_at: Option<usize>,
+}
+
+/// Reusable difference-frontier state, epoch-stamped so nothing is cleared
+/// between faults or blocks.
+struct Frontier {
+    /// Faulty words of perturbed nets, `W` words per net (narrow blocks use
+    /// the first word of a row).
+    faulty: Vec<u64>,
+    /// `stamp_val[net] == epoch` means `faulty` holds net's block words;
+    /// otherwise the net carries the good value.
+    stamp_val: Vec<u32>,
+    /// Queue de-duplication stamp.
+    stamp_queued: Vec<u32>,
+    epoch: u32,
+    /// One pending-gate bucket per levelization rank; gates are drained in
+    /// ascending rank order, which is a valid evaluation order.
+    buckets: Vec<Vec<u32>>,
+    /// Whether a net is a module output (a detection observation point).
+    is_out: Vec<bool>,
+}
+
+impl Frontier {
+    fn new(ctx: &Ctx<'_>, levels: &Levelization) -> Frontier {
+        let n = ctx.gates.len();
+        let mut is_out = vec![false; n];
+        for &o in ctx.out_nets {
+            is_out[o] = true;
+        }
+        Frontier {
+            faulty: vec![0u64; n * 4],
+            stamp_val: vec![0u32; n],
+            stamp_queued: vec![0u32; n],
+            epoch: 0,
+            buckets: vec![Vec::new(); levels.ranks()],
+            is_out,
+        }
+    }
+}
+
+/// Propagates one fault's difference frontier through one block, returning
+/// the diff word(s) observed at the module outputs (already confined to the
+/// span's valid lanes) and counting evaluated gates into `gate_evals`.
+#[allow(clippy::too_many_arguments)]
+fn propagate<const BW: usize>(
+    ctx: &Ctx<'_>,
+    levels: &Levelization,
+    fr: &mut Frontier,
+    run: &FaultRun,
+    good: &[u64],
+    word_mask: &[u64],
+    stride: usize,
+    base: usize,
+    gate_evals: &mut u64,
+) -> [u64; BW] {
+    fr.epoch += 1;
+    let epoch = fr.epoch;
+    let seed = run.fault.site.gate().index();
+    let forced = if run.invert { !0u64 } else { 0 };
+
+    // Seed word: the injected faulty value, masked to the valid lanes so
+    // the frontier never chases garbage in a span's tail bits.
+    let g0 = seed * stride + base;
+    let mut diff = [0u64; BW];
+    match run.fault.site {
+        // Output stem: the net is stuck regardless of the gate's inputs —
+        // exactly the event path's `(v & !sa0) | sa1`.
+        FaultSite::Output(_) => {
+            for w in 0..BW {
+                diff[w] = (forced ^ good[g0 + w]) & word_mask[base + w];
+            }
+        }
+        // Branch fault: evaluate the seed gate with the stuck pin forced;
+        // its inputs are upstream of the cone, so they carry good values.
+        FaultSite::InputPin(_, p) => {
+            let gate = &ctx.gates[seed];
+            let arity = gate.kind.arity();
+            let pin = |q: usize, w: usize| -> u64 {
+                if q == p as usize {
+                    forced
+                } else {
+                    good[gate.pins[q].index() * stride + base + w]
+                }
+            };
+            for w in 0..BW {
+                let a = pin(0, w);
+                let (b, c) = match arity {
+                    2 => (pin(1, w), 0),
+                    3 => (pin(1, w), pin(2, w)),
+                    _ => (0, 0),
+                };
+                diff[w] = (gate.kind.eval(a, b, c) ^ good[g0 + w]) & word_mask[base + w];
+            }
+        }
+    }
+    if diff.iter().all(|&d| d == 0) {
+        // The seed gate absorbed the fault in every lane of this block
+        // (possible for pin faults when another input is controlling).
+        return diff;
+    }
+
+    let mut d_acc = [0u64; BW];
+    let store = |fr: &mut Frontier, net: usize, words: &[u64; BW]| {
+        fr.faulty[net * 4..net * 4 + BW].copy_from_slice(words);
+        fr.stamp_val[net] = epoch;
+    };
+    let mut fw = [0u64; BW];
+    for w in 0..BW {
+        fw[w] = good[g0 + w] ^ diff[w];
+    }
+    store(fr, seed, &fw);
+    if fr.is_out[seed] {
+        d_acc = diff;
+    }
+
+    let mut max_rank = levels.rank_of(seed) as usize;
+    let push = |fr: &mut Frontier, levels: &Levelization, max_rank: &mut usize, from: usize| {
+        for &r in ctx.cones.successors(from) {
+            let ri = r as usize;
+            if fr.stamp_queued[ri] != epoch {
+                fr.stamp_queued[ri] = epoch;
+                let rank = levels.rank_of(ri) as usize;
+                fr.buckets[rank].push(r);
+                if rank > *max_rank {
+                    *max_rank = rank;
+                }
+            }
+        }
+    };
+    push(fr, levels, &mut max_rank, seed);
+
+    let mut rank = levels.rank_of(seed) as usize + 1;
+    while rank <= max_rank {
+        if fr.buckets[rank].is_empty() {
+            rank += 1;
+            continue;
+        }
+        let mut bucket = std::mem::take(&mut fr.buckets[rank]);
+        for &gi in &bucket {
+            let gi = gi as usize;
+            let gate = &ctx.gates[gi];
+            // Operands: faulty where perturbed this epoch, good otherwise.
+            let mut ops = [[0u64; BW]; 3];
+            for (q, &p) in gate.inputs().iter().enumerate() {
+                let pi = p.index();
+                if fr.stamp_val[pi] == epoch {
+                    ops[q].copy_from_slice(&fr.faulty[pi * 4..pi * 4 + BW]);
+                } else {
+                    let s0 = pi * stride + base;
+                    ops[q].copy_from_slice(&good[s0..s0 + BW]);
+                }
+            }
+            let o0 = gi * stride + base;
+            let mut out = [0u64; BW];
+            let mut changed = 0u64;
+            for w in 0..BW {
+                out[w] = gate.kind.eval(ops[0][w], ops[1][w], ops[2][w]);
+                changed |= out[w] ^ good[o0 + w];
+            }
+            *gate_evals += 1;
+            if changed != 0 {
+                store(fr, gi, &out);
+                if fr.is_out[gi] {
+                    for w in 0..BW {
+                        d_acc[w] |= out[w] ^ good[o0 + w];
+                    }
+                }
+                push(fr, levels, &mut max_rank, gi);
+            }
+        }
+        bucket.clear();
+        fr.buckets[rank] = bucket;
+        rank += 1;
+    }
+    d_acc
+}
+
+/// Folds one evaluated block into the tallies and detection log, preserving
+/// the event path's exact semantics: activation is counted per pattern up
+/// to and including a dropped fault's detecting pattern; detections record
+/// only the first observation in drop mode, every observation otherwise.
+/// Both `d` and `a` arrive masked to the span's valid lanes.
+#[allow(clippy::too_many_arguments)]
+fn absorb_block<const BW: usize>(
+    d: [u64; BW],
+    mut a: [u64; BW],
+    run: &mut FaultRun,
+    base: usize,
+    p0: usize,
+    drop: bool,
+    out: &mut WorkerOut,
+    det: &mut Vec<(usize, usize, FaultId)>,
+) {
+    if drop {
+        let mut hit: Option<(usize, u32)> = None;
+        for (w, &dw) in d.iter().enumerate() {
+            if dw != 0 {
+                hit = Some((w, dw.trailing_zeros()));
+                break;
+            }
+        }
+        if let Some((hw, hb)) = hit {
+            let t = p0 + (base + hw) * 64 + hb as usize;
+            // The fault is skipped from the pattern after its detection on:
+            // clip activation to bits <= the detecting pattern.
+            for aw in a.iter_mut().skip(hw + 1) {
+                *aw = 0;
+            }
+            a[hw] &= if hb == 63 { !0 } else { (1u64 << (hb + 1)) - 1 };
+            run.detected_at = Some(t);
+            det.push((t, run.lane, run.fid));
+            out.detected[t] += 1;
+        }
+        for (w, &aw) in a.iter().enumerate() {
+            tally_bits(aw, p0 + (base + w) * 64, &mut out.activated);
+        }
+    } else {
+        for w in 0..BW {
+            let t_base = p0 + (base + w) * 64;
+            tally_bits(a[w], t_base, &mut out.activated);
+            tally_bits(d[w], t_base, &mut out.detected);
+        }
+        if run.detected_at.is_none() {
+            for (w, &dw) in d.iter().enumerate() {
+                if dw != 0 {
+                    let t = p0 + (base + w) * 64 + dw.trailing_zeros() as usize;
+                    run.detected_at = Some(t);
+                    det.push((t, run.lane, run.fid));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one block for one fault: activation screen, frontier propagation,
+/// tally/detection fold. Returns 1 if the cone was actually propagated.
+#[allow(clippy::too_many_arguments)]
+fn fault_block<const BW: usize>(
+    ctx: &Ctx<'_>,
+    levels: &Levelization,
+    fr: &mut Frontier,
+    run: &mut FaultRun,
+    good: &[u64],
+    word_mask: &[u64],
+    stride: usize,
+    base: usize,
+    p0: usize,
+    drop: bool,
+    det: &mut Vec<(usize, usize, FaultId)>,
+    out: &mut WorkerOut,
+    gate_evals: &mut u64,
+) -> u64 {
+    // Activation screen: lanes where the good site value opposes the stuck
+    // value. All-zero means the faulty machine is identical in this block —
+    // no detection, no activation, nothing to do.
+    let g0 = run.src * stride + base;
+    let mut a = [0u64; BW];
+    let mut any = 0u64;
+    for w in 0..BW {
+        let g = good[g0 + w];
+        a[w] = (if run.invert { !g } else { g }) & word_mask[base + w];
+        any |= a[w];
+    }
+    if any == 0 {
+        return 0;
+    }
+    let d = propagate::<BW>(
+        ctx, levels, fr, run, good, word_mask, stride, base, gate_evals,
+    );
+    absorb_block::<BW>(d, a, run, base, p0, drop, out, det);
+    1
+}
+
+/// The kernel's counterpart of [`crate::engine::run_batches`]: simulates a
+/// contiguous range of batches over the pattern window and returns the same
+/// per-batch detection logs (serial `(pattern, lane)` order within each
+/// batch) and exact per-pattern tallies. `W` is the block width in words;
+/// spans that don't fill a wide block fall through to the 64-bit remainder
+/// path, and drop mode probes each fault's first `W` words as narrow
+/// blocks before graduating to wide ones.
+pub(crate) fn run_batches_kernel<const W: usize>(
+    ctx: &Ctx<'_>,
+    levels: &Levelization,
+    batches: &[Vec<(FaultId, Fault)>],
+    obs: Obs<'_>,
+    first_batch: usize,
+    pat_range: (usize, usize),
+) -> WorkerOut {
+    debug_assert!(
+        ctx.dff_nets.is_empty(),
+        "the levelized kernel is combinational-only"
+    );
+    let mut worker_span = obs.span("fsim", "fsim.worker");
+    worker_span.arg("first_batch", first_batch);
+    worker_span.arg("batches", batches.len());
+    let mut local = Metrics::default();
+
+    let n_pat = ctx.patterns.len();
+    let n_gates = ctx.gates.len();
+    let (p0, p1) = pat_range;
+    let span = p1 - p0;
+    let mut out = WorkerOut {
+        detections: Vec::with_capacity(batches.len()),
+        activated: vec![0u32; n_pat],
+        detected: vec![0u32; n_pat],
+    };
+    if span == 0 || n_gates == 0 {
+        out.detections.extend(batches.iter().map(|_| Vec::new()));
+        return out;
+    }
+
+    let stride = span.div_ceil(64);
+    // Valid-pattern masks: all-ones except the span's tail word.
+    let mut word_mask = vec![!0u64; stride];
+    if span % 64 != 0 {
+        word_mask[stride - 1] = (1u64 << (span % 64)) - 1;
+    }
+
+    // Transpose the pattern window: one `stride`-word row per input bit.
+    let mut in_words = vec![0u64; ctx.in_nets.len() * stride];
+    for bit_pos in 0..ctx.in_nets.len() {
+        let row = &mut in_words[bit_pos * stride..][..stride];
+        for t in 0..span {
+            if ctx.patterns.bit(p0 + t, bit_pos) {
+                row[t >> 6] |= 1u64 << (t & 63);
+            }
+        }
+    }
+    let mut in_slot = vec![u32::MAX; n_gates];
+    for (i, &net) in ctx.in_nets.iter().enumerate() {
+        in_slot[net] = i as u32;
+    }
+
+    // Good machine once for the whole span: wide blocks, then remainders.
+    let mut kernel_span = obs.span("fsim", "fsim.kernel");
+    let mut good = vec![0u64; n_gates * stride];
+    let wide_end = stride - stride % W;
+    let mut base = 0usize;
+    while base < wide_end {
+        good_block::<W>(levels, &in_slot, &in_words, &mut good, stride, base);
+        base += W;
+    }
+    while base < stride {
+        good_block::<1>(levels, &in_slot, &in_words, &mut good, stride, base);
+        base += 1;
+    }
+    let blocks = (wide_end / W) + (stride - wide_end);
+    if obs.enabled() {
+        kernel_span.arg("width", W * 64);
+        kernel_span.arg("blocks", blocks);
+        kernel_span.arg("rank_count", levels.ranks());
+        local.add("fsim.batches", batches.len() as u64);
+        local.add("fsim.kernel.blocks", blocks as u64);
+    }
+
+    let drop = ctx.config.drop_detected;
+    let mut fr = Frontier::new(ctx, levels);
+    let mut fault_blocks = 0u64;
+    let mut gate_evals = 0u64;
+
+    for batch in batches {
+        let mut det: Vec<(usize, usize, FaultId)> = Vec::new();
+        for (lane0, &(fid, f)) in batch.iter().enumerate() {
+            let mut run = FaultRun {
+                fid,
+                fault: f,
+                lane: lane0 + 1,
+                invert: f.polarity.value(),
+                src: match f.site {
+                    FaultSite::Output(n) => n.index(),
+                    FaultSite::InputPin(n, p) => ctx.gates[n.index()].pins[p as usize].index(),
+                },
+                detected_at: None,
+            };
+            let mut base = 0usize;
+            while base < stride {
+                if drop && run.detected_at.is_some() {
+                    break;
+                }
+                // Drop-mode probe: most faults detect within the first few
+                // dozen patterns, so their first `W` words run as narrow
+                // blocks; survivors use full-width blocks where aligned.
+                let wide_ok = base.is_multiple_of(W) && base + W <= stride && !(drop && base < W);
+                if wide_ok {
+                    fault_blocks += fault_block::<W>(
+                        ctx,
+                        levels,
+                        &mut fr,
+                        &mut run,
+                        &good,
+                        &word_mask,
+                        stride,
+                        base,
+                        p0,
+                        drop,
+                        &mut det,
+                        &mut out,
+                        &mut gate_evals,
+                    );
+                    base += W;
+                } else {
+                    fault_blocks += fault_block::<1>(
+                        ctx,
+                        levels,
+                        &mut fr,
+                        &mut run,
+                        &good,
+                        &word_mask,
+                        stride,
+                        base,
+                        p0,
+                        drop,
+                        &mut det,
+                        &mut out,
+                        &mut gate_evals,
+                    );
+                    base += 1;
+                }
+            }
+        }
+        // Serial order within a batch is pattern-major, then lane: restore
+        // it so the engine's batch-major merge is byte-identical.
+        det.sort_unstable();
+        out.detections.push(
+            det.into_iter()
+                .map(|(t, _, fid)| (fid, ctx.patterns.cc(t), t))
+                .collect(),
+        );
+    }
+
+    if obs.enabled() {
+        local.add("fsim.kernel.fault_blocks", fault_blocks);
+        local.add("fsim.kernel.cone_gates", gate_evals);
+    }
+    if let Some(rec) = obs {
+        rec.merge_metrics(&local);
+    }
+    out
+}

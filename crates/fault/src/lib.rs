@@ -46,6 +46,7 @@
 mod dominance;
 pub mod engine;
 mod fault;
+mod kernel;
 mod list;
 mod report;
 mod sim;
@@ -58,6 +59,6 @@ pub use list::{FaultId, FaultList, FaultStatus};
 pub use report::{FaultSimReport, PatternStats};
 pub use sim::{
     fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
-    FaultSimConfig, SimGuide,
+    FaultSimConfig, SimBackend, SimGuide,
 };
 pub use universe::FaultUniverse;

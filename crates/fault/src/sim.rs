@@ -1,8 +1,63 @@
 //! Parallel-fault stuck-at simulation over pattern sequences.
 
-use warpstl_netlist::{GateKind, Netlist, PatternSeq};
+use warpstl_netlist::{GateKind, Levelization, Netlist, PatternSeq};
 
 use crate::{DominanceView, FaultId, FaultList, FaultSimReport, FaultSite, Polarity};
+
+/// Which simulation path the engine runs.
+///
+/// Both backends produce **bit-identical** results — same detection stamps,
+/// same per-pattern tallies, same report — so the choice is purely a
+/// performance knob and is deliberately excluded from the artifact-store
+/// cache key (`key_fsim`): entries written by either backend replay
+/// interchangeably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// Resolve via `WARPSTL_SIM_BACKEND` if set, else pick the levelized
+    /// kernel for combinational netlists and the event path otherwise.
+    #[default]
+    Auto,
+    /// The event-style engine: per-gate dispatch over 63-fault batch words,
+    /// one pattern at a time. The only path that carries flip-flop state,
+    /// so sequential netlists always use it.
+    Event,
+    /// The levelized SoA kernel: rank-major, kind-segmented evaluation over
+    /// 256-bit pattern blocks (4×u64), one fault cone at a time, with a
+    /// 64-bit remainder path. Combinational only — sequential netlists fall
+    /// back to [`SimBackend::Event`].
+    Kernel,
+    /// The kernel restricted to 64-bit blocks (the remainder path for every
+    /// block). Exists so benches and tests can compare block widths; `auto`
+    /// never resolves to it.
+    Kernel64,
+}
+
+impl SimBackend {
+    /// Parses a backend name (`auto`, `event`, `kernel`, or the
+    /// bench-oriented `kernel64`), case-insensitively. Returns `None` for
+    /// anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SimBackend::Auto),
+            "event" => Some(SimBackend::Event),
+            "kernel" => Some(SimBackend::Kernel),
+            "kernel64" => Some(SimBackend::Kernel64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimBackend::Auto => "auto",
+            SimBackend::Event => "event",
+            SimBackend::Kernel => "kernel",
+            SimBackend::Kernel64 => "kernel64",
+        })
+    }
+}
 
 /// Configuration of a fault-simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +77,11 @@ pub struct FaultSimConfig {
     /// scheduling overhead), and results are bit-identical for every
     /// thread count.
     pub threads: usize,
+    /// Simulation path selection. [`SimBackend::Auto`] (the default)
+    /// consults `WARPSTL_SIM_BACKEND` and otherwise picks the levelized
+    /// kernel for combinational netlists. Results are bit-identical across
+    /// backends, and the choice is excluded from artifact-cache keys.
+    pub backend: SimBackend,
 }
 
 impl FaultSimConfig {
@@ -34,6 +94,17 @@ impl FaultSimConfig {
     pub fn resolved_threads(&self) -> usize {
         crate::engine::resolve_threads(self)
     }
+
+    /// The backend this configuration resolves to for a netlist that is
+    /// (`combinational == true`) or is not purely combinational: `backend`
+    /// if not [`SimBackend::Auto`], else `WARPSTL_SIM_BACKEND`, else auto —
+    /// with every kernel choice falling back to [`SimBackend::Event`] on
+    /// sequential netlists (only the event path carries flip-flop state).
+    /// Never returns `Auto`, `Kernel`, or `Kernel64` for sequential input.
+    #[must_use]
+    pub fn resolved_backend(&self, combinational: bool) -> SimBackend {
+        crate::engine::resolve_backend(self, combinational)
+    }
 }
 
 impl Default for FaultSimConfig {
@@ -42,6 +113,7 @@ impl Default for FaultSimConfig {
             drop_detected: true,
             early_exit: true,
             threads: 0,
+            backend: SimBackend::Auto,
         }
     }
 }
@@ -63,6 +135,12 @@ pub struct SimGuide<'a> {
     /// by gate: targets are stably reordered hardest-first before
     /// batching so each batch holds faults of similar difficulty.
     pub order_keys: Option<&'a [f64]>,
+    /// Precomputed [`Levelization`] of the netlist (rank-major SoA layout
+    /// for the levelized kernel). Purely an accelerator: when `None` the
+    /// engine levelizes on demand, and the results are identical either
+    /// way, so — unlike the two fields above — this never enters cache
+    /// keys. Callers holding a `ModuleContext` pass its cached copy.
+    pub levels: Option<&'a Levelization>,
 }
 
 /// Runs one fault simulation of `patterns` against `netlist`, updating
@@ -174,7 +252,7 @@ pub fn fault_simulate_observed(
 /// for (cc, v) in [(0, 0b11), (1, 0b01), (2, 0b10)] {
 ///     pats.push_value(cc, v);
 /// }
-/// let guide = SimGuide { dominance: Some(&dominance), order_keys: None };
+/// let guide = SimGuide { dominance: Some(&dominance), ..SimGuide::default() };
 /// fault_simulate_guided(&n, &pats, &mut list, &FaultSimConfig::default(), None, &guide);
 /// assert_eq!(list.coverage(), 1.0); // identical to the unguided run
 /// ```

@@ -153,6 +153,7 @@ fn full_batch_records_63_lane_detections() {
         drop_detected: true,
         early_exit: false,
         threads: 1,
+        ..FaultSimConfig::default()
     };
     fault_simulate_observed(&n, &pats, &mut list, &cfg, Some(&rec));
 

@@ -41,6 +41,7 @@ mod cones;
 pub mod fixtures;
 mod gate;
 pub mod io;
+mod level;
 pub mod modules;
 mod netlist;
 mod sim;
@@ -49,6 +50,7 @@ mod vcde;
 pub use builder::{Builder, Bus};
 pub use cones::FanoutCones;
 pub use gate::{Gate, GateKind, NetId};
+pub use level::{LevelSegment, Levelization};
 pub use netlist::{Netlist, NetlistError, PortMap};
 pub use sim::{simulate_seq, LogicSim};
 pub use vcde::{ParseVcdeError, PatternSeq};

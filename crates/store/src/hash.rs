@@ -379,6 +379,40 @@ mod tests {
         );
         assert_eq!(base, threads8, "thread count must not enter the key");
 
+        // The sim backend is an execution strategy, not a semantic input:
+        // the event path and the levelized kernel are bit-identical, so an
+        // entry written under one must replay under the other.
+        for backend in [
+            warpstl_fault::SimBackend::Event,
+            warpstl_fault::SimBackend::Kernel,
+            warpstl_fault::SimBackend::Kernel64,
+        ] {
+            let k = key_fsim(
+                nk,
+                &pats,
+                &list,
+                &FaultSimConfig {
+                    backend,
+                    ..FaultSimConfig::default()
+                },
+                &guide,
+            );
+            assert_eq!(base, k, "backend {backend} must not enter the key");
+        }
+
+        // Likewise the cached levelization: a pure accelerator, never a
+        // semantic input.
+        let levels = netlist.levelize();
+        let leveled = SimGuide {
+            levels: Some(&levels),
+            ..SimGuide::default()
+        };
+        assert_eq!(
+            base,
+            key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &leveled),
+            "levelization guide must not enter the key"
+        );
+
         list.begin_run();
         list.mark_detected(0, 1, 0);
         let after = key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &guide);

@@ -19,4 +19,12 @@ echo "== criterion bench: fsim =="
 cargo bench -p warpstl-bench --bench fsim
 
 echo "== BENCH_fsim.json =="
-cargo run --release -q -p warpstl-bench --bin bench_fsim
+cargo run --release -q -p warpstl-bench --bin bench_fsim || exit 1
+
+# A single-core host cannot exercise the multi-thread configurations;
+# bench_fsim records that in the JSON — surface it loudly so nobody reads
+# the thread-scaling rows as a measurement.
+if grep -q '"threading_untested": true' BENCH_fsim.json; then
+    echo "WARNING: single-core host — every multi-thread configuration was" >&2
+    echo "WARNING: skipped; BENCH_fsim.json thread-scaling rows are untested." >&2
+fi

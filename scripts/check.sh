@@ -89,4 +89,18 @@ cargo run -q --release -p warpstl-cli -- cache stats --cache-dir "$CACHE_DIR" ||
 cargo run -q --release -p warpstl-cli -- cache verify --cache-dir "$CACHE_DIR" || exit 1
 echo "cache OK: warm rerun hit the cache with byte-identical report JSON"
 
+echo "== sim-backend smoke test =="
+# One module through both engine backends (no cache, so both actually
+# simulate): the report JSON must be byte-identical — the CLI-level face of
+# the kernel/event bit-identity contract.
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --sim-backend event --json "$SMOKE_DIR/be-event.json" >/dev/null || exit 1
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --sim-backend kernel --json "$SMOKE_DIR/be-kernel.json" >/dev/null || exit 1
+cmp "$SMOKE_DIR/be-event.json" "$SMOKE_DIR/be-kernel.json" || {
+    echo "event and kernel backend report JSON differ" >&2
+    exit 1
+}
+echo "backend OK: event and kernel reports byte-identical"
+
 echo "check.sh: all green"

@@ -259,7 +259,7 @@ proptest! {
             x ^= x << 13; x ^= x >> 7; x ^= x << 17;
             pats.push_value(cc * 2, x & 0x3f);
         }
-        let base = FaultSimConfig { drop_detected, early_exit, threads };
+        let base = FaultSimConfig { drop_detected, early_exit, threads, ..FaultSimConfig::default() };
         let mut ref_list = FaultList::new(&u);
         let ref_report = fault_simulate_reference(&n, &pats, &mut ref_list, &base);
         let mut par_list = FaultList::new(&u);
