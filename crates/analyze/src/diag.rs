@@ -26,11 +26,15 @@ pub enum Rule {
     /// A gate from which no primary output is reachable (including
     /// floating nets nothing reads); its faults are untestable.
     Unreachable,
+    /// A reachable gate whose stem faults are all provably untestable
+    /// (implication-based proof): the logic it computes never influences
+    /// any output under any input.
+    RedundantLogic,
 }
 
 impl Rule {
     /// The number of rules.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// All rules, in report order.
     pub const ALL: [Rule; Rule::COUNT] = [
@@ -38,6 +42,7 @@ impl Rule {
         Rule::UndrivenNet,
         Rule::DeadLogic,
         Rule::Unreachable,
+        Rule::RedundantLogic,
     ];
 
     /// The stable kebab-case rule name (used in human and JSON output).
@@ -48,6 +53,7 @@ impl Rule {
             Rule::UndrivenNet => "undriven-net",
             Rule::DeadLogic => "dead-logic",
             Rule::Unreachable => "unreachable",
+            Rule::RedundantLogic => "redundant-logic",
         }
     }
 
@@ -178,6 +184,20 @@ impl fmt::Display for AnalyzeStats {
     }
 }
 
+/// Implication-engine counts carried by the report. All zero when the
+/// implication pass has not run (a bare [`lint`](crate::lint) call).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImplicationStats {
+    /// Directed implication edges (contrapositives included).
+    pub edges: usize,
+    /// Literals proven impossible.
+    pub impossible: usize,
+    /// Fault sites (site/polarity pairs) proven untestable.
+    pub untestable: usize,
+    /// Implication-derived fault equivalences.
+    pub merges: usize,
+}
+
 /// The analyzer's findings for one netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzeReport {
@@ -187,6 +207,8 @@ pub struct AnalyzeReport {
     pub gates: usize,
     /// Every finding, in rule order then net order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Implication-engine counts for the module.
+    pub implications: ImplicationStats,
 }
 
 impl AnalyzeReport {
@@ -234,6 +256,16 @@ impl AnalyzeReport {
         out.push_str(&format!("\"gates\":{},", self.gates));
         out.push_str(&format!("\"errors\":{},", self.error_count()));
         out.push_str(&format!("\"warnings\":{},", self.warning_count()));
+        out.push_str(&format!(
+            "\"implication_edges\":{},",
+            self.implications.edges
+        ));
+        out.push_str(&format!(
+            "\"impossible_literals\":{},",
+            self.implications.impossible
+        ));
+        out.push_str(&format!("\"untestable\":{},", self.implications.untestable));
+        out.push_str(&format!("\"equiv_merges\":{},", self.implications.merges));
         out.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -298,6 +330,12 @@ mod tests {
                 Diagnostic::error(Rule::CombLoop, NetId(3), "cycle n3 -> n4 -> n3"),
                 Diagnostic::warning(Rule::DeadLogic, NetId(5), "constant 0"),
             ],
+            implications: ImplicationStats {
+                edges: 12,
+                impossible: 1,
+                untestable: 2,
+                merges: 0,
+            },
         }
     }
 
@@ -330,6 +368,8 @@ mod tests {
         assert!(j.contains("\"severity\":\"error\""));
         assert!(j.contains("\"errors\":1"));
         assert!(j.contains("\"net\":3"));
+        assert!(j.contains("\"untestable\":2"));
+        assert!(j.contains("\"implication_edges\":12"));
     }
 
     #[test]

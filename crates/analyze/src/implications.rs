@@ -1,0 +1,405 @@
+//! FIRE-style static implication analysis over (net, value) literals.
+//!
+//! Every net `n` contributes two *literals*: `n = 0` and `n = 1`. Gate
+//! semantics yield *direct* implications between single literals — for
+//! `y = AND(a, b)`, `a = 0` forces `y = 0`, and contrapositively `y = 1`
+//! forces `a = 1`. [`Implications::compute`] collects every such edge
+//! (the direct relation is closed under contraposition by construction:
+//! each rule is inserted together with its contrapositive) and answers
+//! closure queries by breadth-first search, which realises the transitive
+//! closure — the "static learning" step — without materialising the
+//! quadratic closure matrix.
+//!
+//! From the closure the engine derives **impossible literals**: a literal
+//! whose closure contains both polarities of some net, or the opposite
+//! polarity of a constant gate, can hold under *no* input assignment.
+//! Because reachability is transitive, a single pass suffices: if literal
+//! `M` is impossible via a contradiction in `closure(M)` and `M` is in
+//! `closure(L)`, that same contradiction already sits in `closure(L)`.
+//!
+//! Soundness is the only contract (completeness is not): every implication
+//! edge follows from a single gate's truth table, so any input assignment
+//! satisfying a literal satisfies its whole closure, and an impossible
+//! literal genuinely never occurs. XOR/XNOR and MUX gates contribute no
+//! single-literal implications (no single pin value determines the
+//! output), and DFF state is treated as a free variable — both
+//! over-approximations of the satisfiable assignments, which is exactly
+//! the safe direction for the untestability proofs built on top (see
+//! [`Untestability`](crate::Untestability)).
+
+use warpstl_netlist::{GateKind, Netlist};
+
+/// The literal index of `net = value`: bit 0 holds the value, the upper
+/// bits the driving gate's index.
+#[inline]
+#[must_use]
+pub fn literal(net: usize, value: bool) -> usize {
+    net * 2 + usize::from(value)
+}
+
+/// Splits a literal index back into `(net, value)`.
+#[inline]
+#[must_use]
+pub fn literal_parts(lit: usize) -> (usize, bool) {
+    (lit / 2, lit % 2 == 1)
+}
+
+/// The static implication graph of one netlist: direct single-literal
+/// implications (contraposition-closed) plus the derived impossible-literal
+/// bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use warpstl_netlist::Builder;
+///
+/// // y = OR(x, NOT x) is constant 1, so the literal y = 0 is impossible.
+/// let mut b = Builder::new("taut");
+/// let x = b.input("x");
+/// let nx = b.not(x);
+/// let y = b.or(x, nx);
+/// b.output("y", y);
+/// let imp = warpstl_analyze::Implications::compute(&b.finish());
+/// assert!(imp.is_impossible(y.index(), false));
+/// assert!(!imp.is_impossible(y.index(), true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Implications {
+    /// Direct implication adjacency, indexed by [`literal`].
+    direct: Vec<Vec<u32>>,
+    /// Literals that cannot hold under any input assignment.
+    impossible: Vec<bool>,
+    /// Total directed edges in `direct`.
+    edges: usize,
+}
+
+impl Implications {
+    /// Builds the implication graph for `netlist` and derives the
+    /// impossible-literal set.
+    ///
+    /// Robust against malformed (fixture) netlists: dangling pin
+    /// references contribute no edges, and cycles are harmless to the
+    /// BFS closure.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> Implications {
+        let gates = netlist.gates();
+        let n = gates.len();
+        let mut direct: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+        let mut edges = 0usize;
+        // Inserts `from -> to` together with its contrapositive
+        // `!to -> !from`; every gate rule below states one direction only.
+        let mut imply = |direct: &mut Vec<Vec<u32>>, from: usize, to: usize| {
+            direct[from].push(to as u32);
+            direct[to ^ 1].push((from ^ 1) as u32);
+            edges += 2;
+        };
+        for (i, g) in gates.iter().enumerate() {
+            // A dangling pin (fixture netlists) yields no edges.
+            let pin = |p: usize| {
+                let idx = g.pins[p].index();
+                (idx < n).then_some(idx)
+            };
+            let y = i;
+            match g.kind {
+                // No structure to exploit: inputs and constants have no
+                // pins (constants instead seed the impossible set), XOR/
+                // XNOR/MUX outputs are not determined by any single pin,
+                // and DFF state is a free variable across patterns.
+                GateKind::Input
+                | GateKind::Const0
+                | GateKind::Const1
+                | GateKind::Xor
+                | GateKind::Xnor
+                | GateKind::Mux
+                | GateKind::Dff => {}
+                GateKind::Buf => {
+                    if let Some(a) = pin(0) {
+                        imply(&mut direct, literal(a, false), literal(y, false));
+                        imply(&mut direct, literal(a, true), literal(y, true));
+                    }
+                }
+                GateKind::Not => {
+                    if let Some(a) = pin(0) {
+                        imply(&mut direct, literal(a, false), literal(y, true));
+                        imply(&mut direct, literal(a, true), literal(y, false));
+                    }
+                }
+                GateKind::And => {
+                    for p in 0..2 {
+                        if let Some(a) = pin(p) {
+                            imply(&mut direct, literal(a, false), literal(y, false));
+                        }
+                    }
+                }
+                GateKind::Or => {
+                    for p in 0..2 {
+                        if let Some(a) = pin(p) {
+                            imply(&mut direct, literal(a, true), literal(y, true));
+                        }
+                    }
+                }
+                GateKind::Nand => {
+                    for p in 0..2 {
+                        if let Some(a) = pin(p) {
+                            imply(&mut direct, literal(a, false), literal(y, true));
+                        }
+                    }
+                }
+                GateKind::Nor => {
+                    for p in 0..2 {
+                        if let Some(a) = pin(p) {
+                            imply(&mut direct, literal(a, true), literal(y, false));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Constants seed the impossible set: a CONST0 net is never 1.
+        let mut seed = vec![false; 2 * n];
+        for (i, g) in gates.iter().enumerate() {
+            match g.kind {
+                GateKind::Const0 => seed[literal(i, true)] = true,
+                GateKind::Const1 => seed[literal(i, false)] = true,
+                _ => {}
+            }
+        }
+
+        // One BFS per literal: impossible iff the closure reaches a seed
+        // literal or both polarities of some net. Transitivity of
+        // reachability makes a single pass complete for these two rules.
+        let mut impossible = vec![false; 2 * n];
+        let mut visited = vec![false; 2 * n];
+        let mut queue: Vec<u32> = Vec::new();
+        for (l, slot) in impossible.iter_mut().enumerate() {
+            let contradiction = closure_scan(&direct, &seed, l, &mut visited, &mut queue);
+            for &v in &queue {
+                visited[v as usize] = false;
+            }
+            *slot = contradiction;
+        }
+
+        Implications {
+            direct,
+            impossible,
+            edges,
+        }
+    }
+
+    /// Whether `net = value` can hold under no input assignment.
+    #[must_use]
+    pub fn is_impossible(&self, net: usize, value: bool) -> bool {
+        self.impossible
+            .get(literal(net, value))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether the conjunction of `literals` is statically contradictory:
+    /// the union of their closures contains an impossible literal or both
+    /// polarities of some net. Sound for untestability reasoning — all
+    /// the literals of an activation/propagation condition must hold in
+    /// the same assignment.
+    #[must_use]
+    pub fn contradicts(&self, literals: &[(usize, bool)]) -> bool {
+        let n_lits = self.direct.len();
+        let mut visited = vec![false; n_lits];
+        let mut queue: Vec<u32> = Vec::new();
+        for &(net, value) in literals {
+            let l = literal(net, value);
+            if l >= n_lits {
+                continue;
+            }
+            if self.impossible[l] {
+                return true;
+            }
+            if !visited[l] {
+                visited[l] = true;
+                queue.push(l as u32);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let l = queue[head] as usize;
+            head += 1;
+            if visited[l ^ 1] || self.impossible[l] {
+                return true;
+            }
+            for &m in &self.direct[l] {
+                if !visited[m as usize] {
+                    visited[m as usize] = true;
+                    queue.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// The transitive closure of `net = value` as `(net, value)` pairs
+    /// (including the seed), in BFS order. Every returned literal holds in
+    /// *any* input assignment where the seed holds.
+    #[must_use]
+    pub fn closure(&self, net: usize, value: bool) -> Vec<(usize, bool)> {
+        let n_lits = self.direct.len();
+        let seed = literal(net, value);
+        if seed >= n_lits {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n_lits];
+        let mut queue: Vec<u32> = vec![seed as u32];
+        visited[seed] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let l = queue[head] as usize;
+            head += 1;
+            for &m in &self.direct[l] {
+                if !visited[m as usize] {
+                    visited[m as usize] = true;
+                    queue.push(m);
+                }
+            }
+        }
+        queue.iter().map(|&l| literal_parts(l as usize)).collect()
+    }
+
+    /// Number of directed implication edges (contrapositives included).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of literals proven impossible.
+    #[must_use]
+    pub fn impossible_count(&self) -> usize {
+        self.impossible.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of literals (two per net).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.direct.len()
+    }
+}
+
+/// BFS from `seed` over `direct`; returns whether the closure contains a
+/// contradiction (a seed-impossible literal or both polarities of a net).
+/// `visited` must be all-false on entry; the caller clears it via `queue`,
+/// which holds every visited literal on return.
+fn closure_scan(
+    direct: &[Vec<u32>],
+    seed_impossible: &[bool],
+    seed: usize,
+    visited: &mut [bool],
+    queue: &mut Vec<u32>,
+) -> bool {
+    queue.clear();
+    queue.push(seed as u32);
+    visited[seed] = true;
+    let mut contradiction = false;
+    let mut head = 0;
+    while head < queue.len() {
+        let l = queue[head] as usize;
+        head += 1;
+        if seed_impossible[l] || visited[l ^ 1] {
+            contradiction = true;
+            break;
+        }
+        for &m in &direct[l] {
+            if !visited[m as usize] {
+                visited[m as usize] = true;
+                queue.push(m);
+            }
+        }
+    }
+    contradiction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpstl_netlist::{fixtures, Builder};
+
+    #[test]
+    fn and_gate_implications_close_transitively() {
+        // y = AND(a, b); z = AND(y, c). a=0 -> y=0 -> z=0.
+        let mut b = Builder::new("chain");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let y = b.and(a, bb);
+        let z = b.and(y, c);
+        b.output("z", z);
+        let imp = Implications::compute(&b.finish());
+        let cl = imp.closure(a.index(), false);
+        assert!(cl.contains(&(y.index(), false)));
+        assert!(cl.contains(&(z.index(), false)));
+        // Contrapositive: z=1 -> y=1 -> a=1 and b=1 and c=1.
+        let cl = imp.closure(z.index(), true);
+        for net in [y, a, bb, c] {
+            assert!(cl.contains(&(net.index(), true)), "missing {net}=1");
+        }
+        assert_eq!(imp.impossible_count(), 0);
+    }
+
+    #[test]
+    fn tautology_output_literal_is_impossible() {
+        let mut b = Builder::new("taut");
+        let x = b.input("x");
+        let nx = b.not(x);
+        let y = b.or(x, nx);
+        b.output("y", y);
+        let imp = Implications::compute(&b.finish());
+        assert!(imp.is_impossible(y.index(), false));
+        assert!(!imp.is_impossible(y.index(), true));
+        assert!(!imp.is_impossible(x.index(), false));
+        // The impossible literal also poisons any conjunction it joins.
+        assert!(imp.contradicts(&[(y.index(), false), (x.index(), true)]));
+        assert!(!imp.contradicts(&[(y.index(), true), (x.index(), true)]));
+    }
+
+    #[test]
+    fn constant_gates_seed_impossibility() {
+        let mut b = Builder::new("const");
+        let x = b.input("x");
+        let k1 = b.const1();
+        let y = b.and(x, k1); // y follows x
+        b.output("y", y);
+        let imp = Implications::compute(&b.finish());
+        assert!(imp.is_impossible(k1.index(), false));
+        assert!(!imp.is_impossible(y.index(), false));
+        assert!(!imp.is_impossible(y.index(), true));
+    }
+
+    #[test]
+    fn contradictory_pair_detected_across_literals() {
+        // y = AND(a, b): {y=1, a=0} is contradictory even though neither
+        // literal is impossible alone.
+        let mut b = Builder::new("pair");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let y = b.and(a, bb);
+        b.output("y", y);
+        let imp = Implications::compute(&b.finish());
+        assert_eq!(imp.impossible_count(), 0);
+        assert!(imp.contradicts(&[(y.index(), true), (a.index(), false)]));
+        assert!(!imp.contradicts(&[(y.index(), false), (a.index(), false)]));
+    }
+
+    #[test]
+    fn fixture_netlists_are_handled() {
+        // Cycles and dangling pins must not panic or hang.
+        let imp = Implications::compute(&fixtures::combinational_loop());
+        assert!(imp.literal_count() > 0);
+        let imp = Implications::compute(&fixtures::undriven());
+        assert_eq!(imp.literal_count(), 6);
+    }
+
+    #[test]
+    fn literal_round_trip() {
+        for net in [0usize, 1, 17] {
+            for value in [false, true] {
+                assert_eq!(literal_parts(literal(net, value)), (net, value));
+            }
+        }
+    }
+}

@@ -40,6 +40,7 @@ pub fn lint(netlist: &Netlist) -> AnalyzeReport {
         name: netlist.name().to_string(),
         gates: netlist.gates().len(),
         diagnostics,
+        implications: crate::ImplicationStats::default(),
     }
 }
 

@@ -1,0 +1,282 @@
+//! Hand-rolled property tests for the static implication engine: random
+//! small netlists (few enough inputs that the whole 2^n input space is
+//! enumerable) are checked against an independent exhaustive simulator.
+//!
+//! No property-testing crate is involved on purpose — the generator is a
+//! seeded xorshift walk, so every run replays the exact same cases and a
+//! failure message pins the offending seed.
+//!
+//! Properties:
+//!
+//! - **Impossibility is sound**: a literal the engine marks impossible is
+//!   never produced by any input vector.
+//! - **Closure is sound**: every literal in `closure(a, v)` holds in every
+//!   fault-free simulation where net `a` carries `v`.
+//! - **Contradiction is sound**: the literal set realized by an actual
+//!   simulation is never flagged as contradictory.
+//! - **Untestability is sound**: a proven fault changes no primary output
+//!   under any input vector (exhaustive fault injection).
+//! - **Equivalence merges are sound**: the merged pin fault and the kept
+//!   output fault are detected by exactly the same input vectors.
+
+use warpstl_analyze::{Implications, Untestability};
+use warpstl_netlist::{Builder, GateKind, NetId, Netlist};
+
+/// The classic xorshift64 generator — deterministic, dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A single injected stuck-at fault for the exhaustive simulator.
+#[derive(Clone, Copy)]
+enum Inject {
+    Out(usize, bool),
+    Pin(usize, usize, bool),
+}
+
+/// Builds a random combinational netlist with at most 6 inputs. Constants
+/// appear as operands now and then (exercising the activation-impossible
+/// rule) and only a few nets become outputs, so unobservable logic is
+/// common (exercising the observability rule).
+fn random_netlist(seed: u64) -> Netlist {
+    let mut rng = XorShift(seed | 1);
+    let mut b = Builder::new("prop");
+    let n_inputs = 2 + rng.below(5);
+    let mut nets: Vec<NetId> = (0..n_inputs).map(|i| b.input(&format!("i{i}"))).collect();
+    if rng.below(2) == 0 {
+        nets.push(b.const0());
+    }
+    if rng.below(2) == 0 {
+        nets.push(b.const1());
+    }
+    let n_gates = 4 + rng.below(21);
+    for _ in 0..n_gates {
+        let a = nets[rng.below(nets.len())];
+        let c = nets[rng.below(nets.len())];
+        let d = nets[rng.below(nets.len())];
+        let out = match rng.below(9) {
+            0 => b.buf(a),
+            1 => b.not(a),
+            2 => b.and(a, c),
+            3 => b.or(a, c),
+            4 => b.nand(a, c),
+            5 => b.nor(a, c),
+            6 => b.xor(a, c),
+            7 => b.xnor(a, c),
+            _ => b.mux(a, c, d),
+        };
+        nets.push(out);
+    }
+    let n_outputs = 1 + rng.below(3);
+    for i in 0..n_outputs {
+        let pick = nets[nets.len() - 1 - rng.below(nets.len().min(6))];
+        b.output(&format!("o{i}"), pick);
+    }
+    b.finish()
+}
+
+/// Exhaustive two-valued evaluation of one input vector (bit `p` of
+/// `vector` feeds flat input position `p`), optionally with one injected
+/// fault; returns every net's value.
+fn evaluate(netlist: &Netlist, vector: u64, fault: Option<Inject>) -> Vec<bool> {
+    let gates = netlist.gates();
+    let mut pi_pos = vec![usize::MAX; gates.len()];
+    for (pos, &net) in netlist.inputs().nets().iter().enumerate() {
+        pi_pos[net.index()] = pos;
+    }
+    let mut val = vec![false; gates.len()];
+    for (i, g) in gates.iter().enumerate() {
+        let pin = |p: usize| {
+            let raw = val[g.pins[p].index()];
+            match fault {
+                Some(Inject::Pin(fg, fp, stuck)) if fg == i && fp == p => stuck,
+                _ => raw,
+            }
+        };
+        let mut v = match g.kind {
+            GateKind::Input => (vector >> pi_pos[i]) & 1 == 1,
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf | GateKind::Dff => pin(0),
+            GateKind::Not => !pin(0),
+            GateKind::And => pin(0) & pin(1),
+            GateKind::Or => pin(0) | pin(1),
+            GateKind::Nand => !(pin(0) & pin(1)),
+            GateKind::Nor => !(pin(0) | pin(1)),
+            GateKind::Xor => pin(0) ^ pin(1),
+            GateKind::Xnor => !(pin(0) ^ pin(1)),
+            GateKind::Mux => {
+                if pin(0) {
+                    pin(1)
+                } else {
+                    pin(2)
+                }
+            }
+        };
+        if let Some(Inject::Out(fg, stuck)) = fault {
+            if fg == i {
+                v = stuck;
+            }
+        }
+        val[i] = v;
+    }
+    val
+}
+
+/// True when `fault` flips at least one primary output for `vector`.
+fn detects(netlist: &Netlist, vector: u64, good: &[bool], fault: Inject) -> bool {
+    let faulty = evaluate(netlist, vector, Some(fault));
+    netlist
+        .outputs()
+        .nets()
+        .iter()
+        .any(|&o| good[o.index()] != faulty[o.index()])
+}
+
+#[test]
+fn implication_closure_is_sound_on_random_netlists() {
+    let mut total_edges_checked = 0usize;
+    let mut total_impossible = 0usize;
+    for seed in 1..=120u64 {
+        let netlist = random_netlist(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let imp = Implications::compute(&netlist);
+        let n = netlist.gates().len();
+        let vectors = 1u64 << netlist.inputs().width();
+        let sims: Vec<Vec<bool>> = (0..vectors).map(|v| evaluate(&netlist, v, None)).collect();
+
+        // Impossibility: a marked literal is never realized.
+        for net in 0..n {
+            for value in [false, true] {
+                if imp.is_impossible(net, value) {
+                    total_impossible += 1;
+                    assert!(
+                        sims.iter().all(|s| s[net] != value),
+                        "seed {seed}: impossible literal n{net}={value} realized"
+                    );
+                }
+            }
+        }
+
+        // Closure: implied literals hold whenever the antecedent does.
+        for net in 0..n {
+            for value in [false, true] {
+                for (b, vb) in imp.closure(net, value) {
+                    total_edges_checked += 1;
+                    for s in &sims {
+                        if s[net] == value {
+                            assert_eq!(
+                                s[b], vb,
+                                "seed {seed}: n{net}={value} => n{b}={vb} violated"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Contradiction: a realized assignment is never contradictory.
+        for s in &sims {
+            let lits: Vec<(usize, bool)> = s.iter().copied().enumerate().collect();
+            assert!(
+                !imp.contradicts(&lits),
+                "seed {seed}: realized assignment flagged contradictory"
+            );
+        }
+    }
+    assert!(
+        total_edges_checked > 1000,
+        "generator too tame: {total_edges_checked} edges"
+    );
+    assert!(
+        total_impossible > 10,
+        "generator too tame: {total_impossible} impossible"
+    );
+}
+
+#[test]
+fn untestability_proofs_are_sound_on_random_netlists() {
+    let mut total_proven = 0usize;
+    let mut total_merges = 0usize;
+    for seed in 1..=120u64 {
+        let netlist = random_netlist(seed.wrapping_mul(0xd134_2543_de82_ef95));
+        let imp = Implications::compute(&netlist);
+        let unt = Untestability::compute(&netlist, &imp);
+        let vectors = 1u64 << netlist.inputs().width();
+        let sims: Vec<Vec<bool>> = (0..vectors).map(|v| evaluate(&netlist, v, None)).collect();
+
+        // A proven fault is silent on every primary output, everywhere.
+        for (i, g) in netlist.gates().iter().enumerate() {
+            for stuck in [false, true] {
+                if unt.output_untestable(i, stuck) {
+                    total_proven += 1;
+                    for v in 0..vectors {
+                        assert!(
+                            !detects(&netlist, v, &sims[v as usize], Inject::Out(i, stuck)),
+                            "seed {seed}: proven n{i}/SA{} detected by {v:#b}",
+                            u8::from(stuck)
+                        );
+                    }
+                }
+                for p in 0..g.kind.arity() {
+                    if unt.pin_untestable(i, p, stuck) {
+                        total_proven += 1;
+                        for v in 0..vectors {
+                            assert!(
+                                !detects(&netlist, v, &sims[v as usize], Inject::Pin(i, p, stuck)),
+                                "seed {seed}: proven n{i}.{p}/SA{} detected by {v:#b}",
+                                u8::from(stuck)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // A merged pin fault is detected by exactly the vectors that
+        // detect its kept output fault.
+        for m in unt.merges() {
+            total_merges += 1;
+            for v in 0..vectors {
+                let good = &sims[v as usize];
+                let pin = detects(
+                    &netlist,
+                    v,
+                    good,
+                    Inject::Pin(m.gate, m.pin as usize, m.pin_polarity),
+                );
+                let out = detects(&netlist, v, good, Inject::Out(m.gate, m.out_polarity));
+                assert_eq!(
+                    pin,
+                    out,
+                    "seed {seed}: merge n{}.{}/SA{} vs n{}/SA{} diverges on {v:#b}",
+                    m.gate,
+                    m.pin,
+                    u8::from(m.pin_polarity),
+                    m.gate,
+                    u8::from(m.out_polarity)
+                );
+            }
+        }
+    }
+    assert!(
+        total_proven > 100,
+        "generator too tame: {total_proven} proofs"
+    );
+    assert!(
+        total_merges > 20,
+        "generator too tame: {total_merges} merges"
+    );
+}

@@ -1,7 +1,8 @@
 //! The PODEM test-generation algorithm, optionally guided by SCOAP
-//! testability scores (see [`Podem::with_guidance`]).
+//! testability scores (see [`Podem::with_guidance`]) and by the static
+//! implication graph (see [`Podem::with_implications`]).
 
-use warpstl_analyze::Scoap;
+use warpstl_analyze::{Implications, Scoap};
 use warpstl_fault::{Fault, FaultSite, Polarity};
 use warpstl_netlist::{GateKind, NetId, Netlist};
 
@@ -128,6 +129,8 @@ pub struct Podem<'a> {
     netlist: &'a Netlist,
     backtrack_limit: usize,
     guidance: Option<&'a Scoap>,
+    implications: Option<&'a Implications>,
+    implication_fast_path: bool,
 }
 
 impl<'a> Podem<'a> {
@@ -147,6 +150,8 @@ impl<'a> Podem<'a> {
             netlist,
             backtrack_limit: 1000,
             guidance: None,
+            implications: None,
+            implication_fast_path: true,
         }
     }
 
@@ -170,10 +175,65 @@ impl<'a> Podem<'a> {
         self
     }
 
+    /// Consults the static implication graph (computed for the *same*
+    /// netlist) before and during search. Three sound uses:
+    ///
+    /// - an impossible activation literal (the fault-free circuit can
+    ///   never drive the faulty line to the opposite of the stuck value)
+    ///   returns [`PodemOutcome::Untestable`] with zero backtracks;
+    /// - the closure of the activation literal yields *necessary*
+    ///   primary-input assignments, seeded before the first decision so
+    ///   the search never explores their contradictions;
+    /// - the same closure's internal literals are watched during search
+    ///   (early conflict detection): three-valued simulation is monotone,
+    ///   so the moment a defined good value contradicts a necessary
+    ///   literal, the branch can never activate the fault and is
+    ///   abandoned.
+    ///
+    /// Verdicts are unaffected — the seeded assignments and watched
+    /// literals hold in every test, so exhausting the remaining space
+    /// still proves untestability — but produced vectors and backtrack
+    /// counts may change.
+    #[must_use]
+    pub fn with_implications(mut self, imp: &'a Implications) -> Podem<'a> {
+        self.implications = Some(imp);
+        self.implication_fast_path = true;
+        self
+    }
+
+    /// Like [`Podem::with_implications`] but keeps only the search
+    /// accelerators (closure seeding and early conflict detection),
+    /// dropping the impossible-literal fast path: every verdict is earned
+    /// by an actual search. This is the mode the untestability
+    /// cross-check uses — the fast path would answer from the very proof
+    /// under test.
+    #[must_use]
+    pub fn with_implication_seeding(mut self, imp: &'a Implications) -> Podem<'a> {
+        self.implications = Some(imp);
+        self.implication_fast_path = false;
+        self
+    }
+
     /// Attempts to generate a test for `fault`.
     #[must_use]
     pub fn generate(&self, fault: Fault) -> PodemOutcome {
-        Search::new(self.netlist, fault, self.backtrack_limit, self.guidance).run()
+        let mut search = Search::new(self.netlist, fault, self.backtrack_limit, self.guidance);
+        if let Some(imp) = self.implications {
+            let site = match fault.site {
+                FaultSite::Output(n) => n,
+                FaultSite::InputPin(n, p) => self.netlist.gates()[n.index()].pins[p as usize],
+            };
+            let want = !fault.polarity.value();
+            if site.index() < self.netlist.gates().len() {
+                if self.implication_fast_path && imp.is_impossible(site.index(), want) {
+                    return PodemOutcome::Untestable;
+                }
+                for (net, value) in imp.closure(site.index(), want) {
+                    search.require(NetId(net as u32), value);
+                }
+            }
+        }
+        search.run()
     }
 }
 
@@ -188,6 +248,13 @@ struct Search<'a> {
     faulty: Vec<Tv>,
     /// Flat input position for each net that is a PI.
     pi_pos: Vec<Option<usize>>,
+    /// Reader gates of each net, for the X-path check.
+    readers: Vec<Vec<u32>>,
+    /// Primary-output membership, for the X-path check.
+    is_po: Vec<bool>,
+    /// Necessary `(net, good value)` literals from the activation
+    /// closure, watched for early conflicts.
+    required: Vec<(u32, bool)>,
 }
 
 impl<'a> Search<'a> {
@@ -202,6 +269,16 @@ impl<'a> Search<'a> {
         for (pos, &net) in netlist.inputs().nets().iter().enumerate() {
             pi_pos[net.index()] = Some(pos);
         }
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, g) in netlist.gates().iter().enumerate() {
+            for &src in g.inputs() {
+                readers[src.index()].push(i as u32);
+            }
+        }
+        let mut is_po = vec![false; n];
+        for &o in netlist.outputs().nets() {
+            is_po[o.index()] = true;
+        }
         Search {
             netlist,
             fault,
@@ -211,7 +288,34 @@ impl<'a> Search<'a> {
             good: vec![Tv::X; n],
             faulty: vec![Tv::X; n],
             pi_pos,
+            readers,
+            is_po,
+            required: Vec::new(),
         }
+    }
+
+    /// Registers a necessary literal from the activation closure. For a
+    /// primary input the value is fixed before the search starts (seeded
+    /// values are never decision points: the search cannot flip or
+    /// unassign them); every literal is additionally watched for early
+    /// conflicts by [`Search::requirement_violated`].
+    fn require(&mut self, net: NetId, value: bool) {
+        if let Some(pos) = self.pi_pos.get(net.index()).copied().flatten() {
+            self.pi[pos] = Tv::of(value);
+        }
+        if net.index() < self.good.len() {
+            self.required.push((net.index() as u32, value));
+        }
+    }
+
+    /// Early conflict detection: three-valued simulation is monotone
+    /// (defined good values persist under any extension), so a defined
+    /// good value contradicting a necessary activation literal proves no
+    /// test exists below the current node.
+    fn requirement_violated(&self) -> bool {
+        self.required
+            .iter()
+            .any(|&(n, v)| self.good[n as usize] == Tv::of(!v))
     }
 
     /// Chooses which of two pins to backtrace into when driving both to
@@ -329,6 +433,53 @@ impl<'a> Search<'a> {
         }
     }
 
+    /// The classic X-path check: once the fault is excited, some gate
+    /// carrying D (or sitting on the D-frontier) must still reach a
+    /// primary output through a chain of X-valued nets — otherwise no
+    /// further assignment can propagate the fault and the whole branch
+    /// is doomed. Sound: pruned subtrees contain no test, so verdicts
+    /// and the first test found are unchanged; only wasted backtracks
+    /// disappear.
+    fn x_path_exists(&self) -> bool {
+        let gates = self.netlist.gates();
+        let mut seen = vec![false; gates.len()];
+        let mut queue: Vec<u32> = Vec::new();
+        for (i, slot) in seen.iter_mut().enumerate() {
+            let (g, f) = (self.good[i], self.faulty[i]);
+            if g != Tv::X && f != Tv::X && g != f {
+                *slot = true;
+                queue.push(i as u32);
+            }
+        }
+        // A pin fault can put D on the faulted gate's input without any
+        // net carrying D: seed the faulted gate itself when its output is
+        // still open.
+        if let FaultSite::InputPin(n, _) = self.fault.site {
+            let i = n.index();
+            if !seen[i] && (self.good[i] == Tv::X || self.faulty[i] == Tv::X) {
+                if self.is_po[i] {
+                    return true;
+                }
+                seen[i] = true;
+                queue.push(i as u32);
+            }
+        }
+        while let Some(n) = queue.pop() {
+            for &r in &self.readers[n as usize] {
+                let ri = r as usize;
+                if seen[ri] || (self.good[ri] != Tv::X && self.faulty[ri] != Tv::X) {
+                    continue;
+                }
+                if self.is_po[ri] {
+                    return true;
+                }
+                seen[ri] = true;
+                queue.push(r);
+            }
+        }
+        false
+    }
+
     /// Picks the next objective `(net, value)` or `None` if the search must
     /// backtrack.
     fn objective(&self) -> Option<(NetId, bool)> {
@@ -338,7 +489,12 @@ impl<'a> Search<'a> {
                 Some((self.excitation_net(), want))
             }
             Some(false) => None,
-            Some(true) => self.d_frontier_objective(),
+            Some(true) => {
+                if !self.x_path_exists() {
+                    return None;
+                }
+                self.d_frontier_objective()
+            }
         }
     }
 
@@ -527,7 +683,11 @@ impl<'a> Search<'a> {
                     .collect();
                 return PodemOutcome::Test(assignment);
             }
-            let next = self.objective().and_then(|(net, v)| self.backtrace(net, v));
+            let next = if self.requirement_violated() {
+                None
+            } else {
+                self.objective().and_then(|(net, v)| self.backtrace(net, v))
+            };
             match next {
                 Some((pos, v)) => {
                     self.pi[pos] = Tv::of(v);
@@ -748,6 +908,62 @@ mod tests {
                 check_test_detects(&n, f, &pis);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn implications_fast_path_proves_redundancy_without_search() {
+        // y = x OR (NOT x) is constant 1: the activation literal of y/SA1
+        // is impossible, so the implication-armed generator answers
+        // Untestable with zero backtracks — where the plain search at the
+        // same (zero) backtrack budget can only abort.
+        let mut b = Builder::new("r");
+        let x = b.input("x");
+        let nx = b.not(x);
+        let y = b.or(x, nx);
+        b.output("y", y);
+        let n = b.finish();
+        let imp = warpstl_analyze::Implications::compute(&n);
+        let f = Fault::new(FaultSite::Output(y), Polarity::Sa1);
+        let plain = Podem::new(&n).with_backtrack_limit(0);
+        assert_eq!(plain.generate(f), PodemOutcome::Aborted);
+        let armed = Podem::new(&n)
+            .with_backtrack_limit(0)
+            .with_implications(&imp);
+        assert_eq!(armed.generate(f), PodemOutcome::Untestable);
+        // The testable polarity is untouched by the fast path.
+        let f0 = Fault::new(FaultSite::Output(y), Polarity::Sa0);
+        assert!(matches!(
+            Podem::new(&n).with_implications(&imp).generate(f0),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn implication_seeding_preserves_verdicts() {
+        // Seeded necessary assignments change vectors and search order,
+        // never verdicts — and every seeded vector still detects.
+        let mut b = Builder::new("add4i");
+        let x = b.input_bus("x", 4);
+        let y = b.input_bus("y", 4);
+        let (s, c) = b.add(&x, &y);
+        b.output_bus("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        let u = FaultUniverse::enumerate(&n);
+        let imp = warpstl_analyze::Implications::compute(&n);
+        let plain = Podem::new(&n);
+        let armed = Podem::new(&n).with_implications(&imp);
+        for &f in u.faults() {
+            let pv = plain.generate(f);
+            let av = armed.generate(f);
+            match (&pv, &av) {
+                (PodemOutcome::Test(_), PodemOutcome::Test(pis)) => {
+                    check_test_detects(&n, f, pis);
+                }
+                (PodemOutcome::Untestable, PodemOutcome::Untestable) => {}
+                other => panic!("verdict diverged on {f}: {other:?}"),
+            }
         }
     }
 

@@ -141,7 +141,7 @@ fn bench_module(c: &mut Criterion, name: &str, netlist: &Netlist, patterns: usiz
     let guide = SimGuide {
         dominance: Some(&dominance),
         order_keys: Some(&keys),
-        levels: None,
+        ..SimGuide::default()
     };
     c.bench_function(&format!("fsim/{name}/drop/guided"), |b| {
         b.iter_batched(

@@ -165,6 +165,7 @@ fn measure_dominance(
         dominance: Some(&dominance),
         order_keys: Some(&keys),
         levels: Some(&levels),
+        ..SimGuide::default()
     };
     let cfg = FaultSimConfig {
         threads: 1,
@@ -210,6 +211,92 @@ fn measure_dominance(
         baseline_s,
         guided_s,
         coverage: base_list.coverage(),
+    }
+}
+
+struct ImplicationResult {
+    name: String,
+    patterns: usize,
+    collapsed: usize,
+    pruned: usize,
+    implication_s: f64,
+    /// `(backend label, unpruned_s, pruned_s)` per engine backend.
+    backends: Vec<(&'static str, f64, f64)>,
+}
+
+/// Times the production drop-mode engine with the statically
+/// proven-untestable classes left in the universe against the same run
+/// with them pruned out (single thread, both backends), gated on
+/// bit-identity of the detected-fault set: pruned faults are provably
+/// undetectable, so the fault lists must agree entry for entry.
+fn measure_implications(
+    name: &str,
+    kind: ModuleKind,
+    patterns: usize,
+    reps: usize,
+) -> ImplicationResult {
+    let netlist = kind.build();
+    let pats = pseudorandom_patterns(netlist.inputs().width(), patterns, 0x1a2b ^ patterns as u64);
+    let universe = FaultUniverse::enumerate(&netlist);
+
+    // One-time static-analysis cost (the implication graph and the proofs;
+    // the class mapping rides along in the module context).
+    let start = Instant::now();
+    let imp = warpstl_analyze::Implications::compute(&netlist);
+    let _proofs = warpstl_analyze::Untestability::compute(&netlist, &imp);
+    let implication_s = start.elapsed().as_secs_f64();
+    let ctx = Compactor::default().context_for(kind);
+    let bitmap = ctx.untestable_bitmap().to_vec();
+    let pruned = bitmap.iter().filter(|&&b| b).count();
+
+    eprintln!(
+        "[bench_fsim] {name}: {} collapsed classes, {pruned} statically pruned, {patterns} patterns (drop mode)",
+        universe.collapsed_len()
+    );
+    let mut backends = Vec::new();
+    for (label, backend) in [("event", SimBackend::Event), ("kernel", SimBackend::Kernel)] {
+        let cfg = FaultSimConfig {
+            threads: 1,
+            backend,
+            ..FaultSimConfig::default()
+        };
+        let off_guide = SimGuide::default();
+        let on_guide = SimGuide {
+            untestable: Some(&bitmap),
+            ..SimGuide::default()
+        };
+
+        // Detected-set identity before any timing is recorded.
+        let mut off_list = FaultList::new(&universe);
+        fault_simulate_guided(&netlist, &pats, &mut off_list, &cfg, None, &off_guide);
+        let mut on_list = FaultList::new(&universe);
+        fault_simulate_guided(&netlist, &pats, &mut on_list, &cfg, None, &on_guide);
+        assert_eq!(
+            off_list.to_report_text(),
+            on_list.to_report_text(),
+            "{name}/{label}: pruning changed the detected-fault set"
+        );
+
+        let off_s = time_best(&universe, reps, |list| {
+            fault_simulate_guided(&netlist, &pats, list, &cfg, None, &off_guide);
+        });
+        let on_s = time_best(&universe, reps, |list| {
+            fault_simulate_guided(&netlist, &pats, list, &cfg, None, &on_guide);
+        });
+        eprintln!(
+            "[bench_fsim]   {label:<6} unpruned {off_s:.4}s / pruned {on_s:.4}s ({:.2}x)",
+            off_s / on_s
+        );
+        backends.push((label, off_s, on_s));
+    }
+
+    ImplicationResult {
+        name: name.to_string(),
+        patterns,
+        collapsed: universe.collapsed_len(),
+        pruned,
+        implication_s,
+        backends,
     }
 }
 
@@ -455,6 +542,12 @@ fn main() {
         })
         .collect();
 
+    eprintln!("[bench_fsim] measuring static universe pruning (drop mode, t=1, both backends)");
+    let implication_results: Vec<ImplicationResult> = ModuleKind::ALL
+        .iter()
+        .map(|&kind| measure_implications(kind.name(), kind, 512, 3))
+        .collect();
+
     eprintln!("[bench_fsim] measuring observability overhead (engine t=1, DU)");
     let (obs_noop_s, obs_recorder_s) = measure_obs_overhead(5);
     eprintln!(
@@ -589,6 +682,39 @@ fn main() {
             d.coverage
         );
         json.push_str(if di + 1 < dominance_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+    json.push_str("  \"implications\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"drop mode, single thread, best of N reps: the full collapsed universe vs the same run with statically proven-untestable classes pruned, per engine backend; the detected-fault set is asserted bit-identical before recording (pruned faults are provably undetectable); implication_s is the one-time per-module implication-graph + proof build\","
+    );
+    json.push_str("    \"modules\": [\n");
+    for (ii, r) in implication_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"module\": \"{}\", \"patterns\": {}, \"collapsed_classes\": {}, \"pruned_untestable\": {}, \"universe_after\": {}, \"implication_s\": {:.6}",
+            r.name,
+            r.patterns,
+            r.collapsed,
+            r.pruned,
+            r.collapsed - r.pruned,
+            r.implication_s
+        );
+        for &(label, off_s, on_s) in &r.backends {
+            let _ = write!(
+                json,
+                ", \"{label}_unpruned_s\": {off_s:.6}, \"{label}_pruned_s\": {on_s:.6}, \"{label}_speedup\": {:.3}",
+                off_s / on_s
+            );
+        }
+        json.push('}');
+        json.push_str(if ii + 1 < implication_results.len() {
             ",\n"
         } else {
             "\n"

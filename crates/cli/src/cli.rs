@@ -27,17 +27,20 @@ usage:
                       [--sb-count N] [--patterns N] [--seed N] [--out FILE]
   warpstl features    <PTP-FILE>
   warpstl compact     <PTP-FILE> [--out FILE] [--reverse] [--no-arc]
-                      [--trace-out FILE] [--json FILE]
+                      [--no-prune] [--trace-out FILE] [--json FILE]
                       [--cache-dir DIR] [--no-cache]
                       [--sim-backend auto|event|kernel]
-  warpstl compact-stl <STL-FILE> [--out FILE] [--trace-out FILE]
+  warpstl compact-stl <STL-FILE> [--out FILE] [--no-prune]
+                      [--trace-out FILE]
                       [--json FILE] [--cache-dir DIR] [--no-cache]
                       [--sim-backend auto|event|kernel]
   warpstl cache       <stats|gc|verify|clear> [--cache-dir DIR]
   warpstl lint        <PTP-FILE> [--json]
-  warpstl analyze     <MODULE> [--json] [--sim-backend auto|event|kernel]
+  warpstl analyze     <MODULE> [--json] [--implications]
+                      [--sim-backend auto|event|kernel]
                       (a module name from `warpstl modules`, or the
-                       `comb-loop` / `undriven` demo fixtures)
+                       `comb-loop` / `undriven` / `redundant-logic`
+                       demo fixtures)
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
   warpstl modules
@@ -49,7 +52,12 @@ caching: compact and compact-stl reuse stored artifacts when --cache-dir
 fault simulation: --sim-backend picks the engine backend (`auto` uses the
 levelized kernel on combinational modules and the event path otherwise;
 results are bit-identical either way). The WARPSTL_SIM_BACKEND environment
-variable applies when the flag is absent.";
+variable applies when the flag is absent.
+
+pruning: compact and compact-stl drop faults the static implication
+engine proves untestable before simulating; --no-prune keeps them in the
+universe (detected-fault sets and report JSON are identical either way —
+the proofs are sound, so pruned faults were never detectable).";
 
 /// Parses and runs one invocation.
 pub fn dispatch(args: &[String]) -> CliResult {
@@ -381,6 +389,7 @@ fn compact(args: &[String]) -> CliResult {
     let compactor = Compactor {
         reverse_patterns: flags.has("--reverse"),
         respect_arc: !flags.has("--no-arc"),
+        prune_untestable: !flags.has("--no-prune"),
         obs: recorder.clone(),
         store: store.clone(),
         fsim_config: FaultSimConfig {
@@ -467,8 +476,9 @@ fn netlist_by_name(name: &str) -> Result<warpstl_netlist::Netlist, Box<dyn Error
     match name {
         "comb-loop" => Ok(warpstl_netlist::fixtures::combinational_loop()),
         "undriven" => Ok(warpstl_netlist::fixtures::undriven()),
+        "redundant-logic" => Ok(warpstl_netlist::fixtures::redundant_logic()),
         other => Err(format!(
-            "unknown module `{other}` (see `warpstl modules`, or use `comb-loop` / `undriven`)"
+            "unknown module `{other}` (see `warpstl modules`, or use `comb-loop` / `undriven` / `redundant-logic`)"
         )
         .into()),
     }
@@ -495,6 +505,17 @@ fn analyze(args: &[String]) -> CliResult {
             netlist.logic_depth()
         );
         println!("SCOAP CO   max {max_co}, mean {mean_co:.1}");
+        if flags.has("--implications") {
+            let s = &analysis.report.implications;
+            println!(
+                "implied    {} implication edge(s), {} impossible literal(s)",
+                s.edges, s.impossible
+            );
+            println!(
+                "untestable {} fault site(s) proven, {} equivalence merge(s)",
+                s.untestable, s.merges
+            );
+        }
         let levels = netlist.levelize();
         let combinational = !netlist.gates().iter().any(|g| g.kind == GateKind::Dff);
         let cfg = FaultSimConfig {
@@ -590,6 +611,7 @@ fn compact_stl(args: &[String]) -> CliResult {
     let backend = resolve_sim_backend(&flags);
     let outcome = warpstl_core::compact_stl_with(&stl, |module| Compactor {
         reverse_patterns: module == ModuleKind::Sfu,
+        prune_untestable: !flags.has("--no-prune"),
         obs: recorder.clone(),
         store: store.clone(),
         fsim_config: FaultSimConfig {
@@ -904,6 +926,51 @@ mod tests {
         // Unknown names and a missing argument are flagged.
         assert!(dispatch(&s(&["analyze", "warp_scheduler"])).is_err());
         assert!(dispatch(&s(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn analyze_implications_and_redundant_fixture() {
+        // The redundant-logic fixture warns (the gate passes) and its
+        // implication summary is reachable in both output modes.
+        assert!(dispatch(&s(&["analyze", "redundant-logic"])).is_ok());
+        assert!(dispatch(&s(&["analyze", "redundant-logic", "--implications"])).is_ok());
+        assert!(dispatch(&s(&["analyze", "redundant-logic", "--json"])).is_ok());
+        assert!(dispatch(&s(&["analyze", "decoder_unit", "--implications"])).is_ok());
+    }
+
+    #[test]
+    fn no_prune_compact_reports_are_byte_identical() {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-cli-prune-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "4",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The untestability proofs are sound: dropping proven faults from
+        // the simulated universe must not change what gets detected, so
+        // the deterministic report JSON is byte-identical either way.
+        let mut reports = Vec::new();
+        for no_prune in [false, true] {
+            let out = dir.join(format!("prune-{no_prune}.json"));
+            let mut args = s(&["compact", ptp_path.to_str().unwrap()]);
+            if no_prune {
+                args.push("--no-prune".into());
+            }
+            args.extend(s(&["--json", out.to_str().unwrap()]));
+            dispatch(&args).unwrap();
+            reports.push(fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(reports[0], reports[1], "pruned vs unpruned report JSON");
+        assert!(reports[0].contains("\"untestable\""));
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

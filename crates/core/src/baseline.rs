@@ -114,6 +114,7 @@ impl IterativeCompactor {
             essential_instructions: current.size(),
             fault_sim_runs: fault_sims,
             logic_sim_runs: logic_sims,
+            untestable: ctx.untestable_count(),
             compaction_time: start.elapsed(),
             // The iterative baseline interleaves tracing and fault
             // simulation per candidate; it has no per-stage split, and it

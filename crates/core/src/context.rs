@@ -3,10 +3,12 @@
 use std::sync::Arc;
 
 use warpstl_analyze::{analyze, Analysis};
-use warpstl_fault::{DominanceView, FaultList, FaultUniverse, SimGuide};
+use warpstl_fault::{
+    DominanceView, Fault, FaultId, FaultList, FaultSite, FaultUniverse, Polarity, SimGuide,
+};
 use warpstl_gpu::ModulePatterns;
 use warpstl_netlist::modules::ModuleKind;
-use warpstl_netlist::{Levelization, Netlist, PatternSeq};
+use warpstl_netlist::{Levelization, NetId, Netlist, PatternSeq};
 use warpstl_store::{key_netlist, CacheCtx, Key, Store};
 
 /// The per-target-module state shared across the PTPs of an STL: the module
@@ -38,23 +40,105 @@ pub struct ModuleContext {
     dominance: DominanceView,
     order_keys: Vec<f64>,
     levels: Levelization,
+    /// Per collapsed-class flag: statically proven untestable.
+    untestable: Vec<bool>,
+    /// Whether the simulation guide prunes proven-untestable classes from
+    /// the target set (list marking happens regardless).
+    prune: bool,
     store: Option<Arc<Store>>,
     netlist_key: Key,
+}
+
+/// Maps the analyzer's per-site untestability proofs and equivalence
+/// merges onto the collapsed fault classes of `universe`: the returned
+/// bitmap flags every class with a proven-untestable member (equivalent
+/// faults share test sets, so one proven member condemns the class), and
+/// the pairs are `(pin-fault class, output-fault class)` equivalences for
+/// the dominance view. Untestability propagates across the pairs before
+/// they are returned.
+fn map_untestability(
+    netlist: &Netlist,
+    universe: &FaultUniverse,
+    analysis: &Analysis,
+) -> (Vec<bool>, Vec<(FaultId, FaultId)>) {
+    let unt = &analysis.untestable;
+    let mut bitmap = vec![false; universe.collapsed_len()];
+    let rep = |site: FaultSite, stuck: bool| {
+        universe.rep_of(Fault::new(site, Polarity::BOTH[usize::from(stuck)]))
+    };
+    // The proofs are indexed by site, so walk every enumerable site and
+    // map it through the universe — checking only class representatives
+    // would miss proofs landing on a non-representative member.
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let id = NetId(i as u32);
+        for stuck in [false, true] {
+            if unt.output_untestable(i, stuck) {
+                if let Some(c) = rep(FaultSite::Output(id), stuck) {
+                    bitmap[c] = true;
+                }
+            }
+            for p in 0..g.kind.arity() {
+                if unt.pin_untestable(i, p, stuck) {
+                    if let Some(c) = rep(FaultSite::InputPin(id, p as u8), stuck) {
+                        bitmap[c] = true;
+                    }
+                }
+            }
+        }
+    }
+    let pairs: Vec<(FaultId, FaultId)> = unt
+        .merges()
+        .iter()
+        .filter_map(|m| {
+            let id = NetId(m.gate as u32);
+            let dropped = rep(FaultSite::InputPin(id, m.pin), m.pin_polarity)?;
+            let kept = rep(FaultSite::Output(id), m.out_polarity)?;
+            Some((dropped, kept))
+        })
+        .collect();
+    // Equivalent classes share test sets: untestability crosses the
+    // pairs (iterated, since merges can chain through shared classes).
+    loop {
+        let mut changed = false;
+        for &(a, b) in &pairs {
+            if bitmap[a] != bitmap[b] {
+                bitmap[a] = true;
+                bitmap[b] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (bitmap, pairs)
 }
 
 impl ModuleContext {
     /// Builds the context for `module` with `instances` fault lists.
     ///
-    /// The one-pass static analysis (SCOAP measures, lints) and the
-    /// dominance view run here, once per module — every PTP compacted
-    /// against this context reuses them.
+    /// The one-pass static analysis (SCOAP measures, lints, implication
+    /// closure), the dominance view — strengthened with the analyzer's
+    /// implication-derived fault equivalences — and the untestability
+    /// bitmap all run here, once per module; every PTP compacted against
+    /// this context reuses them. Each fault list is born with the proven
+    /// classes [marked untestable](FaultList::mark_untestable), so
+    /// coverage denominators count testable faults only.
     #[must_use]
     pub fn new(module: ModuleKind, instances: usize) -> ModuleContext {
         let netlist = module.build();
         let universe = FaultUniverse::enumerate(&netlist);
-        let lists = (0..instances).map(|_| FaultList::new(&universe)).collect();
         let analysis = analyze(&netlist);
-        let dominance = universe.dominance(&netlist);
+        let (untestable, equiv_pairs) = map_untestability(&netlist, &universe, &analysis);
+        let mut dominance = universe.dominance(&netlist);
+        dominance.extend_with_equivalences(&equiv_pairs);
+        let lists = (0..instances)
+            .map(|_| {
+                let mut l = FaultList::new(&universe);
+                l.mark_untestable(&untestable);
+                l
+            })
+            .collect();
         let order_keys = analysis.scoap.observability_keys();
         let levels = netlist.levelize();
         let netlist_key = key_netlist(&netlist);
@@ -67,9 +151,23 @@ impl ModuleContext {
             dominance,
             order_keys,
             levels,
+            untestable,
+            prune: true,
             store: None,
             netlist_key,
         }
+    }
+
+    /// Enables or disables static pruning: when disabled, the simulation
+    /// guide omits the untestable bitmap, so the engine simulates every
+    /// target class. The fault lists keep their untestability marks either
+    /// way — detected sets and coverage are identical in both modes (the
+    /// pruned classes are provably undetectable), making this a
+    /// cross-check knob, not a semantics knob.
+    #[must_use]
+    pub fn with_pruning(mut self, prune: bool) -> ModuleContext {
+        self.prune = prune;
+        self
     }
 
     /// Attaches (or detaches) the artifact store: every cacheable stage
@@ -148,13 +246,32 @@ impl ModuleContext {
         &self.levels
     }
 
-    /// The simulation guide (dominance + ordering) borrowed from this
-    /// context — hand it to
+    /// The per-class untestability bitmap (indexed by collapsed class id).
+    #[must_use]
+    pub fn untestable_bitmap(&self) -> &[bool] {
+        &self.untestable
+    }
+
+    /// Number of collapsed classes statically proven untestable.
+    #[must_use]
+    pub fn untestable_count(&self) -> usize {
+        self.untestable.iter().filter(|&&u| u).count()
+    }
+
+    /// Whether the simulation guide prunes proven-untestable classes.
+    #[must_use]
+    pub fn pruning(&self) -> bool {
+        self.prune
+    }
+
+    /// The simulation guide (dominance + untestable pruning + ordering)
+    /// borrowed from this context — hand it to
     /// [`fault_simulate_guided`](warpstl_fault::fault_simulate_guided).
     #[must_use]
     pub fn sim_guide(&self) -> SimGuide<'_> {
         SimGuide {
             dominance: Some(&self.dominance),
+            untestable: self.prune.then_some(self.untestable.as_slice()),
             order_keys: Some(&self.order_keys),
             levels: Some(&self.levels),
         }
@@ -185,6 +302,7 @@ impl ModuleContext {
     ) -> (&Netlist, &mut [FaultList], SimGuide<'_>, CacheCtx<'_>) {
         let guide = SimGuide {
             dominance: Some(&self.dominance),
+            untestable: self.prune.then_some(self.untestable.as_slice()),
             order_keys: Some(&self.order_keys),
             levels: Some(&self.levels),
         };
@@ -195,11 +313,17 @@ impl ModuleContext {
         (&self.netlist, &mut self.lists, guide, cache)
     }
 
-    /// Fresh fault lists (for standalone evaluations).
+    /// Fresh fault lists (for standalone evaluations), untestability marks
+    /// applied so their coverage uses the same denominator as the shared
+    /// lists.
     #[must_use]
     pub fn fresh_lists(&self) -> Vec<FaultList> {
         (0..self.instances())
-            .map(|_| FaultList::new(&self.universe))
+            .map(|_| {
+                let mut l = FaultList::new(&self.universe);
+                l.mark_untestable(&self.untestable);
+                l
+            })
             .collect()
     }
 
@@ -268,6 +392,53 @@ mod tests {
         assert_eq!(c.order_keys().len(), c.netlist().gates().len());
         let guide = c.sim_guide();
         assert!(guide.dominance.is_some() && guide.order_keys.is_some());
+    }
+
+    #[test]
+    fn pruning_toggle_leaves_detection_bit_identical() {
+        // The acceptance property behind `--no-prune`: simulating with the
+        // untestable classes pruned from the target set detects exactly
+        // the same faults, with the same stamps, as simulating them all.
+        let netlist = ModuleKind::DecoderUnit.build();
+        let width = netlist.inputs().width();
+        let mut patterns = PatternSeq::new(width);
+        let mut seed = 0x5eed_0001_u64;
+        for cc in 0..48u64 {
+            let bits: Vec<bool> = (0..width)
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed & 1 == 1
+                })
+                .collect();
+            patterns.push_bits(cc, &bits);
+        }
+        let run = |prune: bool| {
+            let mut ctx = ModuleContext::new(ModuleKind::DecoderUnit, 1).with_pruning(prune);
+            assert_eq!(ctx.sim_guide().untestable.is_some(), prune);
+            let (netlist, lists, guide, _) = ctx.netlist_and_lists_mut();
+            let report = warpstl_fault::fault_simulate_guided(
+                netlist,
+                &patterns,
+                &mut lists[0],
+                &warpstl_fault::FaultSimConfig::default(),
+                None,
+                &guide,
+            );
+            (ctx.list(0).to_report_text(), ctx.coverage(), report)
+        };
+        let (text_on, cov_on, rep_on) = run(true);
+        let (text_off, cov_off, rep_off) = run(false);
+        assert_eq!(text_on, text_off);
+        assert_eq!(cov_on, cov_off);
+        assert_eq!(rep_on.total_detected(), rep_off.total_detected());
+        // The pruned run accounts for exactly the proven classes; the
+        // unpruned run prunes nothing.
+        let ctx = ModuleContext::new(ModuleKind::DecoderUnit, 1);
+        assert_eq!(rep_on.untestable_count() as usize, ctx.untestable_count());
+        assert_eq!(rep_off.untestable_count(), 0);
+        assert_eq!(ctx.untestable_count(), ctx.list(0).untestable_count());
     }
 
     #[test]

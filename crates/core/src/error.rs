@@ -85,6 +85,7 @@ mod tests {
                     warpstl_netlist::NetId(2),
                     "combinational loop: n2 -> n3 -> n2",
                 )],
+                implications: warpstl_analyze::ImplicationStats::default(),
             },
         };
         let s = err.to_string();

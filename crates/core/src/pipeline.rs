@@ -103,6 +103,12 @@ pub struct Compactor {
     /// Disabling this reproduces the failure mode the paper warns about
     /// (see the ARC ablation).
     pub respect_arc: bool,
+    /// Prune statically-proven-untestable fault classes from every
+    /// fault-simulation target set (on by default). Detected sets,
+    /// coverages and reports are bit-identical either way — the pruned
+    /// classes are provably undetectable — so disabling this is purely a
+    /// cross-check/ablation knob.
+    pub prune_untestable: bool,
     /// Observability sink. `None` (the default) keeps every instrumentation
     /// point a guaranteed no-op; `Some` collects spans and metrics for all
     /// pipeline stages and the fault-engine internals, exportable with
@@ -124,6 +130,7 @@ impl Default for Compactor {
             fsim_config: FaultSimConfig::default(),
             reverse_patterns: false,
             respect_arc: true,
+            prune_untestable: true,
             obs: None,
             store: None,
         }
@@ -156,7 +163,9 @@ impl Compactor {
             ModuleKind::SpCore | ModuleKind::Fp32 => self.gpu.config.sp_cores,
             ModuleKind::Sfu => self.gpu.config.sfus,
         };
-        ModuleContext::new(module, instances).with_store(self.store.clone())
+        ModuleContext::new(module, instances)
+            .with_pruning(self.prune_untestable)
+            .with_store(self.store.clone())
     }
 
     /// Runs `ptp` with the hardware monitor on (the stage-2 logic
@@ -371,6 +380,9 @@ impl Compactor {
             essential_instructions: labels.essential_count(),
             fault_sim_runs: 1,
             logic_sim_runs: 1,
+            // Statically proven, so identical with pruning on or off —
+            // keeps the deterministic JSON byte-identical across modes.
+            untestable: ctx.untestable_count(),
             compaction_time,
             stage_timings: StageTimings {
                 analyze: analyze_time,

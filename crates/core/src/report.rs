@@ -121,6 +121,10 @@ pub struct CompactionReport {
     pub fault_sim_runs: usize,
     /// Logic simulations used by the compaction itself (exactly one).
     pub logic_sim_runs: usize,
+    /// Fault classes of the target module statically proven untestable by
+    /// the implication engine — excluded from the coverage denominator
+    /// (and, with pruning on, from simulation).
+    pub untestable: usize,
     /// Wall-clock time of the compaction (the paper's last column).
     pub compaction_time: Duration,
     /// Per-stage breakdown of where that time (plus evaluation) went.
@@ -198,6 +202,7 @@ impl CompactionReport {
                 "  \"essential_instructions\": {},\n",
                 "  \"fault_sim_runs\": {},\n",
                 "  \"logic_sim_runs\": {},\n",
+                "  \"untestable\": {},\n",
                 "  \"analyze_errors\": {},\n",
                 "  \"analyze_warnings\": {},\n",
                 "  \"verify_errors\": {},\n",
@@ -216,6 +221,7 @@ impl CompactionReport {
             self.essential_instructions,
             self.fault_sim_runs,
             self.logic_sim_runs,
+            self.untestable,
             self.analyze.total_errors(),
             self.analyze.total_warnings(),
             self.verify.total_errors(),
@@ -246,6 +252,9 @@ impl CompactionReport {
             essential_instructions: parts.iter().map(|r| r.essential_instructions).sum(),
             fault_sim_runs: parts.iter().map(|r| r.fault_sim_runs).sum(),
             logic_sim_runs: parts.iter().map(|r| r.logic_sim_runs).sum(),
+            // Combined rows target one module: the proven set is shared,
+            // not additive (mirrors `FaultSimReport::merge`).
+            untestable: parts.iter().map(|r| r.untestable).max().unwrap_or(0),
             compaction_time: parts.iter().map(|r| r.compaction_time).sum(),
             stage_timings: parts.iter().fold(StageTimings::default(), |acc, r| {
                 acc.merged(&r.stage_timings)
@@ -298,6 +307,7 @@ mod tests {
             essential_instructions: 25,
             fault_sim_runs: 1,
             logic_sim_runs: 1,
+            untestable: 4,
             compaction_time: Duration::from_millis(1234),
             stage_timings: StageTimings {
                 analyze: Duration::from_millis(50),
@@ -341,6 +351,8 @@ mod tests {
         let c = CompactionReport::combined("BOTH", &[&a, &b], 0.8, 0.79);
         assert_eq!(c.original_size, 2000);
         assert_eq!(c.fault_sim_runs, 2);
+        // Shared universe: untestable is a max, not a sum.
+        assert_eq!(c.untestable, 4);
         assert!((c.fc_diff_pct() + 1.0).abs() < 1e-9);
         assert_eq!(c.stage_timings.fsim, Duration::from_millis(1000));
         assert_eq!(c.stage_timings.analyze, Duration::from_millis(100));
@@ -370,6 +382,7 @@ mod tests {
         assert_eq!(j, r.clone().to_json());
         assert!(j.contains("\"name\": \"IM\\\"M\\\\x\""));
         assert!(j.contains("\"fc_before\": 0.7113"));
+        assert!(j.contains("\"untestable\": 4"));
         assert!(j.contains("\"analyze_warnings\": 1"));
         // Volatile fields stay out: equal inputs give equal JSON even when
         // timings and metrics differ.

@@ -113,6 +113,41 @@ impl DominanceView {
         }
     }
 
+    /// Folds implication-derived fault equivalences into the view: each
+    /// `(dropped, kept)` pair states that the two classes have identical
+    /// test sets (proven statically, e.g. a gate degenerating to a buffer
+    /// because the other pin is implied constant). `dropped` becomes a
+    /// removed class supported by `kept`, strengthening the classic
+    /// per-gate dominance rules with netlist-global reasoning.
+    ///
+    /// Pairs where `dropped` is already removed (it already inherits), or
+    /// where `kept` is itself removed (would chain through an inherited
+    /// class), or degenerate `dropped == kept` pairs are skipped — the
+    /// engine's inheritance is single-level plus a residual pass, so
+    /// supporters must stay direct.
+    pub fn extend_with_equivalences(&mut self, pairs: &[(FaultId, FaultId)]) {
+        for &(dropped, kept) in pairs {
+            if dropped == kept
+                || dropped >= self.supporters.len()
+                || kept >= self.supporters.len()
+                || !self.supporters[dropped].is_empty()
+                || !self.supporters[kept].is_empty()
+            {
+                continue;
+            }
+            self.supporters[dropped].push(kept);
+        }
+        self.direct.clear();
+        self.removed.clear();
+        for (id, sups) in self.supporters.iter().enumerate() {
+            if sups.is_empty() {
+                self.direct.push(id);
+            } else {
+                self.removed.push(id);
+            }
+        }
+    }
+
     /// Class ids to simulate directly, ascending.
     #[must_use]
     pub fn direct(&self) -> &[FaultId] {
@@ -196,6 +231,37 @@ mod tests {
         assert!(dom.is_identity());
         assert_eq!(dom.direct().len(), u.collapsed_len());
         assert_eq!(dom.reduction_ratio(), 1.0);
+    }
+
+    #[test]
+    fn equivalence_pairs_extend_the_view() {
+        let mut b = Builder::new("xor2");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.xor(x, y);
+        b.output("z", z);
+        let n = b.finish();
+        let u = FaultUniverse::enumerate(&n);
+        let mut dom = u.dominance(&n);
+        assert!(dom.is_identity());
+        let pin_sa0 = u
+            .rep_of(Fault::new(FaultSite::InputPin(z, 0), Polarity::Sa0))
+            .unwrap();
+        let out_sa0 = u
+            .rep_of(Fault::new(FaultSite::Output(z), Polarity::Sa0))
+            .unwrap();
+        dom.extend_with_equivalences(&[
+            (pin_sa0, out_sa0),
+            (pin_sa0, pin_sa0),        // degenerate: skipped
+            (out_sa0, pin_sa0),        // kept already removed: skipped
+            (usize::MAX - 1, out_sa0), // out of range: skipped
+        ]);
+        assert!(dom.is_removed(pin_sa0));
+        assert_eq!(dom.supporters(pin_sa0), &[out_sa0]);
+        // The reverse pair was skipped: its kept class is already removed.
+        assert!(!dom.is_removed(out_sa0));
+        assert_eq!(dom.direct().len() + dom.removed().len(), u.collapsed_len());
+        assert!(!dom.is_identity());
     }
 
     #[test]

@@ -803,11 +803,25 @@ pub(crate) fn simulate_guided(
     list.begin_run();
     let mut report = FaultSimReport::new();
 
-    let targets: Vec<FaultId> = if config.drop_detected {
+    // Statically-proven-untestable classes are dropped from the target
+    // list before batching: they can never be detected, so the detected
+    // set is unchanged, but the engine stops paying for their cones.
+    let testable = |id: FaultId| {
+        guide
+            .untestable
+            .is_none_or(|u| !u.get(id).copied().unwrap_or(false))
+    };
+    let all_targets: Vec<FaultId> = if config.drop_detected {
         list.undetected().collect()
     } else {
         (0..list.len()).collect()
     };
+    let targets: Vec<FaultId> = all_targets
+        .iter()
+        .copied()
+        .filter(|&id| testable(id))
+        .collect();
+    report.set_untestable((all_targets.len() - targets.len()) as u32);
 
     let cones = netlist.fanout_cones();
     let in_nets: Vec<usize> = netlist.inputs().nets().iter().map(|n| n.index()).collect();
@@ -843,6 +857,10 @@ pub(crate) fn simulate_guided(
         run_span.arg("backend", backend);
         obs.add("fsim.runs", 1);
         obs.add("fsim.patterns", patterns.len() as u64);
+        obs.add(
+            "fsim.untestable_pruned",
+            u64::from(report.untestable_count()),
+        );
         if backend != SimBackend::Event {
             obs.add("fsim.kernel.runs", 1);
         }

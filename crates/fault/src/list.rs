@@ -51,6 +51,8 @@ pub struct FaultList {
     status: Vec<FaultStatus>,
     weights: Vec<u32>,
     total_weight: u64,
+    untestable: Vec<bool>,
+    untestable_weight: u64,
     current_run: u32,
 }
 
@@ -66,8 +68,50 @@ impl FaultList {
             status: vec![FaultStatus::Undetected; n],
             weights,
             total_weight,
+            untestable: vec![false; n],
+            untestable_weight: 0,
             current_run: 0,
         }
+    }
+
+    /// Marks the classes flagged in `bitmap` (indexed by [`FaultId`]) as
+    /// statically proven untestable. Untestability is a property of the
+    /// universe, not of any simulation run: it splits the marked classes
+    /// out of the [`coverage`](FaultList::coverage) denominator and
+    /// survives [`reset`](FaultList::reset). Marks accumulate (set union)
+    /// across calls; entries beyond the list length are ignored.
+    pub fn mark_untestable(&mut self, bitmap: &[bool]) {
+        for (id, &flag) in bitmap.iter().enumerate().take(self.len()) {
+            if flag {
+                self.untestable[id] = true;
+            }
+        }
+        self.untestable_weight = self
+            .untestable
+            .iter()
+            .zip(&self.weights)
+            .filter(|(&u, _)| u)
+            .map(|(_, &w)| w as u64)
+            .sum();
+    }
+
+    /// Whether fault `id` is marked statically untestable.
+    #[must_use]
+    pub fn is_untestable(&self, id: FaultId) -> bool {
+        self.untestable.get(id).copied().unwrap_or(false)
+    }
+
+    /// Number of collapsed classes marked untestable.
+    #[must_use]
+    pub fn untestable_count(&self) -> usize {
+        self.untestable.iter().filter(|&&u| u).count()
+    }
+
+    /// The uncollapsed weight of the untestable classes — the amount
+    /// removed from the coverage denominator.
+    #[must_use]
+    pub fn untestable_weight(&self) -> u64 {
+        self.untestable_weight
     }
 
     /// The number of collapsed faults tracked.
@@ -131,20 +175,31 @@ impl FaultList {
     }
 
     /// Fault coverage over the *full* (uncollapsed) universe: the weighted
-    /// fraction of detected equivalence classes.
+    /// fraction of detected equivalence classes among the *testable* ones.
+    /// Statically-proven-untestable classes are split out of the
+    /// denominator — no pattern sequence can ever detect them, so counting
+    /// them would only misreport every STL as incomplete. When every fault
+    /// is untestable the coverage is vacuously `1.0` (the
+    /// `collapse_ratio`-style guard against a `0/0`); an empty list stays
+    /// at `0.0`.
     #[must_use]
     pub fn coverage(&self) -> f64 {
         if self.total_weight == 0 {
             return 0.0;
         }
+        let testable_weight = self.total_weight - self.untestable_weight;
+        if testable_weight == 0 {
+            return 1.0;
+        }
         let detected: u64 = self
             .status
             .iter()
             .zip(&self.weights)
-            .filter(|(s, _)| matches!(s, FaultStatus::Detected { .. }))
-            .map(|(_, &w)| w as u64)
+            .zip(&self.untestable)
+            .filter(|((s, _), &u)| !u && matches!(s, FaultStatus::Detected { .. }))
+            .map(|((_, &w), _)| w as u64)
             .sum();
-        detected as f64 / self.total_weight as f64
+        detected as f64 / testable_weight as f64
     }
 
     /// The total (uncollapsed) fault count the coverage denominator uses.
@@ -353,6 +408,37 @@ mod tests {
         let good = l.to_report_text();
         let tampered = good.replace("undetected", "detected x y z");
         assert!(l.apply_report_text(&tampered).is_err());
+    }
+
+    #[test]
+    fn untestable_marks_split_the_coverage_denominator() {
+        let u = universe();
+        let mut l = FaultList::new(&u);
+        let mut bitmap = vec![false; l.len()];
+        bitmap[0] = true;
+        l.mark_untestable(&bitmap);
+        assert!(l.is_untestable(0));
+        assert!(!l.is_untestable(1));
+        assert_eq!(l.untestable_count(), 1);
+        assert!(l.untestable_weight() > 0);
+        // Detecting every *testable* fault reaches full coverage even
+        // though class 0 stays undetected.
+        l.begin_run();
+        for id in 1..l.len() {
+            l.mark_detected(id, 0, 0);
+        }
+        assert!((l.coverage() - 1.0).abs() < 1e-12, "{}", l.coverage());
+        // Marks survive a reset (they are a property of the universe).
+        l.reset();
+        assert!(l.is_untestable(0));
+        assert_eq!(l.coverage(), 0.0);
+        // Marking everything untestable makes coverage vacuously 1.0.
+        l.mark_untestable(&vec![true; l.len()]);
+        assert_eq!(l.coverage(), 1.0);
+        // Marks accumulate idempotently.
+        l.mark_untestable(&bitmap);
+        assert_eq!(l.untestable_count(), l.len());
+        assert_eq!(l.untestable_weight(), l.total_weight());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub struct FaultSimReport {
     patterns: Vec<PatternStats>,
     detections: Vec<(FaultId, u64, usize)>,
     by_cc: BTreeMap<u64, u32>,
+    untestable: u32,
 }
 
 impl FaultSimReport {
@@ -65,6 +66,19 @@ impl FaultSimReport {
         self.detections.push((fault, cc, pattern));
     }
 
+    /// Records how many target faults the run excluded as statically
+    /// proven untestable, so reports account for them explicitly instead
+    /// of silently inflating the undetected count.
+    pub fn set_untestable(&mut self, untestable: u32) {
+        self.untestable = untestable;
+    }
+
+    /// Target faults excluded as statically proven untestable.
+    #[must_use]
+    pub fn untestable_count(&self) -> u32 {
+        self.untestable
+    }
+
     /// Merges another report (used when a module has several instances whose
     /// pattern streams are simulated separately).
     pub fn merge(&mut self, other: &FaultSimReport) {
@@ -73,6 +87,9 @@ impl FaultSimReport {
         for (&cc, &d) in &other.by_cc {
             *self.by_cc.entry(cc).or_insert(0) += d;
         }
+        // Instances of one module share its fault universe, so the
+        // untestable set is common, not additive.
+        self.untestable = self.untestable.max(other.untestable);
     }
 
     /// Per-pattern statistics in simulation order.
@@ -149,6 +166,7 @@ impl fmt::Display for FaultSimReport {
         for p in &self.patterns {
             writeln!(f, "{} {} {}", p.cc, p.activated, p.detected)?;
         }
+        writeln!(f, "# untestable (pruned): {}", self.untestable)?;
         writeln!(f, "# total detected: {}", self.total_detected())
     }
 }

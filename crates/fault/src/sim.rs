@@ -123,7 +123,7 @@ impl Default for FaultSimConfig {
 /// analyzer's SCOAP observability scores travel as a plain per-net slice,
 /// and the universe's own [`DominanceView`] travels by reference.
 ///
-/// Both halves are optional and independent; the default (`None`/`None`)
+/// Every field is optional and independent; the default (all `None`)
 /// makes [`fault_simulate_guided`] behave exactly like [`fault_simulate`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimGuide<'a> {
@@ -131,6 +131,14 @@ pub struct SimGuide<'a> {
     /// classes inherit detection from their supporters instead of being
     /// simulated directly (drop mode only; identity views are ignored).
     pub dominance: Option<&'a DominanceView>,
+    /// Per-fault untestability bitmap, indexed by [`FaultId`]: classes the
+    /// static implication engine proved redundant are excluded from the
+    /// target list entirely — they can never be detected, so the detected
+    /// set is bit-identical to the unpruned run while the engine skips
+    /// their batches. Because the *pattern tallies* of the report change
+    /// with the target set, this field participates in cache keys
+    /// (`key_fsim`), unlike `levels`.
+    pub untestable: Option<&'a [bool]>,
     /// Per-net observability cost (higher = harder to observe), indexed
     /// by gate: targets are stably reordered hardest-first before
     /// batching so each batch holds faults of similar difficulty.

@@ -97,7 +97,7 @@ proptest! {
         let guide = SimGuide {
             dominance: Some(&dominance),
             order_keys: Some(&keys),
-            levels: None,
+            ..SimGuide::default()
         };
         let mut guided_list = FaultList::new(&universe);
         let report =
@@ -131,7 +131,7 @@ proptest! {
         let mut base_list = FaultList::new(&universe);
         fault_simulate(&netlist, &patterns, &mut base_list, &cfg);
 
-        let guide = SimGuide { dominance: None, order_keys: Some(&keys), levels: None };
+        let guide = SimGuide { order_keys: Some(&keys), ..SimGuide::default() };
         let mut guided_list = FaultList::new(&universe);
         fault_simulate_guided(&netlist, &patterns, &mut guided_list, &cfg, None, &guide);
 
@@ -159,7 +159,7 @@ fn module_dominance_coverage_identity_across_runs() {
     let guide = SimGuide {
         dominance: Some(&dominance),
         order_keys: Some(&keys),
-        levels: None,
+        ..SimGuide::default()
     };
     let mut guided_list = FaultList::new(&universe);
     fault_simulate_guided(&netlist, &p1, &mut guided_list, &cfg, None, &guide);

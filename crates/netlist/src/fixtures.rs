@@ -8,10 +8,12 @@
 //! the seeded counterexamples the lint tests and the
 //! `warpstl analyze` CLI smoke tests run against.
 //!
-//! Fixture netlists must only be *analyzed*: simulating one is undefined
-//! (the simulators assume the invariants these fixtures break).
+//! The malformed fixtures must only be *analyzed*: simulating one is
+//! undefined (the simulators assume the invariants they break). The
+//! exception is [`redundant_logic`], which is a valid netlist seeded
+//! with provably redundant logic for the implication engine.
 
-use crate::{Gate, GateKind, NetId, Netlist, PortMap};
+use crate::{Builder, Gate, GateKind, NetId, Netlist, PortMap};
 
 /// A netlist with a two-gate combinational loop.
 ///
@@ -70,6 +72,44 @@ pub fn undriven() -> Netlist {
     Netlist::from_parts_relaxed("fixture_undriven".to_string(), gates, inputs, outputs)
 }
 
+/// A *valid* netlist seeded with implication-provable redundant logic,
+/// for exercising the static implication engine and the
+/// `redundant-logic` lint.
+///
+/// `s = OR(a, NOT a)` is a tautology, so the mux `m = MUX(s, w, g2)`
+/// never selects `g2 = AND(c, d)`: every fault on `g2`'s stem (and on
+/// the mux's deselected data pin) is untestable, and `s` itself can
+/// never be driven to 0. Unlike the malformed fixtures above, this one
+/// satisfies every builder invariant and may be simulated.
+///
+/// ```text
+/// n0 = INPUT a     n3 = INPUT c      n6 = INPUT w
+/// n1 = NOT n0      n4 = INPUT d      n7 = MUX(n2, n6, n5) -> output m
+/// n2 = OR(n0, n1)  n5 = AND(n3, n4)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// let n = warpstl_netlist::fixtures::redundant_logic();
+/// assert!(n.is_combinational());
+/// assert_eq!(n.gates().len(), 8);
+/// ```
+#[must_use]
+pub fn redundant_logic() -> Netlist {
+    let mut b = Builder::new("fixture_redundant_logic");
+    let a = b.input("a");
+    let na = b.not(a);
+    let s = b.or(a, na);
+    let c = b.input("c");
+    let d = b.input("d");
+    let g2 = b.and(c, d);
+    let w = b.input("w");
+    let m = b.mux(s, w, g2);
+    b.output("m", m);
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +125,18 @@ mod tests {
         // Structural accessors stay usable.
         assert_eq!(n.fanout(NetId(3)), 2);
         let _ = n.logic_depth();
+    }
+
+    #[test]
+    fn redundant_logic_fixture_shape() {
+        let n = redundant_logic();
+        assert_eq!(n.name(), "fixture_redundant_logic");
+        assert!(n.is_combinational());
+        assert_eq!(n.inputs().width(), 4);
+        // n2 = OR(a, NOT a) is the tautologous select.
+        assert_eq!(n.gates()[2].kind, GateKind::Or);
+        assert_eq!(n.gates()[7].kind, GateKind::Mux);
+        assert_eq!(n.gates()[7].pins[0], NetId(2));
     }
 
     #[test]

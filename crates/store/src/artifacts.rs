@@ -15,7 +15,9 @@
 //! integration surface for the pipeline: call them where `analyze_observed`
 //! / `fault_simulate_guided` used to be called, with an optional store.
 
-use warpstl_analyze::{analyze_observed, AnalyzeReport, Diagnostic, Rule, Severity};
+use warpstl_analyze::{
+    analyze_observed, AnalyzeReport, Diagnostic, ImplicationStats, Rule, Severity,
+};
 use warpstl_fault::{
     fault_simulate_guided, FaultList, FaultSimConfig, FaultSimReport, FaultStatus, SimGuide,
 };
@@ -41,6 +43,9 @@ pub struct FsimStamps {
     /// Faults the run newly detected: `(fault, cc, pattern)` stamps to
     /// replay onto the fault list.
     pub list_updates: Vec<(usize, u64, usize)>,
+    /// Target faults the run pruned as statically untestable (the
+    /// report's untestable row).
+    pub untestable: u32,
 }
 
 impl FsimStamps {
@@ -66,6 +71,7 @@ impl FsimStamps {
             w.u64(cc);
             w.write_len(pattern);
         }
+        w.u32(self.untestable);
         w.into_bytes()
     }
 
@@ -94,10 +100,12 @@ impl FsimStamps {
         }
         let report_detections = triples(&mut r)?;
         let list_updates = triples(&mut r)?;
+        let untestable = r.u32()?;
         r.at_end().then_some(FsimStamps {
             patterns,
             report_detections,
             list_updates,
+            untestable,
         })
     }
 
@@ -131,6 +139,7 @@ impl FsimStamps {
             patterns,
             report_detections,
             list_updates,
+            untestable: report.untestable_count(),
         }
     }
 
@@ -150,6 +159,7 @@ impl FsimStamps {
         for &(fault, cc, pattern) in &self.report_detections {
             report.record_detection(fault, cc, pattern);
         }
+        report.set_untestable(self.untestable);
         report
     }
 }
@@ -167,6 +177,10 @@ fn encode_analysis(report: &AnalyzeReport) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.str(&report.name);
     w.write_len(report.gates);
+    w.write_len(report.implications.edges);
+    w.write_len(report.implications.impossible);
+    w.write_len(report.implications.untestable);
+    w.write_len(report.implications.merges);
     w.write_len(report.diagnostics.len());
     for d in &report.diagnostics {
         w.u8(d.rule.index() as u8);
@@ -190,6 +204,12 @@ fn decode_analysis(bytes: &[u8]) -> Option<AnalyzeReport> {
     let mut r = ByteReader::new(bytes);
     let name = r.str()?;
     let gates = r.read_len()?;
+    let implications = ImplicationStats {
+        edges: r.read_len()?,
+        impossible: r.read_len()?,
+        untestable: r.read_len()?,
+        merges: r.read_len()?,
+    };
     let n = r.read_len()?;
     if n > r.remaining() {
         return None;
@@ -219,6 +239,7 @@ fn decode_analysis(bytes: &[u8]) -> Option<AnalyzeReport> {
         name,
         gates,
         diagnostics,
+        implications,
     })
 }
 
@@ -391,6 +412,7 @@ mod tests {
             patterns: vec![(10, 4, 1), (11, 0, 0)],
             report_detections: vec![(3, 10, 0)],
             list_updates: vec![(3, 10, 0), (5, 11, 1)],
+            untestable: 2,
         };
         let decoded = FsimStamps::decode(&stamps.encode()).unwrap();
         assert_eq!(decoded, stamps);
@@ -422,6 +444,12 @@ mod tests {
                     message: "constant cone".into(),
                 },
             ],
+            implications: ImplicationStats {
+                edges: 40,
+                impossible: 2,
+                untestable: 6,
+                merges: 1,
+            },
         };
         let decoded = decode_analysis(&encode_analysis(&report)).unwrap();
         assert_eq!(decoded, report);
@@ -599,6 +627,7 @@ mod tests {
             patterns: vec![(1, 1, 1)],
             report_detections: vec![],
             list_updates: vec![(99, 1, 0)],
+            untestable: 0,
         };
         store.put_stamps(key, &stamps, None);
         let rec = Recorder::new();

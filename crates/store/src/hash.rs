@@ -33,10 +33,13 @@ use warpstl_programs::Ptp;
 
 /// Bump when the fault engine's *observable semantics* change (detection
 /// stamps, report rows): old fsim-stamp entries then miss by key.
-pub const FSIM_SCHEMA: u32 = 1;
+/// v2: the guide's untestable bitmap prunes targets (pattern tallies and
+/// the report's untestable row change with it).
+pub const FSIM_SCHEMA: u32 = 2;
 
 /// Bump when the netlist analyzer's rules or report shape change.
-pub const ANALYZE_SCHEMA: u32 = 1;
+/// v2: implication-engine counts and the `redundant-logic` rule.
+pub const ANALYZE_SCHEMA: u32 = 2;
 
 /// A 128-bit canonical content key. Displays as 32 lowercase hex digits —
 /// the on-disk entry file stem.
@@ -294,6 +297,16 @@ pub fn key_fsim(
     h.bool(config.early_exit);
     h.bool(guide.dominance.is_some());
     h.bool(guide.order_keys.is_some());
+    // The untestable bitmap changes the target set, and with it the
+    // per-pattern tallies and the report's untestable row — so, unlike
+    // `levels`, its *content* is key material.
+    h.bool(guide.untestable.is_some());
+    if let Some(unt) = guide.untestable {
+        h.len(unt.len());
+        for &u in unt {
+            h.bool(u);
+        }
+    }
     h.finish()
 }
 
@@ -411,6 +424,26 @@ mod tests {
             base,
             key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &leveled),
             "levelization guide must not enter the key"
+        );
+
+        // The untestable bitmap is semantic: presence and content both key.
+        let unt = vec![false; list.len()];
+        let pruned = SimGuide {
+            untestable: Some(&unt),
+            ..SimGuide::default()
+        };
+        let pruned_key = key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &pruned);
+        assert_ne!(base, pruned_key, "untestable presence must enter the key");
+        let mut unt2 = unt.clone();
+        unt2[0] = true;
+        let pruned2 = SimGuide {
+            untestable: Some(&unt2),
+            ..SimGuide::default()
+        };
+        assert_ne!(
+            pruned_key,
+            key_fsim(nk, &pats, &list, &FaultSimConfig::default(), &pruned2),
+            "untestable content must enter the key"
         );
 
         list.begin_run();

@@ -89,6 +89,73 @@ cargo run -q --release -p warpstl-cli -- cache stats --cache-dir "$CACHE_DIR" ||
 cargo run -q --release -p warpstl-cli -- cache verify --cache-dir "$CACHE_DIR" || exit 1
 echo "cache OK: warm rerun hit the cache with byte-identical report JSON"
 
+echo "== implication-engine smoke test =="
+# The redundant-logic fixture must yield a nonzero count of statically
+# proven-untestable fault sites in the analyze JSON (and warn, not fail:
+# exit code stays zero).
+cargo run -q --release -p warpstl-cli -- analyze redundant-logic \
+    --implications --json > "$SMOKE_DIR/redundant.json" || exit 1
+python3 - "$SMOKE_DIR/redundant.json" <<'EOF' || exit 1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["errors"] == 0, f"redundant-logic should warn, not fail: {report}"
+assert report["untestable"] > 0, f"no untestable proofs: {report}"
+assert report["implication_edges"] > 0, f"no implication edges: {report}"
+print(f"implications OK: {report['untestable']} proven untestable, "
+      f"{report['implication_edges']} edges, {report['equiv_merges']} merges")
+EOF
+
+echo "== universe-pruning smoke test =="
+# Dropping statically proven-untestable faults from the simulated universe
+# must not change the deterministic report JSON (the proofs are sound, so
+# pruned faults were never detectable). --no-cache keeps both runs honest.
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --no-cache --json "$SMOKE_DIR/pruned.json" >/dev/null || exit 1
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --no-cache --no-prune --json "$SMOKE_DIR/unpruned.json" >/dev/null || exit 1
+cmp "$SMOKE_DIR/pruned.json" "$SMOKE_DIR/unpruned.json" || {
+    echo "pruned and unpruned report JSON differ" >&2
+    exit 1
+}
+grep -q '"untestable"' "$SMOKE_DIR/pruned.json" || {
+    echo "report JSON missing the untestable field" >&2
+    exit 1
+}
+echo "pruning OK: pruned and unpruned reports byte-identical"
+
+echo "== cache version-miss smoke test =="
+# Patch the format-version byte of every cached entry: the next run must
+# degrade every read to a version miss (visible as the cache.miss.version
+# counter in the embedded trace metrics) and still complete.
+python3 - "$CACHE_DIR" <<'EOF' || exit 1
+import pathlib, sys
+
+patched = 0
+for p in pathlib.Path(sys.argv[1]).iterdir():
+    if p.suffix.lstrip(".") in ("ana", "fsr"):
+        b = bytearray(p.read_bytes())
+        b[8] ^= 0xFF  # format version u32 LE at offset 8
+        p.write_bytes(bytes(b))
+        patched += 1
+assert patched > 0, "no cache entries to patch"
+print(f"patched format version of {patched} entries")
+EOF
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --cache-dir "$CACHE_DIR" --trace-out "$SMOKE_DIR/vm-trace.json" \
+    >/dev/null || exit 1
+python3 - "$SMOKE_DIR/vm-trace.json" <<'EOF' || exit 1
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+counters = trace["warpstlMetrics"]["counters"]
+n = counters.get("cache.miss.version", 0)
+assert n >= 1, f"expected version misses, counters: {counters}"
+print(f"version-miss OK: {n} version miss(es) counted")
+EOF
+
 echo "== sim-backend smoke test =="
 # One module through both engine backends (no cache, so both actually
 # simulate): the report JSON must be byte-identical — the CLI-level face of
