@@ -44,6 +44,9 @@ usage:
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
   warpstl modules
+  warpstl serve       [--addr HOST:PORT] [--workers N] [--queue N]
+                      [--cache-dir DIR] [--no-cache]
+                      [--sim-backend auto|event|kernel]
 
 caching: compact and compact-stl reuse stored artifacts when --cache-dir
 (or the WARPSTL_CACHE_DIR environment variable) names a directory;
@@ -72,6 +75,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("run") => run(&args[1..]),
         Some("patterns") => patterns(&args[1..]),
         Some("modules") => modules(),
+        Some("serve") => serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -196,10 +200,7 @@ fn cache(args: &[String]) -> CliResult {
         }
         "gc" => {
             let (removed, freed) = store.gc()?;
-            println!(
-                "removed {removed} invalid entr{}, freed {freed} byte(s)",
-                plural_y(removed)
-            );
+            println!("removed {removed} invalid or stale file(s), freed {freed} byte(s)");
             Ok(())
         }
         "verify" => {
@@ -466,24 +467,6 @@ fn lint(args: &[String]) -> CliResult {
     }
 }
 
-/// Resolves a netlist name: the bundled modules first, then the lint demo
-/// fixtures (a seeded combinational loop and an undriven net) so the gate
-/// can be exercised from the command line.
-fn netlist_by_name(name: &str) -> Result<warpstl_netlist::Netlist, Box<dyn Error>> {
-    if let Some(kind) = ModuleKind::ALL.iter().find(|k| k.name() == name) {
-        return Ok(kind.build());
-    }
-    match name {
-        "comb-loop" => Ok(warpstl_netlist::fixtures::combinational_loop()),
-        "undriven" => Ok(warpstl_netlist::fixtures::undriven()),
-        "redundant-logic" => Ok(warpstl_netlist::fixtures::redundant_logic()),
-        other => Err(format!(
-            "unknown module `{other}` (see `warpstl modules`, or use `comb-loop` / `undriven` / `redundant-logic`)"
-        )
-        .into()),
-    }
-}
-
 /// Statically analyzes one module netlist: SCOAP testability measures,
 /// fault dominance on top of the equivalence-collapsed universe, and the
 /// structural lints the compaction pipeline runs as its pre-simulation
@@ -492,7 +475,7 @@ fn netlist_by_name(name: &str) -> Result<warpstl_netlist::Netlist, Box<dyn Error
 fn analyze(args: &[String]) -> CliResult {
     let name = args.first().ok_or("analyze: missing module name")?;
     let flags = Flags::new(&args[1..]);
-    let netlist = netlist_by_name(name)?;
+    let netlist = warpstl_core::jobs::netlist_by_name(name)?;
     let analysis = warpstl_analyze::analyze(&netlist);
     if flags.has("--json") {
         println!("{}", analysis.report.to_json());
@@ -689,6 +672,34 @@ fn patterns(args: &[String]) -> CliResult {
         println!("{name}: {n} patterns");
     }
     println!("wrote {} VCDE files to {dir}", written.len());
+    Ok(())
+}
+
+/// Runs the compaction daemon in the foreground: binds, prints the URL
+/// (port 0 resolves to the actually-bound port, so scripts can parse it),
+/// and blocks until `POST /shutdown` or SIGTERM/SIGINT drains the queue.
+/// The cache and backend flags mean exactly what they mean on `compact`;
+/// every job shares the one store.
+fn serve(args: &[String]) -> CliResult {
+    let flags = Flags::new(args);
+    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    let config = warpstl_serve::ServeConfig {
+        addr: flags.value("--addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flags.num("--workers")?.map(|n| n as usize),
+        queue_cap: flags
+            .num("--queue")?
+            .map_or(warpstl_serve::ServeConfig::default().queue_cap, |n| {
+                n as usize
+            }),
+        cache_dir: resolve_cache_dir(&flags, env.as_deref()),
+        backend: resolve_sim_backend(&flags),
+    };
+    warpstl_serve::run(&config, |addr| {
+        // Stdout is line-buffered: the URL reaches a piped reader
+        // immediately, which is what the smoke scripts parse.
+        println!("serving on http://{addr}");
+    })?;
+    println!("drained");
     Ok(())
 }
 

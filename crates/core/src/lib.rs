@@ -57,6 +57,7 @@
 pub mod baseline;
 mod context;
 mod error;
+pub mod jobs;
 mod label;
 mod pipeline;
 mod reduce;
@@ -66,6 +67,10 @@ mod stl_flow;
 
 pub use context::ModuleContext;
 pub use error::CompactionError;
+pub use jobs::{
+    analyze_job, compact_job, compact_stl_job, lint_job, netlist_by_name, stl_report_array,
+    CompactJobResult, GateJobResult, JobError, JobOptions, StlJobResult,
+};
 pub use label::{label_instructions, Labels};
 pub use pipeline::{CompactionOutcome, Compactor};
 pub use reduce::{reduce_ptp, reduce_ptp_with, Reduction};

@@ -39,14 +39,28 @@ use crate::{
 /// still amortizing the shared good-machine evaluation across its members.
 const GROUP: usize = 16;
 
+/// The host's available parallelism, queried **once per process** and
+/// cached. The engine resolves its worker budget on every invocation, and a
+/// long-running daemon resolves it once per job on top of that — re-querying
+/// the OS each time is wasted syscall traffic and, worse, lets two layers
+/// (a serve worker pool and the engine inside each worker) disagree about
+/// the budget mid-flight. One cached value means every layer divides the
+/// same number.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Resolves the worker count: explicit config, then `WARPSTL_THREADS`, then
 /// the machine's available parallelism — always clamped to the host's
-/// available parallelism. Oversubscribing OS threads on a smaller host only
+/// available parallelism (resolved once per process, see
+/// [`host_parallelism`]). Oversubscribing OS threads on a smaller host only
 /// adds scheduling overhead (up to 20 % on a 1-core host in `BENCH_fsim`),
 /// and the engine's results are bit-identical for every worker count, so
 /// capping is safe.
 pub(crate) fn resolve_threads(config: &FaultSimConfig) -> usize {
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = host_parallelism();
     if config.threads > 0 {
         return config.threads.min(host);
     }

@@ -54,6 +54,7 @@ pub mod tdf;
 mod universe;
 
 pub use dominance::DominanceView;
+pub use engine::host_parallelism;
 pub use fault::{Fault, FaultSite, Polarity};
 pub use list::{FaultId, FaultList, FaultStatus};
 pub use report::{FaultSimReport, PatternStats};

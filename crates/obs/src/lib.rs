@@ -58,6 +58,14 @@ pub mod names {
     pub const CACHE_WRITE: &str = "cache.write";
     /// A store write failed at the filesystem (entry simply absent).
     pub const CACHE_WRITE_ERROR: &str = "cache.write.error";
+    /// A serve job was accepted onto the queue.
+    pub const SERVE_ACCEPTED: &str = "serve.accepted";
+    /// A serve job completed and its response was written.
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// A serve job failed (bad request or compaction failure).
+    pub const SERVE_FAILED: &str = "serve.failed";
+    /// A serve job was rejected with 429 because the queue was full.
+    pub const SERVE_REJECTED: &str = "serve.rejected";
 }
 
 use std::collections::BTreeMap;

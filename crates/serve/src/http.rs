@@ -1,0 +1,258 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the serve protocol needs.
+//!
+//! One request per connection (`Connection: close` on every response) —
+//! compaction jobs run for seconds, so keep-alive would add state for no
+//! measurable win. Bodies require `Content-Length`; chunked encoding is
+//! rejected. Both limits keep the parser small enough to audit at a
+//! glance, which is the point of not pulling in a framework.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The largest request head (request line + headers) we accept.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// The largest request body we accept — STL files are text and small; a
+/// bigger body is a client bug, not a workload.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// How long a connection may dribble its request before we give up on it.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path, query string excluded (e.g. `/compact`).
+    pub path: String,
+    /// The raw query string after `?`, if any (e.g. `format=report`).
+    pub query: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string contains `key=value` as one `&`-separated
+    /// component (the protocol's queries are too simple to need decoding).
+    pub fn query_is(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|part| part.split_once('=') == Some((key, value)))
+    }
+}
+
+/// Why a request could not be parsed; maps to a 400 (or 413) response.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub &'static str);
+
+/// Reads one request from `stream` (which must already have a read
+/// timeout set). The outer `Err` is transport failure (dead socket — no
+/// response possible); the inner `Err` is a malformed request the caller
+/// should answer with 400.
+///
+/// # Errors
+///
+/// Any I/O error from the socket, including timeout expiry.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, ParseError>> {
+    // Read until the blank line, byte-buffered: bodies must not be
+    // consumed into the head buffer beyond what a small over-read leaves.
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_blank_line(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD {
+            return Ok(Err(ParseError("request head too large")));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(ParseError("connection closed mid-request")));
+        }
+        head.extend_from_slice(&chunk[..n]);
+    };
+    let (head_bytes, rest) = head.split_at(header_end + 4);
+    let mut body = rest.to_vec();
+
+    let Ok(head_text) = std::str::from_utf8(head_bytes) else {
+        return Ok(Err(ParseError("non-UTF-8 request head")));
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err(ParseError("malformed request line")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(ParseError("unsupported HTTP version")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => content_length = n,
+                Ok(_) => return Ok(Err(ParseError("request body too large"))),
+                Err(_) => return Ok(Err(ParseError("bad Content-Length"))),
+            }
+        } else if name == "transfer-encoding" {
+            return Ok(Err(ParseError("chunked bodies are not supported")));
+        }
+    }
+
+    if body.len() > content_length {
+        return Ok(Err(ParseError("body longer than Content-Length")));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Ok(Err(ParseError("connection closed mid-body")));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        body,
+    }))
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one complete response and flushes. Every response carries
+/// `Connection: close`; the caller drops the stream afterwards.
+///
+/// # Errors
+///
+/// Any I/O error from the socket (the peer may have hung up).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw bytes pushed through a loopback
+    /// socket pair.
+    fn parse_bytes(raw: &[u8]) -> io::Result<Result<Request, ParseError>> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        let out = read_request(&mut stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let raw =
+            b"POST /compact?format=report HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = parse_bytes(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compact");
+        assert!(req.query_is("format", "report"));
+        assert!(!req.query_is("format", "envelope"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /x SPDY/3\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                parse_bytes(raw).unwrap().is_err(),
+                "accepted malformed request {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn response_writes_status_line_headers_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_response(
+            &mut stream,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "1")],
+            "application/json",
+            b"{}",
+        )
+        .unwrap();
+        drop(stream);
+        let raw = String::from_utf8(reader.join().unwrap()).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(raw.contains("Retry-After: 1\r\n"));
+        assert!(raw.contains("Content-Length: 2\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -74,7 +74,7 @@ pub use hash::{
 };
 pub use store::{
     atomic_write, EntryInfo, EntryKind, EntryStatus, ScanReport, SessionStats, Store,
-    FORMAT_VERSION, MAGIC,
+    FORMAT_VERSION, MAGIC, TEMP_MAX_AGE,
 };
 
 // `store.rs` counts cache traffic under these shared names.

@@ -29,6 +29,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use warpstl_obs::{Obs, ObsExt};
 
@@ -43,6 +44,23 @@ pub const MAGIC: [u8; 8] = *b"WSTLSTOR";
 pub const FORMAT_VERSION: u32 = 1;
 
 const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 16;
+
+/// The advisory maintenance lock file (see `maintenance_lock`).
+const LOCK_FILE: &str = ".warpstl-store.lock";
+
+/// A lock file untouched for this long is presumed abandoned by a crashed
+/// holder and broken.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(30);
+
+/// How long an acquirer waits for a live holder before breaking the lock
+/// anyway (maintenance must make progress even if a holder hangs).
+const LOCK_WAIT_MAX: Duration = Duration::from_secs(10);
+
+/// Temp files younger than this survive [`Store::gc`]: they may belong to
+/// an in-flight [`atomic_write`] of a concurrent process, and deleting one
+/// mid-write turns that writer's rename into a counted `write_errors`
+/// failure. Anything older is an orphan from a crashed writer.
+pub const TEMP_MAX_AGE: Duration = Duration::from_secs(3600);
 
 /// What an entry stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -331,6 +349,9 @@ impl Store {
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
+                // Absent covers the concurrent case too: an entry that a
+                // parallel `gc`/`clear` unlinked between our existence
+                // assumption and this read is a plain miss, never an error.
                 self.note_miss(MissReason::Absent, obs);
                 return None;
             }
@@ -345,6 +366,18 @@ impl Store {
                 None
             }
         }
+    }
+
+    /// Reads, verifies, and returns the payload of `(kind, key)`, counting
+    /// a hit on success and a miss (with its reason) on every failure
+    /// path. This is the raw public read surface — the typed wrappers
+    /// ([`Store::get_analysis`], [`Store::get_stamps`]) additionally
+    /// decode the payload before counting the hit.
+    #[must_use]
+    pub fn get(&self, kind: EntryKind, key: Key, obs: Obs<'_>) -> Option<Vec<u8>> {
+        let payload = self.get_verified(kind, key, obs)?;
+        self.note_hit(obs);
+        Some(payload)
     }
 
     /// Writes `(kind, key) -> payload` atomically. A filesystem failure is
@@ -399,6 +432,10 @@ impl Store {
                     };
                     (b.len() as u64, status)
                 }
+                // A file that vanished between `read_dir` and `read` was
+                // unlinked by a concurrent `gc`/`clear` — a benign race,
+                // not corruption. Anything else (permissions, I/O) is.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
                 Err(_) => (0, EntryStatus::Corrupt),
             };
             report.entries.push(EntryInfo {
@@ -412,33 +449,74 @@ impl Store {
         Ok(report)
     }
 
-    /// Removes corrupt and version-mismatched entries, returning
-    /// `(removed count, freed bytes)`.
+    /// Removes corrupt and version-mismatched entries plus orphaned temp
+    /// files older than [`TEMP_MAX_AGE`], returning
+    /// `(removed count, freed bytes)`. Equivalent to
+    /// [`Store::gc_with`]`(TEMP_MAX_AGE)`.
     ///
     /// # Errors
     ///
     /// Returns the underlying error when the directory cannot be listed;
     /// individual unremovable files are skipped.
     pub fn gc(&self) -> io::Result<(usize, u64)> {
+        self.gc_with(TEMP_MAX_AGE)
+    }
+
+    /// [`Store::gc`] with an explicit temp-file age threshold (tests use
+    /// [`Duration::ZERO`] to sweep temps immediately).
+    ///
+    /// Concurrency: runs under the cross-process advisory maintenance lock, so
+    /// two `gc`/`clear` invocations never race each other. Races against
+    /// *writers* are handled per file: each invalid entry is re-read
+    /// immediately before unlinking in case a concurrent [`Store::put`]
+    /// just renamed a fresh valid entry over the stale bytes the scan saw,
+    /// and temp files younger than `temp_max_age` are left alone because
+    /// they may belong to an in-flight [`atomic_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be listed or
+    /// the lock file cannot be created.
+    pub fn gc_with(&self, temp_max_age: Duration) -> io::Result<(usize, u64)> {
+        let _lock = maintenance_lock(&self.root)?;
         let scan = self.scan()?;
         let mut removed = 0;
         let mut freed = 0;
         for entry in &scan.entries {
-            if entry.status != EntryStatus::Valid && fs::remove_file(&entry.path).is_ok() {
+            if entry.status == EntryStatus::Valid {
+                continue;
+            }
+            // Revalidate at the last moment: the scan's verdict may be
+            // stale if a writer renamed a valid entry here since.
+            let still_invalid = match fs::read(&entry.path) {
+                Ok(b) => Store::decode_entry(entry.kind, &b).is_err(),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+                Err(_) => true,
+            };
+            if still_invalid && fs::remove_file(&entry.path).is_ok() {
                 removed += 1;
                 freed += entry.bytes;
+            }
+        }
+        for (path, bytes) in stale_temp_files(&self.root, temp_max_age)? {
+            if fs::remove_file(&path).is_ok() {
+                removed += 1;
+                freed += bytes;
             }
         }
         Ok((removed, freed))
     }
 
     /// Removes **every** recognized entry (foreign files survive),
-    /// returning the removed count.
+    /// returning the removed count. Takes the cross-process
+    /// advisory maintenance lock, like [`Store::gc`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying error when the directory cannot be listed.
+    /// Returns the underlying error when the directory cannot be listed or
+    /// the lock file cannot be created.
     pub fn clear(&self) -> io::Result<usize> {
+        let _lock = maintenance_lock(&self.root)?;
         let scan = self.scan()?;
         let mut removed = 0;
         for entry in &scan.entries {
@@ -448,6 +526,87 @@ impl Store {
         }
         Ok(removed)
     }
+}
+
+/// Holds the advisory maintenance lock; dropping it removes the lock file.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Acquires the cross-process advisory lock serializing store maintenance
+/// (`gc`/`clear`) within one cache directory. The lock is a file created
+/// with `create_new` — the one portable atomic primitive — holding the
+/// owner's pid for post-mortem debugging. Liveness beats strictness: a
+/// lock file older than [`LOCK_STALE_AFTER`] is presumed abandoned by a
+/// crashed holder and broken, and an acquirer that has waited
+/// [`LOCK_WAIT_MAX`] breaks the lock regardless (a wedged gc must not
+/// wedge every other process forever). Readers and writers never take
+/// this lock — their safety comes from atomic rename, not exclusion.
+fn maintenance_lock(root: &Path) -> io::Result<LockGuard> {
+    use std::io::Write as _;
+    let path = root.join(LOCK_FILE);
+    let start = Instant::now();
+    loop {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = write!(file, "{}", std::process::id());
+                return Ok(LockGuard { path });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let stale = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age > LOCK_STALE_AFTER);
+                if stale || start.elapsed() > LOCK_WAIT_MAX {
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Lists temp files (the `.{name}.tmp.{pid}.{seq}` spellings of
+/// [`atomic_write`]) in `root` older than `max_age`, with their sizes.
+fn stale_temp_files(root: &Path, max_age: Duration) -> io::Result<Vec<(PathBuf, u64)>> {
+    let mut stale = Vec::new();
+    for dent in fs::read_dir(root)? {
+        let dent = dent?;
+        let path = dent.path();
+        let is_temp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with('.') && n.contains(".tmp."));
+        if !is_temp || !path.is_file() {
+            continue;
+        }
+        let Ok(meta) = fs::metadata(&path) else {
+            continue; // vanished mid-scan: its writer finished the rename
+        };
+        let old_enough = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= max_age);
+        if old_enough {
+            stale.push((path, meta.len()));
+        }
+    }
+    stale.sort();
+    Ok(stale)
 }
 
 /// Writes `bytes` to `path` atomically: the content lands in a temp file
@@ -494,9 +653,7 @@ mod tests {
     }
 
     fn get_raw(store: &Store, kind: EntryKind, key: Key, obs: Obs<'_>) -> Option<Vec<u8>> {
-        let payload = store.get_verified(kind, key, obs)?;
-        store.note_hit(obs);
-        Some(payload)
+        store.get(kind, key, obs)
     }
 
     #[test]
@@ -596,6 +753,59 @@ mod tests {
 
         assert_eq!(store.clear().unwrap(), 2);
         assert!(foreign.exists(), "clear must not delete foreign files");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_sweeps_old_temps_but_spares_fresh_ones_by_default() {
+        let store = temp_store("gc-temps");
+        store.put(EntryKind::Analysis, Key(1), b"keep", None);
+        let temp = store.root().join(".orphan.ana.tmp.12345.0");
+        fs::write(&temp, b"half-written").unwrap();
+
+        // Default threshold: the just-created temp is presumed in-flight.
+        let (removed, _) = store.gc().unwrap();
+        assert_eq!(removed, 0);
+        assert!(temp.exists());
+
+        // Zero threshold: the temp is an orphan and is reclaimed.
+        let (removed, freed) = store.gc_with(Duration::ZERO).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(freed, b"half-written".len() as u64);
+        assert!(!temp.exists());
+
+        // The valid entry survived both passes, and the lock was released.
+        assert_eq!(store.scan().unwrap().valid_count(), 1);
+        assert!(!store.root().join(LOCK_FILE).exists());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_blocks_on_a_held_maintenance_lock() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let store = Arc::new(temp_store("gc-lock"));
+        let lock_path = store.root().join(LOCK_FILE);
+        fs::write(&lock_path, "held-by-test").unwrap();
+
+        let done = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (store, done) = (Arc::clone(&store), Arc::clone(&done));
+            std::thread::spawn(move || {
+                let result = store.gc();
+                done.store(true, Ordering::SeqCst);
+                result
+            })
+        };
+
+        // A freshly-created lock is honored: gc must still be waiting.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(!done.load(Ordering::SeqCst), "gc ignored a live lock");
+
+        fs::remove_file(&lock_path).unwrap();
+        handle.join().unwrap().unwrap();
+        assert!(done.load(Ordering::SeqCst));
         let _ = fs::remove_dir_all(store.root());
     }
 

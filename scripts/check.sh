@@ -170,4 +170,89 @@ cmp "$SMOKE_DIR/be-event.json" "$SMOKE_DIR/be-kernel.json" || {
 }
 echo "backend OK: event and kernel reports byte-identical"
 
+echo "== serve smoke test =="
+# Start the daemon on an ephemeral port with a shared cache directory,
+# probe /healthz and /metrics, then run two concurrent clients submitting
+# the same module while `cache gc` runs against the same directory from
+# separate processes. Both responses must be byte-identical to the solo
+# CLI run's --json bytes, with no request errors, and POST /shutdown must
+# drain cleanly (exit code 0).
+SERVE_CACHE="$SMOKE_DIR/serve-cache"
+cargo run -q --release -p warpstl-cli -- compact "$SMOKE_DIR/imm.ptp" \
+    --no-cache --json "$SMOKE_DIR/serve-oracle.json" >/dev/null || exit 1
+cargo run -q --release -p warpstl-cli -- serve --addr 127.0.0.1:0 \
+    --workers 2 --cache-dir "$SERVE_CACHE" > "$SMOKE_DIR/serve.out" &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 100); do
+    SERVE_URL="$(sed -n 's/^serving on //p' "$SMOKE_DIR/serve.out")"
+    [ -n "$SERVE_URL" ] && break
+    sleep 0.1
+done
+if [ -z "$SERVE_URL" ]; then
+    echo "serve did not print its URL" >&2
+    kill "$SERVE_PID" 2>/dev/null
+    exit 1
+fi
+python3 - "$SERVE_URL" "$SMOKE_DIR/imm.ptp" "$SMOKE_DIR/serve-oracle.json" <<'EOF' &
+import json, sys, threading, urllib.request
+
+url, ptp_path, oracle_path = sys.argv[1:4]
+with open(ptp_path) as f:
+    ptp = f.read()
+with open(oracle_path, "rb") as f:
+    oracle = f.read()
+
+health = json.load(urllib.request.urlopen(url + "/healthz", timeout=30))
+assert health["status"] == "ok", health
+
+body = json.dumps({"ptp": ptp}).encode()
+results = [None, None]
+def client(i):
+    req = urllib.request.Request(url + "/compact?format=report",
+                                 data=body, method="POST")
+    # urlopen raises on any non-2xx status, so an unexpected 4xx/5xx
+    # fails the smoke here.
+    results[i] = urllib.request.urlopen(req, timeout=300).read()
+threads = [threading.Thread(target=client, args=(i,)) for i in range(2)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+for i, r in enumerate(results):
+    assert r == oracle, f"client {i} response differs from the CLI --json bytes"
+
+metrics = json.load(urllib.request.urlopen(url + "/metrics", timeout=30))
+assert metrics["jobs"]["completed"] >= 2, metrics
+assert metrics["jobs"]["failed"] == 0, metrics
+assert metrics["jobs"]["rejected"] == 0, metrics
+assert metrics["queue"]["workers"] == 2, metrics
+assert metrics["cache"]["corrupt"] == 0, metrics
+print(f"serve clients OK: 2 byte-identical responses, "
+      f"{metrics['jobs']['completed']} job(s) completed")
+EOF
+CLIENTS_PID=$!
+# Concurrent maintenance from separate processes against the same cache
+# dir: must never disturb the in-flight jobs (the store's gc lock + temp
+# age threshold are what this exercises).
+for _ in 1 2 3; do
+    cargo run -q --release -p warpstl-cli -- cache gc \
+        --cache-dir "$SERVE_CACHE" >/dev/null || exit 1
+done
+wait "$CLIENTS_PID" || { echo "serve clients failed" >&2; exit 1; }
+python3 - "$SERVE_URL" <<'EOF' || exit 1
+import sys, urllib.request
+
+req = urllib.request.Request(sys.argv[1] + "/shutdown", data=b"", method="POST")
+reply = urllib.request.urlopen(req, timeout=30).read().decode()
+assert "draining" in reply, reply
+EOF
+wait "$SERVE_PID" || { echo "serve exited nonzero" >&2; exit 1; }
+grep -q '^drained$' "$SMOKE_DIR/serve.out" || {
+    echo "serve did not report a clean drain:" >&2
+    cat "$SMOKE_DIR/serve.out" >&2
+    exit 1
+}
+echo "serve OK: concurrent clients byte-identical, gc concurrent, clean drain"
+
 echo "check.sh: all green"

@@ -22,6 +22,7 @@
 //! | [`verify`] | `warpstl-verify` | static PTP verifier (dataflow lint rules) |
 //! | [`obs`] | `warpstl-obs` | spans, metrics, Chrome-trace export |
 //! | [`compactor`] | `warpstl-core` | the five-stage compaction method + baseline |
+//! | [`serve`] | `warpstl-serve` | the sharded HTTP/1.1+JSON compaction daemon |
 //!
 //! # Examples
 //!
@@ -55,4 +56,5 @@ pub use warpstl_isa as isa;
 pub use warpstl_netlist as netlist;
 pub use warpstl_obs as obs;
 pub use warpstl_programs as programs;
+pub use warpstl_serve as serve;
 pub use warpstl_verify as verify;
