@@ -47,6 +47,10 @@ usage:
   warpstl serve       [--addr HOST:PORT] [--workers N] [--queue N]
                       [--cache-dir DIR] [--no-cache]
                       [--sim-backend auto|event|kernel]
+  warpstl xlint       [--json] [ROOT]
+                      (source-level policy lint over the workspace:
+                       raw-sync, safety-comment, no-unwrap,
+                       timestamp-in-key; nonzero exit on findings)
 
 caching: compact and compact-stl reuse stored artifacts when --cache-dir
 (or the WARPSTL_CACHE_DIR environment variable) names a directory;
@@ -76,6 +80,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("patterns") => patterns(&args[1..]),
         Some("modules") => modules(),
         Some("serve") => serve(&args[1..]),
+        Some("xlint") => crate::xlint::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -145,7 +150,7 @@ fn resolve_sim_backend(flags: &Flags) -> SimBackend {
 /// Opens the artifact store for a compaction command, if one is
 /// configured.
 fn open_store(flags: &Flags) -> Result<Option<Arc<Store>>, Box<dyn Error>> {
-    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    let env = warpstl_core::env::string_var("WARPSTL_CACHE_DIR", "a directory path", "no cache");
     match resolve_cache_dir(flags, env.as_deref()) {
         None => Ok(None),
         Some(dir) => Ok(Some(Arc::new(Store::open(&dir)?))),
@@ -172,7 +177,7 @@ fn cache(args: &[String]) -> CliResult {
         .first()
         .ok_or("cache: missing action (stats|gc|verify|clear)")?;
     let flags = Flags::new(&args[1..]);
-    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    let env = warpstl_core::env::string_var("WARPSTL_CACHE_DIR", "a directory path", "no cache");
     let dir = resolve_cache_dir(&flags, env.as_deref())
         .ok_or("cache: no directory (pass --cache-dir DIR or set WARPSTL_CACHE_DIR)")?;
     let store = Store::open(&dir)?;
@@ -682,7 +687,7 @@ fn patterns(args: &[String]) -> CliResult {
 /// every job shares the one store.
 fn serve(args: &[String]) -> CliResult {
     let flags = Flags::new(args);
-    let env = std::env::var("WARPSTL_CACHE_DIR").ok();
+    let env = warpstl_core::env::string_var("WARPSTL_CACHE_DIR", "a directory path", "no cache");
     let config = warpstl_serve::ServeConfig {
         addr: flags.value("--addr").unwrap_or("127.0.0.1:0").to_string(),
         workers: flags.num("--workers")?.map(|n| n as usize),

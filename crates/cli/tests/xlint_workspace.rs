@@ -1,0 +1,72 @@
+//! The xlint gate's own oracle: the real workspace must be clean, and the
+//! binary's contract (deterministic JSON, nonzero exit on findings) must
+//! hold against a seeded-violation tree.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_is_xlint_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_warpstl"))
+        .arg("xlint")
+        .arg("--json")
+        .arg(workspace_root())
+        .output()
+        .expect("run warpstl xlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace has xlint findings:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"count\": 0"), "unexpected JSON: {stdout}");
+}
+
+#[test]
+fn seeded_violations_fail_deterministically_with_sorted_json() {
+    let dir = std::env::temp_dir().join(format!("warpstl-xlint-seed-{}", std::process::id()));
+    let src = dir.join("crates/app/src");
+    fs::create_dir_all(&src).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    fs::write(
+        src.join("lib.rs"),
+        "use std::sync::Mutex;\nfn f() { unsafe { g() } }\n",
+    )
+    .expect("write seeded source");
+
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_warpstl"))
+            .arg("xlint")
+            .arg("--json")
+            .arg(&dir)
+            .output()
+            .expect("run warpstl xlint")
+    };
+    let first = run();
+    assert!(
+        !first.status.success(),
+        "seeded violations must exit nonzero"
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout).to_string();
+    assert!(
+        stdout.contains("\"count\": 2"),
+        "expected 2 findings: {stdout}"
+    );
+    // Sorted by (file, line, rule): raw-sync on line 1 precedes
+    // safety-comment on line 2.
+    let raw = stdout.find("raw-sync").expect("raw-sync finding");
+    let safety = stdout
+        .find("safety-comment")
+        .expect("safety-comment finding");
+    assert!(raw < safety, "findings out of order: {stdout}");
+    // Byte-identical across runs.
+    let second = run();
+    assert_eq!(stdout, String::from_utf8_lossy(&second.stdout));
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -65,6 +65,12 @@ mod reorder;
 mod report;
 mod stl_flow;
 
+// Re-exported so the CLI reaches the shared once-per-process
+// environment-variable warning helper without depending on warpstl-sync
+// directly (the helper lives at the bottom of the crate graph because the
+// fault engine — below this crate — reads `WARPSTL_*` knobs too).
+pub use warpstl_sync::env;
+
 pub use context::ModuleContext;
 pub use error::CompactionError;
 pub use jobs::{

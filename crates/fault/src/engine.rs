@@ -48,7 +48,7 @@ const GROUP: usize = 16;
 /// same number.
 #[must_use]
 pub fn host_parallelism() -> usize {
-    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    static HOST: warpstl_sync::OnceLock<usize> = warpstl_sync::OnceLock::new();
     *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
@@ -64,28 +64,15 @@ pub(crate) fn resolve_threads(config: &FaultSimConfig) -> usize {
     if config.threads > 0 {
         return config.threads.min(host);
     }
-    match std::env::var("WARPSTL_THREADS") {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n > 0 => return n.min(host),
-            _ => warn_invalid_threads_once(&s),
-        },
-        Err(std::env::VarError::NotPresent) => {}
-        Err(std::env::VarError::NotUnicode(_)) => warn_invalid_threads_once("<non-unicode>"),
-    }
-    host
-}
-
-/// An invalid `WARPSTL_THREADS` used to be silently ignored; surface it
-/// (once per process — the engine is called in loops) instead of letting a
-/// typo fall back to auto without a trace.
-fn warn_invalid_threads_once(value: &str) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "warning: invalid WARPSTL_THREADS value `{value}` (expected a positive \
-             integer); falling back to available parallelism"
-        );
-    });
+    // An invalid WARPSTL_THREADS warns once per process (the engine is
+    // called in loops) via the shared helper, then falls back to auto.
+    warpstl_sync::env::parsed_var(
+        "WARPSTL_THREADS",
+        "a positive integer",
+        "available parallelism",
+        |s| s.trim().parse::<usize>().ok().filter(|n| *n > 0),
+    )
+    .map_or(host, |n| n.min(host))
 }
 
 /// Resolves the simulation backend: explicit config, then
@@ -98,20 +85,15 @@ pub(crate) fn resolve_backend(config: &FaultSimConfig, combinational: bool) -> S
     let requested = if config.backend != SimBackend::Auto {
         config.backend
     } else {
-        match std::env::var("WARPSTL_SIM_BACKEND") {
-            Ok(s) => match SimBackend::parse(&s) {
-                Some(b) => b,
-                None => {
-                    warn_invalid_backend_once(&s);
-                    SimBackend::Auto
-                }
-            },
-            Err(std::env::VarError::NotPresent) => SimBackend::Auto,
-            Err(std::env::VarError::NotUnicode(_)) => {
-                warn_invalid_backend_once("<non-unicode>");
-                SimBackend::Auto
-            }
-        }
+        // An unknown WARPSTL_SIM_BACKEND warns once per process via the
+        // shared helper, then runs on auto.
+        warpstl_sync::env::parsed_var(
+            "WARPSTL_SIM_BACKEND",
+            "auto, event, or kernel",
+            "auto",
+            SimBackend::parse,
+        )
+        .unwrap_or(SimBackend::Auto)
     };
     match requested {
         SimBackend::Event => SimBackend::Event,
@@ -130,18 +112,6 @@ pub(crate) fn resolve_backend(config: &FaultSimConfig, combinational: bool) -> S
             }
         }
     }
-}
-
-/// Mirrors [`warn_invalid_threads_once`]: an unknown `WARPSTL_SIM_BACKEND`
-/// is surfaced once per process instead of silently running on auto.
-fn warn_invalid_backend_once(value: &str) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "warning: invalid WARPSTL_SIM_BACKEND value `{value}` (expected \
-             auto, event, or kernel); falling back to auto"
-        );
-    });
 }
 
 /// Read-only state shared by every worker.

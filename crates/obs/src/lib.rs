@@ -69,9 +69,9 @@ pub mod names {
 }
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::thread::ThreadId;
 use std::time::Instant;
+use warpstl_sync::Mutex;
 
 /// The handle instrumented code passes around: `Some` records into the
 /// [`Recorder`], `None` is a guaranteed no-op (no clock reads, no locks,
@@ -134,7 +134,7 @@ impl Recorder {
 
     /// Adds `n` to the counter `name` (created at zero on first use).
     pub fn add(&self, name: &str, n: u64) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.inner.lock();
         match inner.counters.get_mut(name) {
             Some(c) => *c += n,
             None => {
@@ -145,7 +145,7 @@ impl Recorder {
 
     /// Records one observation into the histogram `name`.
     pub fn record(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.inner.lock();
         match inner.histograms.get_mut(name) {
             Some(h) => h.observe(value),
             None => {
@@ -159,7 +159,7 @@ impl Recorder {
     /// Merges a whole [`Metrics`] snapshot into the registry (used by
     /// workers that accumulate locally and flush once).
     pub fn merge_metrics(&self, m: &Metrics) {
-        let mut inner = self.inner.lock().expect("obs lock");
+        let mut inner = self.inner.lock();
         for (k, &v) in &m.counters {
             match inner.counters.get_mut(k) {
                 Some(c) => *c += v,
@@ -181,7 +181,7 @@ impl Recorder {
     /// A snapshot of every counter and histogram recorded so far.
     #[must_use]
     pub fn metrics(&self) -> Metrics {
-        let inner = self.inner.lock().expect("obs lock");
+        let inner = self.inner.lock();
         Metrics {
             counters: inner.counters.clone(),
             histograms: inner.histograms.clone(),
@@ -191,11 +191,11 @@ impl Recorder {
     /// The completed spans recorded so far, in completion order.
     #[must_use]
     pub fn spans(&self) -> Vec<SpanEvent> {
-        self.inner.lock().expect("obs lock").spans.clone()
+        self.inner.lock().spans.clone()
     }
 
     fn push_span(&self, ev: SpanEvent) {
-        self.inner.lock().expect("obs lock").spans.push(ev);
+        self.inner.lock().spans.push(ev);
     }
 }
 

@@ -55,6 +55,7 @@
 
 pub mod http;
 pub mod json;
+pub mod queue;
 mod server;
 
 pub use server::{run, serve, ServeConfig, ServerHandle};

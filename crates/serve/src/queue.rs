@@ -1,0 +1,114 @@
+//! The bounded MPMC job queue, generic over the item so its shutdown
+//! protocol can be model-checked (`tests/model.rs` proves the PR-8
+//! invariants — no lost or duplicated jobs, close-then-drain leaves
+//! exactly the unpopped remainder — over `JobQueue<u32>`, since the real
+//! item type carries a `TcpStream`).
+//!
+//! Mutex + condvar rather than a channel: `std` has no channel with
+//! `try_send` + bounded capacity + multi-consumer semantics, and the
+//! primitives come from `warpstl-sync` so every acquisition and wait is an
+//! interleaving point under `cfg(warpstl_model)`.
+
+use std::collections::VecDeque;
+
+use warpstl_sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRejection {
+    /// The queue is at capacity; the caller should answer `429`.
+    Full,
+    /// The queue is closed for shutdown; the caller should answer `503`.
+    Draining,
+}
+
+/// The bounded multi-producer multi-consumer queue behind the daemon.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue holding at most `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The capacity the queue was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Nonblocking enqueue; hands the item back on rejection so the
+    /// caller can still answer on its connection.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRejection::Draining`] once closed, [`PushRejection::Full`] at
+    /// capacity — in that precedence order.
+    pub fn try_push(&self, job: T) -> Result<(), (T, PushRejection)> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err((job, PushRejection::Draining));
+        }
+        if inner.jobs.len() >= self.cap {
+            return Err((job, PushRejection::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue; `None` once the queue is closed *and* drained —
+    /// the worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner);
+        }
+    }
+
+    /// Closes the queue: pushes start failing with
+    /// [`PushRejection::Draining`] and blocked poppers wake, finish the
+    /// backlog, and exit.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently waiting (diagnostic; stale by the time it returns).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().jobs.len()
+    }
+
+    /// Steals whatever is left (used after the workers have exited; only
+    /// a zero-worker configuration leaves anything).
+    pub fn drain_remaining(&self) -> Vec<T> {
+        self.inner.lock().jobs.drain(..).collect()
+    }
+}

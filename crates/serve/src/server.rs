@@ -18,14 +18,15 @@
 //! queued job, and only jobs that no worker will ever pop (a zero-worker
 //! test configuration) are answered `503`.
 
-use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use warpstl_sync::AtomicBool;
 
 use warpstl_core::jobs::{
     analyze_job, compact_job, compact_stl_job, lint_job, JobError, JobOptions,
@@ -36,6 +37,7 @@ use warpstl_store::Store;
 
 use crate::http::{read_request, write_response, ParseError, Request, READ_TIMEOUT};
 use crate::json::{escape, parse, Json};
+use crate::queue::{JobQueue, PushRejection};
 
 /// How often the nonblocking accept loop polls the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -87,92 +89,10 @@ enum JobSpec {
     Lint { ptp: String },
 }
 
-enum PushRejection {
-    Full,
-    Draining,
-}
-
-/// The bounded MPMC job queue (mutex + condvar — `std` has no channel
-/// with `try_send` + bounded capacity + multi-consumer semantics).
-struct JobQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
-    cap: usize,
-}
-
-struct QueueInner {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-impl JobQueue {
-    fn new(cap: usize) -> JobQueue {
-        JobQueue {
-            inner: Mutex::new(QueueInner {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            cap,
-        }
-    }
-
-    /// Nonblocking enqueue; hands the job back on rejection so the caller
-    /// can still answer on its connection.
-    fn try_push(&self, job: Job) -> Result<(), (Job, PushRejection)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.closed {
-            return Err((job, PushRejection::Draining));
-        }
-        if inner.jobs.len() >= self.cap {
-            return Err((job, PushRejection::Full));
-        }
-        inner.jobs.push_back(job);
-        drop(inner);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocking dequeue; `None` once the queue is closed *and* drained —
-    /// the worker's signal to exit.
-    fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
-        loop {
-            if let Some(job) = inner.jobs.pop_front() {
-                return Some(job);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self.ready.wait(inner).expect("queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
-        self.ready.notify_all();
-    }
-
-    fn depth(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").jobs.len()
-    }
-
-    /// Steals whatever is left (used after the workers have exited; only
-    /// a zero-worker configuration leaves anything).
-    fn drain_remaining(&self) -> Vec<Job> {
-        self.inner
-            .lock()
-            .expect("queue poisoned")
-            .jobs
-            .drain(..)
-            .collect()
-    }
-}
-
 struct Shared {
     store: Option<Arc<Store>>,
     recorder: Recorder,
-    queue: JobQueue,
+    queue: JobQueue<Job>,
     workers: usize,
     backend: SimBackend,
     /// Engine threads each job gets: the worker pool's even share of the
@@ -222,7 +142,7 @@ impl Shared {
         ));
         out.push_str(&format!(
             "  \"queue\": {{\"capacity\": {}, \"depth\": {}, \"workers\": {}}}\n",
-            self.queue.cap,
+            self.queue.capacity(),
             self.queue.depth(),
             self.workers
         ));
@@ -303,21 +223,43 @@ pub fn serve(config: &ServeConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
     });
 
-    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-        .map(|i| {
+    // A failed spawn (thread limits, OOM) is a startup error the caller
+    // can report, not a panic. Already-started workers are shut down
+    // cleanly before the error propagates.
+    let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let worker = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
-        .collect();
+        };
+        match worker {
+            Ok(handle) => worker_handles.push(handle),
+            Err(e) => {
+                shared.queue.close();
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
     let acceptor = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        let acceptor_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
             .name("serve-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &shared))
-            .expect("spawn acceptor")
+            .spawn(move || accept_loop(&listener, &acceptor_shared));
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                shared.queue.close();
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
     };
 
     Ok(ServerHandle {
@@ -594,6 +536,10 @@ fn respond_error(stream: &mut TcpStream, status: u16, reason: &str, msg: &str) -
 
 #[cfg(unix)]
 mod signals {
+    // The raw std atomic, not the warpstl-sync wrapper: a signal handler
+    // may only do async-signal-safe work, and the wrapper's model-checker
+    // hook (thread-locals, a mutex) is not.
+    // xlint: allow(raw-sync)
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static TERMINATE: AtomicBool = AtomicBool::new(false);
@@ -613,6 +559,11 @@ mod signals {
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        // SAFETY: `signal(2)` is in every libc the build targets; the
+        // handler address is a valid `extern "C" fn(i32)` for the
+        // process's lifetime, and the handler body only performs the
+        // async-signal-safe atomic store above. Replacing a prior
+        // disposition is the intended effect.
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);
@@ -640,8 +591,9 @@ mod tests {
     #[test]
     fn queue_rejects_beyond_capacity_and_drains_in_order() {
         // TcpStream-free queue logic is exercised through the public
-        // protocol tests; here we only pin the capacity arithmetic.
-        let queue = JobQueue::new(2);
+        // protocol tests and the model-checker suite in tests/model.rs;
+        // here we only pin the capacity arithmetic.
+        let queue: JobQueue<Job> = JobQueue::new(2);
         assert_eq!(queue.depth(), 0);
         queue.close();
         assert!(queue.pop().is_none());

@@ -1,0 +1,189 @@
+//! Model-checked invariants for the daemon's [`JobQueue`]: the PR-8
+//! shutdown-protocol guarantees, proved over every interleaving (up to the
+//! preemption bound) instead of sampled by stress tests. Runs only under
+//! `RUSTFLAGS="--cfg warpstl_model"` (see `scripts/check.sh`).
+//!
+//! The queue is generic precisely so these tests exist: the real item
+//! type carries a `TcpStream`, so the model programs run `JobQueue<u32>`.
+#![cfg(warpstl_model)]
+
+use std::sync::Arc;
+
+use warpstl_serve::queue::{JobQueue, PushRejection};
+use warpstl_sync::model;
+
+/// Two producers, two consumers, a close in between: every accepted job
+/// is popped exactly once — never lost, never duplicated.
+#[test]
+fn no_job_is_lost_or_duplicated_across_producers_and_consumers() {
+    // Five threads (main, two producers, two consumers) around one
+    // condvar: the largest state space in the suite, so give it headroom
+    // over the default iteration cap rather than shrinking the scenario.
+    let opts = model::ModelOpts {
+        max_iterations: 600_000,
+        ..model::ModelOpts::default()
+    };
+    let stats = model::check_with(&opts, || {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        let producers: Vec<_> = [1u32, 2]
+            .into_iter()
+            .map(|v| {
+                let queue = Arc::clone(&queue);
+                model::spawn(move || queue.try_push(v).is_ok())
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                model::spawn(move || {
+                    let mut popped = Vec::new();
+                    while let Some(v) = queue.pop() {
+                        popped.push(v);
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let accepted: usize = producers.into_iter().map(|p| usize::from(p.join())).sum();
+        queue.close();
+        let mut seen: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(model::JoinHandle::join)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), accepted, "lost or duplicated job: {seen:?}");
+        seen.dedup();
+        assert_eq!(seen.len(), accepted, "duplicated job: {seen:?}");
+    })
+    .expect("queue must not lose or duplicate jobs under any schedule");
+    assert!(stats.complete, "exploration must exhaust: {stats:?}");
+}
+
+/// A producer racing a close: whatever `try_push` accepted is exactly
+/// what `drain_remaining` hands back (in order), and everything pushed
+/// after the close is answered `Draining` — the 503 path.
+#[test]
+fn close_then_drain_leaves_exactly_the_accepted_jobs() {
+    let stats = model::check(|| {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        let producer = {
+            let queue = Arc::clone(&queue);
+            model::spawn(move || {
+                let mut accepted = Vec::new();
+                for v in [10u32, 20] {
+                    match queue.try_push(v) {
+                        Ok(()) => accepted.push(v),
+                        Err((_, PushRejection::Draining)) => {}
+                        Err((_, PushRejection::Full)) => {
+                            unreachable!("capacity 4 cannot fill with 2 pushes")
+                        }
+                    }
+                }
+                accepted
+            })
+        };
+        queue.close();
+        let accepted = producer.join();
+        assert_eq!(
+            queue.drain_remaining(),
+            accepted,
+            "drain must return exactly the accepted jobs, in order"
+        );
+        // After the close everything is refused as draining, never Full.
+        match queue.try_push(99) {
+            Err((99, PushRejection::Draining)) => {}
+            other => panic!("push after close must be Draining, got {other:?}"),
+        }
+    })
+    .expect("close/drain protocol must hold under any schedule");
+    assert!(stats.complete);
+}
+
+/// Two producers race one capacity slot: exactly one wins, the loser gets
+/// `Full` (the 429 path), and the accepted job is still there.
+#[test]
+fn capacity_is_never_oversubscribed() {
+    let stats = model::check(|| {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let producers: Vec<_> = [1u32, 2]
+            .into_iter()
+            .map(|v| {
+                let queue = Arc::clone(&queue);
+                model::spawn(move || match queue.try_push(v) {
+                    Ok(()) => None,
+                    Err((v, rejection)) => Some((v, rejection)),
+                })
+            })
+            .collect();
+        let rejections: Vec<_> = producers
+            .into_iter()
+            .filter_map(model::JoinHandle::join)
+            .collect();
+        assert_eq!(rejections.len(), 1, "exactly one producer must lose");
+        assert_eq!(rejections[0].1, PushRejection::Full);
+        assert_eq!(queue.depth(), 1, "the winner's job must be queued");
+    })
+    .expect("a capacity-1 queue admits exactly one of two pushes");
+    assert!(stats.complete);
+}
+
+/// The worker-handoff condvar protocol: a consumer blocked in `pop` is
+/// woken by a later push and gets the job — no lost wakeup, under every
+/// notify/wait interleaving.
+#[test]
+fn blocked_consumer_is_always_woken_by_a_push() {
+    let stats = model::check(|| {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(2));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            model::spawn(move || queue.pop())
+        };
+        queue.try_push(7).expect("open queue with room");
+        let got = consumer.join();
+        assert_eq!(got, Some(7), "consumer must receive the pushed job");
+        queue.close();
+    })
+    .expect("push must always wake a blocked consumer");
+    assert!(stats.complete);
+}
+
+/// Sanity: the checker still *catches* protocol violations in this
+/// crate's setting — a TOCTOU depth-check around `pop` (the bug the
+/// single-lock `pop` exists to prevent) is found, with a replayable
+/// schedule.
+#[test]
+fn seeded_toctou_depth_check_is_caught() {
+    fn racy_program() {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(4));
+        queue.try_push(1).expect("room");
+        queue.close();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                model::spawn(move || {
+                    // BUG: depth() then pop() is two lock acquisitions;
+                    // both consumers can pass the depth check before
+                    // either pops, and the loser's "guaranteed" job is
+                    // gone.
+                    if queue.depth() > 0 {
+                        assert!(
+                            queue.pop().is_some(),
+                            "TOCTOU: depth said nonempty but pop got None"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for c in consumers {
+            c.join();
+        }
+    }
+    let cx = model::check(racy_program).expect_err("checker must catch the depth/pop TOCTOU");
+    assert!(
+        cx.message.contains("TOCTOU"),
+        "unexpected counterexample: {cx}"
+    );
+    let replayed = model::replay(&model::ModelOpts::default(), &cx.schedule, racy_program)
+        .expect_err("schedule must reproduce");
+    assert!(replayed.message.contains("TOCTOU"));
+}

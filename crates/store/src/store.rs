@@ -28,8 +28,10 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
+
+use warpstl_sync::AtomicU64;
 
 use warpstl_obs::{Obs, ObsExt};
 
@@ -286,24 +288,34 @@ impl Store {
         out
     }
 
+    /// Reads the little-endian field at `header[at..at + N]`, treating a
+    /// short or out-of-range slice as corruption rather than panicking:
+    /// entry bytes come straight off disk and are untrusted.
+    fn header_field<const N: usize>(header: &[u8], at: usize) -> Result<[u8; N], MissReason> {
+        header
+            .get(at..at + N)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(MissReason::Corrupt)
+    }
+
     fn decode_entry(kind: EntryKind, bytes: &[u8]) -> Result<Vec<u8>, MissReason> {
         let header = bytes.get(..HEADER_LEN).ok_or(MissReason::Corrupt)?;
         if header[..8] != MAGIC {
             return Err(MissReason::Corrupt);
         }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(Store::header_field(header, 8)?);
         if version != FORMAT_VERSION {
             return Err(MissReason::VersionMismatch);
         }
-        if EntryKind::from_code(header[12]) != Some(kind) {
+        if header.get(12).copied().and_then(EntryKind::from_code) != Some(kind) {
             return Err(MissReason::Corrupt);
         }
-        let len = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(Store::header_field(header, 13)?);
         let payload = &bytes[HEADER_LEN..];
         if payload.len() as u64 != len {
             return Err(MissReason::Corrupt);
         }
-        let checksum = u128::from_le_bytes(header[21..37].try_into().expect("16 bytes"));
+        let checksum = u128::from_le_bytes(Store::header_field(header, 21)?);
         if Store::checksum(payload) != checksum {
             return Err(MissReason::Corrupt);
         }
@@ -692,6 +704,33 @@ mod tests {
         assert_eq!(s.corrupt, 1);
         assert_eq!(rec.metrics().counter(names::CACHE_MISS), 1);
         assert_eq!(rec.metrics().counter(names::CACHE_MISS_CORRUPT), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_kind_byte_degrades_to_miss() {
+        let store = temp_store("kindbyte");
+        let key = Key(8);
+        store.put(EntryKind::Analysis, key, b"payload", None);
+        let path = store.entry_path(EntryKind::Analysis, key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[12] = 0xee; // no EntryKind has this code
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(get_raw(&store, EntryKind::Analysis, key, None), None);
+        assert_eq!(store.session().corrupt, 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn file_shorter_than_the_header_degrades_to_miss() {
+        let store = temp_store("shorthdr");
+        let key = Key(10);
+        store.put(EntryKind::Analysis, key, b"payload", None);
+        let path = store.entry_path(EntryKind::Analysis, key);
+        // Keep only the magic: every header field read is out of range.
+        fs::write(&path, &MAGIC[..]).unwrap();
+        assert_eq!(get_raw(&store, EntryKind::Analysis, key, None), None);
+        assert_eq!(store.session().corrupt, 1);
         let _ = fs::remove_dir_all(store.root());
     }
 

@@ -1,0 +1,234 @@
+//! Model-checked invariants for the store's commit protocol. Runs only
+//! under `RUSTFLAGS="--cfg warpstl_model"` (see `scripts/check.sh`).
+//!
+//! The real store talks to a filesystem, so these tests run the protocol
+//! over an in-memory directory model where **each fs call is one lock
+//! acquisition** — the same granularity the kernel gives the real code,
+//! since every syscall is individually atomic but nothing composes. The
+//! protocols mirrored here are `store.rs`'s actual ones:
+//!
+//! - writers stage a temp file and `rename` it over the entry
+//!   (`atomic_write`), never write in place;
+//! - gc decides an entry is dead from a scan, then **revalidates under
+//!   the unlink** — the PR-8 fix. The unfixed scan-then-unlink variant is
+//!   seeded here and the checker finds the vanished-entry interleaving
+//!   deterministically.
+#![cfg(warpstl_model)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use warpstl_sync::model::{self, ModelOpts};
+use warpstl_sync::Mutex;
+
+/// The directory model: path → contents. One `Mutex` acquisition per
+/// operation = one atomic syscall.
+#[derive(Default)]
+struct ModelFs {
+    files: Mutex<BTreeMap<&'static str, &'static str>>,
+}
+
+impl ModelFs {
+    fn write(&self, path: &'static str, contents: &'static str) {
+        self.files.lock().insert(path, contents);
+    }
+
+    /// `rename(2)`: atomically replaces `to` with `from`'s contents.
+    fn rename(&self, from: &'static str, to: &'static str) {
+        let mut files = self.files.lock();
+        if let Some(contents) = files.remove(from) {
+            files.insert(to, contents);
+        }
+    }
+
+    fn read(&self, path: &'static str) -> Option<&'static str> {
+        self.files.lock().get(path).copied()
+    }
+
+    fn unlink(&self, path: &'static str) {
+        self.files.lock().remove(path);
+    }
+
+    /// Compare-and-unlink: removes `path` only if its contents still
+    /// match `expect` — the revalidation the fixed gc does.
+    fn unlink_if(&self, path: &'static str, expect: &'static str) {
+        let mut files = self.files.lock();
+        if files.get(path) == Some(&expect) {
+            files.remove(path);
+        }
+    }
+}
+
+const ENTRY: &str = "entry";
+const TEMP: &str = ".entry.tmp";
+
+/// The staged-temp-plus-rename writer (`atomic_write`'s shape).
+fn atomic_put(fs: &ModelFs, contents: &'static str) {
+    fs.write(TEMP, contents);
+    fs.rename(TEMP, ENTRY);
+}
+
+/// A reader concurrent with the atomic writer sees the old value, the
+/// new value, or a miss — never a torn (partial) entry.
+#[test]
+fn atomic_rename_commit_never_exposes_a_torn_entry() {
+    let stats = model::check(|| {
+        let fs = Arc::new(ModelFs::default());
+        fs.write(ENTRY, "old");
+        let writer = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || atomic_put(&fs, "new"))
+        };
+        let reader = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || fs.read(ENTRY))
+        };
+        let seen = reader.join();
+        writer.join();
+        assert!(
+            matches!(seen, Some("old") | Some("new")),
+            "torn or vanished entry: {seen:?}"
+        );
+        assert_eq!(fs.read(ENTRY), Some("new"), "commit must land");
+    })
+    .expect("rename commit is atomic under every interleaving");
+    assert!(stats.complete);
+}
+
+/// The seeded bad writer: writing the entry in place, in two steps. The
+/// checker finds the torn read the rename protocol exists to prevent.
+#[test]
+fn seeded_in_place_writer_is_caught_exposing_a_torn_entry() {
+    fn racy_program() {
+        let fs = Arc::new(ModelFs::default());
+        fs.write(ENTRY, "old");
+        let writer = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || {
+                // BUG: header lands before the payload — two separate
+                // "syscalls" against the live entry path.
+                fs.write(ENTRY, "new-header-only");
+                fs.write(ENTRY, "new");
+            })
+        };
+        let reader = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || fs.read(ENTRY))
+        };
+        let seen = reader.join();
+        writer.join();
+        assert!(
+            matches!(seen, Some("old") | Some("new")),
+            "torn entry observed: {seen:?}"
+        );
+    }
+    let cx = model::check(racy_program).expect_err("checker must catch the in-place writer");
+    assert!(
+        cx.message.contains("torn entry"),
+        "unexpected counterexample: {cx}"
+    );
+    // The counterexample replays deterministically.
+    let replayed = model::replay(&ModelOpts::default(), &cx.schedule, racy_program)
+        .expect_err("schedule must reproduce the torn read");
+    assert!(replayed.message.contains("torn entry"));
+}
+
+/// The PR-8 gc race, seeded: gc scans, sees a corrupt entry, and unlinks
+/// *without revalidating* — racing a writer that just renamed a fresh
+/// valid entry over the path. The entry vanishes after a successful put.
+#[test]
+fn seeded_gc_without_revalidation_is_caught_vanishing_a_fresh_entry() {
+    fn racy_program() {
+        let fs = Arc::new(ModelFs::default());
+        fs.write(ENTRY, "corrupt");
+        let gc = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || {
+                // Scan: the entry is corrupt, mark it for removal.
+                if fs.read(ENTRY) == Some("corrupt") {
+                    // BUG: unconditional unlink — the writer may have
+                    // replaced the entry between the scan and here.
+                    fs.unlink(ENTRY);
+                }
+            })
+        };
+        let writer = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || atomic_put(&fs, "valid"))
+        };
+        writer.join();
+        gc.join();
+        // A put that completed must survive a concurrent gc of the *old*
+        // corrupt generation.
+        assert_eq!(
+            fs.read(ENTRY),
+            Some("valid"),
+            "gc vanished a freshly-written entry"
+        );
+    }
+    let first = model::check(racy_program).expect_err("checker must catch scan-then-unlink gc");
+    assert!(
+        first.message.contains("vanished"),
+        "unexpected counterexample: {first}"
+    );
+    // Deterministic across runs, and the schedule replays.
+    let second = model::check(racy_program).expect_err("still racy");
+    assert_eq!(first.schedule, second.schedule);
+    let replayed = model::replay(&ModelOpts::default(), &first.schedule, racy_program)
+        .expect_err("schedule must reproduce the vanish");
+    assert!(replayed.message.contains("vanished"));
+}
+
+/// The fixed gc: revalidation under the unlink (compare-and-unlink)
+/// closes the window — a concurrent writer's fresh entry always survives.
+#[test]
+fn gc_with_revalidation_never_vanishes_a_fresh_entry() {
+    let stats = model::check(|| {
+        let fs = Arc::new(ModelFs::default());
+        fs.write(ENTRY, "corrupt");
+        let gc = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || {
+                if fs.read(ENTRY) == Some("corrupt") {
+                    // The fix: only remove the generation the scan saw.
+                    fs.unlink_if(ENTRY, "corrupt");
+                }
+            })
+        };
+        let writer = {
+            let fs = Arc::clone(&fs);
+            model::spawn(move || atomic_put(&fs, "valid"))
+        };
+        writer.join();
+        gc.join();
+        assert_eq!(fs.read(ENTRY), Some("valid"));
+    })
+    .expect("revalidating gc cannot vanish a committed entry");
+    assert!(stats.complete);
+}
+
+/// Two writers racing the same entry: last rename wins, and the loser's
+/// generation never resurfaces (no vanished-then-corrupt flicker).
+#[test]
+fn concurrent_writers_commit_one_complete_generation() {
+    let stats = model::check(|| {
+        let fs = Arc::new(ModelFs::default());
+        let writers: Vec<_> = ["gen-a", "gen-b"]
+            .into_iter()
+            .map(|gen| {
+                let fs = Arc::clone(&fs);
+                model::spawn(move || atomic_put(&fs, gen))
+            })
+            .collect();
+        for w in writers {
+            w.join();
+        }
+        let last = fs.read(ENTRY);
+        assert!(
+            matches!(last, Some("gen-a") | Some("gen-b")),
+            "entry must hold one complete generation: {last:?}"
+        );
+    })
+    .expect("racing atomic writers always leave one whole entry");
+    assert!(stats.complete);
+}

@@ -1,0 +1,134 @@
+//! Environment-variable reading with consistent, once-per-process
+//! warnings.
+//!
+//! Every `WARPSTL_*` knob shares one failure story: an unusable value
+//! warns once on stderr — in one format — and falls back; it never warns
+//! again for the same variable, no matter how many subsystems re-read it.
+
+use std::collections::BTreeSet;
+
+use crate::Mutex;
+
+/// Variables that have already produced a warning in this process.
+static WARNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+
+/// Emits the shared one-line warning for an invalid value of `var`,
+/// unless this process already warned about `var`. Returns whether the
+/// warning was printed (tests key off this; callers may ignore it).
+pub fn warn_invalid_once(var: &'static str, value: &str, expected: &str, fallback: &str) -> bool {
+    if !WARNED.lock().insert(var) {
+        return false;
+    }
+    eprintln!(
+        "warning: invalid {var} value `{value}` (expected {expected}); falling back to {fallback}"
+    );
+    true
+}
+
+/// Reads `var` and runs it through `parse`. Unset returns `None`
+/// silently; a value `parse` rejects — or a non-Unicode value — warns
+/// once via [`warn_invalid_once`] and returns `None` so the caller takes
+/// its fallback path.
+pub fn parsed_var<T>(
+    var: &'static str,
+    expected: &str,
+    fallback: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    match std::env::var(var) {
+        Ok(raw) => match parse(&raw) {
+            Some(value) => Some(value),
+            None => {
+                warn_invalid_once(var, &raw, expected, fallback);
+                None
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            warn_invalid_once(var, "<non-unicode>", expected, fallback);
+            None
+        }
+    }
+}
+
+/// [`parsed_var`] for variables whose value is the string itself (paths,
+/// names). Only non-Unicode values are invalid.
+pub fn string_var(var: &'static str, expected: &str, fallback: &str) -> Option<String> {
+    parsed_var(var, expected, fallback, |s| Some(s.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warns_exactly_once_per_variable() {
+        assert!(warn_invalid_once(
+            "WARPSTL_TEST_ONCE_A",
+            "x",
+            "a number",
+            "default"
+        ));
+        assert!(!warn_invalid_once(
+            "WARPSTL_TEST_ONCE_A",
+            "y",
+            "a number",
+            "default"
+        ));
+        assert!(warn_invalid_once(
+            "WARPSTL_TEST_ONCE_B",
+            "x",
+            "a number",
+            "default"
+        ));
+    }
+
+    #[test]
+    fn parsed_var_takes_valid_values_and_falls_back_on_bad_ones() {
+        std::env::set_var("WARPSTL_TEST_PARSED", "8");
+        let parse = |s: &str| s.parse::<usize>().ok().filter(|n| *n > 0);
+        assert_eq!(
+            parsed_var(
+                "WARPSTL_TEST_PARSED",
+                "a positive integer",
+                "default",
+                parse
+            ),
+            Some(8)
+        );
+        std::env::set_var("WARPSTL_TEST_PARSED", "zero");
+        assert_eq!(
+            parsed_var(
+                "WARPSTL_TEST_PARSED",
+                "a positive integer",
+                "default",
+                parse
+            ),
+            None
+        );
+        std::env::remove_var("WARPSTL_TEST_PARSED");
+        assert_eq!(
+            parsed_var(
+                "WARPSTL_TEST_PARSED",
+                "a positive integer",
+                "default",
+                parse
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn string_var_reads_utf8_values() {
+        std::env::set_var("WARPSTL_TEST_STRING", "/tmp/cache");
+        assert_eq!(
+            string_var("WARPSTL_TEST_STRING", "a path", "no cache"),
+            Some("/tmp/cache".to_string())
+        );
+        std::env::remove_var("WARPSTL_TEST_STRING");
+        assert_eq!(
+            string_var("WARPSTL_TEST_STRING", "a path", "no cache"),
+            None
+        );
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # warpstl-sync
+//!
+//! The workspace's synchronization layer: thin wrappers over the
+//! `std::sync` primitives that compile to zero-cost passthroughs
+//! normally, plus a dependency-free, schedule-exploring **model checker**
+//! ([`model`]) they route through when the workspace is built with
+//! `RUSTFLAGS="--cfg warpstl_model"`.
+//!
+//! Why a layer at all: PR 8's store races (torn reads, gc-vs-writer
+//! unlink) were found reactively, by stress tests getting lucky. The
+//! wrappers make every lock, condvar wait, and atomic op an interleaving
+//! point the checker can enumerate, so the synchronization protocols of
+//! the serve queue, the store commit path, and the fault engine are
+//! *proved* over all schedules (up to a preemption bound) instead of
+//! sampled. `warpstl xlint` enforces that no crate outside this one uses
+//! `std::sync` primitives directly (`Arc` excepted — it has no
+//! interleaving semantics worth modeling).
+//!
+//! Passthrough cost: one `#[cfg]`-compiled branch that the normal build
+//! does not even contain. The wrappers intentionally panic on lock
+//! poisoning (the toolkit's universal policy — every former call site
+//! spelled `.lock().expect(...)`), which also keeps the lock API
+//! guard-shaped instead of `Result`-shaped.
+//!
+//! Also here, because it sits at the very bottom of the crate graph:
+//! [`env`], the shared once-per-process invalid-environment-variable
+//! warning helper used by every `WARPSTL_*` knob.
+
+pub mod env;
+pub mod model;
+mod primitives;
+#[cfg_attr(not(warpstl_model), allow(dead_code))]
+mod rt;
+
+pub use primitives::{
+    AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Once, OnceLock,
+};

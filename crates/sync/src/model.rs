@@ -1,0 +1,341 @@
+//! A schedule-exploring model checker for the crate's primitives.
+//!
+//! [`check`] runs a closure — the *model program* — under every reachable
+//! interleaving of its threads' synchronization operations, up to a
+//! preemption bound, and reports the first assertion failure or deadlock
+//! as a [`Counterexample`] whose schedule string replays deterministically
+//! via [`replay`]. Threads are spawned with [`spawn`] (not
+//! `std::thread::spawn`: the checker must own scheduling); extra
+//! interleaving points can be injected with [`point`] or a [`Register`].
+//!
+//! Exploration is a depth-first search over scheduler choices. At every
+//! point where more than one thread could advance, the checker tries each
+//! in turn, backtracking by re-running the program along a recorded
+//! decision prefix — so the model program must be deterministic apart from
+//! scheduling: no clocks, no OS randomness, no process-wide state that
+//! changes between iterations (a `static` `OnceLock` initialized mid-run
+//! is the classic trap; initialize it before calling [`check`]).
+//!
+//! The crate's `Mutex`/`Condvar`/atomics/`OnceLock` participate as
+//! interleaving points only when the workspace is compiled with
+//! `RUSTFLAGS="--cfg warpstl_model"`; [`Register`] and [`point`] always
+//! participate, which keeps the checker itself testable in normal builds.
+//!
+//! ```
+//! use warpstl_sync::model;
+//!
+//! // Two unsynchronized read-modify-write threads lose an update under
+//! // some schedule; the checker finds it.
+//! let result = model::check(|| {
+//!     let cell = std::sync::Arc::new(model::Register::new(0));
+//!     let a = {
+//!         let cell = cell.clone();
+//!         model::spawn(move || cell.set(cell.get() + 1))
+//!     };
+//!     let b = {
+//!         let cell = cell.clone();
+//!         model::spawn(move || cell.set(cell.get() + 1))
+//!     };
+//!     a.join();
+//!     b.join();
+//!     assert_eq!(cell.get(), 2, "lost update");
+//! });
+//! assert!(result.is_err());
+//! ```
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, Branch, Mode, Pool, RunOpts, RunOutcome};
+
+/// Exploration knobs for [`check_with`] and [`replay`].
+#[derive(Debug, Clone)]
+pub struct ModelOpts {
+    /// Maximum number of preemptive context switches per execution
+    /// (switching away from a thread that could still run). `None` is
+    /// unbounded. Almost all real concurrency bugs trip within 2
+    /// preemptions, and the bound cuts the schedule space from
+    /// exponential to polynomial.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions; exploration that hits it returns
+    /// [`ModelStats::complete`]` == false` rather than running forever.
+    pub max_iterations: usize,
+    /// Also explore spurious condvar wakeups (wakeups without a
+    /// notification). Costs extra schedules; enable for wait-loop models.
+    pub spurious: bool,
+}
+
+impl Default for ModelOpts {
+    fn default() -> ModelOpts {
+        ModelOpts {
+            preemption_bound: Some(2),
+            max_iterations: 50_000,
+            spurious: false,
+        }
+    }
+}
+
+/// What a completed exploration covered.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelStats {
+    /// Number of distinct executions run.
+    pub iterations: usize,
+    /// Whether the schedule space (within the preemption bound) was
+    /// exhausted; `false` means `max_iterations` truncated the search.
+    pub complete: bool,
+}
+
+/// A failing execution: the bug, the schedule that reaches it, and the
+/// operation trace along the way.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The panic message or `"deadlock: ..."`.
+    pub message: String,
+    /// Branch-point thread ids, dot-separated (e.g. `"1.0.1"`): at every
+    /// scheduler decision with more than one enabled thread, the id that
+    /// ran. Feed to [`replay`] with the same [`ModelOpts`].
+    pub schedule: String,
+    /// Human-readable operation log of the failing execution, one line
+    /// per scheduled operation (`t1 lock m0`, `t0 notify_one c0`, ...).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model counterexample: {}", self.message)?;
+        writeln!(
+            f,
+            "schedule: {}",
+            if self.schedule.is_empty() {
+                "(deterministic)"
+            } else {
+                &self.schedule
+            }
+        )?;
+        writeln!(f, "trace:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+fn counterexample(stack: &[Branch], trace: Vec<String>, message: String) -> Box<Counterexample> {
+    let schedule: Vec<String> = stack
+        .iter()
+        .filter(|b| b.n > 1)
+        .map(|b| b.tid.to_string())
+        .collect();
+    Box::new(Counterexample {
+        message,
+        schedule: schedule.join("."),
+        trace,
+    })
+}
+
+/// [`check_with`] under default options.
+///
+/// # Errors
+///
+/// The first [`Counterexample`] found, if any.
+pub fn check<F>(f: F) -> Result<ModelStats, Box<Counterexample>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_with(&ModelOpts::default(), f)
+}
+
+/// Explores every schedule of the model program `f` (depth-first, within
+/// `opts`), returning stats on success or the first counterexample found.
+///
+/// `f` runs once per explored schedule and must be deterministic apart
+/// from scheduling (see the module docs).
+///
+/// # Errors
+///
+/// The first [`Counterexample`] found: an assertion failure / panic in a
+/// model thread, or a deadlock (every live thread blocked).
+pub fn check_with<F>(opts: &ModelOpts, f: F) -> Result<ModelStats, Box<Counterexample>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::mark_modeling();
+    let root: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let pool = Arc::new(StdMutex::new(Pool::new()));
+    let run_opts = RunOpts {
+        preemption_bound: opts.preemption_bound,
+        spurious: opts.spurious,
+    };
+    let mut stack: Vec<Branch> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let (outcome, trace) = rt::run_once(&run_opts, &pool, Mode::Explore(&mut stack), &root);
+        match outcome {
+            RunOutcome::Ok => {}
+            RunOutcome::Panic(message) => return Err(counterexample(&stack, trace, message)),
+            RunOutcome::Deadlock => {
+                return Err(counterexample(
+                    &stack,
+                    trace,
+                    "deadlock: every live thread is blocked".to_string(),
+                ))
+            }
+        }
+        // Backtrack: advance the deepest branch point with an untried
+        // choice; exploration is exhausted when none remains.
+        loop {
+            match stack.last_mut() {
+                None => {
+                    return Ok(ModelStats {
+                        iterations,
+                        complete: true,
+                    })
+                }
+                Some(branch) if branch.chosen + 1 < branch.n => {
+                    branch.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+        if iterations >= opts.max_iterations {
+            return Ok(ModelStats {
+                iterations,
+                complete: false,
+            });
+        }
+    }
+}
+
+/// Re-runs the model program along a [`Counterexample::schedule`] recorded
+/// under the same `opts`. `Ok(())` means the schedule ran clean (the bug
+/// did not reproduce — e.g. the code was fixed).
+///
+/// # Errors
+///
+/// The reproduced [`Counterexample`].
+///
+/// # Panics
+///
+/// If `schedule` is malformed or inconsistent with the program (picks a
+/// thread that is not enabled, or ends before the program does).
+pub fn replay<F>(opts: &ModelOpts, schedule: &str, f: F) -> Result<(), Box<Counterexample>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::mark_modeling();
+    let tids: Vec<usize> = schedule
+        .split('.')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.parse()
+                .expect("schedule must be dot-separated thread ids")
+        })
+        .collect();
+    let root: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let pool = Arc::new(StdMutex::new(Pool::new()));
+    let run_opts = RunOpts {
+        preemption_bound: opts.preemption_bound,
+        spurious: opts.spurious,
+    };
+    let (outcome, trace) = rt::run_once(&run_opts, &pool, Mode::Replay(&tids), &root);
+    match outcome {
+        RunOutcome::Ok => Ok(()),
+        RunOutcome::Panic(message) => Err(Box::new(Counterexample {
+            message,
+            schedule: schedule.to_string(),
+            trace,
+        })),
+        RunOutcome::Deadlock => Err(Box::new(Counterexample {
+            message: "deadlock: every live thread is blocked".to_string(),
+            schedule: schedule.to_string(),
+            trace,
+        })),
+    }
+}
+
+/// A thread spawned with [`spawn`]; [`JoinHandle::join`] is a blocking
+/// model operation.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    exec: Arc<rt::Exec>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a model operation) until the thread finishes, then
+    /// returns its value.
+    ///
+    /// # Panics
+    ///
+    /// If the joined thread panicked (the execution is already failing at
+    /// that point; the checker reports the original panic).
+    pub fn join(self) -> T {
+        rt::join(&self.exec, self.tid);
+        self.result
+            .lock()
+            .expect("model result poisoned")
+            .take()
+            .expect("joined model thread produced no value")
+    }
+}
+
+/// Spawns a model thread. Panics when called outside a [`check`] /
+/// [`replay`] execution — model programs own their threads; production
+/// code should keep using `std::thread`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tid, result, exec) = rt::spawn(f);
+    JoinHandle { tid, result, exec }
+}
+
+/// An explicit labeled interleaving point. No-op outside a model
+/// execution; inside one, the scheduler may switch threads here. Use it
+/// to mark steps of a protocol being modeled abstractly.
+pub fn point(label: &'static str) {
+    rt::maybe_point(label);
+}
+
+/// A `u64` cell whose every access is an interleaving point — in *all*
+/// builds, unlike the crate's atomics, which only participate under
+/// `cfg(warpstl_model)`. The checker's own tests are built on it, and it
+/// is the right tool for modeling a shared variable in a protocol model.
+///
+/// Outside a model execution it behaves like a mutex-protected `u64`.
+pub struct Register {
+    value: StdMutex<u64>,
+}
+
+impl Register {
+    /// A register holding `value`.
+    #[must_use]
+    pub const fn new(value: u64) -> Register {
+        Register {
+            value: StdMutex::new(value),
+        }
+    }
+
+    /// Reads the value (one interleaving point).
+    pub fn get(&self) -> u64 {
+        rt::object_point(self as *const Register as usize, 'r', "read");
+        *self.value.lock().expect("register poisoned")
+    }
+
+    /// Writes the value (one interleaving point).
+    pub fn set(&self, value: u64) {
+        rt::object_point(self as *const Register as usize, 'r', "write");
+        *self.value.lock().expect("register poisoned") = value;
+    }
+
+    /// `get` + `set` as *two* interleaving points — deliberately not
+    /// atomic, exactly like a load/modify/store race in real code.
+    pub fn add(&self, delta: u64) {
+        let v = self.get();
+        self.set(v + delta);
+    }
+}

@@ -1,0 +1,504 @@
+//! The wrapper primitives: `std::sync` passthroughs normally, scheduler
+//! yield points under `cfg(warpstl_model)` inside a model execution.
+//!
+//! Poisoning policy: a poisoned lock means a thread panicked while
+//! holding it; the toolkit treats that as fatal everywhere, so `lock()`
+//! panics rather than returning a `Result` (this is what every former
+//! `.lock().expect(...)` call site did by hand). Under the model checker
+//! poison is *recovered* instead — the checker reports the original panic
+//! as the counterexample, and unwinding must not cascade.
+
+use std::sync::atomic::Ordering;
+
+#[cfg(warpstl_model)]
+use crate::rt;
+
+/// A model-aware [`std::sync::Mutex`]. `lock()` panics on poison (see the
+/// module docs) and is an interleaving point under the model checker.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the calling thread until it is free.
+    ///
+    /// # Panics
+    ///
+    /// If a previous holder panicked (poison) — outside the model checker.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            rt::acquire(self as *const Mutex<T> as usize);
+            // The model scheduler already guarantees exclusivity, so the
+            // real lock below is uncontended; recover poison left by an
+            // abandoned execution's unwinding.
+            let inner = match self.inner.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            return MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            };
+        }
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|_| panic!("warpstl-sync: mutex poisoned by a panicking holder"));
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releasing it is *not* an
+/// interleaving point (a release only becomes observable at the next
+/// operation anyway).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` after `Condvar::wait` has taken the inner guard over.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let inner = self.inner.take();
+        if inner.is_none() {
+            return; // ownership moved into Condvar::wait
+        }
+        drop(inner);
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            rt::release(self.lock as *const Mutex<T> as usize);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken by Condvar::wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken by Condvar::wait")
+    }
+}
+
+/// A model-aware [`std::sync::Condvar`]. Under the model checker, which
+/// waiter a notification wakes — and whether a wakeup is spurious — is a
+/// scheduler choice, so all wakeup orders are explored.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and blocks until notified
+    /// (possibly spuriously — callers must re-check their condition in a
+    /// loop), then reacquires the mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            let lock = guard.lock;
+            let addr = self as *const Condvar as usize;
+            // Register while still holding the mutex (and the schedule
+            // slot): a notifier scheduled after our release always sees
+            // us as waiting, preserving no-lost-wakeup up to the same
+            // guarantee std gives.
+            rt::cond_register(addr);
+            drop(guard); // releases the model lock
+            rt::cond_block(addr);
+            return lock.lock();
+        }
+        let lock = guard.lock;
+        let inner = guard.inner.take().expect("guard taken by Condvar::wait");
+        drop(guard);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(|_| panic!("warpstl-sync: mutex poisoned by a panicking holder"));
+        MutexGuard {
+            lock,
+            inner: Some(inner),
+        }
+    }
+
+    /// Wakes one waiting thread, if any.
+    pub fn notify_one(&self) {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            rt::cond_notify(self as *const Condvar as usize, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            rt::cond_notify(self as *const Condvar as usize, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:path, $prim:ty) => {
+        #[doc = concat!("A model-aware [`", stringify!($std), "`]: every operation is an interleaving point under the model checker.")]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// A new atomic holding `value`.
+            pub const fn new(value: $prim) -> $name {
+                $name { inner: <$std>::new(value) }
+            }
+
+            fn point(&self, label: &'static str) {
+                #[cfg(warpstl_model)]
+                if rt::maybe_modeling() {
+                    rt::object_point(self as *const $name as usize, 'a', label);
+                }
+                #[cfg(not(warpstl_model))]
+                let _ = label;
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.point("atomic.load");
+                self.inner.load(order)
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                self.point("atomic.store");
+                self.inner.store(value, order);
+            }
+
+            /// Adds `value`, returning the previous value (one atomic
+            /// read-modify-write — a single interleaving point).
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                self.point("atomic.fetch_add");
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Swaps in `value`, returning the previous value.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                self.point("atomic.swap");
+                self.inner.swap(value, order)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(0)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// A model-aware [`std::sync::atomic::AtomicBool`]: every operation is an
+/// interleaving point under the model checker.
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// A new atomic holding `value`.
+    #[must_use]
+    pub const fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn point(&self, label: &'static str) {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() {
+            rt::object_point(self as *const AtomicBool as usize, 'a', label);
+        }
+        #[cfg(not(warpstl_model))]
+        let _ = label;
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.point("atomic.load");
+        self.inner.load(order)
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.point("atomic.store");
+        self.inner.store(value, order);
+    }
+
+    /// Swaps in `value`, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.point("atomic.swap");
+        self.inner.swap(value, order)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+/// A model-aware [`std::sync::OnceLock`]. Under the model checker the
+/// initialization race is explored: which thread runs the closure and
+/// which threads block on it is a scheduler choice.
+///
+/// Model caveat: a `static` `OnceLock` that gets initialized *during* a
+/// model execution makes later iterations see different interleavings
+/// than the first, which the checker rejects as nondeterminism —
+/// initialize process-wide statics before `model::check`, or keep the
+/// cell per-execution.
+pub struct OnceLock<T> {
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// A new empty cell.
+    #[must_use]
+    pub const fn new() -> OnceLock<T> {
+        OnceLock {
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The value, if initialized.
+    pub fn get(&self) -> Option<&T> {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() {
+            rt::object_point(self as *const OnceLock<T> as usize, 'o', "oncelock.get");
+        }
+        self.inner.get()
+    }
+
+    /// Returns the value, initializing it with `f` if empty. Exactly one
+    /// caller runs `f`; concurrent callers block until it finishes.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            return self.model_get_or_init(f);
+        }
+        self.inner.get_or_init(f)
+    }
+
+    #[cfg(warpstl_model)]
+    fn model_get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        let addr = self as *const OnceLock<T> as usize;
+        if let Some(value) = self.inner.get() {
+            rt::object_point(addr, 'o', "oncelock.get");
+            return value;
+        }
+        let mut f = Some(f);
+        loop {
+            match rt::once_poll(addr) {
+                rt::OncePoll::Done => {
+                    return self.inner.get().expect("once-cell done without a value")
+                }
+                rt::OncePoll::Won => {
+                    let value = (f.take().expect("once claim won twice"))();
+                    let _ = self.inner.set(value);
+                    rt::once_done(addr);
+                    return self.inner.get().expect("value was just set");
+                }
+                rt::OncePoll::Wait => rt::once_wait(addr),
+            }
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> OnceLock<T> {
+        OnceLock::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A model-aware [`std::sync::Once`]. Same exploration semantics (and the
+/// same `static` caveat) as [`OnceLock`].
+pub struct Once {
+    inner: std::sync::Once,
+}
+
+impl Once {
+    /// A new once-cell.
+    #[must_use]
+    pub const fn new() -> Once {
+        Once {
+            inner: std::sync::Once::new(),
+        }
+    }
+
+    /// Runs `f` if no call has completed yet; otherwise blocks until the
+    /// running call finishes.
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        #[cfg(warpstl_model)]
+        if rt::maybe_modeling() && rt::in_model() {
+            self.model_call_once(f);
+            return;
+        }
+        self.inner.call_once(f);
+    }
+
+    #[cfg(warpstl_model)]
+    fn model_call_once<F: FnOnce()>(&self, f: F) {
+        let addr = self as *const Once as usize;
+        if self.inner.is_completed() {
+            rt::object_point(addr, 'o', "once.check");
+            return;
+        }
+        let mut f = Some(f);
+        loop {
+            match rt::once_poll(addr) {
+                rt::OncePoll::Done => return,
+                rt::OncePoll::Won => {
+                    self.inner
+                        .call_once(f.take().expect("once claim won twice"));
+                    rt::once_done(addr);
+                    return;
+                }
+                rt::OncePoll::Wait => rt::once_wait(addr),
+            }
+        }
+    }
+}
+
+impl Default for Once {
+    fn default() -> Once {
+        Once::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_condvar_pass_through() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        let cv = Condvar::new();
+        cv.notify_one(); // no waiters: lost, like std
+        cv.notify_all();
+    }
+
+    #[test]
+    fn atomics_pass_through() {
+        let a = AtomicU64::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        assert_eq!(a.swap(9, Ordering::SeqCst), 3);
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+        assert!(b.swap(false, Ordering::SeqCst));
+        let u = AtomicUsize::new(0);
+        u.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(u.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn once_cells_initialize_exactly_once() {
+        let cell: OnceLock<u32> = OnceLock::new();
+        assert_eq!(cell.get(), None);
+        assert_eq!(*cell.get_or_init(|| 7), 7);
+        assert_eq!(*cell.get_or_init(|| 8), 7);
+        assert_eq!(cell.get(), Some(&7));
+        let once = Once::new();
+        let mut calls = 0;
+        once.call_once(|| calls += 1);
+        once.call_once(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn condvar_wakes_real_waiters() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            })
+        };
+        *pair.0.lock() = true;
+        pair.1.notify_one();
+        waiter.join().expect("waiter thread");
+    }
+}

@@ -1,0 +1,771 @@
+//! The execution runtime behind the model checker.
+//!
+//! Real OS threads run the model's threads, but a scheduler thread (the
+//! caller of [`run_once`]) permits exactly one of them to advance at a
+//! time. Every synchronization operation parks the thread and publishes
+//! the operation it is *about to* perform; the scheduler computes the set
+//! of enabled threads, picks one (driven by the DFS explorer in
+//! [`crate::model`]), applies the operation's bookkeeping effect, and
+//! resumes that thread. Because threads only interact through these
+//! published operations, the interleaving of yield points fully determines
+//! the execution — which is what makes exhaustive exploration and
+//! deterministic replay possible.
+//!
+//! Vocabulary: a *slot* is one model thread, a *vessel* is the reusable OS
+//! thread carrying it (spawning an OS thread per model thread per
+//! iteration would dominate the run time of small models).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Once as StdOnce};
+
+/// Panic payload used to unwind model threads abandoned after a
+/// counterexample; the vessel harness swallows it.
+struct Abandon;
+
+/// The operation a parked thread will perform when next scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Pending {
+    /// Always enabled: plain yield points.
+    Step,
+    /// Always enabled: an operation on a named object (atomic, register).
+    Op(usize),
+    /// Enabled while the lock (keyed by address) is free.
+    Lock(usize),
+    /// Enabled when the condvar has a wakeup token (or in spurious mode).
+    CondWake(usize),
+    /// Enabled once the target thread has finished.
+    Join(usize),
+    /// Enabled once the once-cell has completed initialization.
+    OnceWait(usize),
+}
+
+/// Lifecycle of a `OnceLock`/`Once` within one execution.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OnceState {
+    /// Some thread won the claim and is running the init closure.
+    InProgress,
+    /// Initialization completed; waiters may proceed.
+    Done,
+}
+
+/// Outcome of a once-cell claim attempt.
+pub(crate) enum OncePoll {
+    /// Already initialized; read the value.
+    Done,
+    /// This thread won and must run the init closure.
+    Won,
+    /// Another thread is initializing; block until `Done`.
+    Wait,
+}
+
+struct Slot {
+    /// The published next operation plus its trace label; `None` while the
+    /// thread is running.
+    pending: Option<(Pending, &'static str)>,
+    finished: bool,
+}
+
+pub(crate) struct State {
+    slots: Vec<Slot>,
+    /// The one thread currently allowed to run, if any.
+    running: Option<usize>,
+    /// Lock table: address → held.
+    held: BTreeMap<usize, bool>,
+    /// Condvar address → number of registered waiters.
+    waiters: BTreeMap<usize, usize>,
+    /// Condvar address → available wakeup tokens (capped by waiters).
+    tokens: BTreeMap<usize, usize>,
+    once: BTreeMap<usize, OnceState>,
+    /// Stable display names for objects, in first-touch order (m0, c1, …).
+    names: BTreeMap<usize, String>,
+    kind_counts: BTreeMap<char, usize>,
+    trace: Vec<String>,
+    panic: Option<String>,
+    abandoned: bool,
+    spurious: bool,
+}
+
+impl State {
+    fn new(spurious: bool) -> State {
+        State {
+            slots: Vec::new(),
+            running: None,
+            held: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            tokens: BTreeMap::new(),
+            once: BTreeMap::new(),
+            names: BTreeMap::new(),
+            kind_counts: BTreeMap::new(),
+            trace: Vec::new(),
+            panic: None,
+            abandoned: false,
+            spurious,
+        }
+    }
+
+    /// Registers `addr` under a one-letter kind on first touch and returns
+    /// its display name. First-touch order is schedule-deterministic, so
+    /// names are stable across replays of the same schedule.
+    fn name(&mut self, addr: usize, kind: char) -> String {
+        if let Some(name) = self.names.get(&addr) {
+            return name.clone();
+        }
+        let n = self.kind_counts.entry(kind).or_insert(0);
+        let name = format!("{kind}{n}");
+        *n += 1;
+        self.names.insert(addr, name.clone());
+        name
+    }
+}
+
+pub(crate) struct Exec {
+    state: StdMutex<State>,
+    /// Wakes the scheduler: a thread parked, finished, or panicked.
+    sched: StdCondvar,
+    /// Wakes parked threads: `running` changed or the execution was
+    /// abandoned.
+    threads: StdCondvar,
+    /// The vessel pool shared across iterations of one `check()` call;
+    /// model-spawned threads launch through it too.
+    pool: Arc<StdMutex<Pool>>,
+}
+
+thread_local! {
+    /// The execution this OS thread is currently a model thread of.
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+    /// Set while running a model thread body; the global panic hook keeps
+    /// quiet for these (the counterexample carries the message instead).
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling OS thread is currently a model thread. Primitives
+/// use this to decide between the scheduler protocol and passthrough.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn current() -> (Arc<Exec>, usize) {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("not inside a model execution")
+}
+
+fn install_panic_hook() {
+    static HOOK: StdOnce = StdOnce::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Parks the calling model thread with `op` published and blocks until the
+/// scheduler picks it. `first` marks a thread's initial park, which must
+/// not clear `running` (the spawner still owns the schedule slot).
+fn park(exec: &Exec, tid: usize, op: Pending, label: &'static str, first: bool) {
+    let mut st = exec.state.lock().expect("model state poisoned");
+    if st.abandoned {
+        drop(st);
+        std::panic::panic_any(Abandon);
+    }
+    st.slots[tid].pending = Some((op, label));
+    if !first {
+        st.running = None;
+    }
+    exec.sched.notify_all();
+    while st.running != Some(tid) {
+        if st.abandoned {
+            drop(st);
+            std::panic::panic_any(Abandon);
+        }
+        st = exec.threads.wait(st).expect("model state poisoned");
+    }
+}
+
+/// A plain yield point (always-enabled operation).
+fn step(label: &'static str) {
+    let (exec, tid) = current();
+    park(&exec, tid, Pending::Step, label, false);
+}
+
+// ---- hooks called by the primitives (only when `in_model()`) ----
+
+/// Yield point for an operation on a named object (atomics, registers).
+/// No-op outside a model execution, so `Register` and the atomics work in
+/// plain code too.
+pub(crate) fn object_point(addr: usize, kind: char, label: &'static str) {
+    if !in_model() {
+        return;
+    }
+    let (exec, tid) = current();
+    // Name the object before parking so the trace line the scheduler
+    // writes when applying the op can resolve it.
+    exec.state
+        .lock()
+        .expect("model state poisoned")
+        .name(addr, kind);
+    park(&exec, tid, Pending::Op(addr), label, false);
+}
+
+/// Blocks until the lock at `addr` is free and marks it held.
+pub(crate) fn acquire(addr: usize) {
+    let (exec, tid) = current();
+    exec.state
+        .lock()
+        .expect("model state poisoned")
+        .name(addr, 'm');
+    park(&exec, tid, Pending::Lock(addr), "lock", false);
+}
+
+/// Releases the lock at `addr`. Eager (no yield): everything between two
+/// yield points is invisible to other threads, so a context switch at the
+/// release reaches the same states as one at the releaser's next yield.
+pub(crate) fn release(addr: usize) {
+    let (exec, tid) = current();
+    let mut st = exec.state.lock().expect("model state poisoned");
+    st.held.insert(addr, false);
+    let name = st.name(addr, 'm');
+    let line = format!("t{tid} unlock {name}");
+    st.trace.push(line);
+}
+
+/// Registers the calling thread as a waiter on the condvar at `addr`.
+/// Eager: runs while the thread still owns the schedule slot, before the
+/// paired mutex is released, so notifiers cannot observe a half-entered
+/// wait.
+pub(crate) fn cond_register(addr: usize) {
+    let (exec, tid) = current();
+    let mut st = exec.state.lock().expect("model state poisoned");
+    *st.waiters.entry(addr).or_insert(0) += 1;
+    let name = st.name(addr, 'c');
+    let line = format!("t{tid} wait {name}");
+    st.trace.push(line);
+}
+
+/// Parks until a wakeup token is available (or spuriously, if enabled).
+pub(crate) fn cond_block(addr: usize) {
+    let (exec, tid) = current();
+    park(&exec, tid, Pending::CondWake(addr), "wake", false);
+}
+
+/// Makes wakeup tokens available to registered waiters. Eager, like
+/// `release`. Tokens never exceed the number of registered waiters: a
+/// notification with nobody waiting is lost, matching `std` semantics.
+pub(crate) fn cond_notify(addr: usize, all: bool) {
+    let (exec, tid) = current();
+    let mut st = exec.state.lock().expect("model state poisoned");
+    let waiting = st.waiters.get(&addr).copied().unwrap_or(0);
+    let tokens = st.tokens.entry(addr).or_insert(0);
+    if all {
+        *tokens = waiting;
+    } else if *tokens < waiting {
+        *tokens += 1;
+    }
+    let label = if all { "notify_all" } else { "notify_one" };
+    let name = st.name(addr, 'c');
+    let line = format!("t{tid} {label} {name}");
+    st.trace.push(line);
+}
+
+/// One claim attempt on the once-cell at `addr`, preceded by a yield so
+/// competing initializers interleave. `Won` transitions the cell to
+/// `InProgress` eagerly.
+pub(crate) fn once_poll(addr: usize) -> OncePoll {
+    let (exec, tid) = current();
+    exec.state
+        .lock()
+        .expect("model state poisoned")
+        .name(addr, 'o');
+    park(&exec, tid, Pending::Step, "once", false);
+    let mut st = exec.state.lock().expect("model state poisoned");
+    match st.once.get(&addr) {
+        Some(OnceState::Done) => OncePoll::Done,
+        Some(OnceState::InProgress) => OncePoll::Wait,
+        None => {
+            st.once.insert(addr, OnceState::InProgress);
+            let name = st.name(addr, 'o');
+            let line = format!("t{tid} once_claim {name}");
+            st.trace.push(line);
+            OncePoll::Won
+        }
+    }
+}
+
+/// Marks the once-cell initialized, enabling `OnceWait` parkers. Eager.
+pub(crate) fn once_done(addr: usize) {
+    let (exec, tid) = current();
+    let mut st = exec.state.lock().expect("model state poisoned");
+    st.once.insert(addr, OnceState::Done);
+    let name = st.name(addr, 'o');
+    let line = format!("t{tid} once_done {name}");
+    st.trace.push(line);
+}
+
+/// Parks until the once-cell at `addr` completes initialization.
+pub(crate) fn once_wait(addr: usize) {
+    let (exec, tid) = current();
+    park(&exec, tid, Pending::OnceWait(addr), "once_wait", false);
+}
+
+/// A labeled always-enabled yield point (public via [`crate::model::point`]).
+pub(crate) fn maybe_point(label: &'static str) {
+    if in_model() {
+        step(label);
+    }
+}
+
+// ---- model threads ----
+
+/// Spawns a model thread in the calling thread's execution. Must be called
+/// from inside a model execution.
+pub(crate) fn spawn<T, F>(body: F) -> (usize, Arc<StdMutex<Option<T>>>, Arc<Exec>)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, _tid) = current();
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let tid = {
+        let mut st = exec.state.lock().expect("model state poisoned");
+        st.slots.push(Slot {
+            pending: None,
+            finished: false,
+        });
+        st.slots.len() - 1
+    };
+    let task = make_task(Arc::clone(&exec), tid, Arc::clone(&result), body);
+    let pool = Arc::clone(&exec.pool);
+    pool.lock().expect("pool poisoned").launch(Box::new(task));
+    (tid, result, exec)
+}
+
+/// Parks until model thread `tid` finishes.
+pub(crate) fn join(exec: &Arc<Exec>, target: usize) {
+    let (my_exec, tid) = current();
+    assert!(
+        Arc::ptr_eq(exec, &my_exec),
+        "JoinHandle used outside its execution"
+    );
+    park(exec, tid, Pending::Join(target), "join", false);
+}
+
+/// Wraps a model thread body with the park/finish/panic bookkeeping.
+fn make_task<T, F>(
+    exec: Arc<Exec>,
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+    body: F,
+) -> impl FnOnce() + Send + 'static
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    move || {
+        IN_MODEL.with(|f| f.set(true));
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            park(&exec, tid, Pending::Step, "start", true);
+            body()
+        }));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        IN_MODEL.with(|f| f.set(false));
+        match out {
+            Ok(value) => {
+                *result.lock().expect("model result poisoned") = Some(value);
+                let mut st = exec.state.lock().expect("model state poisoned");
+                st.slots[tid].finished = true;
+                st.running = None;
+                let line = format!("t{tid} exit");
+                st.trace.push(line);
+                exec.sched.notify_all();
+            }
+            Err(payload) if payload.is::<Abandon>() => {
+                // Execution already failed; vanish quietly.
+            }
+            Err(payload) => {
+                let msg: String = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "panic with non-string payload".to_string()
+                };
+                let mut st = exec.state.lock().expect("model state poisoned");
+                st.slots[tid].finished = true;
+                st.running = None;
+                if st.panic.is_none() {
+                    st.panic = Some(msg);
+                }
+                exec.sched.notify_all();
+            }
+        }
+    }
+}
+
+// ---- vessels: reusable OS threads for the root of each iteration ----
+
+enum VesselState {
+    Idle,
+    Queued(Box<dyn FnOnce() + Send>),
+    Busy,
+    Exit,
+}
+
+struct VesselShared {
+    state: StdMutex<VesselState>,
+    cv: StdCondvar,
+}
+
+/// A small pool of reusable OS threads; one `check()` call owns one pool.
+pub(crate) struct Pool {
+    vessels: Vec<Arc<VesselShared>>,
+}
+
+impl Pool {
+    pub(crate) fn new() -> Pool {
+        Pool {
+            vessels: Vec::new(),
+        }
+    }
+
+    fn launch(&mut self, task: Box<dyn FnOnce() + Send>) {
+        for vessel in &self.vessels {
+            let mut st = vessel.state.lock().expect("vessel poisoned");
+            if matches!(*st, VesselState::Idle) {
+                *st = VesselState::Queued(task);
+                vessel.cv.notify_all();
+                return;
+            }
+        }
+        let shared = Arc::new(VesselShared {
+            state: StdMutex::new(VesselState::Queued(task)),
+            cv: StdCondvar::new(),
+        });
+        let for_thread = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("model-vessel-{}", self.vessels.len()))
+            .spawn(move || vessel_loop(&for_thread))
+            .expect("spawn model vessel");
+        self.vessels.push(shared);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for vessel in &self.vessels {
+            let mut st = vessel.state.lock().expect("vessel poisoned");
+            *st = VesselState::Exit;
+            vessel.cv.notify_all();
+        }
+    }
+}
+
+fn vessel_loop(shared: &VesselShared) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("vessel poisoned");
+            loop {
+                match &*st {
+                    VesselState::Exit => return,
+                    VesselState::Queued(_) => break,
+                    VesselState::Idle | VesselState::Busy => {
+                        st = shared.cv.wait(st).expect("vessel poisoned");
+                    }
+                }
+            }
+            match std::mem::replace(&mut *st, VesselState::Busy) {
+                VesselState::Queued(task) => task,
+                _ => unreachable!("checked above"),
+            }
+        };
+        task();
+        let mut st = shared.state.lock().expect("vessel poisoned");
+        if matches!(*st, VesselState::Exit) {
+            return;
+        }
+        *st = VesselState::Idle;
+    }
+}
+
+// ---- one execution, driven by the explorer or a replay schedule ----
+
+/// One scheduler decision: which of `n` enabled threads ran.
+pub(crate) struct Branch {
+    /// How many choices were available (after preemption bounding).
+    pub(crate) n: usize,
+    /// Index into the (sorted) choice list taken this iteration.
+    pub(crate) chosen: usize,
+    /// The thread id that index resolved to (for schedule strings).
+    pub(crate) tid: usize,
+}
+
+/// How `run_once` picks among enabled threads.
+pub(crate) enum Mode<'a> {
+    /// DFS: follow the branch stack prefix, extend with first choices.
+    Explore(&'a mut Vec<Branch>),
+    /// Follow a recorded schedule (branch-point thread ids).
+    Replay(&'a [usize]),
+}
+
+/// How one execution ended.
+pub(crate) enum RunOutcome {
+    /// All threads finished.
+    Ok,
+    /// A model thread panicked (assertion failure or bug).
+    Panic(String),
+    /// Every live thread was blocked.
+    Deadlock,
+}
+
+fn enabled_of(st: &State, tid: usize) -> bool {
+    match st.slots[tid].pending {
+        None => false,
+        Some((Pending::Step | Pending::Op(_), _)) => true,
+        Some((Pending::Lock(a), _)) => !st.held.get(&a).copied().unwrap_or(false),
+        Some((Pending::CondWake(c), _)) => {
+            st.spurious || st.tokens.get(&c).copied().unwrap_or(0) > 0
+        }
+        Some((Pending::Join(t), _)) => st.slots[t].finished,
+        Some((Pending::OnceWait(o), _)) => matches!(st.once.get(&o), Some(OnceState::Done)),
+    }
+}
+
+/// Applies the chosen thread's pending operation's effect and logs it.
+fn apply(st: &mut State, tid: usize) {
+    let (op, label) = st.slots[tid]
+        .pending
+        .take()
+        .expect("chosen thread not parked");
+    let line = match op {
+        Pending::Step => format!("t{tid} {label}"),
+        Pending::Op(a) => {
+            let name = st.names.get(&a).cloned().unwrap_or_default();
+            format!("t{tid} {label} {name}")
+        }
+        Pending::Lock(a) => {
+            st.held.insert(a, true);
+            let name = st.name(a, 'm');
+            format!("t{tid} {label} {name}")
+        }
+        Pending::CondWake(c) => {
+            let tokens = st.tokens.entry(c).or_insert(0);
+            let spurious = *tokens == 0;
+            *tokens = tokens.saturating_sub(1);
+            let waiters = st.waiters.entry(c).or_insert(1);
+            *waiters = waiters.saturating_sub(1);
+            let name = st.name(c, 'c');
+            if spurious {
+                format!("t{tid} {label} {name} (spurious)")
+            } else {
+                format!("t{tid} {label} {name}")
+            }
+        }
+        Pending::Join(t) => format!("t{tid} {label} t{t}"),
+        Pending::OnceWait(o) => {
+            let name = st.name(o, 'o');
+            format!("t{tid} {label} {name}")
+        }
+    };
+    st.trace.push(line);
+}
+
+fn abandon(exec: &Exec, st: &mut State) {
+    st.abandoned = true;
+    exec.threads.notify_all();
+}
+
+/// Knobs shared by `run_once` and the explorer (mirrors
+/// [`crate::model::ModelOpts`] without the iteration cap).
+pub(crate) struct RunOpts {
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) spurious: bool,
+}
+
+/// Runs the model program once under `mode`'s schedule and returns how it
+/// ended plus the operation trace.
+pub(crate) fn run_once(
+    opts: &RunOpts,
+    pool: &Arc<StdMutex<Pool>>,
+    mut mode: Mode<'_>,
+    root: &Arc<dyn Fn() + Send + Sync>,
+) -> (RunOutcome, Vec<String>) {
+    install_panic_hook();
+    let exec = Arc::new(Exec {
+        state: StdMutex::new(State::new(opts.spurious)),
+        sched: StdCondvar::new(),
+        threads: StdCondvar::new(),
+        pool: Arc::clone(pool),
+    });
+    exec.state
+        .lock()
+        .expect("model state poisoned")
+        .slots
+        .push(Slot {
+            pending: None,
+            finished: false,
+        });
+    let root_result: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+    let body = {
+        let root = Arc::clone(root);
+        move || root()
+    };
+    let task = make_task(Arc::clone(&exec), 0, root_result, body);
+    pool.lock().expect("pool poisoned").launch(Box::new(task));
+
+    let mut prev: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let mut depth = 0usize;
+    let mut replay_next = 0usize;
+    let outcome = loop {
+        let mut st = exec.state.lock().expect("model state poisoned");
+        loop {
+            if st.panic.is_some() {
+                break;
+            }
+            let quiescent =
+                st.running.is_none() && st.slots.iter().all(|s| s.finished || s.pending.is_some());
+            if quiescent {
+                break;
+            }
+            st = exec.sched.wait(st).expect("model state poisoned");
+        }
+        if let Some(msg) = st.panic.take() {
+            abandon(&exec, &mut st);
+            break RunOutcome::Panic(msg);
+        }
+        let live: Vec<usize> = (0..st.slots.len())
+            .filter(|&i| !st.slots[i].finished)
+            .collect();
+        if live.is_empty() {
+            break RunOutcome::Ok;
+        }
+        let enabled: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| enabled_of(&st, i))
+            .collect();
+        if enabled.is_empty() {
+            abandon(&exec, &mut st);
+            break RunOutcome::Deadlock;
+        }
+        let mut choices = enabled.clone();
+        if let (Some(bound), Some(p)) = (opts.preemption_bound, prev) {
+            if preemptions >= bound && choices.contains(&p) {
+                choices = vec![p];
+            }
+        }
+        let tid = match &mut mode {
+            Mode::Explore(stack) => {
+                if depth == stack.len() {
+                    stack.push(Branch {
+                        n: choices.len(),
+                        chosen: 0,
+                        tid: choices[0],
+                    });
+                }
+                let branch = &mut stack[depth];
+                assert!(
+                    branch.n == choices.len(),
+                    "model program is nondeterministic across iterations \
+                     (does it read clocks, OS randomness, or process-wide \
+                     state initialized mid-run, e.g. a static OnceLock?)"
+                );
+                branch.tid = choices[branch.chosen];
+                branch.tid
+            }
+            Mode::Replay(tids) => {
+                if choices.len() == 1 {
+                    choices[0]
+                } else {
+                    let want = tids
+                        .get(replay_next)
+                        .copied()
+                        .unwrap_or_else(|| panic!("replay: schedule ended before the program did"));
+                    replay_next += 1;
+                    assert!(
+                        choices.contains(&want),
+                        "replay: schedule picks t{want}, which is not among \
+                         the enabled threads {choices:?}"
+                    );
+                    want
+                }
+            }
+        };
+        depth += 1;
+        if let Some(p) = prev {
+            if tid != p && enabled.contains(&p) {
+                preemptions += 1;
+            }
+        }
+        prev = Some(tid);
+        apply(&mut st, tid);
+        st.running = Some(tid);
+        drop(st);
+        exec.threads.notify_all();
+    };
+    let trace = exec
+        .state
+        .lock()
+        .expect("model state poisoned")
+        .trace
+        .clone();
+    (outcome, trace)
+}
+
+/// Always-true atomic used by primitive hooks to skip the thread-local
+/// lookup entirely when no checker has ever run in this process.
+pub(crate) static EVER_MODELED: AtomicBool = AtomicBool::new(false);
+
+/// Marks that a model execution exists in this process (cheap fast-path
+/// gate for the primitive hooks).
+pub(crate) fn mark_modeling() {
+    EVER_MODELED.store(true, Ordering::Relaxed);
+}
+
+/// Fast check used by primitive hooks: `false` means no `check()` has ever
+/// run, so `in_model()` cannot be true on any thread.
+pub(crate) fn maybe_modeling() -> bool {
+    EVER_MODELED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_first_touch_ordered_per_kind() {
+        let mut st = State::new(false);
+        assert_eq!(st.name(0x10, 'm'), "m0");
+        assert_eq!(st.name(0x20, 'm'), "m1");
+        assert_eq!(st.name(0x30, 'c'), "c0");
+        assert_eq!(st.name(0x10, 'm'), "m0");
+    }
+
+    #[test]
+    fn enabled_respects_lock_and_token_state() {
+        let mut st = State::new(false);
+        st.slots.push(Slot {
+            pending: Some((Pending::Lock(1), "lock")),
+            finished: false,
+        });
+        st.slots.push(Slot {
+            pending: Some((Pending::CondWake(2), "wake")),
+            finished: false,
+        });
+        assert!(enabled_of(&st, 0));
+        st.held.insert(1, true);
+        assert!(!enabled_of(&st, 0));
+        assert!(!enabled_of(&st, 1));
+        st.tokens.insert(2, 1);
+        assert!(enabled_of(&st, 1));
+        st.tokens.insert(2, 0);
+        st.spurious = true;
+        assert!(enabled_of(&st, 1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Self-tests for the model checker's explorer that run in *normal*
+//! builds: they interleave via [`model::Register`] and [`model::point`],
+//! which are always active inside a model execution, so no
+//! `cfg(warpstl_model)` is needed. The primitive-interception tests live
+//! in `tests/model.rs` and only run under that cfg.
+
+use std::sync::Arc;
+
+use warpstl_sync::model::{self, ModelOpts, Register};
+
+/// Two threads doing `get`/`set` increments: the classic lost update.
+fn lost_update_program() {
+    let cell = Arc::new(Register::new(0));
+    let a = {
+        let cell = Arc::clone(&cell);
+        model::spawn(move || cell.add(1))
+    };
+    let b = {
+        let cell = Arc::clone(&cell);
+        model::spawn(move || cell.add(1))
+    };
+    a.join();
+    b.join();
+    assert_eq!(
+        cell.get(),
+        2,
+        "lost update: both increments read the same value"
+    );
+}
+
+#[test]
+fn finds_the_lost_update_and_prints_a_replayable_schedule() {
+    let cx = model::check(lost_update_program).expect_err("checker must find the lost update");
+    assert!(
+        cx.message.contains("lost update"),
+        "unexpected message: {}",
+        cx.message
+    );
+    assert!(
+        !cx.schedule.is_empty(),
+        "a race needs at least one branch decision"
+    );
+    assert!(!cx.trace.is_empty());
+    // The counterexample renders as a schedule plus an op trace.
+    let shown = cx.to_string();
+    assert!(shown.contains("schedule:"), "display output: {shown}");
+    assert!(shown.contains("trace:"), "display output: {shown}");
+
+    // Replaying the recorded schedule reproduces the same failure.
+    let replayed = model::replay(&ModelOpts::default(), &cx.schedule, lost_update_program)
+        .expect_err("the schedule must reproduce the bug");
+    assert!(replayed.message.contains("lost update"));
+}
+
+#[test]
+fn counterexamples_are_deterministic_across_runs() {
+    let first = model::check(lost_update_program).expect_err("racy program");
+    let second = model::check(lost_update_program).expect_err("racy program");
+    assert_eq!(first.schedule, second.schedule, "DFS must be deterministic");
+    assert_eq!(first.trace, second.trace);
+}
+
+#[test]
+fn passes_a_correct_program_and_reports_exhaustive_stats() {
+    // A sequential handoff has no races: exploration completes clean.
+    let stats = model::check(|| {
+        let cell = Arc::new(Register::new(0));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            model::spawn(move || cell.set(41))
+        };
+        writer.join(); // join orders the write before the read
+        cell.set(cell.get() + 1);
+        assert_eq!(cell.get(), 42);
+    })
+    .expect("correct program must verify");
+    assert!(stats.complete, "tiny program must be exhaustible");
+    assert!(stats.iterations >= 1);
+}
+
+#[test]
+fn explores_multiple_interleavings_not_just_one() {
+    // Two independent writers to distinct registers: schedules differ but
+    // nothing fails; the explorer must try more than one interleaving.
+    let stats = model::check(|| {
+        let x = Arc::new(Register::new(0));
+        let y = Arc::new(Register::new(0));
+        let a = {
+            let x = Arc::clone(&x);
+            model::spawn(move || x.set(1))
+        };
+        let b = {
+            let y = Arc::clone(&y);
+            model::spawn(move || y.set(1))
+        };
+        a.join();
+        b.join();
+        assert_eq!((x.get(), y.get()), (1, 1));
+    })
+    .expect("independent writers cannot fail");
+    assert!(stats.complete);
+    assert!(
+        stats.iterations > 1,
+        "only {} interleavings explored",
+        stats.iterations
+    );
+}
+
+#[test]
+fn preemption_bound_zero_still_finds_order_dependent_bugs() {
+    // With zero preemptions the scheduler can still choose who runs at
+    // each blocking/termination point — enough to flip a plain ordering
+    // race (which of two atomic-free writers lands last).
+    let cx = model::check_with(
+        &ModelOpts {
+            preemption_bound: Some(0),
+            ..ModelOpts::default()
+        },
+        || {
+            let cell = Arc::new(Register::new(0));
+            let a = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || cell.set(1))
+            };
+            let b = {
+                let cell = Arc::clone(&cell);
+                model::spawn(move || cell.set(2))
+            };
+            a.join();
+            b.join();
+            assert_eq!(cell.get(), 2, "writer order is not fixed");
+        },
+    )
+    .expect_err("one of the two completion orders must fail");
+    assert!(cx.message.contains("writer order"));
+}
+
+#[test]
+fn iteration_cap_truncates_instead_of_hanging() {
+    let stats = model::check_with(
+        &ModelOpts {
+            max_iterations: 3,
+            ..ModelOpts::default()
+        },
+        || {
+            let cell = Arc::new(Register::new(0));
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    model::spawn(move || {
+                        cell.get();
+                        cell.get();
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+        },
+    )
+    .expect("nothing to find");
+    assert!(!stats.complete, "3 iterations cannot exhaust this program");
+    assert_eq!(stats.iterations, 3);
+}
+
+#[test]
+fn replay_of_a_clean_schedule_returns_ok() {
+    // An empty schedule on a single-threaded program: no branch points.
+    let result = model::replay(&ModelOpts::default(), "", || {
+        let cell = Register::new(1);
+        model::point("checkpoint");
+        assert_eq!(cell.get(), 1);
+    });
+    assert!(result.is_ok());
+}
+
+#[test]
+fn labeled_points_appear_in_the_trace() {
+    let cx = model::check(|| {
+        model::point("before-the-bug");
+        panic!("deliberate failure");
+    })
+    .expect_err("program always panics");
+    assert!(cx.message.contains("deliberate failure"));
+    assert!(
+        cx.trace.iter().any(|line| line.contains("before-the-bug")),
+        "trace missing labeled point: {:?}",
+        cx.trace
+    );
+}

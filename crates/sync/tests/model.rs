@@ -1,0 +1,300 @@
+//! Primitive-interception self-tests: these prove the crate's `Mutex`,
+//! `Condvar`, and `OnceLock` wrappers participate as interleaving points,
+//! so they only run when the workspace is compiled with
+//! `RUSTFLAGS="--cfg warpstl_model"` (see `scripts/check.sh`). The
+//! centerpiece is a seeded known-racy queue the checker must catch
+//! deterministically, with a schedule that replays.
+#![cfg(warpstl_model)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use warpstl_sync::model::{self, ModelOpts, Register};
+use warpstl_sync::{Condvar, Mutex, OnceLock};
+
+/// The seeded bug: `pop` checks emptiness and pops in *two* critical
+/// sections, so two consumers racing over one item can both pass the
+/// check.
+struct RacyQueue {
+    items: Mutex<VecDeque<u64>>,
+}
+
+impl RacyQueue {
+    fn new() -> RacyQueue {
+        RacyQueue {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, v: u64) {
+        self.items.lock().push_back(v);
+    }
+
+    fn racy_pop(&self) -> Option<u64> {
+        if self.items.lock().is_empty() {
+            return None;
+        }
+        // BUG window: another consumer may drain the queue between the
+        // emptiness check above and the pop below.
+        Some(
+            self.items
+                .lock()
+                .pop_front()
+                .expect("queue drained between check and pop"),
+        )
+    }
+
+    /// The fix: check and pop under one lock acquisition.
+    fn correct_pop(&self) -> Option<u64> {
+        self.items.lock().pop_front()
+    }
+}
+
+fn racy_queue_program() {
+    let q = Arc::new(RacyQueue::new());
+    q.push(7);
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            model::spawn(move || {
+                let _ = q.racy_pop();
+            })
+        })
+        .collect();
+    for c in consumers {
+        c.join();
+    }
+}
+
+#[test]
+fn seeded_racy_queue_is_caught_deterministically_with_a_replayable_schedule() {
+    let first = model::check(racy_queue_program).expect_err("checker must catch the TOCTOU pop");
+    assert!(
+        first
+            .message
+            .contains("queue drained between check and pop"),
+        "unexpected counterexample: {first}"
+    );
+    assert!(!first.schedule.is_empty());
+    // Deterministic: same bug, same schedule, every run.
+    let second = model::check(racy_queue_program).expect_err("still racy");
+    assert_eq!(first.schedule, second.schedule);
+    assert_eq!(first.trace, second.trace);
+    // The printed schedule replays to the same failure.
+    let replayed = model::replay(&ModelOpts::default(), &first.schedule, racy_queue_program)
+        .expect_err("schedule must reproduce the bug");
+    assert!(replayed
+        .message
+        .contains("queue drained between check and pop"));
+    // And the trace shows the interleaved lock operations.
+    assert!(
+        first.trace.iter().any(|l| l.contains("lock")),
+        "trace: {:?}",
+        first.trace
+    );
+}
+
+#[test]
+fn single_lock_pop_verifies_exhaustively() {
+    let stats = model::check(|| {
+        let q = Arc::new(RacyQueue::new());
+        q.push(7);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                model::spawn(move || q.correct_pop().map_or(0, |_| 1))
+            })
+            .collect();
+        let got: u64 = consumers.into_iter().map(model::JoinHandle::join).sum();
+        assert_eq!(got, 1, "exactly one consumer gets the item");
+    })
+    .expect("single-lock pop has no race");
+    assert!(stats.complete);
+}
+
+#[test]
+fn mutex_guarantees_exclusion_across_interleaved_critical_sections() {
+    // The increments interleave at the Register yield points *inside*
+    // the critical section; the lock must still serialize them.
+    let stats = model::check(|| {
+        let m = Arc::new(Mutex::new(()));
+        let cell = Arc::new(Register::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let cell = Arc::clone(&cell);
+                model::spawn(move || {
+                    let _guard = m.lock();
+                    cell.add(1); // two yield points under the lock
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        assert_eq!(cell.get(), 2, "mutex failed to serialize increments");
+    })
+    .expect("locked increments cannot race");
+    assert!(stats.complete);
+}
+
+#[test]
+fn condvar_wait_loop_handshake_verifies() {
+    let stats = model::check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            model::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            })
+        };
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        waiter.join();
+    })
+    .expect("the canonical wait loop is correct");
+    assert!(stats.complete);
+}
+
+#[test]
+fn lost_wakeup_deadlock_is_detected() {
+    // The bug: the consumer re-checks the flag *outside* the wait loop,
+    // leaving a window where the producer's only notification fires with
+    // nobody waiting — a lost wakeup, then a wait that never returns.
+    let cx = model::check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let consumer = {
+            let pair = Arc::clone(&pair);
+            model::spawn(move || {
+                let (m, cv) = &*pair;
+                loop {
+                    if *m.lock() {
+                        break;
+                    }
+                    // BUG window: the flag may be set — and the only
+                    // notification fired — right here, after the check
+                    // released the lock; the wait below then never
+                    // returns.
+                    let guard = m.lock();
+                    let _woken = cv.wait(guard);
+                }
+            })
+        };
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        consumer.join();
+    })
+    .expect_err("checker must find the lost-wakeup deadlock");
+    assert!(cx.message.contains("deadlock"), "unexpected: {cx}");
+    assert!(!cx.schedule.is_empty());
+}
+
+#[test]
+fn oncelock_initializes_exactly_once_under_contention() {
+    let stats = model::check(|| {
+        let cell: Arc<OnceLock<u64>> = Arc::new(OnceLock::new());
+        let inits = Arc::new(Register::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|i| {
+                let cell = Arc::clone(&cell);
+                let inits = Arc::clone(&inits);
+                model::spawn(move || {
+                    *cell.get_or_init(|| {
+                        inits.add(1);
+                        40 + i
+                    })
+                })
+            })
+            .collect();
+        let values: Vec<u64> = readers.into_iter().map(model::JoinHandle::join).collect();
+        assert_eq!(
+            values[0], values[1],
+            "both readers must see the winner's value"
+        );
+        assert_eq!(inits.get(), 1, "init closure must run exactly once");
+    })
+    .expect("OnceLock has no double-init schedule");
+    assert!(stats.complete);
+}
+
+#[test]
+fn atomics_interleave_but_rmw_is_atomic() {
+    use std::sync::atomic::Ordering;
+    use warpstl_sync::AtomicU64;
+    // fetch_add is one interleaving point, so concurrent increments never
+    // lose updates — unlike the Register's split load/store.
+    let stats = model::check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                model::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    })
+    .expect("fetch_add cannot lose updates");
+    assert!(stats.complete);
+
+    // But a load/store split on the same atomic does race.
+    let cx = model::check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                model::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost atomic update");
+    })
+    .expect_err("load/store split must lose an update under some schedule");
+    assert!(cx.message.contains("lost atomic update"));
+}
+
+#[test]
+fn spurious_wakeup_mode_breaks_if_wait_is_not_in_a_loop() {
+    let opts = ModelOpts {
+        spurious: true,
+        ..ModelOpts::default()
+    };
+    let cx = model::check_with(&opts, || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            model::spawn(move || {
+                let (m, cv) = &*pair;
+                let ready = m.lock();
+                // BUG: `if` instead of `while` — a spurious wakeup slips
+                // through with the flag still false.
+                let ready = if !*ready { cv.wait(ready) } else { ready };
+                assert!(*ready, "woke with the condition still false");
+            })
+        };
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        waiter.join();
+    })
+    .expect_err("spurious mode must catch the if-instead-of-while wait");
+    assert!(
+        cx.message.contains("condition still false"),
+        "unexpected: {cx}"
+    );
+}

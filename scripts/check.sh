@@ -16,6 +16,20 @@ cargo clippy --workspace --all-targets -- -D warnings || exit 1
 echo "== tests =="
 cargo test -q || exit 1
 
+echo "== xlint (workspace policy lint) =="
+# Source-level policy rules (raw-sync, safety-comment, no-unwrap,
+# timestamp-in-key); nonzero exit on any finding.
+cargo run -q -p warpstl-cli -- xlint || exit 1
+
+echo "== model checker (schedule exploration) =="
+# The cfg(warpstl_model) build routes every warpstl-sync primitive through
+# the schedule-exploring checker; these suites prove the serve-queue and
+# store-commit invariants over all interleavings (own target dir so the
+# RUSTFLAGS change does not invalidate the normal build's cache).
+RUSTFLAGS="--cfg warpstl_model" CARGO_TARGET_DIR=target/model-cfg \
+    cargo test -q -p warpstl-sync -p warpstl-serve -p warpstl-store \
+    --test model || exit 1
+
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q || exit 1
 
