@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use warpstl_analyze::Scoap;
 use warpstl_bench::{compact_group, Scale};
+use warpstl_campaign::{run_campaign, CampaignConfig, CampaignSpec};
 use warpstl_core::{Compactor, StageTimings};
 use warpstl_fault::{
     fault_simulate, fault_simulate_guided, fault_simulate_observed, fault_simulate_reference,
@@ -479,6 +480,90 @@ fn measure_cache() -> CacheResult {
     }
 }
 
+struct CampaignResult {
+    cells: usize,
+    jobs: usize,
+    cold_s: f64,
+    warm_s: f64,
+    identical: bool,
+    warm_hits: u64,
+    cold_writes: u64,
+}
+
+/// Cold-vs-warm run of a small campaign matrix (2 modules × 2 lane shapes
+/// × both fault models) against one on-disk artifact store: the cold run
+/// populates the store cell by cell, the warm rerun must replay it while
+/// reproducing the campaign report byte-for-byte.
+fn measure_campaign() -> CampaignResult {
+    let dir = std::env::temp_dir().join(format!("warpstl-bench-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = CampaignSpec::parse(
+        r#"{
+            "name": "bench",
+            "modules": ["decoder_unit", "sfu"],
+            "lanes": [8, 16],
+            "fault_models": ["stuck-at", "bridging"],
+            "sb_count": 3,
+            "bridge_pairs": 32
+        }"#,
+    )
+    .expect("bench campaign spec");
+    let jobs = 2usize;
+
+    // Each run opens its own store handle so the session counters are
+    // per-run, but both point at the same directory.
+    let run = || {
+        let store = Arc::new(Store::open(&dir).expect("open bench campaign cache dir"));
+        let start = Instant::now();
+        let report = run_campaign(
+            &spec,
+            &CampaignConfig {
+                jobs,
+                store: Some(store.clone()),
+                ..CampaignConfig::default()
+            },
+        );
+        let wall = start.elapsed().as_secs_f64();
+        (wall, report, store.session())
+    };
+
+    let (cold_s, cold_report, cold_stats) = run();
+    assert_eq!(
+        cold_report.ok_count(),
+        cold_report.cells.len(),
+        "a campaign cell failed in the bench matrix"
+    );
+    eprintln!(
+        "[bench_fsim]   cold {cold_s:.4}s ({} cell(s), {} write(s))",
+        cold_report.cells.len(),
+        cold_stats.writes
+    );
+    let (warm_s, warm_report, warm_stats) = run();
+    eprintln!(
+        "[bench_fsim]   warm {warm_s:.4}s ({} hit(s), {:.2}x)",
+        warm_stats.hits,
+        cold_s / warm_s
+    );
+
+    let identical = cold_report.to_json() == warm_report.to_json();
+    assert!(
+        identical,
+        "warm campaign rerun diverged from the cold report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CampaignResult {
+        cells: cold_report.cells.len(),
+        jobs,
+        cold_s,
+        warm_s,
+        identical,
+        warm_hits: warm_stats.hits,
+        cold_writes: cold_stats.writes,
+    }
+}
+
 /// Times the single-thread engine with a no-op `Obs` handle vs a live
 /// recorder on the DU module: the guard for the "zero cost when disabled"
 /// claim (and an upper bound on the enabled overhead).
@@ -561,6 +646,9 @@ fn main() {
 
     eprintln!("[bench_fsim] cold vs warm artifact cache (DU group)");
     let cache = measure_cache();
+
+    eprintln!("[bench_fsim] cold vs warm campaign matrix (2 modules x 2 shapes x 2 models)");
+    let campaign = measure_campaign();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -789,6 +877,24 @@ fn main() {
     let _ = writeln!(json, "    \"cold_writes\": {},", cache.cold_writes);
     let _ = writeln!(json, "    \"warm_hits\": {},", cache.warm_hits);
     let _ = writeln!(json, "    \"warm_misses\": {}", cache.warm_misses);
+    json.push_str("  },\n");
+    json.push_str("  \"campaign\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"an 8-cell campaign matrix (decoder_unit+sfu x 8/16 lanes x stuck-at/bridging) run cold then warm against one artifact store with 2 workers; report_identical asserts the warm campaign report matches the cold one byte-for-byte\","
+    );
+    let _ = writeln!(json, "    \"cells\": {},", campaign.cells);
+    let _ = writeln!(json, "    \"jobs\": {},", campaign.jobs);
+    let _ = writeln!(json, "    \"cold_s\": {:.6},", campaign.cold_s);
+    let _ = writeln!(json, "    \"warm_s\": {:.6},", campaign.warm_s);
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3},",
+        campaign.cold_s / campaign.warm_s
+    );
+    let _ = writeln!(json, "    \"report_identical\": {},", campaign.identical);
+    let _ = writeln!(json, "    \"cold_writes\": {},", campaign.cold_writes);
+    let _ = writeln!(json, "    \"warm_hits\": {}", campaign.warm_hits);
     json.push_str("  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fsim.json");

@@ -6,7 +6,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use warpstl_core::Compactor;
-use warpstl_fault::{FaultSimConfig, FaultUniverse, SimBackend};
+use warpstl_fault::{
+    BridgeConfig, BridgeUniverse, FaultModel, FaultSimConfig, FaultUniverse, SimBackend,
+};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::GateKind;
 use warpstl_obs::Recorder;
@@ -30,6 +32,7 @@ usage:
                       [--no-prune] [--trace-out FILE] [--json FILE]
                       [--cache-dir DIR] [--no-cache]
                       [--sim-backend auto|event|kernel]
+                      [--fault-model stuck-at|bridging] [--lanes 8|16|32]
   warpstl compact-stl <STL-FILE> [--out FILE] [--no-prune]
                       [--trace-out FILE]
                       [--json FILE] [--cache-dir DIR] [--no-cache]
@@ -38,9 +41,17 @@ usage:
   warpstl lint        <PTP-FILE> [--json]
   warpstl analyze     <MODULE> [--json] [--implications]
                       [--sim-backend auto|event|kernel]
+                      [--fault-model stuck-at|bridging] [--lanes 8|16|32]
                       (a module name from `warpstl modules`, or the
                        `comb-loop` / `undriven` / `redundant-logic`
                        demo fixtures)
+  warpstl campaign    <SPEC-FILE> [--jobs N] [--json FILE]
+                      [--cache-dir DIR] [--no-cache] [--trace-out FILE]
+                      (runs the spec's scenario matrix — module x lanes x
+                       fault model x backend x drop mode — over a bounded
+                       worker pool with one shared artifact store; the
+                       --json report is byte-identical for any --jobs
+                       value and across warm-cache reruns)
   warpstl run         <PTP-FILE> [--trace]
   warpstl patterns    <PTP-FILE> --out-dir DIR
   warpstl modules
@@ -64,7 +75,13 @@ variable applies when the flag is absent.
 pruning: compact and compact-stl drop faults the static implication
 engine proves untestable before simulating; --no-prune keeps them in the
 universe (detected-fault sets and report JSON are identical either way —
-the proofs are sound, so pruned faults were never detectable).";
+the proofs are sound, so pruned faults were never detectable).
+
+fault models: --fault-model picks the simulated fault universe:
+`stuck-at` (default; untestability proofs and pruning apply) or
+`bridging` (wired-AND/OR faults over a deterministically sampled set of
+adjacent net pairs). --lanes overrides the GPU shape (SP lanes per SM);
+the two compose freely with caching — cache keys absorb both.";
 
 /// Parses and runs one invocation.
 pub fn dispatch(args: &[String]) -> CliResult {
@@ -76,6 +93,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("cache") => cache(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("patterns") => patterns(&args[1..]),
         Some("modules") => modules(),
@@ -144,6 +162,18 @@ fn resolve_sim_backend(flags: &Flags) -> SimBackend {
             );
             SimBackend::Auto
         }),
+    }
+}
+
+/// Resolves `--fault-model` for one invocation. Unlike `--sim-backend`
+/// (a pure performance knob that degrades to `auto`), the fault model
+/// changes what is simulated, so an invalid value is an error, not a
+/// warning.
+fn resolve_fault_model(flags: &Flags) -> Result<FaultModel, Box<dyn Error>> {
+    match flags.value("--fault-model") {
+        None => Ok(FaultModel::StuckAt),
+        Some(v) => FaultModel::parse(v)
+            .ok_or_else(|| format!("invalid --fault-model `{v}` (stuck-at|bridging)").into()),
     }
 }
 
@@ -392,10 +422,13 @@ fn compact(args: &[String]) -> CliResult {
         .value("--trace-out")
         .map(|_| Arc::new(Recorder::new()));
     let store = open_store(&flags)?;
+    let lanes = flags.num("--lanes")?.map_or(0, |n| n as usize);
     let compactor = Compactor {
+        gpu: warpstl_core::gpu_for_lanes(lanes)?,
         reverse_patterns: flags.has("--reverse"),
         respect_arc: !flags.has("--no-arc"),
         prune_untestable: !flags.has("--no-prune"),
+        fault_model: resolve_fault_model(&flags)?,
         obs: recorder.clone(),
         store: store.clone(),
         fsim_config: FaultSimConfig {
@@ -480,6 +513,11 @@ fn lint(args: &[String]) -> CliResult {
 fn analyze(args: &[String]) -> CliResult {
     let name = args.first().ok_or("analyze: missing module name")?;
     let flags = Flags::new(&args[1..]);
+    // Netlists are shape-independent, but the lane override is validated
+    // here so `analyze --lanes 12` fails like any other job-layer caller.
+    let lanes = flags.num("--lanes")?.map_or(0, |n| n as usize);
+    let _ = warpstl_core::gpu_for_lanes(lanes)?;
+    let model = resolve_fault_model(&flags)?;
     let netlist = warpstl_core::jobs::netlist_by_name(name)?;
     let analysis = warpstl_analyze::analyze(&netlist);
     if flags.has("--json") {
@@ -520,20 +558,32 @@ fn analyze(args: &[String]) -> CliResult {
         // defined on netlists that pass the lint gate — that is what the
         // gate protects the pipeline from.
         if analysis.is_clean() {
-            let universe = FaultUniverse::enumerate(&netlist);
-            let dominance = universe.dominance(&netlist);
-            println!(
-                "faults     {} total, {} after equivalence ({:.1} %)",
-                universe.total_len(),
-                universe.collapsed_len(),
-                universe.collapse_ratio() * 100.0
-            );
-            println!(
-                "dominance  {} direct + {} dominated ({:.1} % of classes simulated)",
-                dominance.direct().len(),
-                dominance.removed().len(),
-                dominance.reduction_ratio() * 100.0
-            );
+            match model {
+                FaultModel::StuckAt => {
+                    let universe = FaultUniverse::enumerate(&netlist);
+                    let dominance = universe.dominance(&netlist);
+                    println!(
+                        "faults     {} total, {} after equivalence ({:.1} %)",
+                        universe.total_len(),
+                        universe.collapsed_len(),
+                        universe.collapse_ratio() * 100.0
+                    );
+                    println!(
+                        "dominance  {} direct + {} dominated ({:.1} % of classes simulated)",
+                        dominance.direct().len(),
+                        dominance.removed().len(),
+                        dominance.reduction_ratio() * 100.0
+                    );
+                }
+                FaultModel::Bridging => {
+                    let universe = BridgeUniverse::sample(&netlist, &BridgeConfig::default());
+                    println!(
+                        "bridges    {} wired-AND/OR fault(s) over {} sampled net pair(s)",
+                        universe.len(),
+                        universe.candidate_pairs()
+                    );
+                }
+            }
         }
         println!("{}", analysis.report);
     }
@@ -705,6 +755,44 @@ fn serve(args: &[String]) -> CliResult {
         println!("serving on http://{addr}");
     })?;
     println!("drained");
+    Ok(())
+}
+
+/// Runs a campaign spec: expands the scenario matrix, fans the cells out
+/// over a bounded worker pool sharing one warm artifact store, prints the
+/// per-cell table plus the best-shape aggregates, and writes the
+/// deterministic report JSON. Failed cells (bad GPU shape, compaction
+/// failure) are error rows, not fatal — the command only exits nonzero
+/// when *no* cell completed (or on spec/IO errors).
+fn campaign(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("campaign: missing SPEC file")?;
+    let flags = Flags::new(&args[1..]);
+    let spec = warpstl_campaign::CampaignSpec::parse(&fs::read_to_string(path)?)
+        .map_err(|e| format!("campaign spec {path}: {e}"))?;
+    let store = open_store(&flags)?;
+    let recorder = flags
+        .value("--trace-out")
+        .map(|_| Arc::new(Recorder::new()));
+    let config = warpstl_campaign::CampaignConfig {
+        jobs: flags.num("--jobs")?.map_or(0, |n| n as usize),
+        store: store.clone(),
+        obs: recorder.clone(),
+    };
+    let report = warpstl_campaign::run_campaign(&spec, &config);
+    print!("{report}");
+    if let Some(st) = store.as_deref() {
+        print_cache_line(st);
+    }
+    if let Some(out) = flags.value("--json") {
+        atomic_write(out, report.to_json().as_bytes())?;
+        eprintln!("wrote {out}");
+    }
+    if let (Some(trace_path), Some(rec)) = (flags.value("--trace-out"), recorder.as_deref()) {
+        write_trace(trace_path, rec)?;
+    }
+    if report.ok_count() == 0 {
+        return Err(format!("campaign {}: every cell failed", spec.name).into());
+    }
     Ok(())
 }
 
@@ -1048,6 +1136,135 @@ mod tests {
 
         // `analyze` accepts the flag too and reports the resolved backend.
         dispatch(&s(&["analyze", "decoder_unit", "--sim-backend", "event"])).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_model_and_lanes_flags_reshape_compact() {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-cli-model-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let ptp_path = dir.join("imm.ptp");
+        dispatch(&s(&[
+            "generate",
+            "IMM",
+            "--sb-count",
+            "4",
+            "--out",
+            ptp_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let sa = dir.join("sa.json");
+        let bridge = dir.join("bridge.json");
+        dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--fault-model",
+            "stuck-at",
+            "--lanes",
+            "16",
+            "--json",
+            sa.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--fault-model",
+            "bridging",
+            "--json",
+            bridge.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let bridge_json = fs::read_to_string(&bridge).unwrap();
+        // Bridging never claims stuck-at untestability proofs.
+        assert!(bridge_json.contains("\"untestable\": 0"), "{bridge_json}");
+        assert_ne!(fs::read_to_string(&sa).unwrap(), bridge_json);
+
+        // Invalid values are hard errors, not silent fallbacks.
+        assert!(dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--fault-model",
+            "transient"
+        ]))
+        .is_err());
+        assert!(dispatch(&s(&[
+            "compact",
+            ptp_path.to_str().unwrap(),
+            "--lanes",
+            "12"
+        ]))
+        .is_err());
+
+        // `analyze` takes both flags; bad shapes fail there identically.
+        dispatch(&s(&[
+            "analyze",
+            "decoder_unit",
+            "--fault-model",
+            "bridging",
+            "--lanes",
+            "32",
+        ]))
+        .unwrap();
+        assert!(dispatch(&s(&["analyze", "decoder_unit", "--lanes", "12"])).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_runs_a_matrix_deterministically() {
+        let dir =
+            std::env::temp_dir().join(format!("warpstl-cli-campaign-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        fs::write(
+            &spec_path,
+            r#"{"name": "cli-smoke", "modules": ["decoder_unit"], "lanes": [8, 16], "sb_count": 3}"#,
+        )
+        .unwrap();
+
+        let cache = dir.join("cache");
+        let r1 = dir.join("r1.json");
+        let r2 = dir.join("r2.json");
+        for (jobs, out) in [("1", &r1), ("4", &r2)] {
+            dispatch(&s(&[
+                "campaign",
+                spec_path.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "--cache-dir",
+                cache.to_str().unwrap(),
+                "--json",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let cold = fs::read_to_string(&r1).unwrap();
+        let warm = fs::read_to_string(&r2).unwrap();
+        assert_eq!(cold, warm, "--jobs 1 cold vs --jobs 4 warm report JSON");
+        assert!(cold.contains("\"campaign\": \"cli-smoke\""));
+        assert!(cold.contains("\"cells_total\": 2"));
+        assert!(cold.contains("\"best_shape\""));
+
+        // Spec and file errors are surfaced.
+        assert!(dispatch(&s(&["campaign"])).is_err());
+        assert!(dispatch(&s(&["campaign", "/nonexistent/spec.json"])).is_err());
+        let bad = dir.join("bad.json");
+        fs::write(&bad, r#"{"modules": []}"#).unwrap();
+        assert!(dispatch(&s(&["campaign", bad.to_str().unwrap()])).is_err());
+
+        // A matrix with no completable cell exits nonzero.
+        let doomed = dir.join("doomed.json");
+        fs::write(
+            &doomed,
+            r#"{"modules": ["decoder_unit"], "lanes": [12], "sb_count": 3}"#,
+        )
+        .unwrap();
+        let err = dispatch(&s(&["campaign", doomed.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("every cell failed"), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,7 +4,8 @@ use std::sync::Arc;
 
 use warpstl_analyze::{analyze, Analysis};
 use warpstl_fault::{
-    DominanceView, Fault, FaultId, FaultList, FaultSite, FaultUniverse, Polarity, SimGuide,
+    BridgeConfig, BridgeList, BridgeUniverse, DominanceView, Fault, FaultId, FaultList, FaultModel,
+    FaultSite, FaultUniverse, Polarity, SimGuide,
 };
 use warpstl_gpu::ModulePatterns;
 use warpstl_netlist::modules::ModuleKind;
@@ -47,6 +48,21 @@ pub struct ModuleContext {
     prune: bool,
     store: Option<Arc<Store>>,
     netlist_key: Key,
+    /// The active fault model; the bridging state below is populated iff
+    /// this is [`FaultModel::Bridging`].
+    model: FaultModel,
+    bridge: Option<BridgeState>,
+}
+
+/// The bridging counterpart of the stuck-at `universe` + `lists` pair: a
+/// deterministically sampled two-net bridge universe and one dropping
+/// [`BridgeList`] per instance. Untestability proofs and dominance are
+/// stuck-at constructs, so bridging lists carry neither — every sampled
+/// bridge counts in the coverage denominator.
+#[derive(Debug, Clone)]
+struct BridgeState {
+    universe: BridgeUniverse,
+    lists: Vec<BridgeList>,
 }
 
 /// Maps the analyzer's per-site untestability proofs and equivalence
@@ -155,7 +171,82 @@ impl ModuleContext {
             prune: true,
             store: None,
             netlist_key,
+            model: FaultModel::StuckAt,
+            bridge: None,
         }
+    }
+
+    /// Selects the fault model. [`FaultModel::Bridging`] samples the
+    /// two-net bridge universe (deterministic in `config`) and replaces
+    /// the per-instance ledgers with [`BridgeList`]s; the stuck-at
+    /// universe and analysis products stay available (the analyze gate is
+    /// model-independent). [`FaultModel::StuckAt`] restores the default.
+    #[must_use]
+    pub fn with_model(mut self, model: FaultModel, config: &BridgeConfig) -> ModuleContext {
+        self.model = model;
+        self.bridge = match model {
+            FaultModel::StuckAt => None,
+            FaultModel::Bridging => {
+                let universe = BridgeUniverse::sample(&self.netlist, config);
+                let lists = (0..self.lists.len()).map(|_| universe.new_list()).collect();
+                Some(BridgeState { universe, lists })
+            }
+        };
+        self
+    }
+
+    /// The active fault model.
+    #[must_use]
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The sampled bridge universe (bridging model only).
+    #[must_use]
+    pub fn bridge_universe(&self) -> Option<&BridgeUniverse> {
+        self.bridge.as_ref().map(|b| &b.universe)
+    }
+
+    /// The shared bridge list of instance `i` (bridging model only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context is not in bridging mode.
+    #[must_use]
+    pub fn bridge_list(&self, i: usize) -> &BridgeList {
+        &self.bridge.as_ref().expect("bridging model").lists[i]
+    }
+
+    /// Splits the borrow for the bridging model: the shared netlist and
+    /// cache handle alongside all per-instance bridge lists — the
+    /// bridging counterpart of [`netlist_and_lists_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context is not in bridging mode.
+    ///
+    /// [`netlist_and_lists_mut`]: ModuleContext::netlist_and_lists_mut
+    pub fn bridge_netlist_and_lists_mut(&mut self) -> (&Netlist, &mut [BridgeList], CacheCtx<'_>) {
+        let cache = CacheCtx {
+            store: self.store.as_deref(),
+            netlist_key: self.netlist_key,
+        };
+        let bridge = self.bridge.as_mut().expect("bridging model");
+        (&self.netlist, &mut bridge.lists, cache)
+    }
+
+    /// Fresh bridge lists over the sampled universe (for standalone
+    /// evaluations in bridging mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the context is not in bridging mode.
+    #[must_use]
+    pub fn fresh_bridge_lists(&self) -> Vec<BridgeList> {
+        let bridge = self.bridge.as_ref().expect("bridging model");
+        (0..self.instances())
+            .map(|_| bridge.universe.new_list())
+            .collect()
     }
 
     /// Enables or disables static pruning: when disabled, the simulation
@@ -252,10 +343,14 @@ impl ModuleContext {
         &self.untestable
     }
 
-    /// Number of collapsed classes statically proven untestable.
+    /// Number of fault classes statically proven untestable. The proofs
+    /// are stuck-at constructs; in bridging mode this is always 0.
     #[must_use]
     pub fn untestable_count(&self) -> usize {
-        self.untestable.iter().filter(|&&u| u).count()
+        match self.model {
+            FaultModel::StuckAt => self.untestable.iter().filter(|&&u| u).count(),
+            FaultModel::Bridging => 0,
+        }
     }
 
     /// Whether the simulation guide prunes proven-untestable classes.
@@ -339,19 +434,30 @@ impl ModuleContext {
     }
 
     /// Aggregate fault coverage across all instances (weighted over the
-    /// full universe of every instance).
+    /// full universe of every instance), under the active fault model.
     #[must_use]
     pub fn coverage(&self) -> f64 {
+        if let Some(bridge) = &self.bridge {
+            if bridge.lists.is_empty() {
+                return 0.0;
+            }
+            return bridge.lists.iter().map(BridgeList::coverage).sum::<f64>()
+                / bridge.lists.len() as f64;
+        }
         if self.lists.is_empty() {
             return 0.0;
         }
         self.lists.iter().map(FaultList::coverage).sum::<f64>() / self.lists.len() as f64
     }
 
-    /// Total faults across instances (the paper counts the functional
-    /// units' faults over all 8 SP cores / 2 SFUs).
+    /// Total faults across instances under the active fault model (the
+    /// paper counts the functional units' faults over all 8 SP cores /
+    /// 2 SFUs).
     #[must_use]
     pub fn total_faults(&self) -> u64 {
+        if let Some(bridge) = &self.bridge {
+            return bridge.lists.iter().map(BridgeList::total_weight).sum();
+        }
         self.lists
             .iter()
             .map(warpstl_fault::FaultList::total_weight)

@@ -15,7 +15,8 @@
 
 use std::sync::Arc;
 
-use warpstl_fault::{FaultSimConfig, SimBackend};
+use warpstl_fault::{BridgeConfig, FaultModel, FaultSimConfig, SimBackend};
+use warpstl_gpu::{Gpu, GpuConfig};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::Netlist;
 use warpstl_obs::Recorder;
@@ -43,6 +44,19 @@ pub struct JobOptions {
     /// (environment, then host parallelism). A serving front-end sets this
     /// to its per-worker share so the pool does not oversubscribe.
     pub threads: usize,
+    /// GPU shape override: the number of SP lanes per SM (`--lanes`).
+    /// `0` keeps the default shape; otherwise it must be one of the
+    /// FlexGripPlus options (8, 16 or 32) — anything else is a
+    /// [`JobError::BadRequest`].
+    pub lanes: usize,
+    /// The fault model to compact against (`--fault-model`).
+    pub fault_model: FaultModel,
+    /// Candidate net-pair budget for the bridging universe (`0` keeps the
+    /// model's default); ignored under stuck-at.
+    pub bridge_pairs: usize,
+    /// Drop detected faults between patterns (on by default; clearing it
+    /// also disables early exit, so tallies cover the full sequence).
+    pub drop_detected: bool,
 }
 
 impl Default for JobOptions {
@@ -53,25 +67,58 @@ impl Default for JobOptions {
             prune: true,
             backend: SimBackend::Auto,
             threads: 0,
+            lanes: 0,
+            fault_model: FaultModel::StuckAt,
+            bridge_pairs: 0,
+            drop_detected: true,
         }
     }
 }
 
+/// The GPU shape for a lane-count override: `0` is the default shape,
+/// 8/16/32 are the FlexGripPlus configurations.
+///
+/// # Errors
+///
+/// [`JobError::BadRequest`] on any other lane count — validated here so
+/// job submission never reaches [`GpuConfig::with_sp_cores`]'s panic.
+pub fn gpu_for_lanes(lanes: usize) -> Result<Gpu, JobError> {
+    match lanes {
+        0 => Ok(Gpu::default()),
+        8 | 16 | 32 => Ok(Gpu::new(GpuConfig::with_sp_cores(lanes))),
+        other => Err(JobError::BadRequest(format!(
+            "invalid lane count {other} (expected 8, 16 or 32)"
+        ))),
+    }
+}
+
 impl JobOptions {
-    fn compactor(&self, store: Option<Arc<Store>>, obs: Option<Arc<Recorder>>) -> Compactor {
-        Compactor {
+    fn compactor(
+        &self,
+        store: Option<Arc<Store>>,
+        obs: Option<Arc<Recorder>>,
+    ) -> Result<Compactor, JobError> {
+        let gpu = gpu_for_lanes(self.lanes)?;
+        let mut bridge_config = BridgeConfig::default();
+        if self.bridge_pairs != 0 {
+            bridge_config.pairs = self.bridge_pairs;
+        }
+        Ok(Compactor {
+            gpu,
             reverse_patterns: self.reverse,
             respect_arc: self.respect_arc,
             prune_untestable: self.prune,
+            fault_model: self.fault_model,
+            bridge_config,
             obs,
             store,
             fsim_config: FaultSimConfig {
                 backend: self.backend,
                 threads: self.threads,
-                ..FaultSimConfig::default()
+                drop_detected: self.drop_detected,
+                early_exit: self.drop_detected,
             },
-            ..Compactor::default()
-        }
+        })
     }
 }
 
@@ -105,6 +152,10 @@ pub struct CompactJobResult {
     pub compacted: String,
     /// [`CompactionReport::to_json`] verbatim.
     pub report_json: String,
+    /// The structured report the JSON was rendered from, for callers
+    /// (like the campaign runner) that aggregate across jobs without
+    /// re-parsing their own output.
+    pub report: CompactionReport,
 }
 
 /// The result of a [`compact_stl_job`]: the compacted STL text plus the
@@ -142,7 +193,7 @@ pub fn compact_job(
     obs: Option<Arc<Recorder>>,
 ) -> Result<CompactJobResult, JobError> {
     let ptp = ptp_from_text(ptp_text).map_err(|e| JobError::BadRequest(e.to_string()))?;
-    let compactor = opts.compactor(store, obs);
+    let compactor = opts.compactor(store, obs)?;
     let mut ctx = compactor.context_for(ptp.target);
     let out = compactor
         .compact(&ptp, &mut ctx)
@@ -150,6 +201,7 @@ pub fn compact_job(
     Ok(CompactJobResult {
         compacted: ptp_to_text(&out.compacted),
         report_json: out.report.to_json(),
+        report: out.report,
     })
 }
 
@@ -169,9 +221,10 @@ pub fn compact_stl_job(
     obs: Option<Arc<Recorder>>,
 ) -> Result<StlJobResult, JobError> {
     let stl = stl_from_text(stl_text).map_err(|e| JobError::BadRequest(e.to_string()))?;
+    let base = opts.compactor(store, obs)?;
     let outcome = compact_stl_with(&stl, |module| Compactor {
         reverse_patterns: module == ModuleKind::Sfu,
-        ..opts.compactor(store.clone(), obs.clone())
+        ..base.clone()
     })
     .map_err(|e| JobError::Failed(e.to_string()))?;
     Ok(StlJobResult {
@@ -212,12 +265,17 @@ pub fn netlist_by_name(name: &str) -> Result<Netlist, JobError> {
 }
 
 /// Statically analyzes one module by name, returning the analyze report
-/// JSON — the CLI's `analyze --json` output.
+/// JSON — the CLI's `analyze --json` output. `lanes` is the GPU shape
+/// override (`0` for the default); module netlists are shape-independent,
+/// but the parameter is validated here so a campaign cell with a bad
+/// shape fails identically whichever job it reaches first.
 ///
 /// # Errors
 ///
-/// [`JobError::BadRequest`] when the module name is unknown.
-pub fn analyze_job(module: &str) -> Result<GateJobResult, JobError> {
+/// [`JobError::BadRequest`] when the module name is unknown or `lanes`
+/// is not 0, 8, 16 or 32.
+pub fn analyze_job(module: &str, lanes: usize) -> Result<GateJobResult, JobError> {
+    let _ = gpu_for_lanes(lanes)?;
     let netlist = netlist_by_name(module)?;
     let analysis = warpstl_analyze::analyze(&netlist);
     Ok(GateJobResult {
@@ -294,15 +352,82 @@ mod tests {
         ));
         assert!(matches!(lint_job("garbage"), Err(JobError::BadRequest(_))));
         assert!(matches!(
-            analyze_job("warp_scheduler"),
+            analyze_job("warp_scheduler", 0),
             Err(JobError::BadRequest(_))
         ));
     }
 
     #[test]
+    fn invalid_lane_counts_are_bad_requests() {
+        for lanes in [1, 7, 12, 64] {
+            assert!(matches!(gpu_for_lanes(lanes), Err(JobError::BadRequest(_))));
+            assert!(matches!(
+                analyze_job("decoder_unit", lanes),
+                Err(JobError::BadRequest(_))
+            ));
+            let opts = JobOptions {
+                lanes,
+                ..JobOptions::default()
+            };
+            assert!(matches!(
+                compact_job(&imm_text(4), &opts, None, None),
+                Err(JobError::BadRequest(_))
+            ));
+        }
+        assert_eq!(gpu_for_lanes(0).unwrap().config.sp_cores, 8);
+        assert_eq!(gpu_for_lanes(16).unwrap().config.sp_cores, 16);
+    }
+
+    #[test]
+    fn lane_override_reshapes_the_compaction_job() {
+        use warpstl_programs::generators::{generate_rand_sp, RandConfig};
+        let text = ptp_to_text(&generate_rand_sp(&RandConfig {
+            sb_count: 4,
+            ..RandConfig::default()
+        }));
+        let narrow = compact_job(
+            &text,
+            &JobOptions {
+                lanes: 8,
+                ..JobOptions::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        let wide = compact_job(
+            &text,
+            &JobOptions {
+                lanes: 32,
+                ..JobOptions::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        // More lanes execute a warp in fewer passes: the traced duration
+        // shrinks, and the structured report rides along on the result.
+        assert!(wide.report.original_duration < narrow.report.original_duration);
+        assert_eq!(narrow.report_json, narrow.report.to_json());
+    }
+
+    #[test]
+    fn bridging_model_compacts_through_the_job_surface() {
+        let opts = JobOptions {
+            fault_model: FaultModel::Bridging,
+            ..JobOptions::default()
+        };
+        let out = compact_job(&imm_text(6), &opts, None, None).unwrap();
+        // Untestability proofs are stuck-at constructs; bridging reports
+        // must not claim any.
+        assert_eq!(out.report.untestable, 0);
+        assert!(out.report.fc_before > 0.0, "{}", out.report.fc_before);
+    }
+
+    #[test]
     fn gate_jobs_report_cleanliness_without_erroring() {
-        assert!(analyze_job("decoder_unit").unwrap().clean);
-        let dirty = analyze_job("comb-loop").unwrap();
+        assert!(analyze_job("decoder_unit", 0).unwrap().clean);
+        let dirty = analyze_job("comb-loop", 32).unwrap();
         assert!(!dirty.clean);
         assert!(dirty.report_json.contains("comb"));
         assert!(lint_job(&imm_text(4)).unwrap().clean);

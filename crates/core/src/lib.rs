@@ -74,8 +74,8 @@ pub use warpstl_sync::env;
 pub use context::ModuleContext;
 pub use error::CompactionError;
 pub use jobs::{
-    analyze_job, compact_job, compact_stl_job, lint_job, netlist_by_name, stl_report_array,
-    CompactJobResult, GateJobResult, JobError, JobOptions, StlJobResult,
+    analyze_job, compact_job, compact_stl_job, gpu_for_lanes, lint_job, netlist_by_name,
+    stl_report_array, CompactJobResult, GateJobResult, JobError, JobOptions, StlJobResult,
 };
 pub use label::{label_instructions, Labels};
 pub use pipeline::{CompactionOutcome, Compactor};

@@ -4,13 +4,15 @@ use std::borrow::Cow;
 use std::sync::Arc;
 use std::time::Instant;
 
-use warpstl_fault::{FaultList, FaultSimConfig, FaultSimReport, SimGuide};
+use warpstl_fault::{
+    BridgeConfig, BridgeList, FaultList, FaultModel, FaultSimConfig, FaultSimReport, SimGuide,
+};
 use warpstl_gpu::{Gpu, RunOptions, RunResult, SimError};
 use warpstl_netlist::modules::ModuleKind;
 use warpstl_netlist::{Netlist, PatternSeq};
 use warpstl_obs::{Metrics, Obs, ObsExt, Recorder};
 use warpstl_programs::{ArcAnalysis, BasicBlocks, Ptp};
-use warpstl_store::{cached_analyze, cached_fault_sim, CacheCtx, Store};
+use warpstl_store::{cached_analyze, cached_bridge_sim, cached_fault_sim, CacheCtx, Store};
 use warpstl_verify::{verify_reduction_observed, Severity, VerifyOptions};
 
 use crate::{
@@ -26,15 +28,17 @@ use crate::{
 /// instance- and batch-level parallelism compose instead of oversubscribing.
 /// Reports and list updates are bit-identical to a serial instance loop:
 /// each instance owns its list, and results are collected in instance order.
-fn simulate_instances(
-    netlist: &Netlist,
+fn simulate_instances_with<L, F>(
     streams: &[Cow<'_, PatternSeq>],
-    lists: &mut [FaultList],
+    lists: &mut [L],
     config: &FaultSimConfig,
     obs: Obs<'_>,
-    guide: SimGuide<'_>,
-    cache: CacheCtx<'_>,
-) -> Vec<Option<FaultSimReport>> {
+    sim: F,
+) -> Vec<Option<FaultSimReport>>
+where
+    L: Send,
+    F: Fn(&PatternSeq, &mut L, &FaultSimConfig) -> FaultSimReport + Sync,
+{
     debug_assert_eq!(streams.len(), lists.len());
     let active = streams.iter().filter(|s| !s.is_empty()).count();
     let budget = config.resolved_threads();
@@ -49,37 +53,55 @@ fn simulate_instances(
         return streams
             .iter()
             .zip(lists.iter_mut())
-            .map(|(s, list)| {
-                (!s.is_empty()).then(|| {
-                    cached_fault_sim(cache, netlist, s.as_ref(), list, &per_instance, obs, &guide)
-                })
-            })
+            .map(|(s, list)| (!s.is_empty()).then(|| sim(s.as_ref(), list, &per_instance)))
             .collect();
     }
+    let sim = &sim;
+    let per_instance = &per_instance;
     std::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
             .zip(lists.iter_mut())
             .map(|(s, list)| {
-                (!s.is_empty()).then(|| {
-                    scope.spawn(move || {
-                        cached_fault_sim(
-                            cache,
-                            netlist,
-                            s.as_ref(),
-                            list,
-                            &per_instance,
-                            obs,
-                            &guide,
-                        )
-                    })
-                })
+                (!s.is_empty()).then(|| scope.spawn(move || sim(s.as_ref(), list, per_instance)))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.map(|h| h.join().expect("fault-sim worker panicked")))
             .collect()
+    })
+}
+
+/// The stuck-at instantiation: each instance runs through
+/// [`cached_fault_sim`] with the shared simulation guide.
+fn simulate_instances(
+    netlist: &Netlist,
+    streams: &[Cow<'_, PatternSeq>],
+    lists: &mut [FaultList],
+    config: &FaultSimConfig,
+    obs: Obs<'_>,
+    guide: SimGuide<'_>,
+    cache: CacheCtx<'_>,
+) -> Vec<Option<FaultSimReport>> {
+    simulate_instances_with(streams, lists, config, obs, |s, list, cfg| {
+        cached_fault_sim(cache, netlist, s, list, cfg, obs, &guide)
+    })
+}
+
+/// The bridging instantiation: each instance runs through
+/// [`cached_bridge_sim`] (no guide — dominance and untestability proofs
+/// are stuck-at constructs).
+fn simulate_bridge_instances(
+    netlist: &Netlist,
+    streams: &[Cow<'_, PatternSeq>],
+    lists: &mut [BridgeList],
+    config: &FaultSimConfig,
+    obs: Obs<'_>,
+    cache: CacheCtx<'_>,
+) -> Vec<Option<FaultSimReport>> {
+    simulate_instances_with(streams, lists, config, obs, |s, list, cfg| {
+        cached_bridge_sim(cache, netlist, s, list, cfg, obs)
     })
 }
 
@@ -96,6 +118,13 @@ pub struct Compactor {
     pub gpu: Gpu,
     /// Fault-simulation configuration (dropping on by default).
     pub fsim_config: FaultSimConfig,
+    /// The fault model the pipeline targets (stuck-at by default). The
+    /// bridging model replaces the collapsed stuck-at universe with a
+    /// deterministically sampled set of two-net wired-AND/OR bridges; the
+    /// trace/label/reduce/verify stages are model-agnostic.
+    pub fault_model: FaultModel,
+    /// Bridge-universe sampling parameters (bridging model only).
+    pub bridge_config: BridgeConfig,
     /// Apply the module patterns in reverse order during the fault
     /// simulation (the paper uses this for SFU_IMM).
     pub reverse_patterns: bool,
@@ -128,6 +157,8 @@ impl Default for Compactor {
         Compactor {
             gpu: Gpu::default(),
             fsim_config: FaultSimConfig::default(),
+            fault_model: FaultModel::default(),
+            bridge_config: BridgeConfig::default(),
             reverse_patterns: false,
             respect_arc: true,
             prune_untestable: true,
@@ -166,6 +197,7 @@ impl Compactor {
         ModuleContext::new(module, instances)
             .with_pruning(self.prune_untestable)
             .with_store(self.store.clone())
+            .with_model(self.fault_model, &self.bridge_config)
     }
 
     /// Runs `ptp` with the hardware monitor on (the stage-2 logic
@@ -202,16 +234,31 @@ impl Compactor {
             ctx.instances(),
             "context instance count must match the GPU configuration"
         );
-        let (netlist, lists, guide, cache) = ctx.netlist_and_lists_mut();
-        let reports = simulate_instances(
-            netlist,
-            &streams,
-            lists,
-            &self.fsim_config,
-            self.observer(),
-            guide,
-            cache,
-        );
+        let reports = match ctx.model() {
+            FaultModel::StuckAt => {
+                let (netlist, lists, guide, cache) = ctx.netlist_and_lists_mut();
+                simulate_instances(
+                    netlist,
+                    &streams,
+                    lists,
+                    &self.fsim_config,
+                    self.observer(),
+                    guide,
+                    cache,
+                )
+            }
+            FaultModel::Bridging => {
+                let (netlist, lists, cache) = ctx.bridge_netlist_and_lists_mut();
+                simulate_bridge_instances(
+                    netlist,
+                    &streams,
+                    lists,
+                    &self.fsim_config,
+                    self.observer(),
+                    cache,
+                )
+            }
+        };
         let mut merged = FaultSimReport::new();
         for report in reports.iter().flatten() {
             merged.merge(report);
@@ -401,9 +448,9 @@ impl Compactor {
     }
 
     /// The standalone fault coverage achieved by a traced run (fresh fault
-    /// lists, dropping within the run), instances simulated concurrently.
+    /// lists under the active model, dropping within the run), instances
+    /// simulated concurrently.
     fn standalone_coverage_of_run(&self, run: &RunResult, ctx: &ModuleContext) -> f64 {
-        let mut lists: Vec<FaultList> = ctx.fresh_lists();
         let cfg = FaultSimConfig {
             threads: self.fsim_config.threads,
             backend: self.fsim_config.backend,
@@ -414,16 +461,33 @@ impl Compactor {
             .into_iter()
             .map(Cow::Borrowed)
             .collect();
-        simulate_instances(
-            ctx.netlist(),
-            &streams,
-            &mut lists,
-            &cfg,
-            self.observer(),
-            ctx.sim_guide(),
-            ctx.cache_ctx(),
-        );
-        lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
+        match ctx.model() {
+            FaultModel::StuckAt => {
+                let mut lists: Vec<FaultList> = ctx.fresh_lists();
+                simulate_instances(
+                    ctx.netlist(),
+                    &streams,
+                    &mut lists,
+                    &cfg,
+                    self.observer(),
+                    ctx.sim_guide(),
+                    ctx.cache_ctx(),
+                );
+                lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64
+            }
+            FaultModel::Bridging => {
+                let mut lists: Vec<BridgeList> = ctx.fresh_bridge_lists();
+                simulate_bridge_instances(
+                    ctx.netlist(),
+                    &streams,
+                    &mut lists,
+                    &cfg,
+                    self.observer(),
+                    ctx.cache_ctx(),
+                );
+                lists.iter().map(BridgeList::coverage).sum::<f64>() / lists.len().max(1) as f64
+            }
+        }
     }
 
     /// Evaluates a PTP's Table I features: size, ARC fraction, duration and
@@ -453,11 +517,18 @@ impl Compactor {
     ///
     /// Propagates [`SimError`] from the GPU model.
     pub fn combined_coverage(&self, ptps: &[&Ptp], ctx: &ModuleContext) -> Result<f64, SimError> {
-        let mut lists: Vec<FaultList> = ctx.fresh_lists();
         let cfg = FaultSimConfig {
             threads: self.fsim_config.threads,
             backend: self.fsim_config.backend,
             ..FaultSimConfig::default()
+        };
+        let mut sa_lists: Vec<FaultList> = match ctx.model() {
+            FaultModel::StuckAt => ctx.fresh_lists(),
+            FaultModel::Bridging => Vec::new(),
+        };
+        let mut bridge_lists: Vec<BridgeList> = match ctx.model() {
+            FaultModel::StuckAt => Vec::new(),
+            FaultModel::Bridging => ctx.fresh_bridge_lists(),
         };
         for ptp in ptps {
             let run = self.trace(ptp)?;
@@ -466,17 +537,39 @@ impl Compactor {
                 .into_iter()
                 .map(Cow::Borrowed)
                 .collect();
-            simulate_instances(
-                ctx.netlist(),
-                &streams,
-                &mut lists,
-                &cfg,
-                self.observer(),
-                ctx.sim_guide(),
-                ctx.cache_ctx(),
-            );
+            match ctx.model() {
+                FaultModel::StuckAt => {
+                    simulate_instances(
+                        ctx.netlist(),
+                        &streams,
+                        &mut sa_lists,
+                        &cfg,
+                        self.observer(),
+                        ctx.sim_guide(),
+                        ctx.cache_ctx(),
+                    );
+                }
+                FaultModel::Bridging => {
+                    simulate_bridge_instances(
+                        ctx.netlist(),
+                        &streams,
+                        &mut bridge_lists,
+                        &cfg,
+                        self.observer(),
+                        ctx.cache_ctx(),
+                    );
+                }
+            }
         }
-        Ok(lists.iter().map(FaultList::coverage).sum::<f64>() / lists.len().max(1) as f64)
+        Ok(match ctx.model() {
+            FaultModel::StuckAt => {
+                sa_lists.iter().map(FaultList::coverage).sum::<f64>() / sa_lists.len().max(1) as f64
+            }
+            FaultModel::Bridging => {
+                bridge_lists.iter().map(BridgeList::coverage).sum::<f64>()
+                    / bridge_lists.len().max(1) as f64
+            }
+        })
     }
 }
 

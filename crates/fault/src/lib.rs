@@ -43,6 +43,7 @@
 //! assert!(report.total_detected() > 0);
 //! ```
 
+mod bridge;
 mod dominance;
 pub mod engine;
 mod fault;
@@ -53,6 +54,10 @@ mod sim;
 pub mod tdf;
 mod universe;
 
+pub use bridge::{
+    bridge_simulate, bridge_simulate_observed, BridgeConfig, BridgeFault, BridgeKind, BridgeList,
+    BridgeUniverse, FaultModel,
+};
 pub use dominance::DominanceView;
 pub use engine::host_parallelism;
 pub use fault::{Fault, FaultSite, Polarity};

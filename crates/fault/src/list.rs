@@ -30,6 +30,11 @@ pub enum FaultStatus {
 /// and PTPs applied to the same module only target those missing undetected
 /// faults."
 ///
+/// The ledger is generic over the fault type `F` so every fault model shares
+/// one detection/coverage/report machinery: stuck-at lists are
+/// `FaultList<Fault>` (the default), bridging lists are
+/// [`BridgeList`](crate::BridgeList) (`FaultList<BridgeFault>`).
+///
 /// # Examples
 ///
 /// ```
@@ -46,8 +51,8 @@ pub enum FaultStatus {
 /// assert_eq!(list.coverage(), 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct FaultList {
-    faults: Vec<Fault>,
+pub struct FaultList<F = Fault> {
+    faults: Vec<F>,
     status: Vec<FaultStatus>,
     weights: Vec<u32>,
     total_weight: u64,
@@ -68,6 +73,25 @@ impl FaultList {
             status: vec![FaultStatus::Undetected; n],
             weights,
             total_weight,
+            untestable: vec![false; n],
+            untestable_weight: 0,
+            current_run: 0,
+        }
+    }
+}
+
+impl<F> FaultList<F> {
+    /// A fresh unit-weight ledger over an arbitrary fault population (the
+    /// constructor the non-stuck-at models use; bridging faults carry no
+    /// equivalence-class collapsing, so every fault weighs 1).
+    #[must_use]
+    pub fn from_faults(faults: Vec<F>) -> FaultList<F> {
+        let n = faults.len();
+        FaultList {
+            faults,
+            status: vec![FaultStatus::Undetected; n],
+            weights: vec![1; n],
+            total_weight: n as u64,
             untestable: vec![false; n],
             untestable_weight: 0,
             current_run: 0,
@@ -124,12 +148,6 @@ impl FaultList {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
-    }
-
-    /// The fault with id `id`.
-    #[must_use]
-    pub fn fault(&self, id: FaultId) -> Fault {
-        self.faults[id]
     }
 
     /// The status of fault `id`.
@@ -214,7 +232,17 @@ impl FaultList {
         self.status.fill(FaultStatus::Undetected);
         self.current_run = 0;
     }
+}
 
+impl<F: Copy> FaultList<F> {
+    /// The fault with id `id`.
+    #[must_use]
+    pub fn fault(&self, id: FaultId) -> F {
+        self.faults[id]
+    }
+}
+
+impl<F: fmt::Display> FaultList<F> {
     /// Serializes the list as the paper's *fault list report*: one line per
     /// collapsed fault with its status.
     ///
@@ -297,7 +325,7 @@ impl FaultList {
     }
 }
 
-impl fmt::Display for FaultList {
+impl<F: fmt::Display> fmt::Display for FaultList<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let det = self.detected().count();
         write!(

@@ -1,0 +1,225 @@
+//! Bridging-model soundness properties:
+//!
+//! 1. On small random combinational netlists under **exhaustive** 2^n
+//!    stimulus, the parallel bridge simulator's detected set and
+//!    first-detection stamps match a trivial scalar oracle that re-evaluates
+//!    the whole netlist per fault per assignment with the wired value
+//!    forced at both endpoints.
+//! 2. The event and kernel bridge paths are **bit-identical** — same
+//!    report (detections, stamps, tallies) and same list state — in drop
+//!    and non-drop mode.
+//! 3. Non-drop per-pattern activation tallies equal the count of bridges
+//!    whose endpoint values differ under that assignment.
+
+use proptest::prelude::*;
+
+use warpstl_fault::{
+    bridge_simulate, BridgeConfig, BridgeFault, BridgeUniverse, FaultSimConfig, SimBackend,
+};
+use warpstl_netlist::{Builder, GateKind, NetId, Netlist, PatternSeq};
+
+/// One random gate: `kind` selects the operator, `a`/`b`/`c` pick operands
+/// among the already-built nets (mod current count) — the same construction
+/// as `kernel_prop`.
+type GateSpec = (u8, u8, u8, u8);
+
+fn build_netlist(n_inputs: usize, specs: &[GateSpec]) -> Netlist {
+    let mut b = Builder::new("prop");
+    let mut nets: Vec<NetId> = (0..n_inputs).map(|i| b.input(&format!("i{i}"))).collect();
+    for &(kind, a, bb, c) in specs {
+        let pick = |sel: u8| nets[sel as usize % nets.len()];
+        let (x, y, z) = (pick(a), pick(bb), pick(c));
+        let net = match kind % 9 {
+            0 => b.and(x, y),
+            1 => b.or(x, y),
+            2 => b.nand(x, y),
+            3 => b.nor(x, y),
+            4 => b.xor(x, y),
+            5 => b.xnor(x, y),
+            6 => b.not(x),
+            7 => b.buf(x),
+            _ => b.mux(x, y, z),
+        };
+        nets.push(net);
+    }
+    let n_out = nets.len().clamp(1, 4);
+    for (k, &net) in nets.iter().rev().take(n_out).enumerate() {
+        b.output(&format!("o{k}"), net);
+    }
+    b.finish()
+}
+
+fn exhaustive(width: usize) -> PatternSeq {
+    let mut p = PatternSeq::new(width);
+    for v in 0..(1u64 << width) {
+        p.push_value(v, v);
+    }
+    p
+}
+
+/// Scalar single-assignment evaluation; `force` injects the wired value
+/// `w` at both endpoint nets as their outputs are computed (exact for
+/// non-feedback pairs — the only kind the sampler admits).
+fn scalar_eval(
+    netlist: &Netlist,
+    assignment: u64,
+    force: Option<(usize, usize, bool)>,
+) -> Vec<bool> {
+    let gates = netlist.gates();
+    let mut vals = vec![false; gates.len()];
+    for (bit_pos, net) in netlist.inputs().nets().iter().enumerate() {
+        vals[net.index()] = (assignment >> bit_pos) & 1 == 1;
+    }
+    for i in 0..gates.len() {
+        let g = &gates[i];
+        let v = match g.kind {
+            GateKind::Input => vals[i],
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Dff => unreachable!("combinational only"),
+            kind => {
+                let p = g.pins;
+                let word = |b: bool| if b { !0u64 } else { 0 };
+                let a = word(vals[p[0].index()]);
+                let (b, c) = match kind.arity() {
+                    2 => (word(vals[p[1].index()]), 0),
+                    3 => (word(vals[p[1].index()]), word(vals[p[2].index()])),
+                    _ => (0, 0),
+                };
+                kind.eval(a, b, c) & 1 == 1
+            }
+        };
+        vals[i] = match force {
+            Some((a, b, w)) if i == a || i == b => w,
+            _ => v,
+        };
+    }
+    vals
+}
+
+/// The oracle: the first assignment (in 0..2^n order) at which forcing the
+/// bridge's wired value changes any output, or `None` if undetectable.
+fn oracle_first_detection(netlist: &Netlist, f: BridgeFault, width: usize) -> Option<u64> {
+    for v in 0..(1u64 << width) {
+        let good = scalar_eval(netlist, v, None);
+        let w = f.kind.wired(good[f.a.index()], good[f.b.index()]);
+        let faulty = scalar_eval(netlist, v, Some((f.a.index(), f.b.index(), w)));
+        let differs = netlist
+            .outputs()
+            .nets()
+            .iter()
+            .any(|o| good[o.index()] != faulty[o.index()]);
+        if differs {
+            return Some(v);
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bridge_simulation_matches_exhaustive_oracle(
+        n_inputs in 2usize..6,
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            4..32,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let netlist = build_netlist(n_inputs, &specs);
+        prop_assert!(netlist.is_combinational());
+        let width = netlist.inputs().width();
+        let cfg = BridgeConfig { pairs: 16, seed };
+        let universe = BridgeUniverse::sample(&netlist, &cfg);
+        let patterns = exhaustive(width);
+
+        let mut list = universe.new_list();
+        bridge_simulate(&netlist, &patterns, &mut list, &FaultSimConfig::default());
+
+        for (id, &f) in universe.faults().iter().enumerate() {
+            let expected = oracle_first_detection(&netlist, f, width);
+            match (expected, list.status(id)) {
+                (None, warpstl_fault::FaultStatus::Undetected) => {}
+                (Some(v), warpstl_fault::FaultStatus::Detected { cc, pattern, .. }) => {
+                    // Drop mode over an in-order sweep records the *first*
+                    // detecting assignment; cc stamps are the assignment
+                    // values here.
+                    prop_assert_eq!(pattern as u64, v, "{} first-detection pattern", f);
+                    prop_assert_eq!(cc, v, "{} first-detection cc", f);
+                }
+                (exp, got) => {
+                    prop_assert!(false, "{}: oracle {:?}, simulator {:?}", f, exp, got);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_event_and_kernel_paths_are_bit_identical(
+        n_inputs in 2usize..6,
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            4..48,
+        ),
+        seed in any::<u64>(),
+        drop in any::<bool>(),
+    ) {
+        let netlist = build_netlist(n_inputs, &specs);
+        let universe = BridgeUniverse::sample(&netlist, &BridgeConfig { pairs: 48, seed });
+        let patterns = exhaustive(netlist.inputs().width());
+        let cfg = |backend| FaultSimConfig {
+            drop_detected: drop,
+            early_exit: drop,
+            threads: 1,
+            backend,
+        };
+
+        let mut event_list = universe.new_list();
+        let event = bridge_simulate(&netlist, &patterns, &mut event_list, &cfg(SimBackend::Event));
+        let mut kernel_list = universe.new_list();
+        let kernel =
+            bridge_simulate(&netlist, &patterns, &mut kernel_list, &cfg(SimBackend::Kernel));
+
+        prop_assert_eq!(&kernel, &event, "report diverged");
+        prop_assert_eq!(
+            kernel_list.to_report_text(),
+            event_list.to_report_text(),
+            "list state diverged"
+        );
+    }
+
+    #[test]
+    fn non_drop_activation_counts_differing_endpoints(
+        n_inputs in 2usize..5,
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            4..24,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let netlist = build_netlist(n_inputs, &specs);
+        let width = netlist.inputs().width();
+        let universe = BridgeUniverse::sample(&netlist, &BridgeConfig { pairs: 16, seed });
+        let patterns = exhaustive(width);
+        let cfg = FaultSimConfig {
+            drop_detected: false,
+            early_exit: false,
+            threads: 1,
+            backend: SimBackend::Event,
+        };
+        let mut list = universe.new_list();
+        let report = bridge_simulate(&netlist, &patterns, &mut list, &cfg);
+
+        for (t, stats) in report.patterns().iter().enumerate() {
+            let good = scalar_eval(&netlist, t as u64, None);
+            let expected = universe
+                .faults()
+                .iter()
+                .filter(|f| good[f.a.index()] != good[f.b.index()])
+                .count() as u32;
+            prop_assert_eq!(stats.activated, expected, "pattern {}", t);
+        }
+    }
+}

@@ -66,6 +66,14 @@ pub mod names {
     pub const SERVE_FAILED: &str = "serve.failed";
     /// A serve job was rejected with 429 because the queue was full.
     pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// One campaign matrix cell ran (span name; counters below tally it).
+    pub const CAMPAIGN_CELL: &str = "campaign.cell";
+    /// A campaign cell completed with at least one artifact-store hit.
+    pub const CAMPAIGN_HIT: &str = "campaign.hit";
+    /// A campaign cell completed without a single artifact-store hit.
+    pub const CAMPAIGN_MISS: &str = "campaign.miss";
+    /// A campaign cell failed (bad request or compaction failure).
+    pub const CAMPAIGN_FAILED: &str = "campaign.failed";
 }
 
 use std::collections::BTreeMap;

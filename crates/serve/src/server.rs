@@ -31,7 +31,7 @@ use warpstl_sync::AtomicBool;
 use warpstl_core::jobs::{
     analyze_job, compact_job, compact_stl_job, lint_job, JobError, JobOptions,
 };
-use warpstl_fault::{host_parallelism, SimBackend};
+use warpstl_fault::{host_parallelism, FaultModel, SimBackend};
 use warpstl_obs::{names, Recorder};
 use warpstl_store::Store;
 
@@ -85,7 +85,7 @@ struct Job {
 enum JobSpec {
     Compact { ptp: String, opts: JobOptions },
     CompactStl { stl: String, opts: JobOptions },
-    Analyze { module: String },
+    Analyze { module: String, lanes: usize },
     Lint { ptp: String },
 }
 
@@ -392,6 +392,12 @@ fn parse_job(request: &Request, shared: &Shared) -> Result<JobSpec, String> {
         }),
         "/analyze" => Ok(JobSpec::Analyze {
             module: field("module")?,
+            lanes: match body.get("lanes") {
+                None => 0,
+                Some(v) => v
+                    .as_count()
+                    .ok_or_else(|| "`lanes` must be a non-negative integer".to_string())?,
+            },
         }),
         "/lint" => Ok(JobSpec::Lint { ptp: field("ptp")? }),
         other => Err(format!("unknown job endpoint `{other}`")),
@@ -424,6 +430,19 @@ fn parse_options(body: &Json, shared: &Shared) -> Result<JobOptions, String> {
     opts.reverse = flag("reverse", opts.reverse)?;
     opts.respect_arc = flag("respect_arc", opts.respect_arc)?;
     opts.prune = flag("prune", opts.prune)?;
+    opts.drop_detected = flag("drop_detected", opts.drop_detected)?;
+    if let Some(v) = options.get("lanes") {
+        opts.lanes = v
+            .as_count()
+            .ok_or_else(|| "`options.lanes` must be a non-negative integer".to_string())?;
+    }
+    if let Some(v) = options.get("fault_model") {
+        let name = v
+            .as_str()
+            .ok_or_else(|| "`options.fault_model` must be a string".to_string())?;
+        opts.fault_model = FaultModel::parse(name)
+            .ok_or_else(|| format!("unknown fault model `{name}` (stuck-at|bridging)"))?;
+    }
     if let Some(v) = options.get("backend") {
         let name = v
             .as_str()
@@ -500,8 +519,8 @@ fn execute(
                 )
             })
         }
-        JobSpec::Analyze { module } => {
-            let out = analyze_job(module)?;
+        JobSpec::Analyze { module, lanes } => {
+            let out = analyze_job(module, *lanes)?;
             Ok(if raw_report {
                 out.report_json
             } else {

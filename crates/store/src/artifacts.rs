@@ -19,13 +19,14 @@ use warpstl_analyze::{
     analyze_observed, AnalyzeReport, Diagnostic, ImplicationStats, Rule, Severity,
 };
 use warpstl_fault::{
-    fault_simulate_guided, FaultList, FaultSimConfig, FaultSimReport, FaultStatus, SimGuide,
+    bridge_simulate_observed, fault_simulate_guided, BridgeList, FaultList, FaultSimConfig,
+    FaultSimReport, FaultStatus, SimGuide,
 };
 use warpstl_netlist::{NetId, Netlist, PatternSeq};
 use warpstl_obs::{Obs, ObsExt};
 
 use crate::codec::{ByteReader, ByteWriter};
-use crate::hash::{key_analysis, key_fsim, Key};
+use crate::hash::{key_analysis, key_bridge_sim, key_fsim, Key};
 use crate::store::{EntryKind, Store};
 
 /// The persisted result of one fault-engine invocation.
@@ -121,9 +122,11 @@ impl FsimStamps {
 
     /// Captures the stamps of a just-finished engine run from its report
     /// and the list's detection flags `before` the run (see
-    /// [`detection_flags`]).
+    /// [`detection_flags`]). Generic over the ledger's fault type: stamps
+    /// carry only ids, so stuck-at and bridging runs share the codec (their
+    /// keys are domain-separated by the model tag).
     #[must_use]
-    pub fn capture(report: &FaultSimReport, list: &FaultList, before: &[bool]) -> FsimStamps {
+    pub fn capture<F>(report: &FaultSimReport, list: &FaultList<F>, before: &[bool]) -> FsimStamps {
         let patterns = report
             .patterns()
             .iter()
@@ -147,7 +150,7 @@ impl FsimStamps {
     /// detection stamps, and rebuilds the engine's report. Equivalent to
     /// re-running the engine from the same entry list state.
     #[must_use]
-    pub fn replay(&self, list: &mut FaultList) -> FaultSimReport {
+    pub fn replay<F>(&self, list: &mut FaultList<F>) -> FaultSimReport {
         list.begin_run();
         for &(fault, cc, pattern) in &self.list_updates {
             list.mark_detected(fault, cc, pattern);
@@ -167,7 +170,7 @@ impl FsimStamps {
 /// Snapshot of a list's detection flags, indexed by fault id — taken
 /// before an engine run so [`FsimStamps::capture`] can diff.
 #[must_use]
-pub fn detection_flags(list: &FaultList) -> Vec<bool> {
+pub fn detection_flags<F>(list: &FaultList<F>) -> Vec<bool> {
     (0..list.len())
         .map(|id| matches!(list.status(id), FaultStatus::Detected { .. }))
         .collect()
@@ -360,6 +363,33 @@ pub fn cached_fault_sim(
     }
     let before = detection_flags(list);
     let report = fault_simulate_guided(netlist, patterns, list, config, obs, guide);
+    store.put_stamps(key, &FsimStamps::capture(&report, list, &before), obs);
+    report
+}
+
+/// [`bridge_simulate_observed`] behind the cache — the bridging twin of
+/// [`cached_fault_sim`]. The key ([`key_bridge_sim`]) absorbs the sampled
+/// universe content alongside the entry list state, so entries can never
+/// alias across models, seeds, or pair budgets; stamps replay through the
+/// same [`FsimStamps`] machinery (the payload carries only fault ids).
+pub fn cached_bridge_sim(
+    cache: CacheCtx<'_>,
+    netlist: &Netlist,
+    patterns: &PatternSeq,
+    list: &mut BridgeList,
+    config: &FaultSimConfig,
+    obs: Obs<'_>,
+) -> FaultSimReport {
+    let Some(store) = cache.store else {
+        return bridge_simulate_observed(netlist, patterns, list, config, obs);
+    };
+    let key = key_bridge_sim(cache.netlist_key, patterns, list, config);
+    if let Some(stamps) = store.get_stamps(key, list.len(), obs) {
+        let _span = obs.span("store", "store.replay");
+        return stamps.replay(list);
+    }
+    let before = detection_flags(list);
+    let report = bridge_simulate_observed(netlist, patterns, list, config, obs);
     store.put_stamps(key, &FsimStamps::capture(&report, list, &before), obs);
     report
 }
@@ -561,6 +591,55 @@ mod tests {
         assert_eq!(rec.metrics().counter(names::CACHE_HIT), 1);
         assert_eq!(warm, cold);
         assert_eq!(warm_list.to_report_text(), cold_list.to_report_text());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn cached_bridge_sim_warm_replay_is_bit_identical() {
+        use warpstl_fault::{BridgeConfig, BridgeUniverse};
+        let netlist = build_netlist();
+        let universe = BridgeUniverse::sample(&netlist, &BridgeConfig::default());
+        assert!(!universe.is_empty());
+        let patterns = patterns_for(&netlist, 6);
+        let config = FaultSimConfig::default();
+        let store = temp_store("bridge-warm");
+        let cache = CacheCtx {
+            store: Some(&store),
+            netlist_key: crate::hash::key_netlist(&netlist),
+        };
+
+        let mut cold_list = universe.new_list();
+        let cold = cached_bridge_sim(cache, &netlist, &patterns, &mut cold_list, &config, None);
+
+        let rec = Recorder::new();
+        let mut warm_list = universe.new_list();
+        let warm = cached_bridge_sim(
+            cache,
+            &netlist,
+            &patterns,
+            &mut warm_list,
+            &config,
+            Some(&rec),
+        );
+        assert_eq!(warm, cold);
+        assert_eq!(warm_list.to_report_text(), cold_list.to_report_text());
+        assert_eq!(rec.metrics().counter(names::CACHE_HIT), 1);
+
+        // A stuck-at run over the same netlist/patterns/config must miss:
+        // the model tag domain-separates the key spaces.
+        let sa_universe = FaultUniverse::enumerate(&netlist);
+        let rec2 = Recorder::new();
+        let mut sa_list = FaultList::new(&sa_universe);
+        let _ = cached_fault_sim(
+            cache,
+            &netlist,
+            &patterns,
+            &mut sa_list,
+            &config,
+            Some(&rec2),
+            &SimGuide::default(),
+        );
+        assert_eq!(rec2.metrics().counter(names::CACHE_MISS), 1);
         let _ = std::fs::remove_dir_all(store.root());
     }
 

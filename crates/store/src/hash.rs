@@ -26,7 +26,7 @@
 
 use std::fmt;
 
-use warpstl_fault::{FaultList, FaultSimConfig, FaultStatus, SimGuide};
+use warpstl_fault::{BridgeKind, BridgeList, FaultList, FaultSimConfig, FaultStatus, SimGuide};
 use warpstl_netlist::{GateKind, Netlist, PatternSeq};
 use warpstl_programs::serialize::ptp_to_text;
 use warpstl_programs::Ptp;
@@ -35,7 +35,9 @@ use warpstl_programs::Ptp;
 /// stamps, report rows): old fsim-stamp entries then miss by key.
 /// v2: the guide's untestable bitmap prunes targets (pattern tallies and
 /// the report's untestable row change with it).
-pub const FSIM_SCHEMA: u32 = 2;
+/// v3: a fault-model tag domain-separates stuck-at from bridging entries
+/// (see [`key_bridge_sim`]) so cache entries never alias across models.
+pub const FSIM_SCHEMA: u32 = 3;
 
 /// Bump when the netlist analyzer's rules or report shape change.
 /// v2: implication-engine counts and the `redundant-logic` rule.
@@ -287,6 +289,9 @@ pub fn key_fsim(
     let mut h = CanonicalHasher::new();
     h.str("warpstl.fsim/v1");
     h.u32(FSIM_SCHEMA);
+    // Fault-model tag: 0 = stuck-at, 1 = bridging (key_bridge_sim). The
+    // models share the stamp payload format but never the key space.
+    h.byte(0);
     h.u128(netlist_key.0);
     absorb_stream(&mut h, patterns);
     h.len(list.len());
@@ -307,6 +312,43 @@ pub fn key_fsim(
             h.bool(u);
         }
     }
+    h.finish()
+}
+
+/// The canonical key of one bridging-fault simulation: the stuck-at
+/// [`key_fsim`] material with the model tag set to `1`, plus the *sampled
+/// universe content* — bridging universes are drawn by a seeded sampler,
+/// not derived from structure alone, so the endpoint/kind triples are key
+/// material (two configs sampling different pair sets must never alias).
+/// `threads` and `backend` stay excluded: the bridge engine is
+/// bit-identical across both.
+#[must_use]
+pub fn key_bridge_sim(
+    netlist_key: Key,
+    patterns: &PatternSeq,
+    list: &BridgeList,
+    config: &FaultSimConfig,
+) -> Key {
+    let mut h = CanonicalHasher::new();
+    h.str("warpstl.fsim/v1");
+    h.u32(FSIM_SCHEMA);
+    // Fault-model tag: 1 = bridging (see key_fsim).
+    h.byte(1);
+    h.u128(netlist_key.0);
+    absorb_stream(&mut h, patterns);
+    h.len(list.len());
+    for id in 0..list.len() {
+        let f = list.fault(id);
+        h.u32(f.a.0);
+        h.u32(f.b.0);
+        h.byte(match f.kind {
+            BridgeKind::And => 0,
+            BridgeKind::Or => 1,
+        });
+        h.bool(matches!(list.status(id), FaultStatus::Undetected));
+    }
+    h.bool(config.drop_detected);
+    h.bool(config.early_exit);
     h.finish()
 }
 
@@ -497,5 +539,47 @@ mod tests {
     fn artifact_kinds_are_domain_separated() {
         let nk = key_netlist(&ModuleKind::DecoderUnit.build());
         assert_ne!(key_analysis(nk), nk);
+    }
+
+    #[test]
+    fn fault_models_never_alias_in_the_key_space() {
+        // Regression: stuck-at and bridging entries over the same netlist,
+        // the same pattern stream, and the same config must key apart —
+        // otherwise a warm store could replay stamps of the wrong model.
+        let netlist = ModuleKind::Sfu.build();
+        let nk = key_netlist(&netlist);
+        let cfg = FaultSimConfig::default();
+        let mut pats = PatternSeq::new(netlist.inputs().width());
+        pats.push_value(0, 0xdead_beef);
+
+        let universe = warpstl_fault::FaultUniverse::enumerate(&netlist);
+        let sa_list = warpstl_fault::FaultList::new(&universe);
+        let sa_key = key_fsim(nk, &pats, &sa_list, &cfg, &SimGuide::default());
+
+        let bridges = warpstl_fault::BridgeUniverse::sample(
+            &netlist,
+            &warpstl_fault::BridgeConfig::default(),
+        );
+        assert!(!bridges.is_empty());
+        let br_list = bridges.new_list();
+        let br_key = key_bridge_sim(nk, &pats, &br_list, &cfg);
+        assert_ne!(sa_key, br_key, "stuck-at and bridging keys alias");
+
+        // The sampled universe content is key material: a different seed
+        // that draws a different pair set must change the key.
+        let other = warpstl_fault::BridgeUniverse::sample(
+            &netlist,
+            &warpstl_fault::BridgeConfig { pairs: 3, seed: 7 },
+        );
+        if other.faults() != bridges.faults() {
+            let other_key = key_bridge_sim(nk, &pats, &other.new_list(), &cfg);
+            assert_ne!(br_key, other_key, "universe content must enter the key");
+        }
+
+        // List entry state keys, like the stuck-at path.
+        let mut warm = bridges.new_list();
+        warm.begin_run();
+        warm.mark_detected(0, 1, 0);
+        assert_ne!(br_key, key_bridge_sim(nk, &pats, &warm, &cfg));
     }
 }

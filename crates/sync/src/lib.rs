@@ -24,7 +24,7 @@
 //! guard-shaped instead of `Result`-shaped.
 //!
 //! Also here, because it sits at the very bottom of the crate graph:
-//! [`env`], the shared once-per-process invalid-environment-variable
+//! [`mod@env`], the shared once-per-process invalid-environment-variable
 //! warning helper used by every `WARPSTL_*` knob.
 
 pub mod env;

@@ -269,4 +269,42 @@ grep -q '^drained$' "$SMOKE_DIR/serve.out" || {
 }
 echo "serve OK: concurrent clients byte-identical, gc concurrent, clean drain"
 
+echo "== campaign smoke test =="
+# A small matrix (2 modules x 2 lane shapes x both fault models) through
+# the campaign runner twice against one cache directory: the second run
+# is warm and uses a different pool width, yet the --json report must be
+# byte-identical, and the warm run's cache summary must show hits.
+CAMPAIGN_CACHE="$SMOKE_DIR/campaign-cache"
+cat > "$SMOKE_DIR/campaign.json" <<'EOF'
+{
+    "name": "smoke",
+    "modules": ["decoder_unit", "sfu"],
+    "lanes": [8, 16],
+    "fault_models": ["stuck-at", "bridging"],
+    "sb_count": 3,
+    "bridge_pairs": 32
+}
+EOF
+cargo run -q --release -p warpstl-cli -- campaign "$SMOKE_DIR/campaign.json" \
+    --cache-dir "$CAMPAIGN_CACHE" --jobs 1 --json "$SMOKE_DIR/c1.json" \
+    > "$SMOKE_DIR/campaign-cold.out" || exit 1
+cargo run -q --release -p warpstl-cli -- campaign "$SMOKE_DIR/campaign.json" \
+    --cache-dir "$CAMPAIGN_CACHE" --jobs 4 --json "$SMOKE_DIR/c2.json" \
+    > "$SMOKE_DIR/campaign-warm.out" || exit 1
+cmp "$SMOKE_DIR/c1.json" "$SMOKE_DIR/c2.json" || {
+    echo "campaign report JSON differs between jobs=1 and warm jobs=4" >&2
+    exit 1
+}
+grep -Eq '^cache +[1-9][0-9]* hit' "$SMOKE_DIR/campaign-warm.out" || {
+    echo "warm campaign run reported no cache hits:" >&2
+    cat "$SMOKE_DIR/campaign-warm.out" >&2
+    exit 1
+}
+grep -q '8 cell(s), 8 ok' "$SMOKE_DIR/campaign-warm.out" || {
+    echo "campaign did not report 8 ok cells:" >&2
+    cat "$SMOKE_DIR/campaign-warm.out" >&2
+    exit 1
+}
+echo "campaign OK: 8-cell matrix byte-identical across pool widths, warm hits"
+
 echo "check.sh: all green"
